@@ -1,0 +1,340 @@
+(* The `refill` command-line tool.
+
+   Subcommands:
+     simulate   run a CitySee-like deployment and dump the (lossy) collected
+                logs — with ground truth — to a file
+     analyze    reconstruct event flows from a log dump and report loss
+                positions, causes, and accuracy against any embedded truth
+     trace      print one packet's reconstructed event flow
+     figures    regenerate the paper's figures from a fresh simulation
+*)
+
+open Cmdliner
+
+(* -- Shared argument definitions ------------------------------------------- *)
+
+let seed_arg =
+  let doc = "Master random seed; every run is deterministic in it." in
+  Arg.(value & opt int 2015 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let days_arg =
+  let doc = "Number of compressed days to simulate." in
+  Arg.(value & opt int 2 & info [ "days" ] ~docv:"DAYS" ~doc)
+
+let nodes_arg =
+  let doc = "Approximate node count (realized as the nearest grid)." in
+  Arg.(value & opt int 100 & info [ "nodes" ] ~docv:"N" ~doc)
+
+let loss_arg =
+  let doc =
+    "Log lossiness: 'none', 'default', or a uniform per-record drop \
+     probability like '0.2'."
+  in
+  Arg.(value & opt string "default" & info [ "log-loss" ] ~docv:"SPEC" ~doc)
+
+let parse_loss spec =
+  match spec with
+  | "none" -> Ok Logsys.Loss_model.none
+  | "default" -> Ok Logsys.Loss_model.default
+  | s -> (
+      match float_of_string_opt s with
+      | Some p when p >= 0. && p <= 1. -> Ok (Logsys.Loss_model.uniform p)
+      | Some _ | None ->
+          Error (Printf.sprintf "invalid --log-loss %S" s))
+
+let scenario_params ~seed ~days ~nodes =
+  {
+    Scenario.Citysee.default with
+    seed = Int64.of_int seed;
+    days;
+    n_nodes = nodes;
+    (* The default's environmental event counts describe a 30-day month;
+       scale them to the requested horizon. *)
+    server_outages = max 1 (4 * days / 30);
+    snow_days =
+      (match Scenario.Citysee.default.snow_days with
+      | Some (d0, _) when d0 >= days -> None
+      | other -> other);
+    sink_fix_day =
+      (match Scenario.Citysee.default.sink_fix_day with
+      | Some d when d >= days -> None
+      | other -> other);
+  }
+
+(* -- simulate ----------------------------------------------------------------- *)
+
+let simulate seed days nodes loss output =
+  match parse_loss loss with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok loss_config ->
+      let params = scenario_params ~seed ~days ~nodes in
+      Printf.printf "simulating %d nodes for %d day(s) (seed %d)...\n%!" nodes
+        days seed;
+      let t = Scenario.Citysee.run params in
+      let collected = Scenario.Citysee.collected_lossy t loss_config in
+      let truth = Node.Network.truth t.network in
+      Logsys.Log_io.save_file output ~sink:t.sink ~truth collected;
+      Printf.printf
+        "generated %d packets, %d surviving log records -> %s (sink = node \
+         %d)\n"
+        (Node.Network.packets_generated t.network)
+        (Logsys.Collected.total collected)
+        output t.sink;
+      0
+
+let simulate_cmd =
+  let output =
+    Arg.(
+      value
+      & opt string "citysee-logs.txt"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output log dump file.")
+  in
+  let doc = "Simulate a CitySee-like deployment and dump collected logs." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(const simulate $ seed_arg $ days_arg $ nodes_arg $ loss_arg $ output)
+
+(* -- analyze ------------------------------------------------------------------ *)
+
+let print_breakdown verdicts ~sink ~total_label =
+  let counts = Hashtbl.create 8 in
+  let at_sink = Hashtbl.create 8 in
+  let lost = ref 0 in
+  List.iter
+    (fun ((_, v) : (int * int) * Refill.Classify.verdict) ->
+      if not (Logsys.Cause.equal v.cause Logsys.Cause.Delivered) then begin
+        incr lost;
+        Hashtbl.replace counts v.cause
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts v.cause));
+        if v.loss_node = Some sink then
+          Hashtbl.replace at_sink v.cause
+            (1 + Option.value ~default:0 (Hashtbl.find_opt at_sink v.cause))
+      end)
+    verdicts;
+  Printf.printf "%s: %d lost of %d analyzed\n" total_label !lost
+    (List.length verdicts);
+  List.iter
+    (fun cause ->
+      match Hashtbl.find_opt counts cause with
+      | None | Some 0 -> ()
+      | Some c ->
+          let s = Option.value ~default:0 (Hashtbl.find_opt at_sink cause) in
+          Printf.printf "  %-14s %5d (%5.1f%%)%s\n" (Logsys.Cause.name cause)
+            c
+            (100. *. float_of_int c /. float_of_int (max 1 !lost))
+            (if s > 0 then Printf.sprintf "  [%d at sink]" s else ""))
+    (Logsys.Cause.loss_causes @ [ Logsys.Cause.Unknown ])
+
+let analyze input =
+  match Logsys.Log_io.load_file input with
+  | exception Sys_error e ->
+      prerr_endline e;
+      1
+  | exception Failure e ->
+      prerr_endline e;
+      1
+  | dump ->
+      let flows = Refill.Reconstruct.all dump.collected ~sink:dump.sink in
+      let summary = Refill.Reconstruct.summarize flows in
+      Printf.printf
+        "reconstructed %d packets: %d logged events, %d inferred lost \
+         events, %d unusable records\n"
+        summary.packets summary.logged_events summary.inferred_events
+        summary.skipped_events;
+      let verdicts =
+        List.map
+          (fun (f : Refill.Flow.t) ->
+            ((f.origin, f.seq), Refill.Classify.classify f))
+          flows
+      in
+      print_breakdown verdicts ~sink:dump.sink ~total_label:"verdicts";
+      (match dump.truth with
+      | None ->
+          print_string
+            "note: no server database available; Delivered verdicts cannot \
+             be split into delivered vs server-outage.\n"
+      | Some truth ->
+          (* The server's database (which packets actually arrived) is part
+             of the operators' toolbox; reconcile as §V.C does. *)
+          let delivered_db =
+            Logsys.Truth.fold truth ~init:[] ~f:(fun acc key fate ->
+                if Logsys.Cause.equal fate.cause Logsys.Cause.Delivered then
+                  (key, fate.resolved_at) :: acc
+                else acc)
+          in
+          let refined =
+            Analysis.Pipeline.refine_with_server ~delivered_db verdicts
+          in
+          print_newline ();
+          print_breakdown refined ~sink:dump.sink
+            ~total_label:"verdicts (reconciled with server DB)";
+          let accuracy v =
+            100.
+            *. Analysis.Metrics.accuracy
+                 (Analysis.Metrics.confusion ~truth
+                    ~verdicts:
+                      (List.map
+                         (fun (k, (x : Refill.Classify.verdict)) ->
+                           (k, x.cause))
+                         v))
+          in
+          Printf.printf
+            "cause accuracy vs ground truth: %.1f%% from WSN logs alone, \
+             %.1f%% reconciled with the server DB\n"
+            (accuracy verdicts) (accuracy refined));
+      0
+
+let analyze_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LOGFILE" ~doc:"Log dump produced by `refill simulate`.")
+  in
+  let doc = "Reconstruct event flows from a log dump and classify losses." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ input)
+
+(* -- trace -------------------------------------------------------------------- *)
+
+let trace input origin seq =
+  match Logsys.Log_io.load_file input with
+  | exception Sys_error e ->
+      prerr_endline e;
+      1
+  | dump ->
+      let flow =
+        Refill.Reconstruct.packet dump.collected ~origin ~seq ~sink:dump.sink
+      in
+      if Refill.Flow.length flow = 0 then begin
+        Printf.printf "no surviving records for packet (%d, %d)\n" origin seq;
+        1
+      end
+      else begin
+        Printf.printf "packet (origin %d, seq %d)\n" origin seq;
+        Printf.printf "flow : %s\n" (Refill.Flow.to_string flow);
+        print_newline ();
+        print_string (Refill.Flow.to_sequence_diagram flow);
+        print_newline ();
+        Printf.printf "path : %s\n"
+          (String.concat " -> "
+             (List.map string_of_int (Refill.Flow.nodes_visited flow)));
+        let v = Refill.Classify.classify flow in
+        Printf.printf "cause: %s%s%s\n"
+          (Logsys.Cause.name v.cause)
+          (match v.loss_node with
+          | Some n -> Printf.sprintf " at node %d" n
+          | None -> "")
+          (match v.next_hop with
+          | Some n -> Printf.sprintf " (toward node %d)" n
+          | None -> "");
+        (match dump.truth with
+        | Some truth -> (
+            match Logsys.Truth.find truth ~origin ~seq with
+            | Some fate ->
+                Printf.printf "truth: %s%s, path %s\n"
+                  (Logsys.Cause.name fate.cause)
+                  (match fate.loss_node with
+                  | Some n -> Printf.sprintf " at node %d" n
+                  | None -> "")
+                  (String.concat " -> " (List.map string_of_int fate.path))
+            | None -> ())
+        | None -> ());
+        0
+      end
+
+let trace_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LOGFILE" ~doc:"Log dump produced by `refill simulate`.")
+  in
+  let origin =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "origin" ] ~docv:"NODE" ~doc:"Origin node of the packet.")
+  in
+  let seq =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "seq" ] ~docv:"SEQ" ~doc:"Per-origin sequence number.")
+  in
+  let doc = "Print one packet's reconstructed event flow." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ input $ origin $ seq)
+
+(* -- figures ------------------------------------------------------------------- *)
+
+let figures seed days nodes csv_dir which =
+  let params = scenario_params ~seed ~days ~nodes in
+  let t = Scenario.Citysee.run params in
+  let p = Analysis.Pipeline.make t in
+  (match csv_dir with
+  | Some dir ->
+      let written = Analysis.Export.write_all p ~dir in
+      List.iter (Printf.printf "wrote %s\n") written
+  | None -> ());
+  let render = function
+    | "table2" -> print_string (Analysis.Figures.table2 ())
+    | "fig4" -> print_string (Analysis.Figures.fig4 p)
+    | "fig5" -> print_string (Analysis.Figures.fig5 p)
+    | "fig6" -> print_string (Analysis.Figures.fig6 p)
+    | "fig8" -> print_string (Analysis.Figures.fig8 p)
+    | "fig9" -> print_string (Analysis.Figures.fig9 p)
+    | other -> Printf.eprintf "unknown figure %S\n" other
+  in
+  (match which with
+  | [] -> List.iter render [ "table2"; "fig4"; "fig5"; "fig6"; "fig8"; "fig9" ]
+  | l -> List.iter render l);
+  0
+
+let figures_cmd =
+  let which =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FIGURE"
+          ~doc:"Figures to render (table2, fig4, fig5, fig6, fig8, fig9).")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also write each figure's underlying data as CSV into $(docv).")
+  in
+  let doc = "Regenerate the paper's figures from a fresh simulation." in
+  Cmd.v
+    (Cmd.info "figures" ~doc)
+    Term.(const figures $ seed_arg $ days_arg $ nodes_arg $ csv_dir $ which)
+
+(* -- report -------------------------------------------------------------------- *)
+
+let report seed days nodes =
+  let params = scenario_params ~seed ~days ~nodes in
+  let t = Scenario.Citysee.run params in
+  let pipeline = Analysis.Pipeline.make t in
+  print_string (Analysis.Report.to_string (Analysis.Report.build pipeline));
+  0
+
+let report_cmd =
+  let doc =
+    "Simulate a deployment and print the full REFILL diagnosis report."
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const report $ seed_arg $ days_arg $ nodes_arg)
+
+(* -- main ---------------------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "REFILL: reconstruct network behavior from individual and lossy logs"
+  in
+  let info = Cmd.info "refill" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ simulate_cmd; analyze_cmd; trace_cmd; figures_cmd; report_cmd ]))

@@ -1,0 +1,97 @@
+(* Network diagnosis on the month-long CitySee deployment (§V.B–V.D).
+
+   Runs the full 30-day scenario — snow on days 9–10, the unstable sink
+   serial cable until day 23, backbone server outages — applies REFILL to
+   the lossy collected logs, and walks through the paper's diagnosis
+   narrative: whose packets are lost vs WHERE they are lost, the per-day
+   cause composition, and the implications (the sink cable is the story).
+
+   Run with: dune exec examples/citysee_diagnosis.exe
+*)
+
+let () =
+  print_endline "simulating 30 compressed days of CitySee (100 nodes)...";
+  let scenario = Scenario.Citysee.run Scenario.Citysee.default in
+  let pipeline = Analysis.Pipeline.make scenario in
+  Printf.printf "packets: %d   lost (missing from server DB): %d\n\n"
+    (Node.Network.packets_generated scenario.network)
+    (List.length pipeline.loss_times);
+
+  (* 1. Whose packets are lost? (the sink view, Fig. 4) *)
+  let sources = Analysis.Temporal.source_view pipeline in
+  Printf.printf
+    "1. WHOSE packets are lost: %d distinct source nodes — losses look \
+     uniform across the network.\n"
+    (Analysis.Temporal.distinct_nodes sources);
+
+  (* 2. WHERE are they lost? (REFILL, Fig. 5/8) *)
+  let positions = Analysis.Temporal.position_view pipeline in
+  Printf.printf
+    "2. WHERE they are lost (REFILL): %d distinct positions; the top 3 \
+     nodes hold %.0f%% of all losses.\n"
+    (Analysis.Temporal.distinct_nodes positions)
+    (100. *. Analysis.Temporal.node_concentration positions ~top:3);
+  let received = Analysis.Spatial.received_losses pipeline in
+  Printf.printf
+    "   received losses at the sink: %.0f%% — packets die AFTER reaching \
+     the sink.\n"
+    (100. *. Analysis.Spatial.sink_share received ~sink:scenario.sink);
+
+  (* 3. Why? (Fig. 9 breakdown) *)
+  let breakdown = Analysis.Breakdown.of_pipeline pipeline in
+  Printf.printf
+    "3. WHY: acked %.1f%% (%.1f%% at sink), received %.1f%% (%.1f%% at \
+     sink), server-outage %.1f%%,\n\
+    \        timeout %.1f%%, duplicate %.1f%%, overflow %.1f%% — link \
+     losses are NOT the story;\n\
+    \        the sink's serial connection is.\n"
+    (100. *. breakdown.acked_total)
+    (100. *. breakdown.acked_sink)
+    (100. *. breakdown.received_total)
+    (100. *. breakdown.received_sink)
+    (100. *. breakdown.server_outage)
+    (100. *. breakdown.timeout)
+    (100. *. breakdown.duplicate)
+    (100. *. breakdown.overflow);
+
+  (* 4. The repair, visible in the time series (Fig. 6). *)
+  let daily = Analysis.Composition.losses_per_day pipeline in
+  let mean lo hi =
+    let slice = Array.sub daily lo (hi - lo + 1) in
+    Prelude.Stats.mean (Array.map float_of_int slice)
+  in
+  Printf.printf
+    "4. THE FIX: replacing the sink cable on day 23 cut daily losses from \
+     %.0f (days 12-21) to %.0f (days 24-29).\n"
+    (mean 12 21) (mean 24 29);
+  Printf.printf "   daily losses: %s\n\n"
+    (Prelude.Ascii_chart.sparkline (Array.map float_of_int daily));
+
+  (* 5. The paper's §V.D.2 criticism: time-window correlation cannot do
+     this. Score it against ground truth on the same losses. *)
+  let records =
+    Logsys.Collected.merged_concat pipeline.collected
+  in
+  let corr_verdicts =
+    Baseline.Time_corr.classify_all ~records
+      ~window_size:scenario.params.day_length ~losses:pipeline.loss_times
+  in
+  let corr_acc =
+    Analysis.Metrics.accuracy
+      (Analysis.Metrics.confusion ~truth:pipeline.truth
+         ~verdicts:corr_verdicts)
+  in
+  let refill_acc =
+    Analysis.Metrics.accuracy
+      (Analysis.Metrics.confusion ~truth:pipeline.truth
+         ~verdicts:
+           (List.map
+              (fun (k, (v : Refill.Classify.verdict)) -> (k, v.cause))
+              pipeline.refill))
+  in
+  Printf.printf
+    "5. versus time-correlation (§V.D.2): correlation attributes causes \
+     with %.0f%% accuracy on lost packets;\n\
+    \   REFILL reaches %.0f%% on every packet — coexisting causes in one \
+     window defeat correlation.\n"
+    (100. *. corr_acc) (100. *. refill_acc)

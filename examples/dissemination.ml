@@ -1,0 +1,150 @@
+(* The inference engine on a second protocol: data dissemination.
+
+   §IV.B's Fig. 3(b)/(d) patterns describe a broadcaster negotiating with
+   many receivers.  This example exercises the dissemination model two
+   ways — on synthetic rounds, and on the Dissem_sim substrate (a
+   Deluge/Trickle-style simulator over the same lossy radio model) —
+   reconstructing each receiver's exchange from the surviving records and
+   comparing proven progress with ground truth.  The same generic FSM
+   engine that powers the CTP reconstruction, instantiated for a different
+   protocol in ~100 lines.
+
+   Run with: dune exec examples/dissemination.exe
+*)
+
+let state_name = function
+  | 0 -> "nothing"
+  | 1 -> "heard advert"
+  | 2 -> "requested"
+  | 3 -> "received data"
+  | 4 -> "DONE"
+  | _ -> "?"
+
+let () =
+  let rng = Prelude.Rng.create ~seed:99L in
+  let receivers = [ 1; 2; 3; 4; 5 ] in
+
+  (* One round, moderately hostile conditions. *)
+  let out =
+    Refill.Dissem.generate rng ~broadcaster:0 ~receivers ~message_loss:0.25
+      ~record_loss:0.3
+  in
+  Printf.printf "one round, 25%% message loss, 30%% record loss:\n";
+  Printf.printf "  surviving records: %s\n"
+    (String.concat ", "
+       (List.map (Format.asprintf "%a" Refill.Dissem.pp_event) out.events));
+  List.iter
+    (fun (r, progress) ->
+      let truth = List.assoc r out.completed in
+      Printf.printf "  receiver %d: proven progress = %-13s (truth: %s)\n" r
+        (state_name progress)
+        (if truth then "completed" else "did not complete"))
+    (Refill.Dissem.analyze_round ~broadcaster:0 ~events:out.events);
+
+  (* The headline: a single surviving 'done' record implies the entire
+     seven-event exchange. *)
+  let items, stats =
+    Refill.Dissem.reconstruct ~broadcaster:0 ~receiver:1
+      ~events:[ { node = 1; label = Refill.Dissem.L_done; peer = None } ]
+  in
+  Printf.printf
+    "\nfrom one surviving 'done' record, the engine infers %d events:\n  "
+    stats.emitted_inferred;
+  List.iter
+    (fun (i : (Refill.Dissem.label, Refill.Dissem.event) Refill.Engine.item) ->
+      Printf.printf "%s%s@%d%s "
+        (if i.inferred then "[" else "")
+        (Refill.Dissem.label_name i.label)
+        i.node
+        (if i.inferred then "]" else ""))
+    items;
+  print_newline ();
+
+  (* The same analysis on the simulated substrate: a broadcaster and its
+     one-hop neighborhood on a real link model, retries and
+     re-advertisements included. *)
+  let topo =
+    Net.Topology.create
+      ~positions:[| (0., 0.); (4., 0.); (0., 4.); (8., 8.); (12.5, 0.) |]
+      ~range:15.
+  in
+  let link = Net.Link_model.create ~seed:17L ~topology:topo () in
+  let result =
+    Dissem_sim.Rounds.run rng ~topology:topo ~link ~broadcaster:0
+      Dissem_sim.Rounds.default_config
+  in
+  Printf.printf
+    "\nsimulated substrate: %d advertisement rounds, %d log events\n"
+    result.advertisements
+    (List.length (Dissem_sim.Rounds.merged_events result));
+  let progress =
+    Refill.Dissem.analyze_round ~broadcaster:0
+      ~events:(Dissem_sim.Rounds.merged_events result)
+  in
+  List.iter
+    (fun (r, truth) ->
+      let proven =
+        Option.value ~default:0 (List.assoc_opt r progress)
+      in
+      Printf.printf "  receiver %d: proven %-13s (truth: %s)\n" r
+        (state_name proven)
+        (if truth then "completed" else "did not complete"))
+    result.completed;
+
+  (* Multi-hop epidemic: holders become broadcasters, flooding the network;
+     analyze_epidemic reconstructs every node's acquisition against its
+     candidate sources. *)
+  let grid_rng = Prelude.Rng.create ~seed:41L in
+  let grid =
+    Net.Topology.jittered_grid grid_rng ~nx:5 ~ny:5 ~spacing:10. ~jitter:2.
+      ~range:16.
+  in
+  let grid_link = Net.Link_model.create ~seed:43L ~topology:grid () in
+  let epidemic =
+    Dissem_sim.Rounds.run_epidemic rng ~topology:grid ~link:grid_link ~seed:0
+      { Dissem_sim.Rounds.default_config with duration = 400. }
+  in
+  let truth_done = List.length (List.filter snd epidemic.completed) in
+  let proven_done =
+    Refill.Dissem.analyze_epidemic ~seed:0
+      ~events:(Dissem_sim.Rounds.merged_events epidemic)
+    |> List.filter (fun (_, p) -> p = 4)
+    |> List.length
+  in
+  Printf.printf
+    "\nmulti-hop epidemic on a 25-node grid: %d/%d nodes acquired the data \
+     (%d advertisements);\n\
+     reconstruction proves exactly %d completions from the logs\n"
+    truth_done
+    (List.length epidemic.completed)
+    epidemic.advertisements proven_done;
+
+  (* Aggregate check over many rounds: reconstruction is sound (never
+     proves a completion that did not happen) and increasingly complete as
+     record loss falls. *)
+  Printf.printf "\n%-12s  %-10s  %-10s\n" "record-loss" "proven%" "truth%";
+  List.iter
+    (fun record_loss ->
+      let rounds = 200 in
+      let proven = ref 0 and truly = ref 0 and total = ref 0 in
+      for _ = 1 to rounds do
+        let out =
+          Refill.Dissem.generate rng ~broadcaster:0 ~receivers
+            ~message_loss:0.15 ~record_loss
+        in
+        let progress =
+          Refill.Dissem.analyze_round ~broadcaster:0 ~events:out.events
+        in
+        List.iter
+          (fun (r, completed) ->
+            incr total;
+            if completed then incr truly;
+            match List.assoc_opt r progress with
+            | Some 4 -> incr proven
+            | _ -> ())
+          out.completed
+      done;
+      Printf.printf "%-12.2f  %-10.1f  %-10.1f\n" record_loss
+        (100. *. float_of_int !proven /. float_of_int !total)
+        (100. *. float_of_int !truly /. float_of_int !total))
+    [ 0.0; 0.2; 0.5; 0.8 ]

@@ -1,0 +1,88 @@
+let buffer_csv header rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let points_csv points =
+  buffer_csv
+    [ "time"; "node"; "cause" ]
+    (List.map
+       (fun (p : Temporal.point) ->
+         [
+           Printf.sprintf "%.3f" p.time;
+           string_of_int p.node;
+           Logsys.Cause.name p.cause;
+         ])
+       points)
+
+let fig4_csv pipeline = points_csv (Temporal.source_view pipeline)
+
+let fig5_csv pipeline = points_csv (Temporal.position_view pipeline)
+
+let fig6_csv pipeline =
+  let rows = Composition.per_day pipeline in
+  let cause_cols = List.map Logsys.Cause.name Composition.tracked_causes in
+  buffer_csv
+    ([ "day"; "total" ] @ cause_cols)
+    (List.map
+       (fun (r : Composition.day_row) ->
+         string_of_int r.day
+         :: string_of_int r.total_losses
+         :: List.map (fun (_, s) -> Printf.sprintf "%.4f" s) r.shares)
+       rows)
+
+let fig8_csv pipeline =
+  let losses = Spatial.received_losses pipeline in
+  buffer_csv
+    [ "node"; "x"; "y"; "received_losses" ]
+    (List.map
+       (fun (l : Spatial.node_losses) ->
+         let x, y = l.position in
+         [
+           string_of_int l.node;
+           Printf.sprintf "%.2f" x;
+           Printf.sprintf "%.2f" y;
+           string_of_int l.count;
+         ])
+       losses)
+
+let fig9_csv pipeline =
+  let measured = Breakdown.of_pipeline pipeline in
+  let truth = Breakdown.of_truth pipeline.truth ~sink:pipeline.scenario.sink in
+  let rows =
+    List.map2
+      (fun (name, p) ((_, t), (_, m)) ->
+        [
+          name;
+          Printf.sprintf "%.1f" p;
+          Printf.sprintf "%.1f" t;
+          Printf.sprintf "%.1f" m;
+        ])
+      (Breakdown.rows Breakdown.paper)
+      (List.combine (Breakdown.rows truth) (Breakdown.rows measured))
+  in
+  buffer_csv [ "cause"; "paper_pct"; "truth_pct"; "refill_pct" ] rows
+
+let write_all pipeline ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name content =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content);
+    path
+  in
+  [
+    write "fig4.csv" (fig4_csv pipeline);
+    write "fig5.csv" (fig5_csv pipeline);
+    write "fig6.csv" (fig6_csv pipeline);
+    write "fig8.csv" (fig8_csv pipeline);
+    write "fig9.csv" (fig9_csv pipeline);
+  ]

@@ -1,0 +1,24 @@
+(** CSV export of every figure's underlying data, for external plotting.
+
+    Each function returns the CSV text (header row included, RFC-4180
+    simple form: no quoting is ever needed for these numeric tables). *)
+
+val fig4_csv : Pipeline.t -> string
+(** Columns: [time,node,cause] — one row per lost packet at its source. *)
+
+val fig5_csv : Pipeline.t -> string
+(** Columns: [time,node,cause] — one row per lost packet at its REFILL
+    loss position. *)
+
+val fig6_csv : Pipeline.t -> string
+(** Columns: [day,total,<one column per tracked cause share>]. *)
+
+val fig8_csv : Pipeline.t -> string
+(** Columns: [node,x,y,received_losses]. *)
+
+val fig9_csv : Pipeline.t -> string
+(** Columns: [cause,paper_pct,truth_pct,refill_pct]. *)
+
+val write_all : Pipeline.t -> dir:string -> string list
+(** Write [fig4.csv .. fig9.csv] into [dir] (created if missing) and return
+    the paths written. *)

@@ -1,0 +1,32 @@
+(** Text renderings of every table and figure in the paper's evaluation.
+
+    Each function returns a complete multi-line string: the chart plus the
+    quantitative rows the paper's figure conveys, so the bench harness can
+    print paper-vs-measured side by side. *)
+
+val cause_marker : Logsys.Cause.t -> char
+(** Stable one-character marker per cause used across the scatter plots. *)
+
+val table2 : unit -> string
+(** Table II / §IV.C: the four 3-node cases, their inputs and REFILL's
+    reconstructed flows with inferred events bracketed. *)
+
+val fig4 : Pipeline.t -> string
+(** Sink view of lost packets: estimated time × source node, marker =
+    cause. *)
+
+val fig5 : Pipeline.t -> string
+(** REFILL view: estimated time × loss position, marker = cause; includes
+    the concentration contrast with Fig. 4. *)
+
+val fig6 : Pipeline.t -> string
+(** Per-day cause composition as stacked bars plus the daily loss-count
+    sparkline. *)
+
+val fig8 : Pipeline.t -> string
+(** Spatial distribution of received losses: deployment map with loss
+    magnitude glyphs, sink marked [X]. *)
+
+val fig9 : Pipeline.t -> string
+(** Cause breakdown: measured (REFILL), ground truth, and the paper's
+    published percentages side by side. *)

@@ -1,0 +1,42 @@
+let delivery_delays truth =
+  Logsys.Truth.fold truth ~init:[] ~f:(fun acc _ (fate : Logsys.Truth.fate) ->
+      if Logsys.Cause.equal fate.cause Logsys.Cause.Delivered then
+        (fate.resolved_at -. fate.generated_at) :: acc
+      else acc)
+  |> Array.of_list
+
+let delay_summary truth =
+  match delivery_delays truth with
+  | [||] -> None
+  | delays -> Some (Prelude.Stats.summarize delays)
+
+let delay_by_hops truth =
+  let groups = Hashtbl.create 16 in
+  Logsys.Truth.iter truth (fun _ (fate : Logsys.Truth.fate) ->
+      if Logsys.Cause.equal fate.cause Logsys.Cause.Delivered then begin
+        let hops = max 0 (List.length fate.path - 1) in
+        let l = Option.value ~default:[] (Hashtbl.find_opt groups hops) in
+        Hashtbl.replace groups hops
+          ((fate.resolved_at -. fate.generated_at) :: l)
+      end);
+  Hashtbl.fold
+    (fun hops delays acc ->
+      (hops, Prelude.Stats.summarize (Array.of_list delays)) :: acc)
+    groups []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let hop_histogram_of_flows flows =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Refill.Flow.t) ->
+      let hops = max 0 (List.length (Refill.Flow.nodes_visited f) - 1) in
+      Hashtbl.replace counts hops
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts hops)))
+    flows;
+  Hashtbl.fold (fun hops c acc -> (hops, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let retransmission_factor network =
+  let exchanges, attempts = Node.Network.exchange_stats network in
+  if exchanges = 0 then 0.
+  else float_of_int attempts /. float_of_int exchanges

@@ -1,0 +1,25 @@
+(** Per-packet delay and retransmission analytics (§II: with event flows,
+    "packet related information, e.g. per-packet delay, packet
+    retransmission, packet loss, can also be revealed").
+
+    Delays come from ground truth (logs are unsynchronized, so wall-clock
+    delay is a simulator-side measurement); hop counts and retransmission
+    pressure are log/flow-derived. *)
+
+val delivery_delays : Logsys.Truth.t -> float array
+(** Generation-to-server delay of every delivered packet. *)
+
+val delay_summary : Logsys.Truth.t -> Prelude.Stats.summary option
+(** [None] when nothing was delivered. *)
+
+val delay_by_hops : Logsys.Truth.t -> (int * Prelude.Stats.summary) list
+(** Delay summaries grouped by true path length (hop count), ascending;
+    groups need at least one delivered packet. *)
+
+val hop_histogram_of_flows : Refill.Flow.t list -> (int * int) list
+(** [(hops, packets)] from the reconstructed paths, ascending — the
+    log-derived view of network depth. *)
+
+val retransmission_factor : Node.Network.t -> float
+(** Mean MAC attempts per exchange across the run (1.0 = every frame
+    accepted first try). *)

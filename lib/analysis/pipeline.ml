@@ -1,0 +1,102 @@
+type verdicts = ((int * int) * Refill.Classify.verdict) list
+
+type t = {
+  scenario : Scenario.Citysee.t;
+  collected : Logsys.Collected.t;
+  flows : Refill.Flow.t list;
+  refill : verdicts;
+  refill_index : (int * int, Refill.Classify.verdict) Hashtbl.t;
+  truth : Logsys.Truth.t;
+  delivered_db : ((int * int) * float) list;
+  loss_times : ((int * int) * float) list;
+}
+
+let refine_with_server ~delivered_db verdicts =
+  let db = Hashtbl.create 1024 in
+  List.iter (fun (key, _) -> Hashtbl.replace db key ()) delivered_db;
+  List.map
+    (fun ((key, v) : (int * int) * Refill.Classify.verdict) ->
+      let in_db = Hashtbl.mem db key in
+      let delivered_predicted =
+        Logsys.Cause.equal v.cause Logsys.Cause.Delivered
+      in
+      if in_db && not delivered_predicted then
+        (* The server has the packet: whatever the lossy logs suggested, it
+           arrived. *)
+        ( key,
+          {
+            Refill.Classify.cause = Logsys.Cause.Delivered;
+            loss_node = None;
+            next_hop = None;
+          } )
+      else if delivered_predicted && not in_db then
+        (* Sink pushed it to the backbone but the server never stored it:
+           lost upstream of the WSN during an outage. *)
+        ( key,
+          {
+            Refill.Classify.cause = Logsys.Cause.Server_outage_loss;
+            loss_node = v.loss_node;
+            next_hop = None;
+          } )
+      else (key, v))
+    verdicts
+
+let make ?(log_loss = Logsys.Loss_model.default) (scenario : Scenario.Citysee.t)
+    =
+  let truth = Node.Network.truth scenario.network in
+  let collected = Scenario.Citysee.collected_lossy scenario log_loss in
+  let flows = Refill.Reconstruct.all collected ~sink:scenario.sink in
+  let delivered_db =
+    Logsys.Truth.fold truth ~init:[] ~f:(fun acc key fate ->
+        if Logsys.Cause.equal fate.cause Logsys.Cause.Delivered then
+          (key, fate.resolved_at) :: acc
+        else acc)
+    |> List.sort compare
+  in
+  let raw_verdicts =
+    List.map
+      (fun (f : Refill.Flow.t) ->
+        ((f.origin, f.seq), Refill.Classify.classify f))
+      flows
+  in
+  let refill = refine_with_server ~delivered_db raw_verdicts in
+  let expected =
+    Logsys.Truth.fold truth ~init:[] ~f:(fun acc key _ -> key :: acc)
+    |> List.sort compare
+  in
+  let lost =
+    Baseline.Sink_view.analyze
+      ~delivered:
+        (List.map (fun ((o, s), t) -> (o, s, t)) delivered_db)
+      ~expected
+      ~data_interval:scenario.params.data_interval
+  in
+  let loss_times =
+    List.map
+      (fun (l : Baseline.Sink_view.lost_packet) ->
+        ((l.origin, l.seq), l.estimated_time))
+      lost
+  in
+  let refill_index = Hashtbl.create (List.length refill) in
+  List.iter (fun (key, v) -> Hashtbl.replace refill_index key v) refill;
+  {
+    scenario;
+    collected;
+    flows;
+    refill;
+    refill_index;
+    truth;
+    delivered_db;
+    loss_times;
+  }
+
+let verdict_of t key = Hashtbl.find_opt t.refill_index key
+
+let refill_cause t ~origin ~seq =
+  verdict_of t (origin, seq)
+  |> Option.map (fun (v : Refill.Classify.verdict) -> v.cause)
+
+let estimated_loss_time t ~origin ~seq =
+  List.assoc_opt (origin, seq) t.loss_times
+
+let lost_keys t = List.map fst t.loss_times

@@ -1,0 +1,48 @@
+(** The standard experiment pipeline: simulate → collect (lossy) logs →
+    reconstruct with REFILL → classify → refine with the server's database.
+
+    The server-database refinement mirrors the paper's §V.C methodology:
+    packets the sink delivered to the backbone but the server never stored
+    are attributed to server outages (the operators knew the outage windows
+    from the operations log). *)
+
+type verdicts = ((int * int) * Refill.Classify.verdict) list
+
+type t = {
+  scenario : Scenario.Citysee.t;
+  collected : Logsys.Collected.t;  (** What the analyzers see (post-loss). *)
+  flows : Refill.Flow.t list;
+  refill : verdicts;  (** Server-refined REFILL verdicts, sorted by key. *)
+  refill_index : (int * int, Refill.Classify.verdict) Hashtbl.t;
+      (** Same verdicts, keyed for O(1) lookup. *)
+  truth : Logsys.Truth.t;
+  delivered_db : ((int * int) * float) list;
+      (** The server's database: packets that actually arrived, with
+          arrival times. *)
+  loss_times : ((int * int) * float) list;
+      (** Estimated send times of packets missing from the server DB
+          (the sink-view sequence-gap method, used as the time axis of
+          Figs. 4–6). *)
+}
+
+val make : ?log_loss:Logsys.Loss_model.config -> Scenario.Citysee.t -> t
+(** [log_loss] defaults to {!Logsys.Loss_model.default}. The scenario must
+    already have been run. *)
+
+val refine_with_server :
+  delivered_db:((int * int) * float) list ->
+  ((int * int) * Refill.Classify.verdict) list ->
+  verdicts
+(** Reconcile log-based verdicts with the server's database, as the paper's
+    operators did: packets present in the DB are Delivered whatever the
+    (lossy) logs suggested; predicted-Delivered packets missing from the DB
+    are server-outage losses at the backbone. Exposed for testing. *)
+
+val verdict_of : t -> int * int -> Refill.Classify.verdict option
+
+val refill_cause : t -> origin:int -> seq:int -> Logsys.Cause.t option
+
+val estimated_loss_time : t -> origin:int -> seq:int -> float option
+
+val lost_keys : t -> (int * int) list
+(** Packets missing from the server DB (the operator's loss list). *)

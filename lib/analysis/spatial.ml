@@ -1,0 +1,36 @@
+type node_losses = { node : int; position : float * float; count : int }
+
+let losses_by_position (pipeline : Pipeline.t) ~cause =
+  let topo = Node.Network.topology pipeline.scenario.network in
+  let n = Net.Topology.n_nodes topo in
+  let counts = Array.make n 0 in
+  List.iter
+    (fun ((_, v) : (int * int) * Refill.Classify.verdict) ->
+      let counted =
+        match cause with
+        | None -> Logsys.Cause.is_loss v.cause
+        | Some c -> Logsys.Cause.equal v.cause c
+      in
+      match v.loss_node with
+      | Some node when counted && node >= 0 && node < n ->
+          counts.(node) <- counts.(node) + 1
+      | Some _ | None -> ())
+    pipeline.refill;
+  List.init n (fun node ->
+      { node; position = Net.Topology.position topo node; count = counts.(node) })
+
+let received_losses pipeline =
+  losses_by_position pipeline ~cause:(Some Logsys.Cause.Received_loss)
+
+let sink_share losses ~sink =
+  let total = List.fold_left (fun acc l -> acc + l.count) 0 losses in
+  let at_sink =
+    List.fold_left
+      (fun acc l -> if l.node = sink then acc + l.count else acc)
+      0 losses
+  in
+  Prelude.Stats.ratio at_sink total
+
+let top_k losses ~k =
+  List.sort (fun a b -> Int.compare b.count a.count) losses
+  |> List.filteri (fun i _ -> i < k)

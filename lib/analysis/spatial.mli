@@ -1,0 +1,26 @@
+(** Spatial distribution of losses (Fig. 8).
+
+    Per-node loss counts placed at node coordinates; the paper's Fig. 8
+    shows received losses concentrated at the sink (the serial-link
+    problem) with a scatter of small circles elsewhere. *)
+
+type node_losses = {
+  node : int;
+  position : float * float;
+  count : int;
+}
+
+val losses_by_position :
+  Pipeline.t -> cause:Logsys.Cause.t option -> node_losses list
+(** Count REFILL-diagnosed losses per loss-position node, filtered to one
+    cause ([None] = all losses); nodes with zero losses are included so the
+    deployment outline is visible. Sorted by node id. *)
+
+val received_losses : Pipeline.t -> node_losses list
+(** Fig. 8: [losses_by_position ~cause:(Some Received_loss)]. *)
+
+val sink_share : node_losses list -> sink:int -> float
+(** Share of counted losses sitting on the sink node. *)
+
+val top_k : node_losses list -> k:int -> node_losses list
+(** The [k] nodes with most losses, descending. *)

@@ -1,0 +1,54 @@
+type point = { time : float; node : int; cause : Logsys.Cause.t }
+
+let cause_of (pipeline : Pipeline.t) key =
+  match Pipeline.verdict_of pipeline key with
+  | Some (v : Refill.Classify.verdict) -> v.cause
+  | None -> Logsys.Cause.Unknown
+
+let source_view (pipeline : Pipeline.t) =
+  List.map
+    (fun (((origin, _seq) as key), time) ->
+      { time; node = origin; cause = cause_of pipeline key })
+    pipeline.loss_times
+
+let position_view (pipeline : Pipeline.t) =
+  List.filter_map
+    (fun (key, time) ->
+      match Pipeline.verdict_of pipeline key with
+      | Some ({ loss_node = Some node; cause; _ } : Refill.Classify.verdict)
+        ->
+          Some { time; node; cause }
+      | Some _ | None -> None)
+    pipeline.loss_times
+
+let distinct_nodes points =
+  List.sort_uniq Int.compare (List.map (fun p -> p.node) points)
+  |> List.length
+
+let node_concentration points ~top =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace counts p.node
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts p.node)))
+    points;
+  let sorted =
+    Hashtbl.fold (fun _ c acc -> c :: acc) counts []
+    |> List.sort (fun a b -> Int.compare b a)
+  in
+  let rec take k = function
+    | [] -> 0
+    | _ when k = 0 -> 0
+    | c :: rest -> c + take (k - 1) rest
+  in
+  Prelude.Stats.ratio (take top sorted) (List.length points)
+
+let by_cause points =
+  List.filter_map
+    (fun cause ->
+      match
+        List.filter (fun p -> Logsys.Cause.equal p.cause cause) points
+      with
+      | [] -> None
+      | l -> Some (cause, l))
+    Logsys.Cause.all

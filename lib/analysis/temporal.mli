@@ -1,0 +1,32 @@
+(** Temporal distributions of packet losses (Figs. 4 and 5).
+
+    Fig. 4 plots lost packets by *source node* over time (the sink's view:
+    who lost packets, when) — it shows losses spread evenly across sources.
+    Fig. 5 plots the same losses by *loss position* from REFILL's event
+    flows — it shows losses concentrated on few nodes (dominated by the
+    sink) and bursty timeout/duplicate clusters. *)
+
+type point = {
+  time : float;  (** Estimated loss time (sequence-gap method). *)
+  node : int;
+  cause : Logsys.Cause.t;
+}
+
+val source_view : Pipeline.t -> point list
+(** One point per lost packet at its *origin* (Fig. 4); causes come from
+    REFILL (the paper's markers). Packets without a cause verdict are
+    [Unknown]. *)
+
+val position_view : Pipeline.t -> point list
+(** One point per lost packet at REFILL's *loss position* (Fig. 5); packets
+    whose position is unknown are dropped. *)
+
+val distinct_nodes : point list -> int
+(** Number of distinct nodes carrying at least one point — the paper's
+    contrast: sources ≈ all nodes, positions ≈ few nodes. *)
+
+val node_concentration : point list -> top:int -> float
+(** Share of points on the [top] most-affected nodes. *)
+
+val by_cause : point list -> (Logsys.Cause.t * point list) list
+(** Group points per cause, [Cause.all] order, empty causes omitted. *)

@@ -1,0 +1,75 @@
+type verdict = { cause : Logsys.Cause.t; loss_node : int option }
+
+let verdict cause loss_node = { cause; loss_node }
+
+(* One node's records for the packet, in local log order. *)
+let records_at collected ~origin ~seq node =
+  if node < 0 || node >= Logsys.Collected.n_nodes collected then []
+  else
+    Logsys.Collected.node_log collected node
+    |> Array.to_list
+    |> List.filter (fun (r : Logsys.Record.t) ->
+           Logsys.Record.packet_key r = (origin, seq))
+
+let has_kind records p = List.exists (fun (r : Logsys.Record.t) -> p r.kind) records
+
+let classify collected ~origin ~seq ~sink =
+  let records_at = records_at collected ~origin ~seq in
+  let rec walk node ~hops =
+    (* Cycle/chain-length guard: real paths are short; a walk this long is
+       garbage input. *)
+    if hops > Logsys.Collected.n_nodes collected + 4 then
+      verdict Logsys.Cause.Unknown None
+    else begin
+      let records = records_at node in
+      if node = sink then
+        if has_kind records (function Logsys.Record.Deliver -> true | _ -> false)
+        then verdict Logsys.Cause.Delivered None
+        else if
+          has_kind records (function Logsys.Record.Recv _ -> true | _ -> false)
+        then verdict Logsys.Cause.Received_loss (Some node)
+        else
+          (* ACKed into the sink but nothing logged there: the naive view
+             assumes the transfer completed. *)
+          verdict Logsys.Cause.Delivered None
+      else if records = [] then verdict Logsys.Cause.Unknown None
+      else if
+        has_kind records (function Logsys.Record.Dup _ -> true | _ -> false)
+      then verdict Logsys.Cause.Duplicate_loss (Some node)
+      else if
+        has_kind records (function Logsys.Record.Overflow _ -> true | _ -> false)
+      then verdict Logsys.Cause.Overflow_loss (Some node)
+      else begin
+        (* §III rule: judge the node's own transmission by trans/ack counts,
+           ignoring event ordering. *)
+        let trans_to =
+          List.filter_map
+            (fun (r : Logsys.Record.t) ->
+              match r.kind with Trans { to_ } -> Some to_ | _ -> None)
+            records
+        in
+        let acked =
+          has_kind records (function
+            | Logsys.Record.Ack_recvd _ -> true
+            | _ -> false)
+        in
+        match List.rev trans_to with
+        | [] ->
+            if
+              has_kind records (function
+                | Logsys.Record.Recv _ | Logsys.Record.Gen -> true
+                | _ -> false)
+            then verdict Logsys.Cause.Received_loss (Some node)
+            else verdict Logsys.Cause.Unknown None
+        | last_to :: _ ->
+            if acked then walk last_to ~hops:(hops + 1)
+            else verdict Logsys.Cause.Timeout_loss (Some node)
+      end
+    end
+  in
+  walk origin ~hops:0
+
+let classify_all collected ~sink =
+  Logsys.Collected.packet_keys collected
+  |> List.map (fun (origin, seq) ->
+         ((origin, seq), classify collected ~origin ~seq ~sink))

@@ -1,0 +1,25 @@
+(** The straightforward per-node protocol-semantics analyzer of §III.
+
+    "If a node records a trans event and does not have an ack event for a
+    packet, this packet is considered lost on that node" — no event
+    correlation, no tolerance of lost log records, each node read in
+    isolation.  The paper uses this as the strawman REFILL improves on: it
+    misdiagnoses ACK-lost retransmissions, cannot see losses inside nodes,
+    and collapses whenever a record is missing. *)
+
+type verdict = {
+  cause : Logsys.Cause.t;
+  loss_node : int option;
+}
+
+val classify :
+  Logsys.Collected.t -> origin:int -> seq:int -> sink:int -> verdict
+(** Walk the packet hop by hop from its origin using only per-node logs:
+    a [deliver] at the sink → delivered; a logged [dup]/[overflow] → that
+    cause; [trans] without [ack] → timeout loss at the sender; a node
+    holding the packet with no [trans] → received loss there; any gap in
+    the chain → unknown. *)
+
+val classify_all :
+  Logsys.Collected.t -> sink:int -> ((int * int) * verdict) list
+(** Verdict per packet key found in the logs, sorted by key. *)

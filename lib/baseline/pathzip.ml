@@ -1,0 +1,67 @@
+(* FNV-style order-sensitive fold, masked to 63 bits so it is identical on
+   every platform. *)
+let mask = (1 lsl 62) - 1
+
+let step h node = (h * 1_099_511_628_211) lxor (node + 0x9E37) land mask
+
+let hash_path path = List.fold_left step 0x811C9DC5 path
+
+type recovery = { path : int list option; expanded : int }
+
+let recover topo ~origin ~sink ~hash ~max_hops ~budget =
+  let expanded = ref 0 in
+  (* DFS over simple paths; [h] is the hash accumulated over the path so
+     far (origin included). *)
+  let exception Found of int list in
+  let rec dfs node h depth visited acc =
+    if !expanded >= budget then ()
+    else begin
+      incr expanded;
+      if node = sink then begin
+        if h = hash then raise (Found (List.rev acc))
+      end
+      else if depth < max_hops then
+        List.iter
+          (fun next ->
+            if not (List.mem next visited) then
+              dfs next (step h next) (depth + 1) (next :: visited)
+                (next :: acc))
+          (Net.Topology.neighbors topo node)
+    end
+  in
+  match dfs origin (step 0x811C9DC5 origin) 0 [ origin ] [ origin ] with
+  | () -> { path = None; expanded = !expanded }
+  | exception Found path -> { path = Some path; expanded = !expanded }
+
+type stats = {
+  packets : int;
+  recovered : int;
+  gave_up : int;
+  mean_expanded : float;
+}
+
+let recover_delivered topo ~truth ~sink ~max_hops ~budget =
+  let packets = ref 0
+  and recovered = ref 0
+  and gave_up = ref 0
+  and expanded_total = ref 0 in
+  Logsys.Truth.iter truth (fun (origin, _) (fate : Logsys.Truth.fate) ->
+      if Logsys.Cause.equal fate.cause Logsys.Cause.Delivered then begin
+        incr packets;
+        let r =
+          recover topo ~origin ~sink ~hash:(hash_path fate.path) ~max_hops
+            ~budget
+        in
+        expanded_total := !expanded_total + r.expanded;
+        match r.path with
+        | Some path when path = fate.path -> incr recovered
+        | Some _ -> () (* hash collision: wrong path accepted *)
+        | None -> if r.expanded >= budget then incr gave_up
+      end);
+  {
+    packets = !packets;
+    recovered = !recovered;
+    gave_up = !gave_up;
+    mean_expanded =
+      Prelude.Stats.ratio !expanded_total (max 1 !packets);
+  }

@@ -1,0 +1,49 @@
+(** PathZip-style packet path recovery (Li et al., MASS 2012 — §VI).
+
+    PathZip has each data packet carry a small hash of the nodes it
+    traversed; the base station, knowing every node's neighbor set in
+    advance, searches the neighbor graph hop by hop for a path whose hash
+    matches.  Contrast with REFILL: PathZip needs per-packet header space
+    and a priori topology, works only for packets that *arrive*, and pays
+    a combinatorial search — REFILL recovers paths (including of lost
+    packets) from logs alone.  This implementation reproduces the method
+    faithfully enough to compare those trade-offs. *)
+
+val hash_path : int list -> int
+(** The order-sensitive path hash a packet would accumulate hop by hop
+    (63-bit, deterministic). *)
+
+type recovery = {
+  path : int list option;  (** The matching path, origin first. *)
+  expanded : int;  (** Search states expanded. *)
+}
+
+val recover :
+  Net.Topology.t ->
+  origin:int ->
+  sink:int ->
+  hash:int ->
+  max_hops:int ->
+  budget:int ->
+  recovery
+(** Depth-first search over simple neighbor paths from [origin] to [sink]
+    whose accumulated hash equals [hash]; gives up after [budget] expanded
+    states. *)
+
+type stats = {
+  packets : int;  (** Delivered packets attempted. *)
+  recovered : int;  (** Exact path found. *)
+  gave_up : int;  (** Search budget exhausted. *)
+  mean_expanded : float;
+}
+
+val recover_delivered :
+  Net.Topology.t ->
+  truth:Logsys.Truth.t ->
+  sink:int ->
+  max_hops:int ->
+  budget:int ->
+  stats
+(** Run PathZip over every *delivered* packet in the ground truth (the
+    only packets whose hash ever reaches the base station), scoring the
+    recovered path against the true one. *)

@@ -1,0 +1,58 @@
+type lost_packet = { origin : int; seq : int; estimated_time : float }
+
+let analyze ~delivered ~expected ~data_interval =
+  (* Per-origin sorted arrays of delivered (seq, time). *)
+  let by_origin = Hashtbl.create 64 in
+  List.iter
+    (fun (origin, seq, time) ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt by_origin origin) in
+      Hashtbl.replace by_origin origin ((seq, time) :: l))
+    delivered;
+  let sorted_of origin =
+    Option.value ~default:[] (Hashtbl.find_opt by_origin origin)
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let sorted_cache = Hashtbl.create 64 in
+  let deliveries origin =
+    match Hashtbl.find_opt sorted_cache origin with
+    | Some l -> l
+    | None ->
+        let l = sorted_of origin in
+        Hashtbl.add sorted_cache origin l;
+        l
+  in
+  let estimate origin seq =
+    let dels = deliveries origin in
+    let preceding =
+      List.fold_left
+        (fun best (s, t) -> if s < seq then Some (s, t) else best)
+        None dels
+    in
+    match preceding with
+    | Some (s, t) -> t +. (float_of_int (seq - s) *. data_interval)
+    | None -> (
+        let following =
+          List.find_opt (fun (s, _) -> s > seq) dels
+        in
+        match following with
+        | Some (s, t) -> t -. (float_of_int (s - seq) *. data_interval)
+        | None -> float_of_int seq *. data_interval)
+  in
+  let delivered_set = Hashtbl.create 1024 in
+  List.iter
+    (fun (origin, seq, _) -> Hashtbl.replace delivered_set (origin, seq) ())
+    delivered;
+  expected
+  |> List.filter (fun key -> not (Hashtbl.mem delivered_set key))
+  |> List.map (fun (origin, seq) ->
+         { origin; seq; estimated_time = estimate origin seq })
+
+let loss_count_by_origin lost =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts l.origin) in
+      Hashtbl.replace counts l.origin (c + 1))
+    lost;
+  Hashtbl.fold (fun origin c acc -> (origin, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,32 @@
+(** The sink's-eye view of packet losses (Fig. 4's method).
+
+    Before applying REFILL, the paper first looks at losses the only way
+    the collected *data* allows: a packet is lost iff it never reached the
+    base station, its origin is known from the sequence numbering, and its
+    loss time is approximated from the arrival time of the preceding
+    received packet plus the sequence gap (§V.B.1).  The method can say
+    *whose* packets were lost and roughly *when* — but not where or why. *)
+
+type lost_packet = {
+  origin : int;
+  seq : int;
+  estimated_time : float;
+      (** Approximated send time of the lost packet (the paper's
+          sequence-gap interpolation). *)
+}
+
+val analyze :
+  delivered:(int * int * float) list ->
+  expected:(int * int) list ->
+  data_interval:float ->
+  lost_packet list
+(** [analyze ~delivered ~expected ~data_interval] — [delivered] is the
+    base station's record: [(origin, seq, arrival_time)] per received
+    packet; [expected] lists every [(origin, seq)] the sources generated
+    (known because generation is periodic).  A lost packet's time estimate
+    is the arrival of the closest preceding delivered packet of the same
+    origin plus [gap × data_interval]; with no preceding delivery the
+    estimate counts forward from the first following one, or from 0. *)
+
+val loss_count_by_origin : lost_packet list -> (int * int) list
+(** [(origin, losses)] sorted by origin. *)

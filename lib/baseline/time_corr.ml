@@ -1,0 +1,46 @@
+type window_profile = {
+  window : int;
+  timeouts : int;
+  duplicates : int;
+  overflows : int;
+}
+
+let profile_windows ~records ~window_size =
+  let table = Hashtbl.create 64 in
+  let bump window f =
+    let p =
+      Option.value
+        ~default:{ window; timeouts = 0; duplicates = 0; overflows = 0 }
+        (Hashtbl.find_opt table window)
+    in
+    Hashtbl.replace table window (f p)
+  in
+  List.iter
+    (fun (r : Logsys.Record.t) ->
+      let window = int_of_float (r.true_time /. window_size) in
+      match r.kind with
+      | Retx_timeout _ -> bump window (fun p -> { p with timeouts = p.timeouts + 1 })
+      | Dup _ -> bump window (fun p -> { p with duplicates = p.duplicates + 1 })
+      | Overflow _ -> bump window (fun p -> { p with overflows = p.overflows + 1 })
+      | Gen | Recv _ | Trans _ | Ack_recvd _ | Deliver -> ())
+    records;
+  Hashtbl.fold (fun _ p acc -> p :: acc) table []
+  |> List.sort (fun a b -> Int.compare a.window b.window)
+
+let classify ~profiles ~window_size ~loss_time =
+  let window = int_of_float (loss_time /. window_size) in
+  match List.find_opt (fun p -> p.window = window) profiles with
+  | None -> Logsys.Cause.Received_loss
+  | Some p ->
+      if p.timeouts = 0 && p.duplicates = 0 && p.overflows = 0 then
+        Logsys.Cause.Received_loss
+      else if p.timeouts >= p.duplicates && p.timeouts >= p.overflows then
+        Logsys.Cause.Timeout_loss
+      else if p.duplicates >= p.overflows then Logsys.Cause.Duplicate_loss
+      else Logsys.Cause.Overflow_loss
+
+let classify_all ~records ~window_size ~losses =
+  let profiles = profile_windows ~records ~window_size in
+  List.map
+    (fun (key, loss_time) -> (key, classify ~profiles ~window_size ~loss_time))
+    losses

@@ -1,0 +1,38 @@
+(** Time-domain correlation-based cause inference (§V.D.2).
+
+    The class of prior work the paper critiques: correlate each packet loss
+    with the network events observed in the same time window and attribute
+    the loss to the dominant event type of the window.  We even hand this
+    baseline synchronized timestamps (which real deployments lack); it
+    still fails in exactly the ways the paper predicts — coexisting causes
+    in one window are indistinguishable, and rare-but-important causes are
+    drowned out by frequent ones. *)
+
+type window_profile = {
+  window : int;  (** Window index = floor(time / window_size). *)
+  timeouts : int;
+  duplicates : int;
+  overflows : int;
+}
+
+val profile_windows :
+  records:Logsys.Record.t list -> window_size:float -> window_profile list
+(** Count symptom events per window from the surviving records (using the
+    ground-truth timestamps, a favourable concession). *)
+
+val classify :
+  profiles:window_profile list ->
+  window_size:float ->
+  loss_time:float ->
+  Logsys.Cause.t
+(** Attribute a loss at [loss_time] to the dominant symptom of its window:
+    more timeout events than anything else → timeout loss, etc.; a window
+    with no symptoms → received loss (the catch-all "it vanished inside the
+    network"). *)
+
+val classify_all :
+  records:Logsys.Record.t list ->
+  window_size:float ->
+  losses:((int * int) * float) list ->
+  ((int * int) * Logsys.Cause.t) list
+(** Verdict per lost packet given its (estimated) loss time. *)

@@ -1,0 +1,73 @@
+type merge_result = {
+  chain : (int * int) list;
+  complete : bool;
+  broken_at : int option;
+}
+
+let records_at collected ~origin ~seq node =
+  if node < 0 || node >= Logsys.Collected.n_nodes collected then []
+  else
+    Logsys.Collected.node_log collected node
+    |> Array.to_list
+    |> List.filter (fun (r : Logsys.Record.t) ->
+           Logsys.Record.packet_key r = (origin, seq))
+
+let merge collected ~origin ~seq ~sink =
+  let records_at = records_at collected ~origin ~seq in
+  let rec walk node chain ~hops =
+    if hops > Logsys.Collected.n_nodes collected + 4 then
+      { chain = List.rev chain; complete = false; broken_at = Some node }
+    else begin
+      let records = records_at node in
+      let terminal =
+        List.exists
+          (fun (r : Logsys.Record.t) ->
+            match r.kind with
+            | Deliver -> node = sink
+            | Dup _ | Overflow _ | Retx_timeout _ -> true
+            | Gen | Recv _ | Trans _ | Ack_recvd _ -> false)
+          records
+      in
+      if terminal then
+        { chain = List.rev chain; complete = true; broken_at = None }
+      else begin
+        (* A joinable hop needs the sender's trans AND the receiver's recv
+           for the same packet: that pair is the "common event". *)
+        let next =
+          List.find_map
+            (fun (r : Logsys.Record.t) ->
+              match r.kind with
+              | Trans { to_ } ->
+                  let receiver_saw =
+                    List.exists
+                      (fun (r' : Logsys.Record.t) ->
+                        match r'.kind with
+                        | Recv { from } -> from = node
+                        | _ -> false)
+                      (records_at to_)
+                  in
+                  if receiver_saw && not (List.mem (node, to_) chain) then
+                    Some to_
+                  else None
+              | _ -> None)
+            records
+        in
+        match next with
+        | Some to_ -> walk to_ ((node, to_) :: chain) ~hops:(hops + 1)
+        | None ->
+            { chain = List.rev chain; complete = false; broken_at = Some node }
+      end
+    end
+  in
+  walk origin [] ~hops:0
+
+let merge_all collected ~sink =
+  Logsys.Collected.packet_keys collected
+  |> List.map (fun (origin, seq) ->
+         ((origin, seq), merge collected ~origin ~seq ~sink))
+
+let mergeable_fraction results =
+  let complete =
+    List.length (List.filter (fun (_, r) -> r.complete) results)
+  in
+  Prelude.Stats.ratio complete (List.length results)

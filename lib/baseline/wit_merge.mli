@@ -1,0 +1,29 @@
+(** Wit-style common-event log merging (Mahajan et al., SIGCOMM 2006).
+
+    Wit combines sniffer logs through events *recorded at multiple
+    observers*.  In individual-node logs the nearest analogue is a link
+    operation observed from both ends: a sender's [trans]/[ack] paired with
+    the receiver's [recv] for the same packet.  The merge walks these
+    common observations hop by hop; the moment either side's record is
+    missing there is no common event left to join on and the chain breaks —
+    the paper's argument for why Wit's approach cannot handle individual
+    lossy logs (§I, §VI). *)
+
+type merge_result = {
+  chain : (int * int) list;
+      (** Joined hops [(sender, receiver)] from the origin onward. *)
+  complete : bool;
+      (** True iff the chain reaches a terminal record (sink [deliver] or a
+          logged drop) with every hop joined on both sides. *)
+  broken_at : int option;
+      (** The node after which no common event could be found. *)
+}
+
+val merge :
+  Logsys.Collected.t -> origin:int -> seq:int -> sink:int -> merge_result
+
+val merge_all :
+  Logsys.Collected.t -> sink:int -> ((int * int) * merge_result) list
+
+val mergeable_fraction : ((int * int) * merge_result) list -> float
+(** Share of packets whose chain is complete. *)

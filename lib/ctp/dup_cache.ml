@@ -1,0 +1,37 @@
+type key = int * int (* origin, seq *)
+
+type t = {
+  capacity : int;
+  entries : (key, unit) Hashtbl.t;
+  order : key Queue.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Dup_cache.create: capacity";
+  { capacity; entries = Hashtbl.create capacity; order = Queue.create () }
+
+let seen t ~origin ~seq = Hashtbl.mem t.entries (origin, seq)
+
+let remember t ~origin ~seq =
+  let key = (origin, seq) in
+  if not (Hashtbl.mem t.entries key) then begin
+    if Hashtbl.length t.entries >= t.capacity then begin
+      let oldest = Queue.pop t.order in
+      Hashtbl.remove t.entries oldest
+    end;
+    Hashtbl.add t.entries key ();
+    Queue.add key t.order
+  end
+
+let check_and_remember t ~origin ~seq =
+  let already = seen t ~origin ~seq in
+  if not already then remember t ~origin ~seq;
+  already
+
+let clear t =
+  Hashtbl.reset t.entries;
+  Queue.clear t.order
+
+let length t = Hashtbl.length t.entries
+
+let capacity t = t.capacity

@@ -1,0 +1,31 @@
+(** Duplicate-packet cache.
+
+    Each node remembers the [(origin, seq)] pairs of packets it has recently
+    accepted; a packet whose signature is already cached is a duplicate
+    (Table I: usually the footprint of a routing loop, or of a link-layer
+    retransmission that slipped past DSN filtering) and is dropped with a
+    [dup] event.  Bounded FIFO eviction models the sensor node's small
+    RAM. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val seen : t -> origin:Net.Packet.node_id -> seq:int -> bool
+(** Membership test; does not modify the cache. *)
+
+val remember : t -> origin:Net.Packet.node_id -> seq:int -> unit
+(** Insert a signature, evicting the oldest entry when full. Re-inserting an
+    existing signature refreshes nothing (FIFO order is by first insert). *)
+
+val check_and_remember : t -> origin:Net.Packet.node_id -> seq:int -> bool
+(** [true] iff the signature was already present; always leaves the
+    signature cached. *)
+
+val clear : t -> unit
+(** Forget every signature (RAM lost on reboot). *)
+
+val length : t -> int
+
+val capacity : t -> int

@@ -1,0 +1,27 @@
+type t = {
+  alpha : float;
+  mutable quality : float;
+  mutable samples : int;
+}
+
+let max_etx = 100.
+
+(* Quality floor keeps ETX finite even after a long run of misses. *)
+let quality_floor = 1. /. max_etx
+
+let create ?(alpha = 0.9) ?(initial = 0.5) () =
+  if alpha < 0. || alpha > 1. then invalid_arg "Estimator.create: alpha";
+  if initial <= 0. || initial > 1. then invalid_arg "Estimator.create: initial";
+  { alpha; quality = initial; samples = 0 }
+
+let observe t ~received =
+  let sample = if received then 1. else 0. in
+  t.quality <- (t.alpha *. t.quality) +. ((1. -. t.alpha) *. sample);
+  if t.quality < quality_floor then t.quality <- quality_floor;
+  t.samples <- t.samples + 1
+
+let quality t = t.quality
+
+let etx t = Float.min max_etx (1. /. t.quality)
+
+let samples t = t.samples

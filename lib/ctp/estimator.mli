@@ -1,0 +1,32 @@
+(** EWMA link-quality estimator (the ETX building block, [1]/[4] in the
+    paper).
+
+    Each node estimates, per neighbor, the probability that a broadcast
+    beacon from that neighbor is received.  Beacons are periodic, so every
+    expected beacon window contributes a success or a miss; the estimate is
+    an exponentially weighted moving average of those outcomes.  Link ETX is
+    the reciprocal of the estimated quality. *)
+
+type t
+
+val create : ?alpha:float -> ?initial:float -> unit -> t
+(** [alpha] (default 0.9) is the history weight: [q' = alpha*q +
+    (1-alpha)*sample]. [initial] (default 0.5) seeds the estimate before the
+    first sample.
+    @raise Invalid_argument if [alpha] outside [\[0,1\]] or [initial]
+    outside (0, 1]. *)
+
+val observe : t -> received:bool -> unit
+(** Fold one beacon window outcome into the estimate. *)
+
+val quality : t -> float
+(** Current estimated reception probability, in (0, 1]. *)
+
+val etx : t -> float
+(** [1. /. quality t], capped at [max_etx]. *)
+
+val max_etx : float
+(** Cap applied to [etx] so a dead link has a large but finite cost. *)
+
+val samples : t -> int
+(** Number of observations folded in so far. *)

@@ -1,0 +1,24 @@
+type 'a t = { capacity : int; queue : 'a Queue.t }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Forward_queue.create: capacity";
+  { capacity; queue = Queue.create () }
+
+let length t = Queue.length t.queue
+
+let capacity t = t.capacity
+
+let is_empty t = Queue.is_empty t.queue
+
+let is_full t = Queue.length t.queue >= t.capacity
+
+let push t p =
+  if is_full t then `Overflow
+  else begin
+    Queue.add p t.queue;
+    `Enqueued
+  end
+
+let pop t = Queue.take_opt t.queue
+
+let peek t = Queue.peek_opt t.queue

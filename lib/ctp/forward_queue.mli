@@ -1,0 +1,28 @@
+(** Bounded FIFO forwarding queue.
+
+    Sensor nodes buffer outgoing traffic (data packets, and log chunks when
+    in-band log collection is enabled) in a small queue; a data packet
+    arriving at a full queue is an [overflow] event (Table I) and the
+    element is discarded.  The paper's network sees few overflows because
+    traffic is light — the bound still matters under bursts. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val length : 'a t -> int
+
+val capacity : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> [ `Enqueued | `Overflow ]
+(** Append unless full. On [`Overflow] the queue is unchanged. *)
+
+val pop : 'a t -> 'a option
+(** Remove the head. *)
+
+val peek : 'a t -> 'a option

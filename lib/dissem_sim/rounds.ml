@@ -1,0 +1,282 @@
+type config = {
+  adv_interval : float;
+  req_backoff_max : float;
+  req_timeout : float;
+  service_interval : float;
+  duration : float;
+}
+
+let default_config =
+  {
+    adv_interval = 20.;
+    req_backoff_max = 2.;
+    req_timeout = 8.;
+    service_interval = 0.2;
+    duration = 120.;
+  }
+
+type receiver_state = Idle | Heard | Requested | Done
+
+type result = {
+  logs : (int * Refill.Dissem.event list) list;
+  completed : (int * bool) list;
+  advertisements : int;
+}
+
+let run rng ~topology ~link ~broadcaster config =
+  let engine = Sim.Engine.create () in
+  let receivers = Net.Topology.neighbors topology broadcaster in
+  let state = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace state r Idle) receivers;
+  let logs : (int, Refill.Dissem.event list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let log node label peer =
+    let cell =
+      match Hashtbl.find_opt logs node with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add logs node c;
+          c
+    in
+    cell := { Refill.Dissem.node; label; peer } :: !cell
+  in
+  let advertisements = ref 0 in
+  (* The broadcaster's pending-request queue (dedup'd). *)
+  let service_queue = Queue.create () in
+  let queued = Hashtbl.create 16 in
+  let frame_arrives ~src ~dst =
+    let prr = Net.Link_model.prr link ~now:(Sim.Engine.now engine) ~src ~dst in
+    Prelude.Rng.bernoulli rng ~p:prr
+  in
+  let rec send_request r =
+    if Hashtbl.find_opt state r = Some Heard
+       || Hashtbl.find_opt state r = Some Requested
+    then begin
+      Hashtbl.replace state r Requested;
+      log r Refill.Dissem.L_req (Some broadcaster);
+      if frame_arrives ~src:r ~dst:broadcaster then begin
+        log broadcaster Refill.Dissem.L_rx_req (Some r);
+        if not (Hashtbl.mem queued r) then begin
+          Hashtbl.replace queued r ();
+          Queue.add r service_queue
+        end
+      end;
+      (* Retry until the data arrives. *)
+      ignore
+        (Sim.Engine.schedule engine ~delay:config.req_timeout (fun _ ->
+             if Hashtbl.find_opt state r = Some Requested then send_request r)
+          : Sim.Engine.handle)
+    end
+  in
+  let on_adv_received r =
+    log r Refill.Dissem.L_rx_adv (Some broadcaster);
+    if Hashtbl.find_opt state r = Some Idle then begin
+      Hashtbl.replace state r Heard;
+      let backoff = Prelude.Rng.float rng config.req_backoff_max in
+      ignore
+        (Sim.Engine.schedule engine ~delay:backoff (fun _ -> send_request r)
+          : Sim.Engine.handle)
+    end
+  in
+  let rec advertise _ =
+    if Sim.Engine.now engine < config.duration then begin
+      incr advertisements;
+      log broadcaster Refill.Dissem.L_adv None;
+      List.iter
+        (fun r ->
+          if frame_arrives ~src:broadcaster ~dst:r then on_adv_received r)
+        receivers;
+      ignore
+        (Sim.Engine.schedule engine ~delay:config.adv_interval advertise
+          : Sim.Engine.handle)
+    end
+  in
+  let rec serve _ =
+    if Sim.Engine.now engine < config.duration then begin
+      (match Queue.take_opt service_queue with
+      | None -> ()
+      | Some r ->
+          Hashtbl.remove queued r;
+          if Hashtbl.find_opt state r <> Some Done then begin
+            log broadcaster Refill.Dissem.L_data (Some r);
+            if frame_arrives ~src:broadcaster ~dst:r then begin
+              log r Refill.Dissem.L_rx_data (Some broadcaster);
+              Hashtbl.replace state r Done;
+              log r Refill.Dissem.L_done None
+            end
+          end);
+      ignore
+        (Sim.Engine.schedule engine ~delay:config.service_interval serve
+          : Sim.Engine.handle)
+    end
+  in
+  ignore (Sim.Engine.schedule engine ~delay:0. advertise : Sim.Engine.handle);
+  ignore
+    (Sim.Engine.schedule engine ~delay:config.service_interval serve
+      : Sim.Engine.handle);
+  Sim.Engine.run ~until:config.duration engine;
+  let node_log node =
+    match Hashtbl.find_opt logs node with
+    | Some cell -> List.rev !cell
+    | None -> []
+  in
+  {
+    logs =
+      (broadcaster, node_log broadcaster)
+      :: List.map (fun r -> (r, node_log r)) (List.sort Int.compare receivers);
+    completed =
+      List.map
+        (fun r -> (r, Hashtbl.find_opt state r = Some Done))
+        (List.sort Int.compare receivers);
+    advertisements = !advertisements;
+  }
+
+let merged_events result = List.concat_map snd result.logs
+
+let run_epidemic rng ~topology ~link ~seed config =
+  let engine = Sim.Engine.create () in
+  let n = Net.Topology.n_nodes topology in
+  let state = Hashtbl.create 16 in
+  for r = 0 to n - 1 do
+    if r <> seed then Hashtbl.replace state r Idle
+  done;
+  let logs : (int, Refill.Dissem.event list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let log node label peer =
+    let cell =
+      match Hashtbl.find_opt logs node with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add logs node c;
+          c
+    in
+    cell := { Refill.Dissem.node; label; peer } :: !cell
+  in
+  let advertisements = ref 0 in
+  (* Per-holder service queue. *)
+  let service_queues : (int, int Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  let queued = Hashtbl.create 64 in
+  let service_queue holder =
+    match Hashtbl.find_opt service_queues holder with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add service_queues holder q;
+        q
+  in
+  let is_holder node = node = seed || Hashtbl.find_opt state node = Some Done in
+  let frame_arrives ~src ~dst =
+    let prr = Net.Link_model.prr link ~now:(Sim.Engine.now engine) ~src ~dst in
+    Prelude.Rng.bernoulli rng ~p:prr
+  in
+  let completed_hook = ref (fun (_ : int) -> ()) in
+  let rec send_request r holder =
+    match Hashtbl.find_opt state r with
+    | Some (Heard | Requested) ->
+        Hashtbl.replace state r Requested;
+        log r Refill.Dissem.L_req (Some holder);
+        if frame_arrives ~src:r ~dst:holder then begin
+          log holder Refill.Dissem.L_rx_req (Some r);
+          if not (Hashtbl.mem queued (holder, r)) then begin
+            Hashtbl.replace queued (holder, r) ();
+            Queue.add r (service_queue holder)
+          end
+        end;
+        ignore
+          (Sim.Engine.schedule engine ~delay:config.req_timeout (fun _ ->
+               if Hashtbl.find_opt state r = Some Requested then
+                 send_request r holder)
+            : Sim.Engine.handle)
+    | _ -> ()
+  in
+  let on_adv_received r holder =
+    log r Refill.Dissem.L_rx_adv (Some holder);
+    if Hashtbl.find_opt state r = Some Idle then begin
+      Hashtbl.replace state r Heard;
+      let backoff = Prelude.Rng.float rng config.req_backoff_max in
+      ignore
+        (Sim.Engine.schedule engine ~delay:backoff (fun _ ->
+             send_request r holder)
+          : Sim.Engine.handle)
+    end
+  in
+  let rec advertise holder _ =
+    if Sim.Engine.now engine < config.duration then begin
+      (* Suppress once every neighbor holds the data (Trickle-style). *)
+      let needy =
+        List.exists
+          (fun nb -> not (is_holder nb))
+          (Net.Topology.neighbors topology holder)
+      in
+      if needy then begin
+        incr advertisements;
+        log holder Refill.Dissem.L_adv None;
+        List.iter
+          (fun r ->
+            if (not (is_holder r)) && frame_arrives ~src:holder ~dst:r then
+              on_adv_received r holder)
+          (Net.Topology.neighbors topology holder)
+      end;
+      ignore
+        (Sim.Engine.schedule engine ~delay:config.adv_interval
+           (advertise holder)
+          : Sim.Engine.handle)
+    end
+  in
+  let rec serve holder _ =
+    if Sim.Engine.now engine < config.duration then begin
+      (match Queue.take_opt (service_queue holder) with
+      | None -> ()
+      | Some r ->
+          Hashtbl.remove queued (holder, r);
+          if not (is_holder r) then begin
+            log holder Refill.Dissem.L_data (Some r);
+            if frame_arrives ~src:holder ~dst:r then begin
+              log r Refill.Dissem.L_rx_data (Some holder);
+              Hashtbl.replace state r Done;
+              log r Refill.Dissem.L_done None;
+              !completed_hook r
+            end
+          end);
+      ignore
+        (Sim.Engine.schedule engine ~delay:config.service_interval
+           (serve holder)
+          : Sim.Engine.handle)
+    end
+  in
+  let start_holder holder =
+    ignore
+      (Sim.Engine.schedule engine
+         ~delay:(Prelude.Rng.float rng config.req_backoff_max)
+         (advertise holder)
+        : Sim.Engine.handle);
+    ignore
+      (Sim.Engine.schedule engine ~delay:config.service_interval
+         (serve holder)
+        : Sim.Engine.handle)
+  in
+  completed_hook := (fun r -> start_holder r);
+  start_holder seed;
+  Sim.Engine.run ~until:config.duration engine;
+  let node_log node =
+    match Hashtbl.find_opt logs node with
+    | Some cell -> List.rev !cell
+    | None -> []
+  in
+  let participants =
+    List.init n Fun.id
+    |> List.filter (fun node -> node = seed || node_log node <> [])
+  in
+  {
+    logs = List.map (fun node -> (node, node_log node)) participants;
+    completed =
+      List.init n Fun.id
+      |> List.filter_map (fun r ->
+             if r = seed then None
+             else Some (r, Hashtbl.find_opt state r = Some Done));
+    advertisements = !advertisements;
+  }

@@ -1,0 +1,121 @@
+(* Kind tags: stable on-disk values. *)
+let tag_of_kind (kind : Record.kind) =
+  match kind with
+  | Gen -> 0
+  | Recv _ -> 1
+  | Dup _ -> 2
+  | Overflow _ -> 3
+  | Trans _ -> 4
+  | Ack_recvd _ -> 5
+  | Retx_timeout _ -> 6
+  | Deliver -> 7
+
+let peer_of_kind (kind : Record.kind) =
+  match kind with
+  | Gen | Deliver -> None
+  | Recv { from } | Dup { from } | Overflow { from } -> Some from
+  | Trans { to_ } | Ack_recvd { to_ } | Retx_timeout { to_ } -> Some to_
+
+let kind_of_tag tag peer : Record.kind =
+  let need_peer name =
+    match peer with
+    | Some p -> p
+    | None -> failwith ("Codec: missing peer for " ^ name)
+  in
+  match tag with
+  | 0 -> Gen
+  | 1 -> Recv { from = need_peer "recv" }
+  | 2 -> Dup { from = need_peer "dup" }
+  | 3 -> Overflow { from = need_peer "overflow" }
+  | 4 -> Trans { to_ = need_peer "trans" }
+  | 5 -> Ack_recvd { to_ = need_peer "ack" }
+  | 6 -> Retx_timeout { to_ = need_peer "timeout" }
+  | 7 -> Deliver
+  | t -> failwith (Printf.sprintf "Codec: unknown kind tag %d" t)
+
+(* LEB128 unsigned varints. Negative values (the unknown-peer -1) are
+   zig-zag mapped first. *)
+let zigzag n = if n >= 0 then 2 * n else (-2 * n) - 1
+
+let unzigzag z = if z land 1 = 0 then z / 2 else -((z + 1) / 2)
+
+let rec write_varint buf v =
+  if v < 0x80 then Buffer.add_char buf (Char.chr v)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+    write_varint buf (v lsr 7)
+  end
+
+let read_varint b pos =
+  let len = Bytes.length b in
+  let rec go pos shift acc =
+    if pos >= len then failwith "Codec: truncated varint";
+    let byte = Char.code (Bytes.get b pos) in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let varint_size v =
+  let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+  go (max v 0) 1
+
+let encode_record buf (r : Record.t) =
+  Buffer.add_char buf (Char.chr (tag_of_kind r.kind));
+  (match peer_of_kind r.kind with
+  | Some p -> write_varint buf (zigzag p)
+  | None -> ());
+  write_varint buf (zigzag r.origin);
+  write_varint buf (zigzag r.pkt_seq)
+
+let decode_record ~node b ~pos =
+  if pos >= Bytes.length b then failwith "Codec: truncated record";
+  let tag = Char.code (Bytes.get b pos) in
+  let pos = pos + 1 in
+  let peer, pos =
+    (* Tags 1–6 carry a peer. *)
+    if tag >= 1 && tag <= 6 then begin
+      let z, pos = read_varint b pos in
+      (Some (unzigzag z), pos)
+    end
+    else (None, pos)
+  in
+  let zorigin, pos = read_varint b pos in
+  let zseq, pos = read_varint b pos in
+  let record : Record.t =
+    {
+      node;
+      kind = kind_of_tag tag peer;
+      origin = unzigzag zorigin;
+      pkt_seq = unzigzag zseq;
+      true_time = Float.nan;
+      gseq = -1;
+    }
+  in
+  (record, pos)
+
+let encode_log log =
+  let buf = Buffer.create (8 * Array.length log) in
+  Array.iter (encode_record buf) log;
+  Buffer.to_bytes buf
+
+let decode_log ~node b =
+  let len = Bytes.length b in
+  let rec go pos acc =
+    if pos >= len then List.rev acc
+    else begin
+      let r, pos = decode_record ~node b ~pos in
+      go pos (r :: acc)
+    end
+  in
+  Array.of_list (go 0 [])
+
+let encoded_size (r : Record.t) =
+  1
+  + (match peer_of_kind r.kind with
+    | Some p -> varint_size (zigzag p)
+    | None -> 0)
+  + varint_size (zigzag r.origin)
+  + varint_size (zigzag r.pkt_seq)
+
+let log_size log = Array.fold_left (fun acc r -> acc + encoded_size r) 0 log

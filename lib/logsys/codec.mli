@@ -1,0 +1,35 @@
+(** Compact binary encoding of event records — what a sensor node would
+    actually keep in flash and ship over the radio.
+
+    Layout per record: one tag byte (event kind, 3 bits) followed by
+    LEB128 varints for the fields the kind needs — peer (link events
+    only), origin, and per-origin sequence number.  The recording node id
+    is *not* stored (a node's log is self-describing), and the
+    ground-truth fields ([true_time], [gseq]) are never encoded: a decoded
+    record carries [true_time = nan], [gseq = -1].
+
+    Typical cost is 3–5 bytes per record, which is what makes in-band log
+    collection affordable (§V's 16–24-record chunks fit one 802.15.4
+    frame's payload budget within small factors). *)
+
+val encode_record : Buffer.t -> Record.t -> unit
+(** Append one record's encoding (without its node id). *)
+
+val decode_record :
+  node:Net.Packet.node_id -> Bytes.t -> pos:int -> Record.t * int
+(** [decode_record ~node b ~pos] reads one record starting at [pos] and
+    returns it (attributed to [node]) with the position after it.
+    @raise Failure on truncated or malformed input. *)
+
+val encode_log : Record.t array -> Bytes.t
+(** Encode one node's log (records in order). *)
+
+val decode_log : node:Net.Packet.node_id -> Bytes.t -> Record.t array
+(** Inverse of {!encode_log}.
+    @raise Failure on malformed input. *)
+
+val encoded_size : Record.t -> int
+(** Bytes {!encode_record} would emit for this record. *)
+
+val log_size : Record.t array -> int
+(** Total encoded bytes of a log. *)

@@ -1,0 +1,85 @@
+type t = {
+  node_logs : Record.t array array;
+  (* Lazily built per-packet index: key -> per-node record lists (rev order
+     while building, node ids descending), finalized on first use. *)
+  mutable index : (int * int, (int * Record.t list) list) Hashtbl.t option;
+}
+
+let of_node_logs node_logs = { node_logs; index = None }
+
+let build_index t =
+  match t.index with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create 4096 in
+      Array.iteri
+        (fun node log ->
+          (* Per-node grouping for this node's records, preserving order. *)
+          let local = Hashtbl.create 64 in
+          Array.iter
+            (fun (r : Record.t) ->
+              let key = Record.packet_key r in
+              let l = Option.value ~default:[] (Hashtbl.find_opt local key) in
+              Hashtbl.replace local key (r :: l))
+            log;
+          Hashtbl.iter
+            (fun key records_rev ->
+              let groups =
+                Option.value ~default:[] (Hashtbl.find_opt idx key)
+              in
+              Hashtbl.replace idx key
+                ((node, List.rev records_rev) :: groups))
+            local)
+        t.node_logs;
+      (* Node groups accumulated in arbitrary hash order per key; sort. *)
+      let sorted = Hashtbl.create (Hashtbl.length idx) in
+      Hashtbl.iter
+        (fun key groups ->
+          Hashtbl.replace sorted key
+            (List.sort (fun (a, _) (b, _) -> Int.compare a b) groups))
+        idx;
+      t.index <- Some sorted;
+      sorted
+
+let of_logger logger =
+  of_node_logs
+    (Array.init (Logger.n_nodes logger) (fun i -> Logger.node_log logger i))
+
+let lossify config rng t =
+  of_node_logs (Loss_model.apply_all config rng t.node_logs)
+
+let n_nodes t = Array.length t.node_logs
+
+let node_log t i = t.node_logs.(i)
+
+let total t = Array.fold_left (fun acc l -> acc + Array.length l) 0 t.node_logs
+
+let packet_keys t =
+  let idx = build_index t in
+  Hashtbl.fold (fun key _ acc -> key :: acc) idx []
+  |> List.sort compare
+
+let events_of_packet t ~origin ~seq =
+  let idx = build_index t in
+  Option.value ~default:[] (Hashtbl.find_opt idx (origin, seq))
+
+let merged_concat t =
+  Array.to_list t.node_logs |> List.concat_map Array.to_list
+
+let merged_round_robin t =
+  let positions = Array.map (fun _ -> ref 0) t.node_logs in
+  let out = ref [] in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    Array.iteri
+      (fun i log ->
+        let pos = positions.(i) in
+        if !pos < Array.length log then begin
+          out := log.(!pos) :: !out;
+          incr pos;
+          progressed := true
+        end)
+      t.node_logs
+  done;
+  List.rev !out

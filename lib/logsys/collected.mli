@@ -1,0 +1,45 @@
+(** Collected logs — the input REFILL actually sees.
+
+    A snapshot of every node's (possibly lossified) log.  Provides the
+    per-packet view the inference engines consume: for one packet, each
+    node's surviving records in local write order.  No global timestamps
+    are exposed. *)
+
+type t
+
+val of_node_logs : Record.t array array -> t
+(** Index = node id. The arrays are not copied; callers hand over
+    ownership. *)
+
+val of_logger : Logger.t -> t
+(** Lossless snapshot of a live log store. *)
+
+val lossify : Loss_model.config -> Prelude.Rng.t -> t -> t
+(** Apply a loss model to every node's log; the input is unchanged. *)
+
+val n_nodes : t -> int
+
+val node_log : t -> Net.Packet.node_id -> Record.t array
+
+val total : t -> int
+
+val packet_keys : t -> (Net.Packet.node_id * int) list
+(** Distinct [(origin, seq)] packet keys appearing anywhere, sorted.
+    Backed by a per-packet index built once per snapshot. *)
+
+val events_of_packet :
+  t ->
+  origin:Net.Packet.node_id ->
+  seq:int ->
+  (Net.Packet.node_id * Record.t list) list
+(** Per-node surviving records of one packet, each list in local log order;
+    nodes with no records for the packet are omitted. Sorted by node id. *)
+
+val merged_concat : t -> Record.t list
+(** All records, node 0's log then node 1's, etc. — a valid merge (per-node
+    order preserved) with no cross-node information, the adversarial input
+    of the paper's step 1. *)
+
+val merged_round_robin : t -> Record.t list
+(** Interleave one record per node per round — another valid merge used to
+    check order-insensitivity of the reconstruction. *)

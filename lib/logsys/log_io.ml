@@ -1,0 +1,159 @@
+type dump = {
+  n_nodes : int;
+  sink : Net.Packet.node_id;
+  collected : Collected.t;
+  truth : Truth.t option;
+}
+
+let kind_fields (kind : Record.kind) =
+  match kind with
+  | Gen -> ("gen", None)
+  | Recv { from } -> ("recv", Some from)
+  | Dup { from } -> ("dup", Some from)
+  | Overflow { from } -> ("overflow", Some from)
+  | Trans { to_ } -> ("trans", Some to_)
+  | Ack_recvd { to_ } -> ("ack", Some to_)
+  | Retx_timeout { to_ } -> ("timeout", Some to_)
+  | Deliver -> ("deliver", None)
+
+let kind_of_fields name peer : Record.kind =
+  match (name, peer) with
+  | "gen", None -> Gen
+  | "recv", Some from -> Recv { from }
+  | "dup", Some from -> Dup { from }
+  | "overflow", Some from -> Overflow { from }
+  | "trans", Some to_ -> Trans { to_ }
+  | "ack", Some to_ -> Ack_recvd { to_ }
+  | "timeout", Some to_ -> Retx_timeout { to_ }
+  | "deliver", None -> Deliver
+  | _ -> failwith (Printf.sprintf "Log_io: malformed kind %S" name)
+
+let peer_str = function None -> "-" | Some p -> string_of_int p
+
+let peer_of_str = function "-" -> None | s -> Some (int_of_string s)
+
+let record_to_line (r : Record.t) =
+  let kind, peer = kind_fields r.kind in
+  Printf.sprintf "r %d %s %s %d %d %.6f %d" r.node kind (peer_str peer)
+    r.origin r.pkt_seq r.true_time r.gseq
+
+let record_of_line line =
+  match String.split_on_char ' ' line with
+  | [ "r"; node; kind; peer; origin; seq; time; gseq ] ->
+      ({
+         node = int_of_string node;
+         kind = kind_of_fields kind (peer_of_str peer);
+         origin = int_of_string origin;
+         pkt_seq = int_of_string seq;
+         true_time = float_of_string time;
+         gseq = int_of_string gseq;
+       }
+        : Record.t)
+  | _ -> failwith (Printf.sprintf "Log_io: malformed record line %S" line)
+
+let fate_to_line origin seq (fate : Truth.fate) =
+  Printf.sprintf "t %d %d %s %s %.6f %.6f %s" origin seq
+    (Cause.name fate.cause)
+    (peer_str fate.loss_node)
+    fate.generated_at fate.resolved_at
+    (String.concat "," (List.map string_of_int fate.path))
+
+let fate_of_line line =
+  match String.split_on_char ' ' line with
+  | [ "t"; origin; seq; cause; loss_node; generated; resolved; path ] ->
+      let cause =
+        match Cause.of_name cause with
+        | Some c -> c
+        | None -> failwith (Printf.sprintf "Log_io: unknown cause %S" cause)
+      in
+      let path =
+        if path = "" then []
+        else String.split_on_char ',' path |> List.map int_of_string
+      in
+      ( int_of_string origin,
+        int_of_string seq,
+        ({
+           cause;
+           loss_node = peer_of_str loss_node;
+           path;
+           generated_at = float_of_string generated;
+           resolved_at = float_of_string resolved;
+         }
+          : Truth.fate) )
+  | _ -> failwith (Printf.sprintf "Log_io: malformed truth line %S" line)
+
+let save oc ~sink ?truth collected =
+  Printf.fprintf oc "# refill-log v1\n";
+  Printf.fprintf oc "# nodes %d\n" (Collected.n_nodes collected);
+  Printf.fprintf oc "# sink %d\n" sink;
+  for node = 0 to Collected.n_nodes collected - 1 do
+    Array.iter
+      (fun r -> output_string oc (record_to_line r ^ "\n"))
+      (Collected.node_log collected node)
+  done;
+  match truth with
+  | None -> ()
+  | Some t ->
+      Truth.iter t (fun (origin, seq) fate ->
+          output_string oc (fate_to_line origin seq fate ^ "\n"))
+
+let save_file path ~sink ?truth collected =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> save oc ~sink ?truth collected)
+
+let header_value line prefix =
+  match String.split_on_char ' ' line with
+  | [ h; key; v ] when h = "#" && key = prefix -> Some (int_of_string v)
+  | _ -> None
+
+let load ic =
+  let first = input_line ic in
+  if first <> "# refill-log v1" then
+    failwith (Printf.sprintf "Log_io: bad header %S" first);
+  let n_nodes =
+    match header_value (input_line ic) "nodes" with
+    | Some n when n > 0 -> n
+    | _ -> failwith "Log_io: missing nodes header"
+  in
+  let sink =
+    match header_value (input_line ic) "sink" with
+    | Some s -> s
+    | None -> failwith "Log_io: missing sink header"
+  in
+  let logs_rev = Array.make n_nodes [] in
+  let truth = Truth.create () in
+  let has_truth = ref false in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.length line = 0 then ()
+       else if line.[0] = 'r' then begin
+         let r = record_of_line line in
+         if r.node < 0 || r.node >= n_nodes then
+           failwith "Log_io: record node out of range";
+         logs_rev.(r.node) <- r :: logs_rev.(r.node)
+       end
+       else if line.[0] = 't' then begin
+         let origin, seq, fate = fate_of_line line in
+         has_truth := true;
+         Truth.record truth ~origin ~seq fate
+       end
+       else if line.[0] = '#' then ()
+       else failwith (Printf.sprintf "Log_io: malformed line %S" line)
+     done
+   with End_of_file -> ());
+  let node_logs =
+    Array.map (fun l -> Array.of_list (List.rev l)) logs_rev
+  in
+  {
+    n_nodes;
+    sink;
+    collected = Collected.of_node_logs node_logs;
+    truth = (if !has_truth then Some truth else None);
+  }
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load ic)

@@ -1,0 +1,45 @@
+(** Plain-text serialization of collected logs and ground truth.
+
+    A dump holds one collected-log snapshot (per-node logs, write order) and
+    optionally the simulator's ground-truth packet fates, in a line-oriented
+    format that diffs and greps well:
+
+    {v
+    # refill-log v1
+    # nodes 100
+    # sink 0
+    r <node> <kind> <peer|-> <origin> <seq> <time> <gseq>
+    ...
+    t <origin> <seq> <cause> <loss-node|-> <generated> <resolved> <path,csv>
+    v}
+
+    Used by the CLI to hand logs between `simulate` and `analyze` runs. *)
+
+type dump = {
+  n_nodes : int;
+  sink : Net.Packet.node_id;
+  collected : Collected.t;
+  truth : Truth.t option;
+}
+
+val save :
+  out_channel ->
+  sink:Net.Packet.node_id ->
+  ?truth:Truth.t ->
+  Collected.t ->
+  unit
+
+val save_file :
+  string -> sink:Net.Packet.node_id -> ?truth:Truth.t -> Collected.t -> unit
+
+val load : in_channel -> dump
+(** @raise Failure on a malformed dump (bad header, unknown kind/cause,
+    wrong field count). *)
+
+val load_file : string -> dump
+
+val record_to_line : Record.t -> string
+(** The [r ...] line for one record (without trailing newline). *)
+
+val record_of_line : string -> Record.t
+(** @raise Failure on malformed input. *)

@@ -1,0 +1,27 @@
+type t = { logs : Record.t list ref array }
+
+let create ~n_nodes =
+  if n_nodes <= 0 then invalid_arg "Logger.create: n_nodes";
+  { logs = Array.init n_nodes (fun _ -> ref []) }
+
+let n_nodes t = Array.length t.logs
+
+let log t (record : Record.t) =
+  if record.node < 0 || record.node >= Array.length t.logs then
+    invalid_arg "Logger.log: node id out of range";
+  let cell = t.logs.(record.node) in
+  cell := record :: !cell
+
+let node_log t node =
+  let l = !(t.logs.(node)) in
+  let a = Array.of_list l in
+  (* The list is newest-first; reverse into write order. *)
+  let n = Array.length a in
+  Array.init n (fun i -> a.(n - 1 - i))
+
+let ground_truth t =
+  Array.to_list t.logs
+  |> List.concat_map (fun cell -> !cell)
+  |> List.sort Record.compare_by_time
+
+let total t = Array.fold_left (fun acc cell -> acc + List.length !cell) 0 t.logs

@@ -1,0 +1,27 @@
+(** Whole-network log store fed by the simulator.
+
+    One append-only log per node (the node's local flash/RAM log) plus the
+    complete ground-truth event trace.  Per-node order is exactly write
+    order — the only ordering guarantee real logs give, and the only one
+    REFILL assumes. *)
+
+type t
+
+val create : n_nodes:int -> t
+(** @raise Invalid_argument if [n_nodes <= 0]. *)
+
+val n_nodes : t -> int
+
+val log : t -> Record.t -> unit
+(** Append to the log of [record.node].
+    @raise Invalid_argument if the node id is out of range. *)
+
+val node_log : t -> Net.Packet.node_id -> Record.t array
+(** Snapshot of one node's log, in write order. *)
+
+val ground_truth : t -> Record.t list
+(** Every record network-wide in true chronological order — the reference
+    event flow the reconstruction is scored against. *)
+
+val total : t -> int
+(** Total records written. *)

@@ -1,0 +1,38 @@
+(** Logging policies: which event types do nodes record at all?
+
+    The paper's future work asks for "more efficient and effective logging
+    methods" — log statements cost flash, radio (when collected in-band)
+    and energy, so a deployment might drop some of them.  A policy selects
+    the event kinds that are logged; applying it to a collected snapshot
+    simulates a deployment that never compiled the other log statements in.
+    The logging-policy experiment measures what each event type contributes
+    to reconstruction quality. *)
+
+type t
+
+val all : t
+(** Log every event kind (the paper's deployment). *)
+
+val only : string list -> t
+(** Keep only the kinds named (names as {!Record.kind_name}: "gen", "recv",
+    "dup", "overflow", "trans", "ack", "timeout", "deliver").
+    @raise Invalid_argument on an unknown name. *)
+
+val without : string list -> t
+(** Log everything except the kinds named.
+    @raise Invalid_argument on an unknown name. *)
+
+val kind_names : string list
+(** All valid kind names. *)
+
+val logs : t -> Record.kind -> bool
+
+val records_kind : t -> string -> bool
+(** @raise Invalid_argument on an unknown name. *)
+
+val apply : t -> Collected.t -> Collected.t
+(** Filtered copy of the snapshot: records of unlogged kinds vanish from
+    every node's log, order otherwise preserved. *)
+
+val describe : t -> string
+(** Human-readable summary, e.g. ["all"] or ["without ack, timeout"]. *)

@@ -1,0 +1,100 @@
+type config = {
+  write_loss : float;
+  node_wipe : float;
+  tail_wipe : float;
+  chunk_size : int;
+  chunk_loss : float;
+  ring_capacity : int option;
+}
+
+let none =
+  {
+    write_loss = 0.;
+    node_wipe = 0.;
+    tail_wipe = 0.;
+    chunk_size = 8;
+    chunk_loss = 0.;
+    ring_capacity = None;
+  }
+
+let default =
+  {
+    write_loss = 0.02;
+    node_wipe = 0.01;
+    tail_wipe = 0.05;
+    chunk_size = 8;
+    chunk_loss = 0.05;
+    ring_capacity = None;
+  }
+
+let uniform p = { none with write_loss = p }
+
+let check_p label p =
+  if p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Loss_model: %s out of [0,1]" label)
+
+let validate c =
+  check_p "write_loss" c.write_loss;
+  check_p "node_wipe" c.node_wipe;
+  check_p "tail_wipe" c.tail_wipe;
+  check_p "chunk_loss" c.chunk_loss;
+  if c.chunk_size <= 0 then invalid_arg "Loss_model: chunk_size <= 0";
+  match c.ring_capacity with
+  | Some k when k <= 0 -> invalid_arg "Loss_model: ring_capacity <= 0"
+  | _ -> ()
+
+let apply config rng log =
+  validate config;
+  if Prelude.Rng.bernoulli rng ~p:config.node_wipe then [||]
+  else begin
+    (* Ring bound: only the newest [k] records were still in the buffer. *)
+    let log =
+      match config.ring_capacity with
+      | Some k when Array.length log > k ->
+          Array.sub log (Array.length log - k) k
+      | _ -> log
+    in
+    (* Reboot: a random suffix never made it to stable storage. *)
+    let log =
+      if
+        Array.length log > 0
+        && Prelude.Rng.bernoulli rng ~p:config.tail_wipe
+      then begin
+        let keep = Prelude.Rng.int rng (Array.length log + 1) in
+        Array.sub log 0 keep
+      end
+      else log
+    in
+    (* Collection: whole chunks lost in transit. *)
+    let log =
+      if config.chunk_loss > 0. then begin
+        let kept = ref [] in
+        let n = Array.length log in
+        let i = ref 0 in
+        while !i < n do
+          let len = min config.chunk_size (n - !i) in
+          if not (Prelude.Rng.bernoulli rng ~p:config.chunk_loss) then
+            for j = !i to !i + len - 1 do
+              kept := log.(j) :: !kept
+            done;
+          i := !i + len
+        done;
+        Array.of_list (List.rev !kept)
+      end
+      else log
+    in
+    (* Write failures: iid per record. *)
+    if config.write_loss > 0. then
+      Array.of_list
+        (Array.to_list log
+        |> List.filter (fun _ ->
+               not (Prelude.Rng.bernoulli rng ~p:config.write_loss)))
+    else log
+  end
+
+let apply_all config rng logs =
+  Array.map
+    (fun log ->
+      let stream = Prelude.Rng.split rng in
+      apply config stream log)
+    logs

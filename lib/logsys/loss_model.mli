@@ -1,0 +1,47 @@
+(** Log lossiness injection.
+
+    The paper's central premise is that local logs are incomplete: records
+    are lost to write failures, node reboots wipe buffers, the bounded ring
+    keeps only recent history, and log *collection* over the lossy network
+    drops whole chunks.  This module applies those four mechanisms to a
+    node's log, deterministically under a supplied RNG.  Only removal ever
+    happens — order and content of surviving records are untouched. *)
+
+type config = {
+  write_loss : float;  (** iid probability each record failed to be written. *)
+  node_wipe : float;
+      (** Probability the node's entire log is lost (node failure before
+          collection). *)
+  tail_wipe : float;
+      (** Probability a node rebooted and lost a random suffix of its log
+          (uncommitted RAM buffer). *)
+  chunk_size : int;
+      (** Records per collection chunk (one log packet's worth). *)
+  chunk_loss : float;
+      (** iid probability each chunk was lost during collection over CTP. *)
+  ring_capacity : int option;
+      (** When [Some k], only the last [k] written records survive. *)
+}
+
+val none : config
+(** Lossless configuration. *)
+
+val default : config
+(** Moderate lossiness: 2 % write loss, 1 % node wipe, 5 % tail wipe,
+    chunks of 8 with 5 % chunk loss, no ring bound. *)
+
+val uniform : float -> config
+(** [uniform p] drops each record independently with probability [p] and
+    nothing else — the knob used by the accuracy-sweep experiment. *)
+
+val validate : config -> unit
+(** @raise Invalid_argument if any probability is outside [\[0,1\]] or
+    [chunk_size <= 0]. *)
+
+val apply : config -> Prelude.Rng.t -> Record.t array -> Record.t array
+(** Lossified copy of one node's log (order preserved). *)
+
+val apply_all :
+  config -> Prelude.Rng.t -> Record.t array array -> Record.t array array
+(** Apply per node; node [i] uses a stream split from the master RNG so the
+    outcome does not depend on array traversal internals. *)

@@ -1,0 +1,61 @@
+type kind =
+  | Gen
+  | Recv of { from : Net.Packet.node_id }
+  | Dup of { from : Net.Packet.node_id }
+  | Overflow of { from : Net.Packet.node_id }
+  | Trans of { to_ : Net.Packet.node_id }
+  | Ack_recvd of { to_ : Net.Packet.node_id }
+  | Retx_timeout of { to_ : Net.Packet.node_id }
+  | Deliver
+
+type t = {
+  node : Net.Packet.node_id;
+  kind : kind;
+  origin : Net.Packet.node_id;
+  pkt_seq : int;
+  true_time : float;
+  gseq : int;
+}
+
+let kind_name = function
+  | Gen -> "gen"
+  | Recv _ -> "recv"
+  | Dup _ -> "dup"
+  | Overflow _ -> "overflow"
+  | Trans _ -> "trans"
+  | Ack_recvd _ -> "ack"
+  | Retx_timeout _ -> "timeout"
+  | Deliver -> "deliver"
+
+let peer t =
+  match t.kind with
+  | Gen | Deliver -> None
+  | Recv { from } | Dup { from } | Overflow { from } -> Some from
+  | Trans { to_ } | Ack_recvd { to_ } | Retx_timeout { to_ } -> Some to_
+
+let link t =
+  match t.kind with
+  | Gen | Deliver -> None
+  | Recv { from } | Dup { from } | Overflow { from } -> Some (from, t.node)
+  | Trans { to_ } | Ack_recvd { to_ } | Retx_timeout { to_ } ->
+      Some (t.node, to_)
+
+let packet_key t = (t.origin, t.pkt_seq)
+
+let is_sender_side t =
+  match t.kind with
+  | Trans _ | Ack_recvd _ | Retx_timeout _ | Gen | Deliver -> true
+  | Recv _ | Dup _ | Overflow _ -> false
+
+let pp ppf t =
+  match link t with
+  | Some (s, r) ->
+      Format.fprintf ppf "%d-%d %s@%d" s r (kind_name t.kind) t.node
+  | None -> Format.fprintf ppf "%s@%d" (kind_name t.kind) t.node
+
+let to_string t = Format.asprintf "%a" pp t
+
+let compare_by_time a b =
+  match Float.compare a.true_time b.true_time with
+  | 0 -> Int.compare a.gseq b.gseq
+  | c -> c

@@ -1,0 +1,70 @@
+(** Event records — the concrete instantiation of the paper's
+    [E = (V, L, I)] tuples for the collection network.
+
+    [kind] is the event type [V] together with its related information [I]
+    (the peer node of the link operation); the recording node is the
+    location [L].  Records carry the packet identity [(origin, pkt_seq)]
+    because that is what CitySee logs key on and what lets REFILL group
+    events per packet.  [true_time] is simulator ground truth: it never
+    reaches REFILL (logs are unsynchronized), it only serves evaluation. *)
+
+type kind =
+  | Gen  (** Application layer generated the packet (recorded at origin). *)
+  | Recv of { from : Net.Packet.node_id }
+      (** Packet accepted and passed up the stack; recorded on the
+          receiver. *)
+  | Dup of { from : Net.Packet.node_id }
+      (** Duplicate detected and discarded; recorded on the receiver. *)
+  | Overflow of { from : Net.Packet.node_id }
+      (** Forwarding queue full, packet discarded; recorded on the
+          receiver. *)
+  | Trans of { to_ : Net.Packet.node_id }
+      (** Unicast transmission handed to the MAC; recorded on the sender.
+          Logged once per MAC exchange, not per retransmission attempt. *)
+  | Ack_recvd of { to_ : Net.Packet.node_id }
+      (** Hardware ACK received; recorded on the sender. *)
+  | Retx_timeout of { to_ : Net.Packet.node_id }
+      (** Retransmission budget exhausted, packet dropped; recorded on the
+          sender. *)
+  | Deliver
+      (** Sink pushed the packet over the serial link to the base station
+          successfully; recorded on the sink. *)
+
+type t = {
+  node : Net.Packet.node_id;  (** Where the record was written (L). *)
+  kind : kind;
+  origin : Net.Packet.node_id;
+  pkt_seq : int;
+  true_time : float;  (** Ground truth; hidden from reconstruction. *)
+  gseq : int;
+      (** Ground-truth global write sequence — breaks timestamp ties in the
+          reference flow. Hidden from reconstruction like [true_time]. *)
+}
+
+val kind_name : kind -> string
+(** Short stable name: ["gen"], ["recv"], ["dup"], ["overflow"], ["trans"],
+    ["ack"], ["timeout"], ["deliver"]. *)
+
+val peer : t -> Net.Packet.node_id option
+(** The other endpoint of a link event; [None] for [Gen]/[Deliver]. *)
+
+val link : t -> (Net.Packet.node_id * Net.Packet.node_id) option
+(** [(sender, receiver)] of the underlying link operation, regardless of
+    which side recorded it; [None] for [Gen]/[Deliver]. *)
+
+val packet_key : t -> Net.Packet.node_id * int
+(** [(origin, pkt_seq)] — the per-packet grouping key. *)
+
+val is_sender_side : t -> bool
+(** Whether the record was written by the sending side of a link operation
+    ([Trans]/[Ack_recvd]/[Retx_timeout]); [Gen] and [Deliver] count as
+    sender-side bookkeeping of the local node. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style rendering, e.g. ["1-2 trans@1"] for a [Trans] from node 1 to
+    node 2 recorded on node 1. *)
+
+val to_string : t -> string
+
+val compare_by_time : t -> t -> int
+(** Ground-truth chronological order: [true_time], ties by [gseq]. *)

@@ -1,0 +1,38 @@
+type fate = {
+  cause : Cause.t;
+  loss_node : Net.Packet.node_id option;
+  path : Net.Packet.node_id list;
+  generated_at : float;
+  resolved_at : float;
+}
+
+type t = { table : (int * int, fate) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 1024 }
+
+let record t ~origin ~seq fate = Hashtbl.replace t.table (origin, seq) fate
+
+let find t ~origin ~seq = Hashtbl.find_opt t.table (origin, seq)
+
+let count t = Hashtbl.length t.table
+
+let iter t f = Hashtbl.iter (fun k v -> f k v) t.table
+
+let fold t ~init ~f = Hashtbl.fold (fun k v acc -> f acc k v) t.table init
+
+let cause_counts t =
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ fate ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts fate.cause) in
+      Hashtbl.replace counts fate.cause (c + 1))
+    t.table;
+  List.map
+    (fun cause ->
+      (cause, Option.value ~default:0 (Hashtbl.find_opt counts cause)))
+    Cause.all
+
+let loss_count t =
+  Hashtbl.fold
+    (fun _ fate acc -> if Cause.is_loss fate.cause then acc + 1 else acc)
+    t.table 0

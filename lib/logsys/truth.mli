@@ -1,0 +1,37 @@
+(** Ground-truth packet fates recorded by the simulator.
+
+    For every generated packet: its final outcome, the node where it died
+    (if it died), its true hop path, and timing.  Reconstruction quality is
+    scored against this table. *)
+
+type fate = {
+  cause : Cause.t;
+  loss_node : Net.Packet.node_id option;
+      (** Node at which the packet was lost; [None] when delivered. *)
+  path : Net.Packet.node_id list;
+      (** Nodes that accepted the packet, origin first, in true order. *)
+  generated_at : float;
+  resolved_at : float;  (** Delivery or loss time. *)
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> origin:Net.Packet.node_id -> seq:int -> fate -> unit
+(** Register the final fate of a packet. Re-recording replaces (the last
+    word wins — the simulator finalises each packet exactly once). *)
+
+val find : t -> origin:Net.Packet.node_id -> seq:int -> fate option
+
+val count : t -> int
+
+val iter : t -> (Net.Packet.node_id * int -> fate -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> Net.Packet.node_id * int -> fate -> 'a) -> 'a
+
+val cause_counts : t -> (Cause.t * int) list
+(** Count per cause over all packets, in [Cause.all] order, zeros included. *)
+
+val loss_count : t -> int

@@ -1,0 +1,43 @@
+type params = {
+  tx_mw : float;
+  rx_mw : float;
+  sleep_mw : float;
+  frame_time : float;
+  ack_time : float;
+  cca_time : float;
+}
+
+let default_params =
+  {
+    tx_mw = 52.2;  (* 17.4 mA * 3 V *)
+    rx_mw = 56.4;  (* 18.8 mA * 3 V *)
+    sleep_mw = 0.063;
+    frame_time = 0.004;
+    ack_time = 0.0005;
+    cca_time = 0.005;
+  }
+
+type t = { mutable tx : float; mutable rx : float }
+
+let create () = { tx = 0.; rx = 0. }
+
+let charge_tx t s = t.tx <- t.tx +. s
+
+let charge_rx t s = t.rx <- t.rx +. s
+
+let tx_time t = t.tx
+
+let rx_time t = t.rx
+
+let active_time t = t.tx +. t.rx
+
+let energy_mj params t ~duration =
+  let active = active_time t in
+  if duration < active -. 1e-9 then
+    invalid_arg "Energy.energy_mj: duration shorter than active time";
+  let sleep = Float.max 0. (duration -. active) in
+  (t.tx *. params.tx_mw) +. (t.rx *. params.rx_mw)
+  +. (sleep *. params.sleep_mw)
+
+let duty_cycle t ~duration =
+  if duration <= 0. then 0. else active_time t /. duration

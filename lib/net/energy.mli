@@ -1,0 +1,48 @@
+(** Radio energy accounting (CC2420-class, LPL).
+
+    CitySee nodes are battery powered; LPL exists to keep the radio off
+    (§V.A.2).  This module is a per-node accumulator of radio-active time,
+    charged by the simulator: LPL senders strobe for up to a wakeup
+    interval per transmission attempt, receivers pay reception plus the
+    short ACK transmission, and every node pays a periodic clear-channel
+    sample.  Energy is radio-active time times CC2420-class power draws —
+    coarse, but faithful enough to compare protocol variants (e.g. the
+    cost of shipping logs in-band). *)
+
+type params = {
+  tx_mw : float;  (** Transmit power draw, milliwatts. *)
+  rx_mw : float;  (** Receive/listen power draw. *)
+  sleep_mw : float;  (** Radio-off draw. *)
+  frame_time : float;  (** Seconds to transmit one data frame. *)
+  ack_time : float;  (** Seconds to transmit a hardware ACK. *)
+  cca_time : float;  (** Seconds per LPL clear-channel sample. *)
+}
+
+val default_params : params
+(** CC2420 at 3 V: tx ≈ 52 mW, rx ≈ 56 mW, sleep ≈ 0.06 mW; 4 ms frames,
+    0.5 ms ACKs, 5 ms channel samples. *)
+
+type t
+(** Mutable per-node accumulator. *)
+
+val create : unit -> t
+
+val charge_tx : t -> float -> unit
+(** Add seconds of transmit-active time. *)
+
+val charge_rx : t -> float -> unit
+(** Add seconds of receive-active time. *)
+
+val tx_time : t -> float
+
+val rx_time : t -> float
+
+val active_time : t -> float
+
+val energy_mj : params -> t -> duration:float -> float
+(** Total millijoules over a run of [duration] seconds: accumulated
+    tx/rx at their draws plus the remaining time asleep.
+    @raise Invalid_argument if [duration] is less than the active time. *)
+
+val duty_cycle : t -> duration:float -> float
+(** Fraction of [duration] the radio was active. *)

@@ -1,0 +1,127 @@
+type link_params = {
+  d50 : float;  (* distance at which base PRR crosses 0.5 *)
+  steepness : float;
+  fluct_amplitude : float;
+  fluct_period : float;
+  fluct_phase : float;
+}
+
+type burst = {
+  start : float;
+  duration : float;
+  severity : float;
+  center : float * float;
+  radius : float;
+}
+
+type t = {
+  seed : int64;
+  topology : Topology.t;
+  d50_lo_frac : float;
+  d50_hi_frac : float;
+  steepness_frac : float;
+  max_fluctuation : float;
+  cache : (int, link_params) Hashtbl.t;
+  mutable weather : float -> float;
+  mutable bursts : burst list;
+}
+
+let create ~seed ~topology ?(d50_lo_frac = 0.55) ?(d50_hi_frac = 0.85)
+    ?(steepness_frac = 0.08) ?(max_fluctuation = 0.25) () =
+  {
+    seed;
+    topology;
+    d50_lo_frac;
+    d50_hi_frac;
+    steepness_frac;
+    max_fluctuation;
+    cache = Hashtbl.create 1024;
+    weather = (fun _ -> 1.);
+    bursts = [];
+  }
+
+let topology t = t.topology
+
+let set_weather t f = t.weather <- f
+
+let add_burst t b = t.bursts <- b :: t.bursts
+
+let bursts t = t.bursts
+
+(* Links are undirected for parameter purposes (radio symmetry of the
+   environment); direction-specific effects come from the fluctuation phase
+   offset below. The key packs the unordered pair. *)
+let link_key src dst =
+  let a = min src dst and b = max src dst in
+  (a * 1_000_003) + b
+
+let params t ~src ~dst =
+  let key = link_key src dst in
+  match Hashtbl.find_opt t.cache key with
+  | Some p -> p
+  | None ->
+      let rng =
+        Prelude.Rng.create
+          ~seed:(Int64.add t.seed (Int64.of_int ((key * 2654435761) lxor 0x5bf03635)))
+      in
+      let range = Topology.range t.topology in
+      let u = Prelude.Rng.unit_float rng in
+      let p =
+        {
+          d50 = range *. (t.d50_lo_frac +. ((t.d50_hi_frac -. t.d50_lo_frac) *. u));
+          steepness = range *. t.steepness_frac;
+          fluct_amplitude = Prelude.Rng.float rng t.max_fluctuation;
+          fluct_period = 600. +. Prelude.Rng.float rng 3000.;
+          fluct_phase = Prelude.Rng.float rng (2. *. Float.pi);
+        }
+      in
+      Hashtbl.add t.cache key p;
+      p
+
+let base_prr t ~src ~dst =
+  if not (Topology.in_range t.topology src dst) then 0.
+  else begin
+    let p = params t ~src ~dst in
+    let d = Topology.distance t.topology src dst in
+    1. /. (1. +. exp ((d -. p.d50) /. p.steepness))
+  end
+
+let midpoint t src dst =
+  let x1, y1 = Topology.position t.topology src in
+  let x2, y2 = Topology.position t.topology dst in
+  ((x1 +. x2) /. 2., (y1 +. y2) /. 2.)
+
+let burst_multiplier t ~now ~src ~dst =
+  List.fold_left
+    (fun acc b ->
+      if now >= b.start && now < b.start +. b.duration then begin
+        let mx, my = midpoint t src dst in
+        let cx, cy = b.center in
+        let dx = mx -. cx and dy = my -. cy in
+        if (dx *. dx) +. (dy *. dy) <= b.radius *. b.radius then
+          acc *. (1. -. b.severity)
+        else acc
+      end
+      else acc)
+    1. t.bursts
+
+let clamp01 x = if x < 0. then 0. else if x > 1. then 1. else x
+
+let prr t ~now ~src ~dst =
+  let base = base_prr t ~src ~dst in
+  if base <= 0. then 0.
+  else begin
+    let p = params t ~src ~dst in
+    (* Direction-dependent phase offset keeps forward/reverse PRR correlated
+       but not identical. *)
+    let phase = p.fluct_phase +. if src < dst then 0. else 0.9 in
+    let wave =
+      0.5 +. (0.5 *. sin (((2. *. Float.pi *. now) /. p.fluct_period) +. phase))
+    in
+    let fluct = 1. -. (p.fluct_amplitude *. wave) in
+    let q =
+      base *. fluct *. clamp01 (t.weather now)
+      *. burst_multiplier t ~now ~src ~dst
+    in
+    clamp01 q
+  end

@@ -1,0 +1,54 @@
+(** Per-link packet reception ratio (PRR) model.
+
+    Each directed link gets a deterministic base PRR from a distance sigmoid
+    with per-link random midpoint (log-normal-shadowing-like spread), plus a
+    slow per-link sinusoidal fluctuation.  Two global multipliers reproduce
+    the paper's environment: a weather function of time (snow on days 9–10
+    degrades all links) and localized interference bursts (temporary deep
+    fades that make timeout losses bursty and temporally correlated, as in
+    Fig. 5).  All per-link randomness is derived by hashing the master seed
+    with the link endpoints, so the model is deterministic and O(1) memory
+    until a link is first used. *)
+
+type t
+
+val create :
+  seed:int64 ->
+  topology:Topology.t ->
+  ?d50_lo_frac:float ->
+  ?d50_hi_frac:float ->
+  ?steepness_frac:float ->
+  ?max_fluctuation:float ->
+  unit ->
+  t
+(** [d50_lo_frac]/[d50_hi_frac] (defaults 0.55/0.85) bound the per-link
+    half-PRR distance as a fraction of radio range; [steepness_frac]
+    (default 0.08) is the sigmoid width as a fraction of range;
+    [max_fluctuation] (default 0.25) bounds the sinusoidal amplitude. *)
+
+val topology : t -> Topology.t
+
+val set_weather : t -> (float -> float) -> unit
+(** [set_weather t f] installs a quality multiplier [f now] in [\[0,1\]]
+    applied to every link (1 = clear weather). Default: [fun _ -> 1.]. *)
+
+type burst = {
+  start : float;
+  duration : float;
+  severity : float;  (** PRR multiplier is [1 - severity] inside the burst. *)
+  center : float * float;
+  radius : float;
+}
+
+val add_burst : t -> burst -> unit
+(** Register a localized interference burst affecting links whose midpoint
+    lies within [radius] of [center] during [\[start, start+duration)]. *)
+
+val bursts : t -> burst list
+
+val prr : t -> now:float -> src:Packet.node_id -> dst:Packet.node_id -> float
+(** Current PRR of the directed link, in [\[0,1\]]; 0 when out of range. *)
+
+val base_prr : t -> src:Packet.node_id -> dst:Packet.node_id -> float
+(** Distance-only PRR, no fluctuation/weather/bursts (for tests and for
+    seeding ETX estimates). *)

@@ -1,0 +1,28 @@
+type config = {
+  max_retx : int;
+  attempt_interval : float;
+  attempt_jitter : float;
+  ack_loss_factor : float;
+}
+
+let default_config =
+  {
+    max_retx = 30;
+    attempt_interval = 0.5;
+    attempt_jitter = 0.1;
+    ack_loss_factor = 0.3;
+  }
+
+type attempt_result = Frame_lost | Received_ack_lost | Received_acked
+
+let attempt config link rng ~now ~src ~dst =
+  let prr = Link_model.prr link ~now ~src ~dst in
+  if not (Prelude.Rng.bernoulli rng ~p:prr) then Frame_lost
+  else begin
+    let p_ack_loss = config.ack_loss_factor *. (1. -. prr) in
+    if Prelude.Rng.bernoulli rng ~p:p_ack_loss then Received_ack_lost
+    else Received_acked
+  end
+
+let attempt_delay config rng =
+  config.attempt_interval +. Prelude.Rng.float rng config.attempt_jitter

@@ -1,0 +1,45 @@
+(** Low-Power-Listening MAC model (CC2420-style, hardware ACK).
+
+    CitySee's MAC repeatedly transmits a unicast frame until an ACK arrives
+    or the retransmission budget is exhausted (up to 30 retransmissions,
+    §V.D.3).  We model each attempt as an independent Bernoulli experiment
+    against the current link PRR, with the hardware ACK subject to its own
+    (shorter-frame, hence better) reception probability.  The retransmission
+    loop itself lives in the node stack; this module samples single attempts
+    and provides the timing constants. *)
+
+type config = {
+  max_retx : int;  (** Maximum retransmissions after the first attempt. *)
+  attempt_interval : float;
+      (** Mean seconds between successive attempts (LPL wakeup interval). *)
+  attempt_jitter : float;  (** Uniform jitter added to the interval. *)
+  ack_loss_factor : float;
+      (** ACK frame loss probability relative to data frame loss:
+          [p_ack_loss = ack_loss_factor *. (1 -. prr)]. ACKs are short, so
+          this is well below 1. *)
+}
+
+val default_config : config
+(** 30 retransmissions, 0.5 s wakeup interval, 0.1 s jitter, 0.3 ACK loss
+    factor. *)
+
+type attempt_result =
+  | Frame_lost  (** Data frame lost in the air or CRC-rejected. *)
+  | Received_ack_lost
+      (** Receiver accepted the frame and hardware-ACKed, but the ACK was
+          lost: the sender will retransmit, the receiver sees a link-layer
+          duplicate (suppressed by DSN, not a routing duplicate). *)
+  | Received_acked  (** Clean exchange. *)
+
+val attempt :
+  config ->
+  Link_model.t ->
+  Prelude.Rng.t ->
+  now:float ->
+  src:Packet.node_id ->
+  dst:Packet.node_id ->
+  attempt_result
+(** Sample one transmission attempt at the current link quality. *)
+
+val attempt_delay : config -> Prelude.Rng.t -> float
+(** Delay before the next attempt (interval plus jitter). *)

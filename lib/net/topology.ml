@@ -1,0 +1,85 @@
+type t = {
+  positions : (float * float) array;
+  range : float;
+  neighbors : Packet.node_id list array;
+}
+
+let distance_between (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let create ~positions ~range =
+  if range <= 0. then invalid_arg "Topology.create: range must be positive";
+  let n = Array.length positions in
+  if n = 0 then invalid_arg "Topology.create: no nodes";
+  let neighbors =
+    Array.init n (fun i ->
+        let acc = ref [] in
+        for j = n - 1 downto 0 do
+          if j <> i && distance_between positions.(i) positions.(j) < range
+          then acc := j :: !acc
+        done;
+        !acc)
+  in
+  { positions; range; neighbors }
+
+let random_geometric rng ~n ~side ~range =
+  let positions =
+    Array.init n (fun _ ->
+        (Prelude.Rng.float rng side, Prelude.Rng.float rng side))
+  in
+  create ~positions ~range
+
+let jittered_grid rng ~nx ~ny ~spacing ~jitter ~range =
+  let positions =
+    Array.init (nx * ny) (fun k ->
+        let ix = k mod nx and iy = k / nx in
+        let jx = Prelude.Rng.float rng jitter -. (jitter /. 2.) in
+        let jy = Prelude.Rng.float rng jitter -. (jitter /. 2.) in
+        ((float_of_int ix *. spacing) +. jx, (float_of_int iy *. spacing) +. jy))
+  in
+  create ~positions ~range
+
+let n_nodes t = Array.length t.positions
+
+let position t i = t.positions.(i)
+
+let distance t i j = distance_between t.positions.(i) t.positions.(j)
+
+let range t = t.range
+
+let neighbors t i = t.neighbors.(i)
+
+let in_range t i j = i <> j && distance t i j < t.range
+
+let nearest_to t point =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun i pos ->
+      let d = distance_between pos point in
+      if d < !best_d then begin
+        best := i;
+        best_d := d
+      end)
+    t.positions;
+  !best
+
+let is_connected t ~from =
+  let n = n_nodes t in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add from queue;
+  seen.(from) <- true;
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr count;
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w queue
+        end)
+      t.neighbors.(v)
+  done;
+  !count = n

@@ -1,0 +1,50 @@
+(** Node placement and radio neighborhoods.
+
+    CitySee deployed ~1200 nodes over an urban area with one sink wired to a
+    backbone.  We reproduce the geometry with either a jittered grid (street
+    blocks) or a random-geometric layout, both with a configurable radio
+    range that defines the neighbor relation used by the link model and CTP. *)
+
+type t
+
+val create : positions:(float * float) array -> range:float -> t
+(** Explicit placement. [range] is the maximum distance at which two nodes
+    can communicate at all.
+    @raise Invalid_argument if [range <= 0.] or fewer than one node. *)
+
+val random_geometric :
+  Prelude.Rng.t -> n:int -> side:float -> range:float -> t
+(** [n] nodes uniform in a [side × side] square. *)
+
+val jittered_grid :
+  Prelude.Rng.t ->
+  nx:int ->
+  ny:int ->
+  spacing:float ->
+  jitter:float ->
+  range:float ->
+  t
+(** [nx × ny] nodes on a grid with per-node uniform jitter in
+    [±jitter/2] on both axes — an urban street-canyon-like layout. *)
+
+val n_nodes : t -> int
+
+val position : t -> Packet.node_id -> float * float
+
+val distance : t -> Packet.node_id -> Packet.node_id -> float
+
+val range : t -> float
+
+val neighbors : t -> Packet.node_id -> Packet.node_id list
+(** Nodes strictly within radio range, excluding the node itself. Computed
+    once at construction. *)
+
+val in_range : t -> Packet.node_id -> Packet.node_id -> bool
+
+val nearest_to : t -> float * float -> Packet.node_id
+(** Node closest to a point (used to pick the sink at a corner). *)
+
+val is_connected : t -> from:Packet.node_id -> bool
+(** Whether every node can reach [from] through the neighbor graph —
+    deployments are regenerated until connected so every node has a route to
+    the sink. *)

@@ -1,0 +1,760 @@
+type log_transport = {
+  flush_interval : float;
+  flush_jitter : float;
+  chunk_records : int;
+  spool_capacity : int;
+}
+
+let default_log_transport =
+  {
+    flush_interval = 30.;
+    flush_jitter = 10.;
+    chunk_records = 24;
+    spool_capacity = 512;
+  }
+
+type ack_mode = Hardware | Software
+
+type config = {
+  seed : int64;
+  ack_mode : ack_mode;
+  mac : Net.Mac.config;
+  queue_capacity : int;
+  dup_cache_capacity : int;
+  beacon_interval : float;
+  beacon_jitter : float;
+  data_interval : float;
+  data_jitter : float;
+  upstack : Upstack.t;
+  serial : Serial_link.t;
+  server : Server.t;
+  route_retry_interval : float;
+  log_transport : log_transport option;
+  reboot_mtbf : float option;
+}
+
+let default_config =
+  {
+    seed = 42L;
+    ack_mode = Hardware;
+    mac = Net.Mac.default_config;
+    queue_capacity = 12;
+    dup_cache_capacity = 32;
+    beacon_interval = 30.;
+    beacon_jitter = 5.;
+    data_interval = 60.;
+    data_jitter = 10.;
+    upstack = Upstack.reliable;
+    serial = Serial_link.stable;
+    server = Server.always_up;
+    route_retry_interval = 15.;
+    log_transport = None;
+    reboot_mtbf = None;
+  }
+
+(* What moves through the forwarding path: application data, or a sequenced
+   batch of one node's log records (in-band collection). *)
+type chunk = {
+  chunk_src : Net.Packet.node_id;
+  chunk_seq : int;
+  chunk_records : Logsys.Record.t list;
+}
+
+type traffic = Data of Net.Packet.t | Chunk of chunk
+
+type node_state = {
+  id : Net.Packet.node_id;
+  router : Ctp.Router.t;
+  queue : traffic Ctp.Forward_queue.t;
+  dup_cache : Ctp.Dup_cache.t;  (* data packets, keyed (origin, seq) *)
+  chunk_dup_cache : Ctp.Dup_cache.t;  (* log chunks, keyed (src, chunk_seq) *)
+  rng : Prelude.Rng.t;
+  spool : Logsys.Record.t Queue.t;  (* records awaiting in-band shipping *)
+  mutable spool_dropped : int;
+  mutable next_chunk_seq : int;
+  mutable busy : bool;  (* a MAC exchange is in progress *)
+  mutable retry_pending : bool;  (* a no-route retry is scheduled *)
+  mutable epoch : int;  (* bumped on reboot; stale callbacks abandon *)
+  mutable in_flight : Net.Packet.t option;
+      (* data packet of the running exchange, cleared once the receiver
+         takes it or the exchange ends *)
+  mutable reboots : int;
+}
+
+type packet_state = {
+  packet : Net.Packet.t;
+  mutable path_rev : Net.Packet.node_id list;
+  mutable resolved : bool;
+}
+
+type t = {
+  config : config;
+  engine : Sim.Engine.t;
+  link : Net.Link_model.t;
+  topo : Net.Topology.t;
+  logger : Logsys.Logger.t;
+  truth : Logsys.Truth.t;
+  sink_id : Net.Packet.node_id;
+  nodes : node_state array;
+  alloc : Net.Packet.allocator;
+  packets : (int * int, packet_state) Hashtbl.t;
+  (* Chunks that reached the base station: per source, chunk_seq -> records. *)
+  arrived_chunks : (int, (int, Logsys.Record.t list) Hashtbl.t) Hashtbl.t;
+  energy : Net.Energy.t array;
+  energy_params : Net.Energy.params;
+  mutable records_collected : int;
+  mutable attempts_total : int;
+  mutable exchanges_total : int;
+  mutable gseq : int;
+  mutable data_stop : float;  (* no packets generated at or after this time *)
+}
+
+let create config topo ~sink =
+  let n = Net.Topology.n_nodes topo in
+  if sink < 0 || sink >= n then invalid_arg "Network.create: sink out of range";
+  let master = Prelude.Rng.create ~seed:config.seed in
+  let link_seed = Prelude.Rng.int64 master in
+  let nodes =
+    Array.init n (fun id ->
+        {
+          id;
+          router = Ctp.Router.create ~self:id ~is_sink:(id = sink) ();
+          queue = Ctp.Forward_queue.create ~capacity:config.queue_capacity;
+          dup_cache =
+            Ctp.Dup_cache.create ~capacity:config.dup_cache_capacity;
+          chunk_dup_cache =
+            Ctp.Dup_cache.create ~capacity:config.dup_cache_capacity;
+          rng = Prelude.Rng.split master;
+          spool = Queue.create ();
+          spool_dropped = 0;
+          next_chunk_seq = 0;
+          busy = false;
+          retry_pending = false;
+          epoch = 0;
+          in_flight = None;
+          reboots = 0;
+        })
+  in
+  {
+    config;
+    engine = Sim.Engine.create ();
+    link = Net.Link_model.create ~seed:link_seed ~topology:topo ();
+    topo;
+    logger = Logsys.Logger.create ~n_nodes:n;
+    truth = Logsys.Truth.create ();
+    sink_id = sink;
+    nodes;
+    alloc = Net.Packet.allocator ();
+    packets = Hashtbl.create 4096;
+    arrived_chunks = Hashtbl.create 64;
+    energy = Array.init n (fun _ -> Net.Energy.create ());
+    energy_params = Net.Energy.default_params;
+    records_collected = 0;
+    attempts_total = 0;
+    exchanges_total = 0;
+    gseq = 0;
+    data_stop = infinity;
+  }
+
+let engine t = t.engine
+
+let link_model t = t.link
+
+let logger t = t.logger
+
+let truth t = t.truth
+
+let sink t = t.sink_id
+
+let server t = t.config.server
+
+let topology t = t.topo
+
+let parent_of t id = Ctp.Router.parent t.nodes.(id).router
+
+let path_etx_of t id = Ctp.Router.path_etx t.nodes.(id).router
+
+let routing_converged t =
+  Array.for_all (fun node -> Ctp.Router.has_route node.router) t.nodes
+
+let packets_generated t = Net.Packet.count t.alloc
+
+let energy_of t node = t.energy.(node)
+
+let energy_params t = t.energy_params
+
+let exchange_stats t = (t.exchanges_total, t.attempts_total)
+
+(* Write a record: always into the ground-truth log store, and — when the
+   in-band transport is on — into the node's bounded spool. *)
+let log t node kind (pkt : Net.Packet.t) =
+  let record : Logsys.Record.t =
+    {
+      node;
+      kind;
+      origin = pkt.origin;
+      pkt_seq = pkt.seq;
+      true_time = Sim.Engine.now t.engine;
+      gseq = t.gseq;
+    }
+  in
+  t.gseq <- t.gseq + 1;
+  Logsys.Logger.log t.logger record;
+  match t.config.log_transport with
+  | None -> ()
+  | Some transport ->
+      let state = t.nodes.(node) in
+      if Queue.length state.spool >= transport.spool_capacity then begin
+        ignore (Queue.pop state.spool : Logsys.Record.t);
+        state.spool_dropped <- state.spool_dropped + 1
+      end;
+      Queue.add record state.spool
+
+let packet_state t (pkt : Net.Packet.t) =
+  let key = (pkt.origin, pkt.seq) in
+  match Hashtbl.find_opt t.packets key with
+  | Some st -> st
+  | None ->
+      let st = { packet = pkt; path_rev = []; resolved = false } in
+      Hashtbl.add t.packets key st;
+      st
+
+let resolve t (pkt : Net.Packet.t) cause ~loss_node =
+  let st = packet_state t pkt in
+  assert (not st.resolved);
+  st.resolved <- true;
+  Logsys.Truth.record t.truth ~origin:pkt.origin ~seq:pkt.seq
+    {
+      cause;
+      loss_node;
+      path = List.rev st.path_rev;
+      generated_at = pkt.created_at;
+      resolved_at = Sim.Engine.now t.engine;
+    }
+
+let collect_chunk t chunk =
+  let per_src =
+    match Hashtbl.find_opt t.arrived_chunks chunk.chunk_src with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 64 in
+        Hashtbl.add t.arrived_chunks chunk.chunk_src h;
+        h
+  in
+  if not (Hashtbl.mem per_src chunk.chunk_seq) then begin
+    Hashtbl.add per_src chunk.chunk_seq chunk.chunk_records;
+    t.records_collected <-
+      t.records_collected + List.length chunk.chunk_records
+  end
+
+(* -- Forwarding: one MAC exchange at a time per node. ------------------- *)
+
+let rec try_start_exchange t node =
+  if (not node.busy) && not (Ctp.Forward_queue.is_empty node.queue) then begin
+    match Ctp.Router.parent node.router with
+    | None ->
+        if not node.retry_pending then begin
+          node.retry_pending <- true;
+          ignore
+            (Sim.Engine.schedule t.engine
+               ~delay:t.config.route_retry_interval (fun _ ->
+                 node.retry_pending <- false;
+                 try_start_exchange t node)
+              : Sim.Engine.handle)
+        end
+    | Some parent -> (
+        match Ctp.Forward_queue.pop node.queue with
+        | None -> ()
+        | Some item ->
+            node.busy <- true;
+            (match item with
+            | Data pkt ->
+                node.in_flight <- Some pkt;
+                log t node.id (Trans { to_ = parent }) pkt
+            | Chunk _ -> ());
+            run_exchange t node item parent ~attempt:0 ~receiver_done:false
+              ~epoch:node.epoch)
+  end
+
+and run_exchange t node item parent ~attempt ~receiver_done ~epoch =
+  if node.epoch <> epoch then ()  (* the node rebooted mid-exchange *)
+  else begin
+  let now = Sim.Engine.now t.engine in
+  let outcome =
+    Net.Mac.attempt t.config.mac t.link node.rng ~now ~src:node.id ~dst:parent
+  in
+  (* Radio accounting: the sender transmits the frame and listens for the
+     ACK; on reception the receiver pays the frame and the ACK strobe. *)
+  let ep = t.energy_params in
+  t.attempts_total <- t.attempts_total + 1;
+  if attempt = 0 then t.exchanges_total <- t.exchanges_total + 1;
+  Net.Energy.charge_tx t.energy.(node.id) ep.frame_time;
+  Net.Energy.charge_rx t.energy.(node.id) ep.ack_time;
+  (match outcome with
+  | Received_acked | Received_ack_lost ->
+      Net.Energy.charge_rx t.energy.(parent) ep.frame_time;
+      Net.Energy.charge_tx t.energy.(parent) ep.ack_time
+  | Frame_lost -> ());
+  (* [receiver_done] means the exchange no longer needs to deliver the
+     frame up the receiver's stack: under hardware ACKs that is the first
+     radio acceptance (later attempts are DSN-filtered); under software
+     ACKs (§V.D.5) it requires the receiver to have *processed* the packet
+     — failed processing leaves it false so retransmissions re-deliver. *)
+  let receiver_done =
+    match outcome with
+    | (Received_acked | Received_ack_lost) when not receiver_done -> (
+        let processed = accept_at_receiver t ~from:node.id ~receiver:parent item in
+        match t.config.ack_mode with
+        | Hardware -> true
+        | Software -> processed)
+    | Received_acked | Received_ack_lost | Frame_lost -> receiver_done
+  in
+  (* Once the receiver owns the packet, a reboot of the sender can no
+     longer kill it. *)
+  if receiver_done then node.in_flight <- None;
+  (* Under software ACKs, an ACK frame only exists if the receiver
+     actually acknowledged. *)
+  let ack_heard =
+    match (outcome, t.config.ack_mode) with
+    | Net.Mac.Received_acked, Hardware -> true
+    | Net.Mac.Received_acked, Software -> receiver_done
+    | (Net.Mac.Received_ack_lost | Net.Mac.Frame_lost), _ -> false
+  in
+  if ack_heard then begin
+    (match item with
+    | Data pkt -> log t node.id (Ack_recvd { to_ = parent }) pkt
+    | Chunk _ -> ());
+    Ctp.Router.on_data_tx_outcome node.router ~to_:parent ~acked:true;
+    node.busy <- false;
+    node.in_flight <- None;
+    try_start_exchange t node
+  end
+  else if attempt >= t.config.mac.max_retx then begin
+    (match item with
+    | Data pkt ->
+        log t node.id (Retx_timeout { to_ = parent }) pkt;
+        if not receiver_done then
+          resolve t pkt Logsys.Cause.Timeout_loss ~loss_node:(Some node.id)
+    | Chunk _ -> ());
+    (* A whole exchange timing out is a much stronger signal than one
+       missed beacon (CTP weighs data-plane failures heavily); the
+       resulting ETX jump is what lets nodes reroute — and what creates
+       the transient loops behind duplicate losses. *)
+    for _ = 1 to 3 do
+      Ctp.Router.on_data_tx_outcome node.router ~to_:parent ~acked:false
+    done;
+    node.busy <- false;
+    node.in_flight <- None;
+    try_start_exchange t node
+  end
+  else begin
+    let delay = Net.Mac.attempt_delay t.config.mac node.rng in
+    ignore
+      (Sim.Engine.schedule t.engine ~delay (fun _ ->
+           run_exchange t node item parent ~attempt:(attempt + 1)
+             ~receiver_done ~epoch)
+        : Sim.Engine.handle)
+  end
+  end
+
+(* Deliver one frame up the receiver's stack. Returns whether the receiver
+   fully took responsibility for it (enqueued / terminal-dropped / sink
+   push) — the software-ACK gate. Under hardware ACKs in-node deaths
+   resolve packet fates immediately; under software ACKs they do not (the
+   sender will retransmit), so only terminal outcomes resolve. *)
+and accept_at_receiver t ~from ~receiver item =
+  match item with
+  | Data pkt ->
+      if receiver = t.sink_id then accept_data_at_sink t ~from pkt
+      else accept_data_at_node t ~from ~receiver pkt
+  | Chunk chunk ->
+      if receiver = t.sink_id then accept_chunk_at_sink t chunk
+      else accept_chunk_at_node t ~receiver chunk
+
+and accept_data_at_node t ~from ~receiver pkt =
+  let node = t.nodes.(receiver) in
+  let st = packet_state t pkt in
+  let hardware = t.config.ack_mode = Hardware in
+  let upstack_outcome = Upstack.sample t.config.upstack node.rng in
+  match upstack_outcome with
+  | Upstack.Drop_before_log ->
+      (* Died at interrupt level; nothing logged on the receiver. *)
+      if hardware then
+        resolve t pkt Logsys.Cause.Acked_loss ~loss_node:(Some receiver);
+      false
+  | Upstack.Survive | Upstack.Drop_after_log ->
+      if Ctp.Dup_cache.seen node.dup_cache ~origin:pkt.origin ~seq:pkt.seq
+      then begin
+        (* A looped-back copy: drop it (and, under software ACKs,
+           acknowledge so the loop sender stops). *)
+        log t receiver (Dup { from }) pkt;
+        resolve t pkt Logsys.Cause.Duplicate_loss ~loss_node:(Some receiver);
+        true
+      end
+      else if Ctp.Forward_queue.is_full node.queue then begin
+        log t receiver (Overflow { from }) pkt;
+        if hardware then
+          resolve t pkt Logsys.Cause.Overflow_loss ~loss_node:(Some receiver);
+        false
+      end
+      else begin
+        st.path_rev <- receiver :: st.path_rev;
+        log t receiver (Recv { from }) pkt;
+        match upstack_outcome with
+        | Upstack.Drop_after_log ->
+            (* Task-post failure after the logging statement (§V.D.3). *)
+            if hardware then
+              resolve t pkt Logsys.Cause.Received_loss
+                ~loss_node:(Some receiver);
+            false
+        | Upstack.Survive ->
+            Ctp.Dup_cache.remember node.dup_cache ~origin:pkt.origin
+              ~seq:pkt.seq;
+            ignore
+              (Ctp.Forward_queue.push node.queue (Data pkt)
+                : [ `Enqueued | `Overflow ]);
+            try_start_exchange t node;
+            true
+        | Upstack.Drop_before_log -> assert false
+      end
+
+and accept_data_at_sink t ~from pkt =
+  let node = t.nodes.(t.sink_id) in
+  let st = packet_state t pkt in
+  let hardware = t.config.ack_mode = Hardware in
+  let now = Sim.Engine.now t.engine in
+  if Ctp.Dup_cache.seen node.dup_cache ~origin:pkt.origin ~seq:pkt.seq then begin
+    log t t.sink_id (Dup { from }) pkt;
+    resolve t pkt Logsys.Cause.Duplicate_loss ~loss_node:(Some t.sink_id);
+    true
+  end
+  else begin
+    let serial_outcome = Serial_link.sample t.config.serial node.rng ~now in
+    match serial_outcome with
+    | Serial_link.Dropped_before_log ->
+        if hardware then
+          resolve t pkt Logsys.Cause.Acked_loss ~loss_node:(Some t.sink_id);
+        false
+    | Serial_link.Dropped_after_log ->
+        st.path_rev <- t.sink_id :: st.path_rev;
+        log t t.sink_id (Recv { from }) pkt;
+        if hardware then
+          resolve t pkt Logsys.Cause.Received_loss ~loss_node:(Some t.sink_id);
+        false
+    | Serial_link.Pushed ->
+        Ctp.Dup_cache.remember node.dup_cache ~origin:pkt.origin ~seq:pkt.seq;
+        st.path_rev <- t.sink_id :: st.path_rev;
+        log t t.sink_id (Recv { from }) pkt;
+        log t t.sink_id Deliver pkt;
+        if Server.is_up t.config.server now then
+          resolve t pkt Logsys.Cause.Delivered ~loss_node:None
+        else
+          resolve t pkt Logsys.Cause.Server_outage_loss
+            ~loss_node:(Some t.sink_id);
+        true
+  end
+
+(* Log chunks traverse the same hazards but write no records and carry no
+   ground-truth fate: a lost chunk simply never reaches the base station. *)
+and accept_chunk_at_node t ~receiver chunk =
+  let node = t.nodes.(receiver) in
+  match Upstack.sample t.config.upstack node.rng with
+  | Upstack.Drop_before_log | Upstack.Drop_after_log -> false
+  | Upstack.Survive ->
+      if
+        Ctp.Dup_cache.seen node.chunk_dup_cache ~origin:chunk.chunk_src
+          ~seq:chunk.chunk_seq
+      then true
+      else if Ctp.Forward_queue.is_full node.queue then false
+      else begin
+        Ctp.Dup_cache.remember node.chunk_dup_cache ~origin:chunk.chunk_src
+          ~seq:chunk.chunk_seq;
+        ignore
+          (Ctp.Forward_queue.push node.queue (Chunk chunk)
+            : [ `Enqueued | `Overflow ]);
+        try_start_exchange t node;
+        true
+      end
+
+and accept_chunk_at_sink t chunk =
+  let node = t.nodes.(t.sink_id) in
+  let now = Sim.Engine.now t.engine in
+  if
+    Ctp.Dup_cache.seen node.chunk_dup_cache ~origin:chunk.chunk_src
+      ~seq:chunk.chunk_seq
+  then true
+  else begin
+    match Serial_link.sample t.config.serial node.rng ~now with
+    | Serial_link.Dropped_before_log | Serial_link.Dropped_after_log -> false
+    | Serial_link.Pushed ->
+        Ctp.Dup_cache.remember node.chunk_dup_cache ~origin:chunk.chunk_src
+          ~seq:chunk.chunk_seq;
+        collect_chunk t chunk;
+        true
+  end
+
+(* -- In-band log flushing. ----------------------------------------------- *)
+
+let flush_spool t node_id =
+  match t.config.log_transport with
+  | None -> ()
+  | Some transport ->
+      let node = t.nodes.(node_id) in
+      if not (Queue.is_empty node.spool) then begin
+        let records = ref [] in
+        let count = min transport.chunk_records (Queue.length node.spool) in
+        for _ = 1 to count do
+          records := Queue.pop node.spool :: !records
+        done;
+        let chunk =
+          {
+            chunk_src = node_id;
+            chunk_seq = node.next_chunk_seq;
+            chunk_records = List.rev !records;
+          }
+        in
+        node.next_chunk_seq <- node.next_chunk_seq + 1;
+        if node_id = t.sink_id then begin
+          (* The sink's own log leaves over its serial connection. *)
+          let now = Sim.Engine.now t.engine in
+          match Serial_link.sample t.config.serial node.rng ~now with
+          | Serial_link.Pushed -> collect_chunk t chunk
+          | Serial_link.Dropped_before_log | Serial_link.Dropped_after_log ->
+              ()
+        end
+        else begin
+          Ctp.Dup_cache.remember node.chunk_dup_cache ~origin:node_id
+            ~seq:chunk.chunk_seq;
+          match Ctp.Forward_queue.push node.queue (Chunk chunk) with
+          | `Overflow -> ()  (* chunk lost to local congestion *)
+          | `Enqueued -> try_start_exchange t node
+        end
+      end
+
+let rec schedule_flush t node_id ~stop transport =
+  let node = t.nodes.(node_id) in
+  let delay =
+    transport.flush_interval
+    +. Prelude.Rng.float node.rng transport.flush_jitter
+  in
+  ignore
+    (Sim.Engine.schedule t.engine ~delay (fun engine ->
+         if Sim.Engine.now engine < stop then begin
+           flush_spool t node_id;
+           schedule_flush t node_id ~stop transport
+         end)
+      : Sim.Engine.handle)
+
+let collected_in_band t =
+  match t.config.log_transport with
+  | None -> None
+  | Some _ ->
+      let n = Array.length t.nodes in
+      let node_logs =
+        Array.init n (fun node ->
+            match Hashtbl.find_opt t.arrived_chunks node with
+            | None -> [||]
+            | Some per_src ->
+                Hashtbl.fold
+                  (fun seq records acc -> (seq, records) :: acc)
+                  per_src []
+                |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+                |> List.concat_map snd |> Array.of_list)
+      in
+      Some (Logsys.Collected.of_node_logs node_logs)
+
+let in_band_stats t =
+  match t.config.log_transport with
+  | None -> None
+  | Some _ ->
+      let dropped =
+        Array.fold_left (fun acc n -> acc + n.spool_dropped) 0 t.nodes
+      in
+      Some (Logsys.Logger.total t.logger, dropped, t.records_collected)
+
+(* -- Application layer: periodic data generation. ----------------------- *)
+
+let generate_packet t node_id =
+  let now = Sim.Engine.now t.engine in
+  let pkt = Net.Packet.fresh t.alloc ~origin:node_id ~now in
+  let st = packet_state t pkt in
+  st.path_rev <- [ node_id ];
+  log t node_id Gen pkt;
+  let node = t.nodes.(node_id) in
+  Ctp.Dup_cache.remember node.dup_cache ~origin:pkt.origin ~seq:pkt.seq;
+  match Ctp.Forward_queue.push node.queue (Data pkt) with
+  | `Overflow ->
+      log t node_id (Overflow { from = node_id }) pkt;
+      resolve t pkt Logsys.Cause.Overflow_loss ~loss_node:(Some node_id)
+  | `Enqueued -> try_start_exchange t node
+
+let rec schedule_data t node_id =
+  let node = t.nodes.(node_id) in
+  let delay =
+    t.config.data_interval +. Prelude.Rng.float node.rng t.config.data_jitter
+  in
+  ignore
+    (Sim.Engine.schedule t.engine ~delay (fun engine ->
+         if Sim.Engine.now engine < t.data_stop then begin
+           generate_packet t node_id;
+           schedule_data t node_id
+         end)
+      : Sim.Engine.handle)
+
+(* -- Control plane: periodic routing beacons. --------------------------- *)
+
+let broadcast_beacon t node_id =
+  let node = t.nodes.(node_id) in
+  let advertised_etx = Ctp.Router.path_etx node.router in
+  let now = Sim.Engine.now t.engine in
+  Net.Energy.charge_tx t.energy.(node_id) t.energy_params.frame_time;
+  List.iter
+    (fun nb ->
+      let prr = Net.Link_model.prr t.link ~now ~src:node_id ~dst:nb in
+      let peer = t.nodes.(nb) in
+      if Prelude.Rng.bernoulli peer.rng ~p:prr then begin
+        Net.Energy.charge_rx t.energy.(nb) t.energy_params.frame_time;
+        Ctp.Router.on_beacon_received peer.router ~from:node_id
+          ~advertised_etx
+      end
+      else Ctp.Router.on_beacon_missed peer.router ~from:node_id;
+      (* A fresh route may unblock packets parked for lack of one. *)
+      try_start_exchange t peer)
+    (Net.Topology.neighbors t.topo node_id)
+
+let rec schedule_beacon t node_id ~stop =
+  let node = t.nodes.(node_id) in
+  let delay =
+    t.config.beacon_interval
+    +. Prelude.Rng.float node.rng t.config.beacon_jitter
+  in
+  ignore
+    (Sim.Engine.schedule t.engine ~delay (fun engine ->
+         if Sim.Engine.now engine < stop then begin
+           broadcast_beacon t node_id;
+           schedule_beacon t node_id ~stop
+         end)
+      : Sim.Engine.handle)
+
+(* -- Failure injection: node reboots. ------------------------------------ *)
+
+(* A reboot loses everything in RAM: the forwarding queue (queued data
+   packets die inside the node), the in-flight exchange, routing state,
+   duplicate caches, and the unshipped log spool. The flash log already
+   written (the Logger) survives — only volatile state is lost. *)
+let reboot t node_id =
+  let node = t.nodes.(node_id) in
+  node.reboots <- node.reboots + 1;
+  node.epoch <- node.epoch + 1;
+  (* The packet of the running exchange dies unless the receiver took it. *)
+  (match node.in_flight with
+  | Some pkt ->
+      resolve t pkt Logsys.Cause.Received_loss ~loss_node:(Some node_id)
+  | None -> ());
+  node.in_flight <- None;
+  node.busy <- false;
+  (* Everything queued dies inside the node. *)
+  let rec drain () =
+    match Ctp.Forward_queue.pop node.queue with
+    | None -> ()
+    | Some (Data pkt) ->
+        resolve t pkt Logsys.Cause.Received_loss ~loss_node:(Some node_id);
+        drain ()
+    | Some (Chunk _) -> drain ()
+  in
+  drain ();
+  Ctp.Router.reset node.router;
+  Ctp.Dup_cache.clear node.dup_cache;
+  Ctp.Dup_cache.clear node.chunk_dup_cache;
+  let dropped = Queue.length node.spool in
+  node.spool_dropped <- node.spool_dropped + dropped;
+  Queue.clear node.spool
+
+let rec schedule_reboot t node_id ~stop ~mtbf =
+  let node = t.nodes.(node_id) in
+  let delay = Prelude.Rng.exponential node.rng ~mean:mtbf in
+  ignore
+    (Sim.Engine.schedule t.engine ~delay (fun engine ->
+         if Sim.Engine.now engine < stop then begin
+           reboot t node_id;
+           schedule_reboot t node_id ~stop ~mtbf
+         end)
+      : Sim.Engine.handle)
+
+let reboots_of t node = t.nodes.(node).reboots
+
+(* -- Top level. ---------------------------------------------------------- *)
+
+let drain_margin config =
+  (* Enough virtual time for queued packets to finish a few full MAC
+     exchanges after data generation stops. *)
+  let exchange =
+    float_of_int (config.mac.max_retx + 1)
+    *. (config.mac.attempt_interval +. config.mac.attempt_jitter)
+  in
+  Float.max 120. (4. *. exchange)
+
+let start t ~warmup ~duration =
+  let stop = warmup +. duration in
+  let drain = drain_margin t.config in
+  t.data_stop <- stop;
+  Array.iter
+    (fun node -> schedule_beacon t node.id ~stop:(stop +. drain))
+    t.nodes;
+  (match t.config.log_transport with
+  | None -> ()
+  | Some transport ->
+      Array.iter
+        (fun node -> schedule_flush t node.id ~stop:(stop +. drain) transport)
+        t.nodes);
+  (match t.config.reboot_mtbf with
+  | None -> ()
+  | Some mtbf ->
+      (* The sink is mains-powered and exempt (its problem is the serial
+         cable, not resets). *)
+      Array.iter
+        (fun node ->
+          if node.id <> t.sink_id then
+            schedule_reboot t node.id ~stop:(stop +. drain) ~mtbf)
+        t.nodes);
+  Array.iter
+    (fun node ->
+      if node.id <> t.sink_id then begin
+        (* First packet lands uniformly inside one data interval after
+           warmup so sources are not phase-locked. *)
+        let first =
+          warmup +. Prelude.Rng.float node.rng t.config.data_interval
+        in
+        ignore
+          (Sim.Engine.schedule_at t.engine ~time:first (fun engine ->
+               if Sim.Engine.now engine < t.data_stop then begin
+                 generate_packet t node.id;
+                 schedule_data t node.id
+               end)
+            : Sim.Engine.handle)
+      end)
+    t.nodes;
+  Sim.Engine.run ~until:(stop +. drain) t.engine;
+  (* LPL baseline: every node samples the channel once per wakeup interval
+     for the whole run. *)
+  let total_time = stop +. drain in
+  let samples = total_time /. t.config.mac.attempt_interval in
+  Array.iter
+    (fun e -> Net.Energy.charge_rx e (samples *. t.energy_params.cca_time))
+    t.energy;
+  (* Anything still in flight at the horizon has no terminal event. *)
+  Hashtbl.iter
+    (fun _ st ->
+      if not st.resolved then begin
+        st.resolved <- true;
+        Logsys.Truth.record t.truth ~origin:st.packet.origin
+          ~seq:st.packet.seq
+          {
+            cause = Logsys.Cause.Unknown;
+            loss_node = None;
+            path = List.rev st.path_rev;
+            generated_at = st.packet.created_at;
+            resolved_at = Sim.Engine.now t.engine;
+          }
+      end)
+    t.packets

@@ -1,0 +1,149 @@
+(** The complete simulated collection network.
+
+    Composes topology, link model, LPL MAC, CTP routing, node OS model,
+    sink serial link and backbone server into one discrete-event simulation
+    that (a) moves packets from sensor nodes to the server and (b) writes
+    the same local event logs the CitySee nodes wrote, while recording
+    ground-truth packet fates for evaluation.
+
+    Per-hop pipeline at a receiver, in order (matching §IV/§V semantics):
+    MAC DSN filtering of same-exchange retransmissions (silent) →
+    pre-logging up-stack drop (silent: acked loss) → duplicate cache
+    ([dup] logged: duplicate loss) → queue admission ([overflow] logged:
+    overflow loss) → [recv] logged → post-logging up-stack drop (received
+    loss) → forwarding.  The sink replaces up-stack/queue with the serial
+    link; [deliver] is logged on a successful serial push and the server's
+    outage schedule decides final delivery.
+
+    {2 In-band log collection}
+
+    When [log_transport] is configured, nodes also ship their event logs to
+    the base station the way CitySee did (§V): records are spooled locally
+    (bounded spool — old records fall off under pressure), periodically
+    packed into sequenced log chunks, and forwarded over the very same CTP
+    data path — sharing queues, duplicate caches, the MAC, the sink serial
+    link.  Chunks generate no event records themselves (no meta-logging)
+    and can be lost anywhere a data packet can; whatever reaches the base
+    station is the *collected* log.  This makes log lossiness an emergent
+    property of the network instead of a synthetic model. *)
+
+type log_transport = {
+  flush_interval : float;  (** Seconds between spool flushes per node. *)
+  flush_jitter : float;
+  chunk_records : int;  (** Records packed into one log chunk. *)
+  spool_capacity : int;
+      (** Spooled records per node; the oldest fall off when full. *)
+}
+
+val default_log_transport : log_transport
+(** Flush every 30 s ± 10, 24 records per chunk, spool of 512. *)
+
+type ack_mode =
+  | Hardware
+      (** CC2420 hardware ACK at the PHY (the deployment's mode): the
+          sender's retransmission loop stops as soon as the radio accepted
+          the frame — packets can then still die up-stack (acked losses,
+          §V.D.5). *)
+  | Software
+      (** The §V.D.5 alternative: the ACK is sent only after the packet
+          survived to the routing layer (or was recognized as a duplicate,
+          or — at the sink — crossed the serial link).  In-node deaths now
+          trigger retransmissions instead of silent losses, trading
+          latency/energy for reliability. *)
+
+type config = {
+  seed : int64;
+  ack_mode : ack_mode;
+  mac : Net.Mac.config;
+  queue_capacity : int;
+  dup_cache_capacity : int;
+  beacon_interval : float;
+  beacon_jitter : float;
+  data_interval : float;  (** Mean seconds between packets per source. *)
+  data_jitter : float;
+  upstack : Upstack.t;  (** In-node drop model for ordinary nodes. *)
+  serial : Serial_link.t;  (** The sink's serial connection. *)
+  server : Server.t;
+  route_retry_interval : float;
+      (** Delay before retrying a send when no route is known. *)
+  log_transport : log_transport option;
+      (** [None] (default) = logs are read out-of-band (use
+          {!Logsys.Loss_model} for synthetic lossiness); [Some _] = ship
+          logs in-band as described above. *)
+  reboot_mtbf : float option;
+      (** When [Some m], every non-sink node reboots at exponentially
+          distributed intervals of mean [m] seconds.  A reboot loses all
+          volatile state: queued packets die inside the node (ground-truth
+          received losses), routing and duplicate caches reset, and the
+          unshipped log spool is wiped (emergent log loss). *)
+}
+
+val default_config : config
+(** Reasonable defaults: seed 42, hardware ACKs, default MAC, queue 12,
+    dup cache 32, beacons every 30 s ± 5, data every 60 s ± 10, reliable
+    up-stack, stable serial, always-up server, 15 s route retry, no in-band
+    transport. *)
+
+type t
+
+val create : config -> Net.Topology.t -> sink:Net.Packet.node_id -> t
+(** Build all per-node state. No events are scheduled yet.
+    @raise Invalid_argument if [sink] is out of range. *)
+
+val engine : t -> Sim.Engine.t
+
+val link_model : t -> Net.Link_model.t
+(** For installing weather functions and interference bursts before
+    running. *)
+
+val logger : t -> Logsys.Logger.t
+(** The ground-truth log store: every record each node *wrote*, complete. *)
+
+val truth : t -> Logsys.Truth.t
+
+val sink : t -> Net.Packet.node_id
+
+val server : t -> Server.t
+(** The backbone server installed in the configuration. *)
+
+val topology : t -> Net.Topology.t
+
+val start : t -> warmup:float -> duration:float -> unit
+(** Schedule beaconing immediately and data generation from [warmup]
+    onwards, then run the simulation until [warmup +. duration] plus a
+    drain margin; finally resolve still-in-flight packets as ground-truth
+    [Unknown] so every generated packet has a fate. *)
+
+val collected_in_band : t -> Logsys.Collected.t option
+(** The logs that actually reached the base station over the in-band
+    transport (chunks reassembled per node in sequence order); [None] when
+    no transport is configured. *)
+
+val in_band_stats : t -> (int * int * int) option
+(** [(records_written, records_spool_dropped, records_collected)] for the
+    in-band transport. *)
+
+val parent_of : t -> Net.Packet.node_id -> Net.Packet.node_id option
+(** Current CTP parent (diagnostics/tests). *)
+
+val path_etx_of : t -> Net.Packet.node_id -> float
+
+val routing_converged : t -> bool
+(** Every non-sink node currently has a route. *)
+
+val packets_generated : t -> int
+
+val energy_of : t -> Net.Packet.node_id -> Net.Energy.t
+(** Per-node radio accounting: frame/ACK costs per MAC attempt, beacon
+    tx/rx, and the LPL channel-sampling baseline (charged when [start]
+    finishes). *)
+
+val energy_params : t -> Net.Energy.params
+
+val reboots_of : t -> Net.Packet.node_id -> int
+(** How many times a node rebooted during the run. *)
+
+val exchange_stats : t -> int * int
+(** [(exchanges, attempts)]: unicast MAC exchanges started and individual
+    transmission attempts made — attempts/exchanges is the network's mean
+    retransmission factor. *)

@@ -1,0 +1,24 @@
+type outcome = Pushed | Dropped_before_log | Dropped_after_log
+
+type t = { drop_probability : float -> float; prelog_fraction : float }
+
+let create ~drop_probability ~prelog_fraction =
+  if prelog_fraction < 0. || prelog_fraction > 1. then
+    invalid_arg "Serial_link.create: prelog_fraction";
+  { drop_probability; prelog_fraction }
+
+let stable = { drop_probability = (fun _ -> 0.); prelog_fraction = 0. }
+
+let unstable_until ~fix_time ~bad_rate ~good_rate ~prelog_fraction =
+  create
+    ~drop_probability:(fun now -> if now < fix_time then bad_rate else good_rate)
+    ~prelog_fraction
+
+let sample t rng ~now =
+  let p = t.drop_probability now in
+  if Prelude.Rng.bernoulli rng ~p then
+    if Prelude.Rng.bernoulli rng ~p:t.prelog_fraction then Dropped_before_log
+    else Dropped_after_log
+  else Pushed
+
+let drop_probability t now = t.drop_probability now

@@ -1,0 +1,39 @@
+(** The sink's RS232 serial connection to the backbone mesh node.
+
+    §V.B.1: the sink was wired to the mesh node over a long RS232 cable with
+    the pins soldered directly to the chip; outdoors the signal was unstable
+    and many packets died on this hop — the dominant received/acked losses
+    of Figs. 5, 6, 8 — until the connection was replaced on day 23.
+
+    The model: a time-varying drop probability, and a split of drops into
+    pre-logging (the sink never wrote its [recv] record — an *acked loss*
+    from the network's perspective) and post-logging (the [recv] record
+    exists but no [deliver] — a *received loss* at the sink). *)
+
+type outcome =
+  | Pushed  (** Packet made it to the mesh node. *)
+  | Dropped_before_log
+      (** Died at interrupt level before the sink logged [recv]. *)
+  | Dropped_after_log  (** [recv] logged, serial push failed. *)
+
+type t
+
+val create :
+  drop_probability:(float -> float) -> prelog_fraction:float -> t
+(** [drop_probability now] is the instantaneous serial drop rate;
+    [prelog_fraction] is the share of drops happening before the logging
+    statement.
+    @raise Invalid_argument if [prelog_fraction] outside [\[0,1\]]. *)
+
+val stable : t
+(** Never drops (the post-day-23 replacement connection). *)
+
+val unstable_until :
+  fix_time:float -> bad_rate:float -> good_rate:float ->
+  prelog_fraction:float -> t
+(** Drop rate [bad_rate] before [fix_time], [good_rate] after — the paper's
+    day-23 repair as a step function. *)
+
+val sample : t -> Prelude.Rng.t -> now:float -> outcome
+
+val drop_probability : t -> float -> float

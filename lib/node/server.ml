@@ -1,0 +1,41 @@
+type t = { outages : (float * float) list }
+
+let create ~outages =
+  List.iter
+    (fun (_, d) ->
+      if d < 0. then invalid_arg "Server.create: negative outage duration")
+    outages;
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> Float.compare a b) outages
+  in
+  { outages = sorted }
+
+let always_up = { outages = [] }
+
+let is_up t time =
+  not
+    (List.exists
+       (fun (start, duration) -> time >= start && time < start +. duration)
+       t.outages)
+
+let outages t = t.outages
+
+let downtime t ~until =
+  (* Merge overlapping windows clipped to [0, until). *)
+  let clipped =
+    List.filter_map
+      (fun (s, d) ->
+        let lo = Float.max 0. s and hi = Float.min until (s +. d) in
+        if hi > lo then Some (lo, hi) else None)
+      t.outages
+  in
+  let rec merge acc = function
+    | [] -> acc
+    | (lo, hi) :: rest -> (
+        match acc with
+        | (alo, ahi) :: acc_rest when lo <= ahi ->
+            merge ((alo, Float.max ahi hi) :: acc_rest) rest
+        | _ -> merge ((lo, hi) :: acc) rest)
+  in
+  merge [] clipped
+  |> List.fold_left (fun total (lo, hi) -> total +. (hi -. lo)) 0.

@@ -1,0 +1,20 @@
+type outcome = Survive | Drop_before_log | Drop_after_log
+
+type t = { drop_probability : float; prelog_fraction : float }
+
+let create ~drop_probability ~prelog_fraction =
+  if drop_probability < 0. || drop_probability > 1. then
+    invalid_arg "Upstack.create: drop_probability";
+  if prelog_fraction < 0. || prelog_fraction > 1. then
+    invalid_arg "Upstack.create: prelog_fraction";
+  { drop_probability; prelog_fraction }
+
+let reliable = { drop_probability = 0.; prelog_fraction = 0. }
+
+let sample t rng =
+  if Prelude.Rng.bernoulli rng ~p:t.drop_probability then
+    if Prelude.Rng.bernoulli rng ~p:t.prelog_fraction then Drop_before_log
+    else Drop_after_log
+  else Survive
+
+let drop_probability t = t.drop_probability

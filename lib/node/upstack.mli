@@ -1,0 +1,24 @@
+(** In-node packet death between the radio and the routing layer.
+
+    §V.D.3 and §V.D.5: packets that were hardware-ACKed can still die inside
+    the receiving node — the task queue refuses a duplicate task, memory is
+    full, the MCU is busy while interrupts are disabled.  Depending on
+    whether the death happens before or after the [recv] logging statement
+    the network sees an *acked loss* or a *received loss*. *)
+
+type outcome =
+  | Survive  (** Passed up to the routing layer. *)
+  | Drop_before_log  (** Silent death: acked loss. *)
+  | Drop_after_log  (** [recv] logged, then death: received loss. *)
+
+type t
+
+val create : drop_probability:float -> prelog_fraction:float -> t
+(** @raise Invalid_argument if either argument is outside [\[0,1\]]. *)
+
+val reliable : t
+(** Never drops. *)
+
+val sample : t -> Prelude.Rng.t -> outcome
+
+val drop_probability : t -> float

@@ -1,0 +1,127 @@
+type scatter_series = {
+  label : string;
+  marker : char;
+  points : (float * float) list;
+}
+
+let buf_add_lines buf lines = List.iter (fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') lines
+
+let bounds series =
+  let xs = List.concat_map (fun s -> List.map fst s.points) series in
+  let ys = List.concat_map (fun s -> List.map snd s.points) series in
+  match (xs, ys) with
+  | [], _ | _, [] -> (0., 1., 0., 1.)
+  | _ ->
+      let fold f init l = List.fold_left f init l in
+      let x_lo = fold min infinity xs and x_hi = fold max neg_infinity xs in
+      let y_lo = fold min infinity ys and y_hi = fold max neg_infinity ys in
+      let pad lo hi = if hi > lo then (lo, hi) else (lo -. 0.5, hi +. 0.5) in
+      let x_lo, x_hi = pad x_lo x_hi and y_lo, y_hi = pad y_lo y_hi in
+      (x_lo, x_hi, y_lo, y_hi)
+
+let scatter ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y")
+    ~title series =
+  let x_lo, x_hi, y_lo, y_hi = bounds series in
+  let canvas = Array.make_matrix height width ' ' in
+  let plot s =
+    List.iter
+      (fun (x, y) ->
+        let cx =
+          int_of_float ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1))
+        in
+        let cy =
+          int_of_float ((y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1))
+        in
+        let cx = max 0 (min (width - 1) cx) in
+        let cy = max 0 (min (height - 1) cy) in
+        (* Row 0 of the canvas is the top of the chart. *)
+        canvas.(height - 1 - cy).(cx) <- s.marker)
+      s.points
+  in
+  List.iter plot series;
+  let buf = Buffer.create ((width + 8) * (height + 6)) in
+  buf_add_lines buf [ "== " ^ title ^ " ==" ];
+  Buffer.add_string buf
+    (Printf.sprintf "%s: [%.2f .. %.2f]   %s: [%.2f .. %.2f]\n" x_label x_lo
+       x_hi y_label y_lo y_hi);
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "|";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_string buf "|\n")
+    canvas;
+  Buffer.add_string buf "+";
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_string buf "+\n";
+  let legend =
+    series
+    |> List.map (fun s -> Printf.sprintf "%c=%s" s.marker s.label)
+    |> String.concat "  "
+  in
+  Buffer.add_string buf ("legend: " ^ legend ^ "\n");
+  Buffer.contents buf
+
+let bar ?(width = 50) ~title rows =
+  let max_v = List.fold_left (fun acc (_, v) -> max acc v) 0. rows in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 1024 in
+  buf_add_lines buf [ "== " ^ title ^ " ==" ];
+  List.iter
+    (fun (label, v) ->
+      let n =
+        if max_v <= 0. then 0
+        else int_of_float (v /. max_v *. float_of_int width)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s | %s %.2f\n" label_w label (String.make n '#') v))
+    rows;
+  Buffer.contents buf
+
+let fill_chars = [| '#'; '='; '+'; '.'; 'o'; '%'; '~'; '*'; ':'; '@' |]
+
+let stacked_bars ?(width = 60) ~title ~series_labels rows =
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 1024 in
+  buf_add_lines buf [ "== " ^ title ^ " ==" ];
+  let legend =
+    List.mapi
+      (fun i l -> Printf.sprintf "%c=%s" fill_chars.(i mod Array.length fill_chars) l)
+      series_labels
+    |> String.concat "  "
+  in
+  Buffer.add_string buf ("legend: " ^ legend ^ "\n");
+  List.iter
+    (fun (label, values) ->
+      let total = List.fold_left ( +. ) 0. values in
+      Buffer.add_string buf (Printf.sprintf "%-*s |" label_w label);
+      if total > 0. then
+        List.iteri
+          (fun i v ->
+            let n = int_of_float (v /. total *. float_of_int width +. 0.5) in
+            Buffer.add_string buf
+              (String.make n fill_chars.(i mod Array.length fill_chars)))
+          values;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let spark_glyphs = [| '_'; '.'; '-'; '='; '+'; '*'; '#'; '@' |]
+
+let sparkline a =
+  if Array.length a = 0 then ""
+  else begin
+    let lo, hi = Stats.min_max a in
+    let range = if hi > lo then hi -. lo else 1. in
+    let buf = Buffer.create (Array.length a) in
+    Array.iter
+      (fun v ->
+        let i = int_of_float ((v -. lo) /. range *. 7.9) in
+        let i = max 0 (min 7 i) in
+        Buffer.add_char buf spark_glyphs.(i))
+      a;
+    Buffer.contents buf
+  end

@@ -1,0 +1,43 @@
+(** Terminal renderings of the paper's figures.
+
+    The bench harness regenerates every figure of the paper as text: scatter
+    plots (Figs. 4, 5, 8), stacked/grouped bars (Figs. 6, 9) and simple bar
+    charts.  Output is plain ASCII so it diffs cleanly and needs no display. *)
+
+type scatter_series = {
+  label : string;
+  marker : char;
+  points : (float * float) list;  (** (x, y) pairs. *)
+}
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  scatter_series list ->
+  string
+(** Render overlaid scatter series on one canvas. Later series overwrite
+    earlier ones where they collide. Returns a multi-line string including a
+    legend and axis ranges. Empty input renders an empty canvas. *)
+
+val bar :
+  ?width:int ->
+  title:string ->
+  (string * float) list ->
+  string
+(** Horizontal bar chart; bar lengths scaled to the maximum value. *)
+
+val stacked_bars :
+  ?width:int ->
+  title:string ->
+  series_labels:string list ->
+  (string * float list) list ->
+  string
+(** [stacked_bars ~series_labels rows] renders one horizontal stacked bar per
+    row; each row's floats are shares drawn with a per-series fill character.
+    Shares are normalised per row. Rows whose values sum to 0 render empty. *)
+
+val sparkline : float array -> string
+(** One-line braille-free sparkline using the classic eight block glyphs. *)

@@ -1,0 +1,90 @@
+(** A second protocol model: one-round data dissemination.
+
+    §IV.B maps the 1-to-many and mixed inter-node transition patterns of
+    Fig. 3(b)/(d) to dissemination and negotiation: a broadcaster advertises
+    data, receivers request it, the broadcaster answers each request.  This
+    module instantiates the generic inference engine for that exchange —
+    demonstrating that {!Engine}/{!Fsm} are not tied to the collection
+    protocol of {!Protocol}.
+
+    The exchange, per (broadcaster [b], receiver [r]) pair:
+
+    {v
+    b: adv ──► r: rx_adv ──► r: req ──► b: rx_req ──► b: data ──► r: rx_data ──► r: done
+    v}
+
+    Each arrow is an inter-node prerequisite; every message can be lost (the
+    receiver then never completes) and every log record can be lost (REFILL
+    infers it back). *)
+
+type label =
+  | L_adv  (** Broadcast advertisement sent (on the broadcaster). *)
+  | L_rx_adv  (** Advertisement heard (on a receiver). *)
+  | L_req  (** Request sent (on a receiver). *)
+  | L_rx_req  (** Request received (on the broadcaster). *)
+  | L_data  (** Data unicast sent (on the broadcaster). *)
+  | L_rx_data  (** Data received (on a receiver). *)
+  | L_done  (** Receiver installed the data. *)
+
+val label_name : label -> string
+
+type event = { node : int; label : label; peer : int option }
+(** A dissemination log record: where it was written, what it says, and the
+    other endpoint when the operation names one. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {2 FSMs}
+
+    States of the receiver chain: [0] init, [1] heard, [2] requested,
+    [3] received, [4] done.  Broadcaster (tracked per receiver): [0] init,
+    [1] advertised, [2] got-request, [3] data-sent. *)
+
+val receiver_fsm : label Fsm.t
+
+val broadcaster_fsm : label Fsm.t
+
+val reconstruct :
+  broadcaster:int ->
+  receiver:int ->
+  events:event list ->
+  (label, event) Engine.item list * Engine.stats
+(** Run the connected engines over one (broadcaster, receiver) pair's
+    surviving records: [events] is the whole round's merged log (per-node
+    order preserved); records belonging to other receivers are ignored.
+    Inferred events appear with synthesized payloads. *)
+
+val receiver_progress :
+  receiver:int -> (label, event) Engine.item list -> Fsm_state.t
+(** Furthest receiver-chain state the reconstruction proved (0 = nothing,
+    4 = done). *)
+
+val analyze_round :
+  broadcaster:int -> events:event list -> (int * Fsm_state.t) list
+(** Reconstruct every receiver appearing in the round and report each one's
+    proven progress, sorted by receiver id. *)
+
+val analyze_epidemic :
+  seed:int -> events:event list -> (int * Fsm_state.t) list
+(** Multi-hop variant: nodes acquire the data from *any* holder, so each
+    receiver is reconstructed against every candidate source its records
+    (or the sources' records) point at, keeping the best proven progress.
+    [seed] is the initial holder (never reported as a receiver). *)
+
+(** {2 Synthetic workload} *)
+
+type outcome = {
+  events : event list;  (** Surviving log records, per-node order. *)
+  completed : (int * bool) list;  (** Ground truth per receiver. *)
+}
+
+val generate :
+  Prelude.Rng.t ->
+  broadcaster:int ->
+  receivers:int list ->
+  message_loss:float ->
+  record_loss:float ->
+  outcome
+(** One dissemination round: each protocol message is lost with probability
+    [message_loss] (truncating that receiver's exchange), then each written
+    record is independently lost with probability [record_loss]. *)

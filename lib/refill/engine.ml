@@ -1,0 +1,190 @@
+type ('label, 'payload) item = {
+  node : int;
+  label : 'label;
+  payload : 'payload option;
+  inferred : bool;
+  entered : Fsm_state.t;
+}
+
+type ('label, 'payload) config = {
+  fsm_of : int -> 'label Fsm.t;
+  prerequisites :
+    node:int ->
+    label:'label ->
+    payload:'payload option ->
+    (int * Fsm_state.t) list;
+  infer_payload : node:int -> label:'label -> 'payload option;
+}
+
+type stats = {
+  emitted_logged : int;
+  emitted_inferred : int;
+  skipped : int;
+}
+
+type ('label, 'payload) instance = {
+  fsm : 'label Fsm.t;
+  mutable state : Fsm_state.t;
+  visited : (Fsm_state.t, unit) Hashtbl.t;
+  queue : int Queue.t;  (* indices into the event array, local order *)
+}
+
+let run ?(use_intra = true) config ~events =
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  let consumed = Array.make n false in
+  let out = ref [] in
+  let emitted_logged = ref 0
+  and emitted_inferred = ref 0
+  and skipped = ref 0 in
+  let instances : (int, ('label, 'payload) instance) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let instance node =
+    match Hashtbl.find_opt instances node with
+    | Some inst -> inst
+    | None ->
+        let fsm = config.fsm_of node in
+        let inst =
+          {
+            fsm;
+            state = Fsm.initial fsm;
+            visited = Hashtbl.create 8;
+            queue = Queue.create ();
+          }
+        in
+        Hashtbl.replace inst.visited inst.state ();
+        Hashtbl.add instances node inst;
+        inst
+  in
+  (* Per-node pending queues in merged (= local) order. *)
+  Array.iteri
+    (fun idx (node, _, _) -> Queue.add idx (instance node).queue)
+    arr;
+  let next_pending inst =
+    (* Drop already-consumed heads, then peek. *)
+    let rec loop () =
+      match Queue.peek_opt inst.queue with
+      | Some idx when consumed.(idx) ->
+          ignore (Queue.pop inst.queue : int);
+          loop ()
+      | other -> other
+    in
+    loop ()
+  in
+  let emit node label payload ~inferred ~entered =
+    out := { node; label; payload; inferred; entered } :: !out;
+    if inferred then incr emitted_inferred else incr emitted_logged
+  in
+  let enter inst dst =
+    inst.state <- dst;
+    Hashtbl.replace inst.visited dst ()
+  in
+  (* Guard against prerequisite cycles: (node, target) pairs being driven. *)
+  let driving = Hashtbl.create 8 in
+  let rec fire node label payload ~inferred =
+    let inst = instance node in
+    match Fsm.normal_next inst.fsm ~from:inst.state label with
+    | Some dst ->
+        satisfy_prerequisites node label payload;
+        enter inst dst;
+        emit node label payload ~inferred ~entered:dst;
+        true
+    | None when not use_intra -> false
+    | None -> (
+        match Fsm.infer_intra inst.fsm ~from:inst.state label with
+        | None -> false
+        | Some (lost_path, _jc) ->
+            List.iter
+              (fun (_, d, l) ->
+                let p = config.infer_payload ~node ~label:l in
+                satisfy_prerequisites node l p;
+                enter inst d;
+                emit node l p ~inferred:true ~entered:d)
+              lost_path;
+            (match Fsm.normal_next inst.fsm ~from:inst.state label with
+            | Some dst ->
+                satisfy_prerequisites node label payload;
+                enter inst dst;
+                emit node label payload ~inferred ~entered:dst;
+                true
+            | None ->
+                (* infer_intra's path ends at a source of a normal
+                   [label]-edge, so this branch is unreachable. *)
+                assert false))
+
+  and satisfy_prerequisites node label payload =
+    List.iter
+      (fun (rnode, rstate) -> drive rnode rstate)
+      (config.prerequisites ~node ~label ~payload)
+
+  and drive rnode target =
+    let inst = instance rnode in
+    if Hashtbl.mem inst.visited target then ()
+    else if Hashtbl.mem driving (rnode, target) then ()
+    else begin
+      Hashtbl.add driving (rnode, target) ();
+      Fun.protect
+        ~finally:(fun () -> Hashtbl.remove driving (rnode, target))
+        (fun () -> drive_loop inst rnode target)
+    end
+
+  and drive_loop inst rnode target =
+    if not (Hashtbl.mem inst.visited target) then begin
+      let consumed_one =
+        match next_pending inst with
+        | None -> false
+        | Some idx ->
+            let _, label, payload = arr.(idx) in
+            if consume_helps inst label target then begin
+              consumed.(idx) <- true;
+              if not (fire rnode label payload ~inferred:false) then
+                incr skipped;
+              true
+            end
+            else false
+      in
+      if consumed_one then drive_loop inst rnode target
+      else infer_path_to inst rnode target
+    end
+
+  (* Would firing the node's next logged event visit [target] or keep it
+     reachable? If not, consuming it here would overshoot; leave it for the
+     main loop and bridge the gap by inference instead. *)
+  and consume_helps inst label target =
+    match Fsm.normal_next inst.fsm ~from:inst.state label with
+    | Some dst -> dst = target || Fsm.reachable inst.fsm ~from:dst target
+    | None when not use_intra -> false
+    | None -> (
+        match Fsm.infer_intra inst.fsm ~from:inst.state label with
+        | None -> false
+        | Some (lost_path, jc) ->
+            jc = target
+            || Fsm.reachable inst.fsm ~from:jc target
+            || List.exists (fun (_, d, _) -> d = target) lost_path)
+
+  and infer_path_to inst rnode target =
+    match Fsm.shortest_path inst.fsm ~from:inst.state ~to_:target with
+    | None -> ()  (* unsatisfiable prerequisite: give up silently *)
+    | Some path ->
+        List.iter
+          (fun (_, d, l) ->
+            let p = config.infer_payload ~node:rnode ~label:l in
+            satisfy_prerequisites rnode l p;
+            enter inst d;
+            emit rnode l p ~inferred:true ~entered:d)
+          path
+  in
+  Array.iteri
+    (fun idx (node, label, payload) ->
+      if not consumed.(idx) then begin
+        consumed.(idx) <- true;
+        if not (fire node label payload ~inferred:false) then incr skipped
+      end)
+    arr;
+  ( List.rev !out,
+    {
+      emitted_logged = !emitted_logged;
+      emitted_inferred = !emitted_inferred;
+      skipped = !skipped;
+    } )

@@ -1,0 +1,70 @@
+(** Connected inference engines and the transition algorithm (§IV.B–C).
+
+    One FSM instance per node, connected by *inter-node prerequisite
+    transitions*: before an event fires on one engine, every prerequisite
+    state on other engines must have been reached — if a prerequisite node's
+    logged events get it there they are consumed (in their local order), and
+    any gap is bridged by inferring the lost events along the shortest
+    normal path, recursively satisfying their own prerequisites (the
+    cascading examples of Fig. 3).
+
+    Prerequisites are *historical*: a prerequisite is satisfied if the
+    remote instance has ever visited the required state, matching the
+    paper's "t2 can occur only after t1 has occurred".
+
+    The algorithm implements the four steps of §IV.B "Processing Events":
+    1. fire normal transitions (driving prerequisite engines first);
+    2. otherwise fire the intra-node transition, emitting its lost
+       prerequisite events as inferred;
+    3. events with no available transition are skipped;
+    4. processing ends when all events are consumed. *)
+
+type ('label, 'payload) item = {
+  node : int;
+  label : 'label;
+  payload : 'payload option;  (** [None] possible for inferred events. *)
+  inferred : bool;
+      (** True for events *not* present in the input — the bracketed lost
+          events of §IV.C. *)
+  entered : Fsm_state.t;
+      (** State the node's engine entered when this event fired — the hook
+          the loss-cause classifier keys on. *)
+}
+
+type ('label, 'payload) config = {
+  fsm_of : int -> 'label Fsm.t;
+      (** The FSM modelling each node (may differ per node role); instances
+          are created lazily at a node's first event. *)
+  prerequisites :
+    node:int ->
+    label:'label ->
+    payload:'payload option ->
+    (int * Fsm_state.t) list;
+      (** Inter-node prerequisite states that must have been visited before
+          this event fires. *)
+  infer_payload : node:int -> label:'label -> 'payload option;
+      (** Synthesize related information for inferred events. *)
+}
+
+type stats = {
+  emitted_logged : int;  (** Input events that fired. *)
+  emitted_inferred : int;  (** Lost events reconstructed. *)
+  skipped : int;  (** Input events with no available transition. *)
+}
+
+val run :
+  ?use_intra:bool ->
+  ('label, 'payload) config ->
+  events:(int * 'label * 'payload option) list ->
+  ('label, 'payload) item list * stats
+(** [run config ~events] processes the merged event list (per-node order
+    must be preserved in it, cross-node order is arbitrary) and returns the
+    reconstructed event flow.  Logged events appear exactly once each
+    (fired or skipped); inferred events are interleaved where the engine
+    proved they must have occurred.
+
+    [use_intra] (default [true]) enables the intra-node shortcut
+    transitions; disabling it (events fire on normal transitions only, and
+    prerequisite gaps are still bridged) is the ablation knob for measuring
+    what §IV.B's intra-node derivation contributes. Inter-node reasoning is
+    ablated by supplying a [prerequisites] that returns []. *)

@@ -1,0 +1,145 @@
+type 'label t = {
+  n_states : int;
+  initial : Fsm_state.t;
+  (* Normal transitions in insertion order, also indexed by source state. *)
+  mutable transitions_rev : (Fsm_state.t * Fsm_state.t * 'label) list;
+  by_src : (Fsm_state.t * 'label) list array;  (* (dst, label), insertion order *)
+}
+
+let create ~n_states ~initial =
+  if n_states <= 0 then invalid_arg "Fsm.create: n_states";
+  if initial < 0 || initial >= n_states then invalid_arg "Fsm.create: initial";
+  { n_states; initial; transitions_rev = []; by_src = Array.make n_states [] }
+
+let n_states t = t.n_states
+
+let initial t = t.initial
+
+let check_state t s name =
+  if s < 0 || s >= t.n_states then invalid_arg ("Fsm.add_transition: " ^ name)
+
+let add_transition t ~src ~dst label =
+  check_state t src "src";
+  check_state t dst "dst";
+  let exists =
+    List.exists (fun (d, l) -> d = dst && l = label) t.by_src.(src)
+  in
+  if not exists then begin
+    t.transitions_rev <- (src, dst, label) :: t.transitions_rev;
+    t.by_src.(src) <- t.by_src.(src) @ [ (dst, label) ]
+  end
+
+let transitions t = List.rev t.transitions_rev
+
+let labels t =
+  List.fold_left
+    (fun acc (_, _, l) -> if List.mem l acc then acc else acc @ [ l ])
+    [] (transitions t)
+
+let normal_next t ~from label =
+  let rec find = function
+    | [] -> None
+    | (dst, l) :: rest -> if l = label then Some dst else find rest
+  in
+  find t.by_src.(from)
+
+let bfs_parents t ~from =
+  (* parent.(v) = Some (u, label) on a shortest path tree rooted at [from];
+     edges explored in insertion order for determinism. *)
+  let parent = Array.make t.n_states None in
+  let seen = Array.make t.n_states false in
+  seen.(from) <- true;
+  let queue = Queue.create () in
+  Queue.add from queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun (v, l) ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parent.(v) <- Some (u, l);
+          Queue.add v queue
+        end)
+      t.by_src.(u)
+  done;
+  (seen, parent)
+
+let in_range t s = s >= 0 && s < t.n_states
+
+let reachable t ~from target =
+  if not (in_range t from && in_range t target) then false
+  else if from = target then true
+  else begin
+    let seen, _ = bfs_parents t ~from in
+    seen.(target)
+  end
+
+let shortest_path t ~from ~to_ =
+  if not (in_range t from && in_range t to_) then None
+  else if from = to_ then Some []
+  else begin
+    let seen, parent = bfs_parents t ~from in
+    if not seen.(to_) then None
+    else begin
+      let rec build v acc =
+        match parent.(v) with
+        | None -> acc
+        | Some (u, l) -> build u ((u, v, l) :: acc)
+      in
+      Some (build to_ [])
+    end
+  end
+
+let to_dot ?(name = "fsm") ~label_name ~state_name t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=LR;\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %S [shape=doublecircle];\n" (state_name t.initial));
+  List.iter
+    (fun (src, dst, l) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S -> %S [label=%S];\n" (state_name src)
+           (state_name dst) (label_name l)))
+    (transitions t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Distinct normal targets of [label]. *)
+let targets_of_label t label =
+  List.fold_left
+    (fun acc (_, dst, l) ->
+      if l = label && not (List.mem dst acc) then acc @ [ dst ] else acc)
+    [] (transitions t)
+
+let intra_target t ~from label =
+  let reachable_targets =
+    targets_of_label t label |> List.filter (fun jc -> reachable t ~from jc)
+  in
+  match reachable_targets with [ jc ] -> Some jc | [] | _ :: _ :: _ -> None
+
+let infer_intra t ~from label =
+  match intra_target t ~from label with
+  | None -> None
+  | Some jc ->
+      (* Among normal [label]-edges into [jc], pick the one whose source is
+         closest to [from]; the lost events are the path to that source. *)
+      let sources =
+        transitions t
+        |> List.filter_map (fun (src, dst, l) ->
+               if l = label && dst = jc then Some src else None)
+      in
+      let best =
+        List.fold_left
+          (fun best ic ->
+            match shortest_path t ~from ~to_:ic with
+            | None -> best
+            | Some path -> (
+                match best with
+                | Some (_, best_path)
+                  when List.length best_path <= List.length path ->
+                    best
+                | _ -> Some (ic, path)))
+          None sources
+      in
+      Option.map (fun (_, path) -> (path, jc)) best

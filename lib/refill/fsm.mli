@@ -1,0 +1,81 @@
+(** Finite state machines for the inference engine (§IV.A–B).
+
+    An FSM is the directed graph [G = (S, T, E)] of the paper: integer
+    states, directed edges, one event label per edge.  Multiple edges may
+    carry the same label, and one label may appear on edges with different
+    sources — exactly the generality §IV.A allows.
+
+    The module also implements the *intra-node transition* derivation of
+    §IV.B: for a label [l] whose normal edges target states [{j1..jm}], and
+    a state [x] from which exactly one [jc] of those targets is reachable,
+    an intra edge [x --l--> jc] is added.  Taking it implies the events on
+    the normal path [x ≻ jc] were lost; [infer_intra] returns that path so
+    the engine can emit the lost events.
+
+    Labels are compared with polymorphic equality: use simple variant or
+    string labels. *)
+
+type 'label t
+
+val create : n_states:int -> initial:Fsm_state.t -> 'label t
+(** @raise Invalid_argument if [n_states <= 0] or [initial] out of range. *)
+
+val n_states : _ t -> int
+
+val initial : _ t -> Fsm_state.t
+
+val add_transition :
+  'label t -> src:Fsm_state.t -> dst:Fsm_state.t -> 'label -> unit
+(** Add a normal transition. Duplicate (src, dst, label) triples are
+    ignored.
+    @raise Invalid_argument on out-of-range states. *)
+
+val labels : 'label t -> 'label list
+(** Distinct labels in insertion order. *)
+
+val transitions : 'label t -> (Fsm_state.t * Fsm_state.t * 'label) list
+(** All normal transitions in insertion order. *)
+
+val normal_next : 'label t -> from:Fsm_state.t -> 'label -> Fsm_state.t option
+(** Destination of the normal transition from [from] labeled [l]; when
+    several exist (nondeterministic FSM), the first added wins. *)
+
+val reachable : 'label t -> from:Fsm_state.t -> Fsm_state.t -> bool
+(** Graph reachability over normal transitions; every state reaches
+    itself. States outside the graph are never reachable (no exception). *)
+
+val shortest_path :
+  'label t ->
+  from:Fsm_state.t ->
+  to_:Fsm_state.t ->
+  (Fsm_state.t * Fsm_state.t * 'label) list option
+(** BFS shortest path over normal transitions, deterministic (edges
+    explored in insertion order); [Some \[\]] when [from = to_]. *)
+
+val intra_target : 'label t -> from:Fsm_state.t -> 'label -> Fsm_state.t option
+(** The derived intra-node transition target: [Some jc] iff exactly one
+    normal target of label [l] is reachable from [from]. Note this includes
+    the case where a normal transition exists (the engine prefers the normal
+    edge; the intra edge is its degenerate form). *)
+
+val to_dot :
+  ?name:string ->
+  label_name:('label -> string) ->
+  state_name:(Fsm_state.t -> string) ->
+  'label t ->
+  string
+(** Graphviz rendering of the normal transitions (for documentation and
+    debugging; the derived intra edges are a function of the current state
+    and are not drawn). *)
+
+val infer_intra :
+  'label t ->
+  from:Fsm_state.t ->
+  'label ->
+  ((Fsm_state.t * Fsm_state.t * 'label) list * Fsm_state.t) option
+(** [infer_intra t ~from l] = [Some (lost_path, jc)] when the intra
+    transition from [from] on [l] is defined and [lost_path] is the
+    shortest normal path from [from] to the source [ic] of the cheapest
+    normal [l]-edge into [jc] — the prerequisite events that must have been
+    lost.  The final [l]-edge [(ic, jc, l)] is NOT included in
+    [lost_path].  Returns [None] when no intra transition is defined. *)

@@ -1,0 +1,9 @@
+(** FSM states are dense integer indices. *)
+
+type t = int
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int

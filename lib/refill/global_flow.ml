@@ -1,0 +1,192 @@
+type stats = { events : int; logged : int; inferred : int; relaxed : int }
+
+type tagged = {
+  item : Flow.item;
+  packet : int * int;
+  pos : int;  (* position within the packet's flow *)
+  mutable anchor : float;
+      (* node-log position fraction: a timestamp-free progress proxy used
+         to order otherwise-unconstrained events *)
+}
+
+let build collected ~flows =
+  let all = ref [] in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iteri
+        (fun pos item ->
+          all :=
+            { item; packet = (f.origin, f.seq); pos; anchor = Float.nan }
+            :: !all)
+        f.items)
+    flows;
+  let arr = Array.of_list (List.rev !all) in
+  let n = Array.length arr in
+  (* Hard edges (per-packet flow order) are inviolable; soft edges
+     (cross-packet node-log order) may be relaxed to break cycles. *)
+  let hard_successors = Array.make n [] in
+  let soft_successors = Array.make n [] in
+  let hard_in = Array.make n 0 in
+  let soft_in = Array.make n 0 in
+  let add_hard a b =
+    if a <> b then begin
+      hard_successors.(a) <- b :: hard_successors.(a);
+      hard_in.(b) <- hard_in.(b) + 1
+    end
+  in
+  let add_soft a b =
+    if a <> b then begin
+      soft_successors.(a) <- b :: soft_successors.(a);
+      soft_in.(b) <- soft_in.(b) + 1
+    end
+  in
+  (* Hard constraints: each packet's flow order (consecutive chain — ids
+     were assigned in flow order). *)
+  let last_of_packet = Hashtbl.create 256 in
+  Array.iteri
+    (fun id k ->
+      (match Hashtbl.find_opt last_of_packet k.packet with
+      | Some prev -> add_hard prev id
+      | None -> ());
+      Hashtbl.replace last_of_packet k.packet id)
+    arr;
+  (* Soft constraints: per-node log order across packets.  Flow items hold
+     the exact log records, so each node's log can be aligned with the
+     items per (packet, node) in order; engine-skipped records are passed
+     over. *)
+  let queues : (int * int * int, int Queue.t) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun id k ->
+      if not k.item.inferred then begin
+        match k.item.payload with
+        | None -> ()
+        | Some r ->
+            let origin, seq = Logsys.Record.packet_key r in
+            let key = (origin, seq, k.item.node) in
+            let q =
+              match Hashtbl.find_opt queues key with
+              | Some q -> q
+              | None ->
+                  let q = Queue.create () in
+                  Hashtbl.add queues key q;
+                  q
+            in
+            Queue.add id q
+      end)
+    arr;
+  let soft_edges = ref [] in
+  for node = 0 to Logsys.Collected.n_nodes collected - 1 do
+    let log = Logsys.Collected.node_log collected node in
+    let len = float_of_int (max 1 (Array.length log)) in
+    let last = ref None in
+    Array.iteri
+      (fun log_idx (r : Logsys.Record.t) ->
+        let origin, seq = Logsys.Record.packet_key r in
+        match Hashtbl.find_opt queues (origin, seq, node) with
+        | None -> ()
+        | Some q -> (
+            match Queue.peek_opt q with
+            | Some id
+              when (match arr.(id).item.payload with
+                   | Some r' -> compare r r' = 0
+                   | None -> false) ->
+                ignore (Queue.pop q : int);
+                arr.(id).anchor <- float_of_int log_idx /. len;
+                (match !last with
+                | Some prev -> soft_edges := (prev, id) :: !soft_edges
+                | None -> ());
+                last := Some id
+            | Some _ | None -> ()))
+      log
+  done;
+  (* Drop soft edges that oppose a hard (same-packet) path — those pairs
+     are concurrent in the causal order and the flow linearization simply
+     chose the other interleaving.  Reachability over hard edges is cheap
+     here because hard edges only run within a packet: (a, b) conflicts
+     iff same packet and b precedes a in the flow. *)
+  let relaxed = ref 0 in
+  List.iter
+    (fun (a, b) ->
+      if arr.(a).packet = arr.(b).packet && arr.(b).pos <= arr.(a).pos then
+        incr relaxed
+      else add_soft a b)
+    !soft_edges;
+  (* Inferred items inherit the anchor of the nearest logged neighbour in
+     their flow (following first, then preceding). *)
+  let fill_anchors () =
+    (* Forward pass per packet in id order (ids are flow-ordered). *)
+    let carry = Hashtbl.create 64 in
+    for id = n - 1 downto 0 do
+      let k = arr.(id) in
+      if Float.is_nan k.anchor then begin
+        match Hashtbl.find_opt carry k.packet with
+        | Some a -> k.anchor <- a
+        | None -> ()
+      end
+      else Hashtbl.replace carry k.packet k.anchor
+    done;
+    Hashtbl.reset carry;
+    for id = 0 to n - 1 do
+      let k = arr.(id) in
+      if Float.is_nan k.anchor then begin
+        match Hashtbl.find_opt carry k.packet with
+        | Some a -> k.anchor <- a
+        | None -> k.anchor <- 0.
+      end
+      else Hashtbl.replace carry k.packet k.anchor
+    done
+  in
+  fill_anchors ();
+  (* Deterministic Kahn's algorithm, ready events ordered by anchor. *)
+  let module Pq = Prelude.Heap in
+  let heap = Pq.create () in
+  let ready id = hard_in.(id) = 0 && soft_in.(id) = 0 in
+  Array.iteri
+    (fun id k -> if ready id then Pq.push heap ~priority:k.anchor id)
+    arr;
+  let out = ref [] in
+  let emitted = Array.make n false in
+  let emitted_count = ref 0 in
+  let emit id =
+    emitted.(id) <- true;
+    incr emitted_count;
+    out := arr.(id).item :: !out;
+    List.iter
+      (fun succ ->
+        hard_in.(succ) <- hard_in.(succ) - 1;
+        if ready succ && not emitted.(succ) then
+          Pq.push heap ~priority:arr.(succ).anchor succ)
+      hard_successors.(id);
+    List.iter
+      (fun succ ->
+        soft_in.(succ) <- soft_in.(succ) - 1;
+        if ready succ && not emitted.(succ) then
+          Pq.push heap ~priority:arr.(succ).anchor succ)
+      soft_successors.(id)
+  in
+  while !emitted_count < n do
+    match Pq.pop heap with
+    | Some (_, id) -> if not emitted.(id) then emit id
+    | None ->
+        (* A cycle through soft edges: release the smallest-anchor event
+           whose HARD prerequisites are met by dropping its remaining soft
+           in-edges.  Hard edges are per-packet chains (acyclic), so such
+           an event always exists. *)
+        let best = ref (-1) in
+        Array.iteri
+          (fun id k ->
+            if
+              (not emitted.(id))
+              && hard_in.(id) = 0
+              && (!best < 0 || k.anchor < arr.(!best).anchor)
+            then best := id)
+          arr;
+        relaxed := !relaxed + soft_in.(!best);
+        soft_in.(!best) <- 0;
+        emit !best
+  done;
+  let items = List.rev !out in
+  let logged =
+    List.length (List.filter (fun (i : Flow.item) -> not i.inferred) items)
+  in
+  (items, { events = n; logged; inferred = n - logged; relaxed = !relaxed })

@@ -1,0 +1,34 @@
+(** The network-wide event flow (§II, Eq. 1).
+
+    The paper defines the event flow over *all* events in the network, not
+    per packet.  Cross-packet ordering information comes from exactly one
+    place in unsynchronized logs: two events logged by the *same node* are
+    ordered by that node's log.  This module merges the per-packet
+    reconstructed flows into one global flow that
+
+    - preserves every per-packet flow order exactly (REFILL's canonical
+      causal linearization of each packet), and
+    - honours as many cross-packet per-node log constraints as possible.
+
+    The two families can disagree on *concurrent* events (a flow may
+    linearize two causally unrelated events opposite to their log
+    positions); such node-log constraints are relaxed and counted — they
+    indicate concurrency, not errors.  Events unrelated by any remaining
+    constraint are ordered by their position within their recording node's
+    log (a cheap, timestamp-free progress proxy). *)
+
+type stats = {
+  events : int;
+  logged : int;
+  inferred : int;
+  relaxed : int;
+      (** Cross-packet node-log constraints dropped because they opposed a
+          per-packet linearization (concurrency, not error). *)
+}
+
+val build :
+  Logsys.Collected.t -> flows:Flow.t list -> Flow.item list * stats
+(** [build collected ~flows] returns the global flow.  [collected] must be
+    the same snapshot the flows were reconstructed from (its per-node logs
+    provide the cross-packet constraints).  Every flow's items appear in
+    their original relative order. *)

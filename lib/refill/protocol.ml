@@ -1,0 +1,188 @@
+type label =
+  | L_gen
+  | L_recv
+  | L_dup
+  | L_overflow
+  | L_trans
+  | L_ack
+  | L_timeout
+  | L_deliver
+
+let label_name = function
+  | L_gen -> "gen"
+  | L_recv -> "recv"
+  | L_dup -> "dup"
+  | L_overflow -> "overflow"
+  | L_trans -> "trans"
+  | L_ack -> "ack"
+  | L_timeout -> "timeout"
+  | L_deliver -> "deliver"
+
+let label_of_kind : Logsys.Record.kind -> label = function
+  | Gen -> L_gen
+  | Recv _ -> L_recv
+  | Dup _ -> L_dup
+  | Overflow _ -> L_overflow
+  | Trans _ -> L_trans
+  | Ack_recvd _ -> L_ack
+  | Retx_timeout _ -> L_timeout
+  | Deliver -> L_deliver
+
+let init = 0
+let holding = 1
+let sent = 2
+let acked = 3
+let timed_out = 4
+let dup_dropped = 5
+let overflow_dropped = 6
+let delivered = 7
+let n_states = 8
+
+let state_name s =
+  match s with
+  | 0 -> "init"
+  | 1 -> "holding"
+  | 2 -> "sent"
+  | 3 -> "acked"
+  | 4 -> "timed-out"
+  | 5 -> "dup-dropped"
+  | 6 -> "overflow-dropped"
+  | 7 -> "delivered"
+  | _ -> "state-" ^ string_of_int s
+
+type role = Origin | Forwarder | Sink
+
+let role_of ~origin ~sink node =
+  if node = sink then Sink else if node = origin then Origin else Forwarder
+
+(* Transitions shared by every node that forwards packets: send, outcome,
+   and loop re-entry. *)
+let add_forwarding_core fsm =
+  Fsm.add_transition fsm ~src:holding ~dst:sent L_trans;
+  Fsm.add_transition fsm ~src:sent ~dst:acked L_ack;
+  Fsm.add_transition fsm ~src:sent ~dst:timed_out L_timeout;
+  (* A looped-back copy can arrive while the node is still retrying (its
+     ACK was lost but the next hop accepted), or after the exchange. *)
+  Fsm.add_transition fsm ~src:sent ~dst:dup_dropped L_dup;
+  Fsm.add_transition fsm ~src:acked ~dst:dup_dropped L_dup;
+  Fsm.add_transition fsm ~src:timed_out ~dst:dup_dropped L_dup;
+  (* Re-reception after cache eviction: the node holds the packet again
+     (Table II cases 3–4). *)
+  Fsm.add_transition fsm ~src:acked ~dst:holding L_recv;
+  Fsm.add_transition fsm ~src:timed_out ~dst:holding L_recv
+
+let origin_fsm =
+  let fsm = Fsm.create ~n_states ~initial:init in
+  Fsm.add_transition fsm ~src:init ~dst:holding L_gen;
+  (* The origin's own queue can be full when the application posts. *)
+  Fsm.add_transition fsm ~src:holding ~dst:overflow_dropped L_overflow;
+  add_forwarding_core fsm;
+  fsm
+
+let forwarder_fsm =
+  let fsm = Fsm.create ~n_states ~initial:init in
+  Fsm.add_transition fsm ~src:init ~dst:holding L_recv;
+  Fsm.add_transition fsm ~src:init ~dst:overflow_dropped L_overflow;
+  add_forwarding_core fsm;
+  fsm
+
+let sink_fsm =
+  let fsm = Fsm.create ~n_states ~initial:init in
+  Fsm.add_transition fsm ~src:init ~dst:holding L_recv;
+  Fsm.add_transition fsm ~src:holding ~dst:delivered L_deliver;
+  fsm
+
+let fsm_of_role = function
+  | Origin -> origin_fsm
+  | Forwarder -> forwarder_fsm
+  | Sink -> sink_fsm
+
+let unknown_node = -1
+
+(* -- Payload synthesis for inferred events. ------------------------------ *)
+
+(* Who transmitted toward [node]? Any sender-side record pointing at it. *)
+let find_sender_toward records node =
+  List.find_map
+    (fun (r : Logsys.Record.t) ->
+      match r.kind with
+      | Trans { to_ } | Ack_recvd { to_ } | Retx_timeout { to_ }
+        when to_ = node ->
+          Some r.node
+      | _ -> None)
+    records
+
+(* Whom did [node] transmit to? Its own sender-side records first, then any
+   receiver-side record naming it as the sender. *)
+let find_receiver_from records node =
+  let own =
+    List.find_map
+      (fun (r : Logsys.Record.t) ->
+        if r.node <> node then None
+        else
+          match r.kind with
+          | Trans { to_ } | Ack_recvd { to_ } | Retx_timeout { to_ } ->
+              Some to_
+          | _ -> None)
+      records
+  in
+  match own with
+  | Some _ -> own
+  | None ->
+      List.find_map
+        (fun (r : Logsys.Record.t) ->
+          match r.kind with
+          | Recv { from } | Dup { from } | Overflow { from } when from = node
+            ->
+              Some r.node
+          | _ -> None)
+        records
+
+let synthesize ~records ~origin ~seq ~node label : Logsys.Record.t option =
+  let make kind : Logsys.Record.t =
+    { node; kind; origin; pkt_seq = seq; true_time = Float.nan; gseq = -1 }
+  in
+  let peer_from () =
+    Option.value ~default:unknown_node (find_sender_toward records node)
+  in
+  let peer_to () =
+    Option.value ~default:unknown_node (find_receiver_from records node)
+  in
+  match label with
+  | L_gen -> Some (make Gen)
+  | L_deliver -> Some (make Deliver)
+  | L_recv -> Some (make (Recv { from = peer_from () }))
+  | L_dup -> Some (make (Dup { from = peer_from () }))
+  | L_overflow -> Some (make (Overflow { from = peer_from () }))
+  | L_trans -> Some (make (Trans { to_ = peer_to () }))
+  | L_ack -> Some (make (Ack_recvd { to_ = peer_to () }))
+  | L_timeout -> Some (make (Retx_timeout { to_ = peer_to () }))
+
+(* -- Inter-node prerequisites. ------------------------------------------- *)
+
+let prerequisites ~node ~label:_ ~payload =
+  match (payload : Logsys.Record.t option) with
+  | None -> []
+  | Some r -> (
+      match r.kind with
+      | Recv { from } | Dup { from } | Overflow { from } ->
+          if from <> node && from <> unknown_node then [ (from, sent) ]
+          else []
+      | Ack_recvd { to_ } ->
+          if to_ <> node && to_ <> unknown_node then [ (to_, holding) ]
+          else []
+      | Gen | Trans _ | Retx_timeout _ | Deliver -> [])
+
+let make_config ~records ~origin ~seq ~sink : (label, Logsys.Record.t) Engine.config
+    =
+  {
+    fsm_of = (fun node -> fsm_of_role (role_of ~origin ~sink node));
+    prerequisites;
+    infer_payload =
+      (fun ~node ~label -> synthesize ~records ~origin ~seq ~node label);
+  }
+
+let events_of_records records =
+  List.map
+    (fun (r : Logsys.Record.t) -> (r.node, label_of_kind r.kind, Some r))
+    records

@@ -1,0 +1,48 @@
+let merged_records collected ~origin ~seq =
+  let groups = Logsys.Collected.events_of_packet collected ~origin ~seq in
+  (* Start processing at the origin: its [gen] grounds the cascades. *)
+  let origin_group, others =
+    List.partition (fun (node, _) -> node = origin) groups
+  in
+  List.concat_map snd (origin_group @ others)
+
+let packet ?(use_intra = true) ?(use_inter = true) collected ~origin ~seq
+    ~sink =
+  let records = merged_records collected ~origin ~seq in
+  let config = Protocol.make_config ~records ~origin ~seq ~sink in
+  let config =
+    if use_inter then config
+    else { config with prerequisites = (fun ~node:_ ~label:_ ~payload:_ -> []) }
+  in
+  let events = Protocol.events_of_records records in
+  let items, stats = Engine.run ~use_intra config ~events in
+  { Flow.origin; seq; items; stats }
+
+let all ?(use_intra = true) ?(use_inter = true) collected ~sink =
+  Logsys.Collected.packet_keys collected
+  |> List.map (fun (origin, seq) ->
+         packet ~use_intra ~use_inter collected ~origin ~seq ~sink)
+
+type summary = {
+  packets : int;
+  logged_events : int;
+  inferred_events : int;
+  skipped_events : int;
+}
+
+let summarize flows =
+  List.fold_left
+    (fun acc (f : Flow.t) ->
+      {
+        packets = acc.packets + 1;
+        logged_events = acc.logged_events + f.stats.emitted_logged;
+        inferred_events = acc.inferred_events + f.stats.emitted_inferred;
+        skipped_events = acc.skipped_events + f.stats.skipped;
+      })
+    { packets = 0; logged_events = 0; inferred_events = 0; skipped_events = 0 }
+    flows
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "packets=%d logged=%d inferred=%d skipped=%d" s.packets s.logged_events
+    s.inferred_events s.skipped_events

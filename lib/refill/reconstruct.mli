@@ -1,0 +1,39 @@
+(** The REFILL pipeline: collected logs → per-packet event flows.
+
+    For each packet key appearing in the collected logs, its surviving
+    records are gathered per node (local order preserved), merged with the
+    origin's records first (the natural processing start; the connected
+    engines are insensitive to the cross-node merge order), and run through
+    the connected inference engines. *)
+
+val packet :
+  ?use_intra:bool ->
+  ?use_inter:bool ->
+  Logsys.Collected.t ->
+  origin:int ->
+  seq:int ->
+  sink:int ->
+  Flow.t
+(** Reconstruct one packet's event flow.  A packet with no surviving
+    records yields an empty flow.  [use_intra]/[use_inter] (default [true])
+    are the ablation knobs: they disable the intra-node shortcut
+    transitions and the inter-node prerequisite connections respectively. *)
+
+val all :
+  ?use_intra:bool ->
+  ?use_inter:bool ->
+  Logsys.Collected.t ->
+  sink:int ->
+  Flow.t list
+(** Reconstruct every packet found in the logs, sorted by packet key. *)
+
+type summary = {
+  packets : int;
+  logged_events : int;
+  inferred_events : int;
+  skipped_events : int;
+}
+
+val summarize : Flow.t list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,242 @@
+type params = {
+  seed : int64;
+  n_nodes : int;
+  days : int;
+  day_length : float;
+  data_interval : float;
+  snow_days : (int * int) option;
+  snow_quality : float;
+  sink_fix_day : int option;
+  serial_bad_rate : float;
+  serial_good_rate : float;
+  serial_prelog_fraction : float;
+  upstack_drop : float;
+  upstack_prelog_fraction : float;
+  server_outages : int;
+  server_outage_mean : float;
+  bursts_per_day : int;
+  burst_severity : float;
+  burst_duration : float;
+  burst_radius : float;
+  mac : Net.Mac.config;
+  warmup : float;
+  in_band_logs : bool;
+  ack_mode : Node.Network.ack_mode;
+  reboot_mtbf : float option;
+}
+
+let default =
+  {
+    seed = 2015L;
+    n_nodes = 100;
+    days = 30;
+    day_length = 1200.;
+    data_interval = 60.;
+    snow_days = Some (9, 10);
+    snow_quality = 0.35;
+    sink_fix_day = Some 23;
+    serial_bad_rate = 0.085;
+    serial_good_rate = 0.002;
+    serial_prelog_fraction = 0.65;
+    upstack_drop = 0.002;
+    upstack_prelog_fraction = 0.06;
+    server_outages = 4;
+    server_outage_mean = 240.;
+    bursts_per_day = 2;
+    burst_severity = 0.88;
+    burst_duration = 45.;
+    burst_radius = 0.18;
+    mac =
+      (* MAC timing is compressed like the day itself: fast attempts keep
+         relative relay load comparable to the real deployment. *)
+      { Net.Mac.default_config with attempt_interval = 0.15; attempt_jitter = 0.05 };
+    warmup = 1000.;
+    in_band_logs = false;
+    ack_mode = Node.Network.Hardware;
+    reboot_mtbf = None;
+  }
+
+let two_day =
+  {
+    default with
+    days = 2;
+    snow_days = None;
+    sink_fix_day = None;
+    server_outages = 1;
+    bursts_per_day = 3;
+  }
+
+let tiny =
+  {
+    default with
+    n_nodes = 16;
+    days = 1;
+    day_length = 600.;
+    data_interval = 40.;
+    snow_days = None;
+    sink_fix_day = None;
+    server_outages = 0;
+    bursts_per_day = 0;
+    warmup = 250.;
+  }
+
+let full_scale =
+  {
+    default with
+    n_nodes = 1225;
+    days = 1;
+    (* At full scale the real reporting period (~10 min) applies: the
+       sink's neighborhood carries the whole network's traffic. *)
+    data_interval = 600.;
+    snow_days = None;
+    sink_fix_day = None;
+    server_outages = 1;
+    (* Route propagation needs ~diameter beacon rounds before data. *)
+    warmup = 2500.;
+  }
+
+type t = {
+  params : params;
+  network : Node.Network.t;
+  sink : Net.Packet.node_id;
+  duration : float;
+}
+
+let grid_side n =
+  let s = int_of_float (Float.round (sqrt (float_of_int n))) in
+  max 2 s
+
+(* Regenerate the layout (bumping a seed offset) until the neighbor graph is
+   connected, so every node has a potential route to the sink. *)
+let make_topology rng n =
+  let side = grid_side n in
+  let spacing = 10. and jitter = 4. and range = 16. in
+  let rec attempt k =
+    if k > 50 then
+      failwith "Citysee.make_topology: could not generate a connected layout";
+    let topo =
+      Net.Topology.jittered_grid rng ~nx:side ~ny:side ~spacing ~jitter ~range
+    in
+    if Net.Topology.is_connected topo ~from:0 then topo else attempt (k + 1)
+  in
+  attempt 0
+
+let build params =
+  let rng = Prelude.Rng.create ~seed:params.seed in
+  let topo_rng = Prelude.Rng.split rng in
+  let env_rng = Prelude.Rng.split rng in
+  let topo = make_topology topo_rng params.n_nodes in
+  let sink = Net.Topology.nearest_to topo (0., 0.) in
+  let duration = float_of_int params.days *. params.day_length in
+  let horizon = params.warmup +. duration in
+  let day_start d = params.warmup +. (float_of_int d *. params.day_length) in
+  (* Serial link: unstable until the fix day. *)
+  let serial =
+    let fix_time =
+      match params.sink_fix_day with
+      | Some d -> day_start d
+      | None -> infinity
+    in
+    if params.serial_bad_rate = 0. && params.serial_good_rate = 0. then
+      Node.Serial_link.stable
+    else
+      Node.Serial_link.unstable_until ~fix_time ~bad_rate:params.serial_bad_rate
+        ~good_rate:params.serial_good_rate
+        ~prelog_fraction:params.serial_prelog_fraction
+  in
+  let upstack =
+    if params.upstack_drop = 0. then Node.Upstack.reliable
+    else
+      Node.Upstack.create ~drop_probability:params.upstack_drop
+        ~prelog_fraction:params.upstack_prelog_fraction
+  in
+  (* Server outages at random times across the run. *)
+  let server =
+    let outages =
+      List.init params.server_outages (fun _ ->
+          let start =
+            params.warmup +. Prelude.Rng.float env_rng duration
+          in
+          let d =
+            Prelude.Rng.exponential env_rng ~mean:params.server_outage_mean
+          in
+          (start, Float.min d (horizon -. start)))
+    in
+    Node.Server.create ~outages
+  in
+  let config =
+    {
+      Node.Network.default_config with
+      seed = Prelude.Rng.int64 rng;
+      ack_mode = params.ack_mode;
+      reboot_mtbf = params.reboot_mtbf;
+      mac = params.mac;
+      data_interval = params.data_interval;
+      (* The compressed day squeezes CitySee's ~10-minute reporting period
+         into [data_interval] seconds, multiplying instantaneous relay load;
+         a deeper forwarding queue compensates so overflow stays the rare
+         burst-driven event the paper observed. *)
+      queue_capacity = 8;
+      upstack;
+      serial;
+      server;
+      log_transport =
+        (if params.in_band_logs then Some Node.Network.default_log_transport
+         else None);
+    }
+  in
+  let network = Node.Network.create config topo ~sink in
+  (* Weather: snow degrades every link during the snow days. *)
+  let link = Node.Network.link_model network in
+  (match params.snow_days with
+  | None -> ()
+  | Some (d0, d1) ->
+      let snow_start = day_start d0 and snow_end = day_start (d1 + 1) in
+      Net.Link_model.set_weather link (fun now ->
+          if now >= snow_start && now < snow_end then params.snow_quality
+          else 1.));
+  (* Interference bursts: localized deep fades, a few per day. *)
+  let side_len = float_of_int (grid_side params.n_nodes) *. 10. in
+  for d = 0 to params.days - 1 do
+    for _ = 1 to params.bursts_per_day do
+      let start = day_start d +. Prelude.Rng.float env_rng params.day_length in
+      Net.Link_model.add_burst link
+        {
+          start;
+          duration = params.burst_duration;
+          severity = params.burst_severity;
+          center =
+            ( Prelude.Rng.float env_rng side_len,
+              Prelude.Rng.float env_rng side_len );
+          radius = params.burst_radius *. side_len;
+        }
+    done
+  done;
+  { params; network; sink; duration }
+
+let run params =
+  let t = build params in
+  Node.Network.start t.network ~warmup:t.params.warmup ~duration:t.duration;
+  t
+
+let day_of t time =
+  let d =
+    int_of_float ((time -. t.params.warmup) /. t.params.day_length)
+  in
+  max 0 (min (t.params.days - 1) d)
+
+let day_bounds t d =
+  let start = t.params.warmup +. (float_of_int d *. t.params.day_length) in
+  (start, start +. t.params.day_length)
+
+let collected t = Logsys.Collected.of_logger (Node.Network.logger t.network)
+
+let collected_lossy t loss =
+  let rng = Prelude.Rng.create ~seed:(Int64.add t.params.seed 0x10551L) in
+  Logsys.Collected.lossify loss rng (collected t)
+
+let collected_in_band t = Node.Network.collected_in_band t.network
+
+let server t = Node.Network.server t.network
+
+let position t id = Net.Topology.position (Node.Network.topology t.network) id

@@ -1,0 +1,100 @@
+(** The CitySee-like deployment scenario (§V).
+
+    Reproduces the evaluation environment at configurable scale: an urban
+    jittered-grid layout with the sink near a corner, periodic per-node
+    data reports collected over CTP, and the environmental storyline of the
+    paper's 30-day study —
+
+    - snow on days 9–10 degrading every link (Fig. 6),
+    - the unstable sink RS232 connection replaced on day 23 (Figs. 5–8),
+    - backbone server outages (22.6 % of losses, §V.C),
+    - localized interference bursts making timeout/duplicate losses bursty
+      (Fig. 5's ellipses).
+
+    A "day" is compressed virtual time ([day_length] seconds) so a
+    month-scale experiment runs in seconds; all rates are relative to the
+    day length, which preserves the figures' shapes. *)
+
+type params = {
+  seed : int64;
+  n_nodes : int;  (** Approximate; realized as the nearest grid. *)
+  days : int;
+  day_length : float;  (** Simulated seconds per day. *)
+  data_interval : float;  (** Mean seconds between reports per node. *)
+  snow_days : (int * int) option;  (** Inclusive day range of snowfall. *)
+  snow_quality : float;  (** Link-quality multiplier while snowing. *)
+  sink_fix_day : int option;
+      (** Day the serial connection is replaced; [None] = never. *)
+  serial_bad_rate : float;  (** Serial drop probability before the fix. *)
+  serial_good_rate : float;  (** ... and after. *)
+  serial_prelog_fraction : float;
+  upstack_drop : float;  (** In-node drop probability at ordinary nodes. *)
+  upstack_prelog_fraction : float;
+  server_outages : int;  (** Number of outage windows over the run. *)
+  server_outage_mean : float;  (** Mean outage duration in seconds. *)
+  bursts_per_day : int;  (** Interference bursts per day. *)
+  burst_severity : float;
+  burst_duration : float;
+  burst_radius : float;  (** As a fraction of the deployment side. *)
+  mac : Net.Mac.config;
+  warmup : float;  (** Routing warmup before day 0 begins. *)
+  in_band_logs : bool;
+      (** Ship event logs to the base station over CTP (the paper's §V
+          collection method); the collected log is then an emergent result
+          of the same lossy network. Default [false]. *)
+  ack_mode : Node.Network.ack_mode;
+      (** Hardware (the deployment) or software (§V.D.5's alternative)
+          acknowledgements. Default [Hardware]. *)
+  reboot_mtbf : float option;
+      (** Mean time between node reboots (failure injection); [None]
+          (default) = nodes never reboot. *)
+}
+
+val default : params
+(** 100 nodes, 30 days of 1200 s, snow on days 9–10, sink fixed on day 23 —
+    the full Fig. 6 storyline. *)
+
+val two_day : params
+(** The Fig. 4/5 slice: 2 days, no snow, sink not yet fixed. *)
+
+val tiny : params
+(** 16 nodes, 1 short day — for unit tests. *)
+
+val full_scale : params
+(** The deployment's real size: ~1225 nodes with CitySee's actual ten-minute
+    reporting period, one day — the scale demonstration. *)
+
+type t = {
+  params : params;
+  network : Node.Network.t;
+  sink : Net.Packet.node_id;
+  duration : float;  (** [days × day_length]. *)
+}
+
+val build : params -> t
+(** Construct topology (re-seeded until connected), network, weather,
+    bursts, outages. Does not run. *)
+
+val run : params -> t
+(** [build] then simulate to completion. *)
+
+val day_of : t -> float -> int
+(** Map a simulation timestamp to its day index (clamped to
+    [0 .. days-1]); warmup maps to day 0. *)
+
+val day_bounds : t -> int -> float * float
+(** Simulation-time interval of a day. *)
+
+val collected : t -> Logsys.Collected.t
+(** Lossless snapshot of all node logs. *)
+
+val collected_lossy : t -> Logsys.Loss_model.config -> Logsys.Collected.t
+(** Lossified snapshot, deterministic in [params.seed]. *)
+
+val collected_in_band : t -> Logsys.Collected.t option
+(** The logs that reached the base station over the in-band transport;
+    [None] unless [in_band_logs] was set. *)
+
+val server : t -> Node.Server.t
+
+val position : t -> Net.Packet.node_id -> float * float

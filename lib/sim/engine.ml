@@ -1,0 +1,48 @@
+type t = { mutable clock : float; queue : entry Prelude.Heap.t }
+
+and entry = { mutable cancelled : bool; callback : t -> unit }
+
+type handle = entry
+
+let create () = { clock = 0.; queue = Prelude.Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  let entry = { cancelled = false; callback = f } in
+  Prelude.Heap.push t.queue ~priority:time entry;
+  entry
+
+let schedule t ~delay f =
+  let delay = if delay < 0. then 0. else delay in
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel h = h.cancelled <- true
+
+let is_pending h = not h.cancelled
+
+let pending_count t = Prelude.Heap.length t.queue
+
+let step t =
+  match Prelude.Heap.pop t.queue with
+  | None -> false
+  | Some (time, entry) ->
+      t.clock <- time;
+      if not entry.cancelled then entry.callback t;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match Prelude.Heap.peek t.queue with
+        | Some (time, _) when time <= horizon -> ignore (step t : bool)
+        | Some _ | None ->
+            t.clock <- max t.clock horizon;
+            continue := false
+      done
+
+let run_for t ~duration = run ~until:(t.clock +. duration) t

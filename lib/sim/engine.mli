@@ -1,0 +1,48 @@
+(** Discrete-event simulation core.
+
+    A single virtual clock and a pending-event queue.  Everything in the WSN
+    substrate (radio transmissions, MAC backoffs, CTP beacons, application
+    timers, weather changes, server outages) is a callback scheduled here.
+    Time is in seconds of simulated time; callbacks run in nondecreasing time
+    order, FIFO among equal timestamps. *)
+
+type t
+
+type handle
+(** A scheduled callback that can be cancelled before it fires. *)
+
+val create : unit -> t
+(** A fresh engine with the clock at 0. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> handle
+(** [schedule t ~delay f] runs [f t] at [now t +. delay].  Negative delays
+    are clamped to 0 (the callback runs at the current time, after already
+    queued callbacks with the same timestamp). *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> handle
+(** Absolute-time variant; times in the past are clamped to [now]. *)
+
+val cancel : handle -> unit
+(** Cancel a pending callback; cancelling a fired or already-cancelled handle
+    is a no-op. *)
+
+val is_pending : handle -> bool
+
+val pending_count : t -> int
+(** Number of callbacks still queued (including cancelled-but-unreaped
+    entries; intended for tests and diagnostics). *)
+
+val step : t -> bool
+(** Run the single earliest pending callback. Returns [false] when the queue
+    is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Run callbacks until the queue is empty or the clock would pass [until].
+    When [until] is given the clock is left at [until] if the queue drained
+    earlier events only. *)
+
+val run_for : t -> duration:float -> unit
+(** [run_for t ~duration] = [run ~until:(now t +. duration) t]. *)

@@ -1,0 +1,355 @@
+(* Tests for the comparison baselines: naive per-node semantics, the
+   sink-view method, time-correlation, and Wit-style merging. *)
+
+let record node kind ~origin : Logsys.Record.t =
+  { node; kind; origin; pkt_seq = 0; true_time = 0.; gseq = 0 }
+
+let collected_of records ~n_nodes =
+  let logger = Logsys.Logger.create ~n_nodes in
+  List.iteri
+    (fun i (r : Logsys.Record.t) ->
+      Logsys.Logger.log logger { r with gseq = i; true_time = float_of_int i })
+    records;
+  Logsys.Collected.of_logger logger
+
+(* -- Naive ----------------------------------------------------------------------- *)
+
+let naive_delivered_chain () =
+  let c =
+    collected_of ~n_nodes:4
+      [
+        record 1 Gen ~origin:1;
+        record 1 (Trans { to_ = 2 }) ~origin:1;
+        record 1 (Ack_recvd { to_ = 2 }) ~origin:1;
+        record 2 (Recv { from = 1 }) ~origin:1;
+        record 2 (Trans { to_ = 0 }) ~origin:1;
+        record 2 (Ack_recvd { to_ = 0 }) ~origin:1;
+        record 0 (Recv { from = 2 }) ~origin:1;
+        record 0 Deliver ~origin:1;
+      ]
+  in
+  let v = Baseline.Naive.classify c ~origin:1 ~seq:0 ~sink:0 in
+  Alcotest.(check string) "delivered" "delivered" (Logsys.Cause.name v.cause)
+
+let naive_trans_without_ack () =
+  let c =
+    collected_of ~n_nodes:4
+      [ record 1 Gen ~origin:1; record 1 (Trans { to_ = 2 }) ~origin:1 ]
+  in
+  let v = Baseline.Naive.classify c ~origin:1 ~seq:0 ~sink:0 in
+  Alcotest.(check string) "timeout verdict" "timeout" (Logsys.Cause.name v.cause);
+  Alcotest.(check (option int)) "at sender" (Some 1) v.loss_node
+
+let naive_fooled_by_ack_ordering () =
+  (* Table II case 3: ack then trans. Naive sees trans+ack and walks on,
+     reaching node 2 which has no records → Unknown; REFILL instead
+     diagnoses the re-transmission loss. This test pins the baseline's
+     documented blindness. *)
+  let c =
+    collected_of ~n_nodes:4
+      [
+        record 1 (Ack_recvd { to_ = 2 }) ~origin:1;
+        record 1 (Trans { to_ = 2 }) ~origin:1;
+      ]
+  in
+  let v = Baseline.Naive.classify c ~origin:1 ~seq:0 ~sink:0 in
+  Alcotest.(check string) "unknown (blind to ordering)" "unknown"
+    (Logsys.Cause.name v.cause)
+
+let naive_fooled_by_sink_serial_loss () =
+  (* Packet acked into the sink, sink logged nothing (serial interrupt
+     drop): naive optimistically declares Delivered — the pre-REFILL
+     blindness to the CitySee sink problem. *)
+  let c =
+    collected_of ~n_nodes:4
+      [
+        record 1 Gen ~origin:1;
+        record 1 (Trans { to_ = 0 }) ~origin:1;
+        record 1 (Ack_recvd { to_ = 0 }) ~origin:1;
+      ]
+  in
+  let v = Baseline.Naive.classify c ~origin:1 ~seq:0 ~sink:0 in
+  Alcotest.(check string) "wrongly delivered" "delivered"
+    (Logsys.Cause.name v.cause)
+
+let naive_sees_explicit_drops () =
+  let c =
+    collected_of ~n_nodes:4
+      [
+        record 1 Gen ~origin:1;
+        record 1 (Trans { to_ = 2 }) ~origin:1;
+        record 1 (Ack_recvd { to_ = 2 }) ~origin:1;
+        record 2 (Dup { from = 1 }) ~origin:1;
+      ]
+  in
+  let v = Baseline.Naive.classify c ~origin:1 ~seq:0 ~sink:0 in
+  Alcotest.(check string) "dup" "duplicate" (Logsys.Cause.name v.cause);
+  Alcotest.(check (option int)) "position" (Some 2) v.loss_node
+
+let naive_received_loss () =
+  let c =
+    collected_of ~n_nodes:4
+      [
+        record 1 Gen ~origin:1;
+        record 1 (Trans { to_ = 2 }) ~origin:1;
+        record 1 (Ack_recvd { to_ = 2 }) ~origin:1;
+        record 2 (Recv { from = 1 }) ~origin:1;
+      ]
+  in
+  let v = Baseline.Naive.classify c ~origin:1 ~seq:0 ~sink:0 in
+  Alcotest.(check string) "received" "received" (Logsys.Cause.name v.cause);
+  Alcotest.(check (option int)) "at node 2" (Some 2) v.loss_node
+
+let naive_classify_all_covers_packets () =
+  let c =
+    collected_of ~n_nodes:4
+      [ record 1 Gen ~origin:1; record 2 Gen ~origin:2 ]
+  in
+  let all = Baseline.Naive.classify_all c ~sink:0 in
+  Alcotest.(check int) "two packets" 2 (List.length all)
+
+(* -- Sink view -------------------------------------------------------------------- *)
+
+let sink_view_finds_losses () =
+  let delivered = [ (1, 0, 100.); (1, 2, 220.); (2, 0, 100.) ] in
+  let expected = [ (1, 0); (1, 1); (1, 2); (2, 0); (2, 1) ] in
+  let lost =
+    Baseline.Sink_view.analyze ~delivered ~expected ~data_interval:60.
+  in
+  Alcotest.(check int) "two lost" 2 (List.length lost);
+  let l1 =
+    List.find (fun (l : Baseline.Sink_view.lost_packet) -> l.origin = 1) lost
+  in
+  (* (1,1): preceding delivery (1,0) at t=100, gap 1 → estimate 160. *)
+  Alcotest.(check int) "seq" 1 l1.seq;
+  Alcotest.(check (float 1e-9)) "gap interpolation" 160. l1.estimated_time;
+  let l2 =
+    List.find (fun (l : Baseline.Sink_view.lost_packet) -> l.origin = 2) lost
+  in
+  Alcotest.(check (float 1e-9)) "after last delivery" 160. l2.estimated_time
+
+let sink_view_no_preceding () =
+  (* Lost seq 0 with a later delivery at seq 1: counted backwards. *)
+  let lost =
+    Baseline.Sink_view.analyze
+      ~delivered:[ (3, 1, 500.) ]
+      ~expected:[ (3, 0); (3, 1) ]
+      ~data_interval:60.
+  in
+  match lost with
+  | [ l ] -> Alcotest.(check (float 1e-9)) "backwards" 440. l.estimated_time
+  | _ -> Alcotest.fail "one loss expected"
+
+let sink_view_counts_by_origin () =
+  let lost =
+    Baseline.Sink_view.analyze ~delivered:[]
+      ~expected:[ (1, 0); (1, 1); (5, 0) ]
+      ~data_interval:60.
+  in
+  Alcotest.(check (list (pair int int))) "counts" [ (1, 2); (5, 1) ]
+    (Baseline.Sink_view.loss_count_by_origin lost)
+
+(* -- Time correlation --------------------------------------------------------------- *)
+
+let time_corr_window_profiles () =
+  let records =
+    [
+      { (record 1 (Retx_timeout { to_ = 2 }) ~origin:1) with true_time = 5. };
+      { (record 1 (Retx_timeout { to_ = 2 }) ~origin:1) with true_time = 8. };
+      { (record 2 (Dup { from = 1 }) ~origin:1) with true_time = 15. };
+    ]
+  in
+  let profiles = Baseline.Time_corr.profile_windows ~records ~window_size:10. in
+  Alcotest.(check int) "two windows" 2 (List.length profiles);
+  let w0 = List.find (fun (p : Baseline.Time_corr.window_profile) -> p.window = 0) profiles in
+  Alcotest.(check int) "timeouts in w0" 2 w0.timeouts
+
+let time_corr_dominant_cause () =
+  let records =
+    [
+      { (record 1 (Retx_timeout { to_ = 2 }) ~origin:1) with true_time = 5. };
+      { (record 2 (Dup { from = 1 }) ~origin:1) with true_time = 6. };
+      { (record 1 (Retx_timeout { to_ = 2 }) ~origin:1) with true_time = 7. };
+    ]
+  in
+  let profiles = Baseline.Time_corr.profile_windows ~records ~window_size:10. in
+  (* The window has 2 timeouts and 1 dup: every loss in it becomes timeout —
+     the paper's coexisting-causes criticism. *)
+  Alcotest.(check string) "dominant wins" "timeout"
+    (Logsys.Cause.name
+       (Baseline.Time_corr.classify ~profiles ~window_size:10. ~loss_time:6.));
+  Alcotest.(check string) "quiet window falls back" "received"
+    (Logsys.Cause.name
+       (Baseline.Time_corr.classify ~profiles ~window_size:10. ~loss_time:95.))
+
+let time_corr_classify_all () =
+  let verdicts =
+    Baseline.Time_corr.classify_all ~records:[] ~window_size:10.
+      ~losses:[ ((1, 0), 5.); ((1, 1), 15.) ]
+  in
+  Alcotest.(check int) "all classified" 2 (List.length verdicts)
+
+(* -- Wit-style merge ----------------------------------------------------------------- *)
+
+let wit_complete_chain () =
+  let c =
+    collected_of ~n_nodes:4
+      [
+        record 1 Gen ~origin:1;
+        record 1 (Trans { to_ = 2 }) ~origin:1;
+        record 2 (Recv { from = 1 }) ~origin:1;
+        record 2 (Trans { to_ = 0 }) ~origin:1;
+        record 0 (Recv { from = 2 }) ~origin:1;
+        record 0 Deliver ~origin:1;
+      ]
+  in
+  let m = Baseline.Wit_merge.merge c ~origin:1 ~seq:0 ~sink:0 in
+  Alcotest.(check bool) "complete" true m.complete;
+  Alcotest.(check (list (pair int int))) "chain" [ (1, 2); (2, 0) ] m.chain
+
+let wit_breaks_on_missing_side () =
+  (* Node 2's log lost: the (1→2) hop has no receiver-side record, so there
+     is no common event to join on — the merge breaks at node 1. *)
+  let c =
+    collected_of ~n_nodes:4
+      [
+        record 1 Gen ~origin:1;
+        record 1 (Trans { to_ = 2 }) ~origin:1;
+        record 0 (Recv { from = 2 }) ~origin:1;
+        record 0 Deliver ~origin:1;
+      ]
+  in
+  let m = Baseline.Wit_merge.merge c ~origin:1 ~seq:0 ~sink:0 in
+  Alcotest.(check bool) "broken" false m.complete;
+  Alcotest.(check (option int)) "at node 1" (Some 1) m.broken_at;
+  Alcotest.(check (list (pair int int))) "no hops joined" [] m.chain
+
+let wit_terminal_drop_is_complete () =
+  let c =
+    collected_of ~n_nodes:4
+      [
+        record 1 Gen ~origin:1;
+        record 1 (Trans { to_ = 2 }) ~origin:1;
+        record 2 (Overflow { from = 1 }) ~origin:1;
+      ]
+  in
+  let m = Baseline.Wit_merge.merge c ~origin:1 ~seq:0 ~sink:0 in
+  (* Wait: the overflow is on node 2 but the walk starts at node 1, which
+     has a trans and node 2 has no recv — but node 1 itself has no terminal
+     record. The hop cannot be joined (no recv on 2), so the chain breaks. *)
+  Alcotest.(check bool) "broken at sender" false m.complete
+
+let wit_mergeable_fraction () =
+  Alcotest.(check (float 1e-9)) "empty" 0.
+    (Baseline.Wit_merge.mergeable_fraction []);
+  let fake_complete = { Baseline.Wit_merge.chain = []; complete = true; broken_at = None } in
+  let fake_broken = { fake_complete with complete = false } in
+  Alcotest.(check (float 1e-9)) "half" 0.5
+    (Baseline.Wit_merge.mergeable_fraction
+       [ ((0, 0), fake_complete); ((0, 1), fake_broken) ])
+
+(* -- PathZip ---------------------------------------------------------------------- *)
+
+let pathzip_recovers_line_path () =
+  let topo =
+    Net.Topology.create
+      ~positions:(Array.init 5 (fun i -> (float_of_int i *. 5., 0.)))
+      ~range:8.
+  in
+  let path = [ 4; 3; 2; 1; 0 ] in
+  let r =
+    Baseline.Pathzip.recover topo ~origin:4 ~sink:0
+      ~hash:(Baseline.Pathzip.hash_path path) ~max_hops:8 ~budget:10_000
+  in
+  Alcotest.(check (option (list int))) "exact path" (Some path) r.path;
+  Alcotest.(check bool) "bounded work" true (r.expanded < 100)
+
+let pathzip_wrong_hash_fails () =
+  let topo =
+    Net.Topology.create
+      ~positions:(Array.init 4 (fun i -> (float_of_int i *. 5., 0.)))
+      ~range:8.
+  in
+  let r =
+    Baseline.Pathzip.recover topo ~origin:3 ~sink:0 ~hash:42 ~max_hops:8
+      ~budget:10_000
+  in
+  Alcotest.(check (option (list int))) "no match" None r.path
+
+let pathzip_budget_respected () =
+  (* A dense topology with a tiny budget: the search must stop. *)
+  let rng = Prelude.Rng.create ~seed:2L in
+  let topo = Net.Topology.random_geometric rng ~n:30 ~side:30. ~range:20. in
+  let r =
+    Baseline.Pathzip.recover topo ~origin:29 ~sink:0 ~hash:1 ~max_hops:10
+      ~budget:50
+  in
+  Alcotest.(check bool) "stopped at budget" true (r.expanded <= 50);
+  Alcotest.(check (option (list int))) "gave up" None r.path
+
+let pathzip_hash_order_sensitive () =
+  Alcotest.(check bool) "order matters" true
+    (Baseline.Pathzip.hash_path [ 1; 2; 3 ]
+    <> Baseline.Pathzip.hash_path [ 3; 2; 1 ])
+
+let pathzip_on_simulated_truth () =
+  let scenario = Scenario.Citysee.run Scenario.Citysee.tiny in
+  let stats =
+    Baseline.Pathzip.recover_delivered
+      (Node.Network.topology scenario.network)
+      ~truth:(Node.Network.truth scenario.network)
+      ~sink:scenario.sink ~max_hops:12 ~budget:200_000
+  in
+  Alcotest.(check bool) "attempted deliveries" true (stats.packets > 100);
+  Alcotest.(check bool)
+    (Printf.sprintf "recovers most delivered paths (%d/%d)" stats.recovered
+       stats.packets)
+    true
+    (Prelude.Stats.ratio stats.recovered stats.packets > 0.9)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "naive",
+        [
+          Alcotest.test_case "delivered chain" `Quick naive_delivered_chain;
+          Alcotest.test_case "trans without ack" `Quick naive_trans_without_ack;
+          Alcotest.test_case "blind to ordering" `Quick
+            naive_fooled_by_ack_ordering;
+          Alcotest.test_case "blind to sink serial" `Quick
+            naive_fooled_by_sink_serial_loss;
+          Alcotest.test_case "explicit drops" `Quick naive_sees_explicit_drops;
+          Alcotest.test_case "received loss" `Quick naive_received_loss;
+          Alcotest.test_case "classify_all" `Quick
+            naive_classify_all_covers_packets;
+        ] );
+      ( "sink_view",
+        [
+          Alcotest.test_case "finds losses" `Quick sink_view_finds_losses;
+          Alcotest.test_case "no preceding delivery" `Quick
+            sink_view_no_preceding;
+          Alcotest.test_case "counts by origin" `Quick sink_view_counts_by_origin;
+        ] );
+      ( "time_corr",
+        [
+          Alcotest.test_case "window profiles" `Quick time_corr_window_profiles;
+          Alcotest.test_case "dominant cause" `Quick time_corr_dominant_cause;
+          Alcotest.test_case "classify_all" `Quick time_corr_classify_all;
+        ] );
+      ( "pathzip",
+        [
+          Alcotest.test_case "line path" `Quick pathzip_recovers_line_path;
+          Alcotest.test_case "wrong hash" `Quick pathzip_wrong_hash_fails;
+          Alcotest.test_case "budget" `Quick pathzip_budget_respected;
+          Alcotest.test_case "order-sensitive hash" `Quick
+            pathzip_hash_order_sensitive;
+          Alcotest.test_case "simulated truth" `Quick pathzip_on_simulated_truth;
+        ] );
+      ( "wit_merge",
+        [
+          Alcotest.test_case "complete chain" `Quick wit_complete_chain;
+          Alcotest.test_case "breaks on loss" `Quick wit_breaks_on_missing_side;
+          Alcotest.test_case "terminal drop" `Quick wit_terminal_drop_is_complete;
+          Alcotest.test_case "mergeable fraction" `Quick wit_mergeable_fraction;
+        ] );
+    ]

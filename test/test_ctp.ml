@@ -1,0 +1,242 @@
+(* Tests for the CTP routing substrate. *)
+
+(* -- Estimator ------------------------------------------------------------- *)
+
+let estimator_converges_up () =
+  let e = Ctp.Estimator.create ~alpha:0.9 ~initial:0.5 () in
+  for _ = 1 to 200 do
+    Ctp.Estimator.observe e ~received:true
+  done;
+  Alcotest.(check bool) "quality near 1" true (Ctp.Estimator.quality e > 0.99);
+  Alcotest.(check bool) "etx near 1" true (Ctp.Estimator.etx e < 1.02)
+
+let estimator_converges_down () =
+  let e = Ctp.Estimator.create ~alpha:0.9 ~initial:0.9 () in
+  for _ = 1 to 500 do
+    Ctp.Estimator.observe e ~received:false
+  done;
+  Alcotest.(check (float 1e-9)) "etx capped" Ctp.Estimator.max_etx
+    (Ctp.Estimator.etx e)
+
+let estimator_ewma_step () =
+  let e = Ctp.Estimator.create ~alpha:0.9 ~initial:0.5 () in
+  Ctp.Estimator.observe e ~received:true;
+  Alcotest.(check (float 1e-9)) "one step" 0.55 (Ctp.Estimator.quality e);
+  Alcotest.(check int) "samples" 1 (Ctp.Estimator.samples e)
+
+let estimator_invalid () =
+  Alcotest.check_raises "bad alpha" (Invalid_argument "Estimator.create: alpha")
+    (fun () -> ignore (Ctp.Estimator.create ~alpha:1.5 ()));
+  Alcotest.check_raises "bad initial"
+    (Invalid_argument "Estimator.create: initial") (fun () ->
+      ignore (Ctp.Estimator.create ~initial:0. ()))
+
+(* -- Router ----------------------------------------------------------------- *)
+
+let sink_router () =
+  let r = Ctp.Router.create ~self:0 ~is_sink:true () in
+  Alcotest.(check (float 1e-9)) "sink path etx 0" 0. (Ctp.Router.path_etx r);
+  Alcotest.(check bool) "sink has route" true (Ctp.Router.has_route r);
+  Alcotest.(check bool) "sink never has parent" true
+    (Ctp.Router.parent r = None);
+  (* Beacons do not give the sink a parent. *)
+  Ctp.Router.on_beacon_received r ~from:3 ~advertised_etx:1.;
+  Alcotest.(check bool) "still none" true (Ctp.Router.parent r = None)
+
+let node_adopts_parent () =
+  let r = Ctp.Router.create ~self:5 ~is_sink:false () in
+  Alcotest.(check bool) "no route initially" false (Ctp.Router.has_route r);
+  Alcotest.(check (float 1e-9)) "infinite cost" infinity (Ctp.Router.path_etx r);
+  Ctp.Router.on_beacon_received r ~from:0 ~advertised_etx:0.;
+  Alcotest.(check (option int)) "adopted" (Some 0) (Ctp.Router.parent r);
+  Alcotest.(check bool) "finite cost" true (Ctp.Router.path_etx r < infinity)
+
+let paper_parent_rule () =
+  (* §V.A.3: switch iff pathETX(current) > pathETX(cand) + linkETX(cand). *)
+  let r = Ctp.Router.create ~self:5 ~is_sink:false ~hysteresis:0. () in
+  (* Build up both links with identical estimator histories first. *)
+  for _ = 1 to 50 do
+    Ctp.Router.on_beacon_received r ~from:1 ~advertised_etx:4.;
+    Ctp.Router.on_beacon_received r ~from:2 ~advertised_etx:6.
+  done;
+  Alcotest.(check (option int)) "cheaper advert wins" (Some 1)
+    (Ctp.Router.parent r);
+  (* Node 2 now advertises a much better cost. *)
+  Ctp.Router.on_beacon_received r ~from:2 ~advertised_etx:1.;
+  Alcotest.(check (option int)) "switches" (Some 2) (Ctp.Router.parent r)
+
+let hysteresis_damps_thrash () =
+  let r = Ctp.Router.create ~self:5 ~is_sink:false ~hysteresis:0.75 () in
+  for _ = 1 to 50 do
+    Ctp.Router.on_beacon_received r ~from:1 ~advertised_etx:4.;
+    Ctp.Router.on_beacon_received r ~from:2 ~advertised_etx:4.2
+  done;
+  Alcotest.(check (option int)) "first parent" (Some 1) (Ctp.Router.parent r);
+  (* A marginal improvement below hysteresis does not switch. *)
+  Ctp.Router.on_beacon_received r ~from:2 ~advertised_etx:3.8;
+  Alcotest.(check (option int)) "no switch" (Some 1) (Ctp.Router.parent r)
+
+let infinite_advert_not_parent () =
+  let r = Ctp.Router.create ~self:5 ~is_sink:false () in
+  Ctp.Router.on_beacon_received r ~from:1 ~advertised_etx:infinity;
+  Alcotest.(check (option int)) "routeless neighbor rejected" None
+    (Ctp.Router.parent r)
+
+let missed_beacons_degrade () =
+  let r = Ctp.Router.create ~self:5 ~is_sink:false ~hysteresis:0. () in
+  for _ = 1 to 30 do
+    Ctp.Router.on_beacon_received r ~from:1 ~advertised_etx:2.;
+    Ctp.Router.on_beacon_received r ~from:2 ~advertised_etx:2.5
+  done;
+  Alcotest.(check (option int)) "parent 1" (Some 1) (Ctp.Router.parent r);
+  (* Node 1's link collapses: many missed beacon windows. *)
+  for _ = 1 to 40 do
+    Ctp.Router.on_beacon_missed r ~from:1
+  done;
+  Alcotest.(check (option int)) "rerouted to 2" (Some 2) (Ctp.Router.parent r)
+
+let data_feedback_degrades () =
+  let r = Ctp.Router.create ~self:5 ~is_sink:false ~hysteresis:0. () in
+  for _ = 1 to 30 do
+    Ctp.Router.on_beacon_received r ~from:1 ~advertised_etx:2.;
+    Ctp.Router.on_beacon_received r ~from:2 ~advertised_etx:2.5
+  done;
+  for _ = 1 to 40 do
+    Ctp.Router.on_data_tx_outcome r ~to_:1 ~acked:false
+  done;
+  Alcotest.(check (option int)) "rerouted after tx failures" (Some 2)
+    (Ctp.Router.parent r)
+
+let self_beacon_ignored () =
+  let r = Ctp.Router.create ~self:5 ~is_sink:false () in
+  Ctp.Router.on_beacon_received r ~from:5 ~advertised_etx:0.;
+  Alcotest.(check int) "no self entry" 0 (Ctp.Router.neighbor_count r)
+
+let router_reset () =
+  let r = Ctp.Router.create ~self:5 ~is_sink:false () in
+  Ctp.Router.on_beacon_received r ~from:1 ~advertised_etx:2.;
+  Alcotest.(check bool) "had route" true (Ctp.Router.has_route r);
+  Ctp.Router.reset r;
+  Alcotest.(check bool) "route gone" false (Ctp.Router.has_route r);
+  Alcotest.(check int) "table empty" 0 (Ctp.Router.neighbor_count r);
+  (* A sink stays a sink through reset. *)
+  let sink = Ctp.Router.create ~self:0 ~is_sink:true () in
+  Ctp.Router.reset sink;
+  Alcotest.(check bool) "sink still routes" true (Ctp.Router.has_route sink)
+
+let dup_cache_clear () =
+  let c = Ctp.Dup_cache.create ~capacity:4 in
+  Ctp.Dup_cache.remember c ~origin:1 ~seq:1;
+  Ctp.Dup_cache.clear c;
+  Alcotest.(check int) "empty" 0 (Ctp.Dup_cache.length c);
+  Alcotest.(check bool) "forgotten" false (Ctp.Dup_cache.seen c ~origin:1 ~seq:1);
+  (* Reusable after clear. *)
+  Ctp.Dup_cache.remember c ~origin:1 ~seq:2;
+  Alcotest.(check int) "usable" 1 (Ctp.Dup_cache.length c)
+
+let link_etx_accessor () =
+  let r = Ctp.Router.create ~self:5 ~is_sink:false () in
+  Alcotest.(check bool) "unknown neighbor" true (Ctp.Router.link_etx r 9 = None);
+  Ctp.Router.on_beacon_received r ~from:9 ~advertised_etx:1.;
+  Alcotest.(check bool) "known" true (Ctp.Router.link_etx r 9 <> None)
+
+(* -- Dup cache ------------------------------------------------------------- *)
+
+let dup_cache_basics () =
+  let c = Ctp.Dup_cache.create ~capacity:4 in
+  Alcotest.(check bool) "fresh miss" false
+    (Ctp.Dup_cache.check_and_remember c ~origin:1 ~seq:1);
+  Alcotest.(check bool) "second hit" true
+    (Ctp.Dup_cache.check_and_remember c ~origin:1 ~seq:1);
+  Alcotest.(check bool) "other packet miss" false
+    (Ctp.Dup_cache.check_and_remember c ~origin:1 ~seq:2)
+
+let dup_cache_eviction () =
+  let c = Ctp.Dup_cache.create ~capacity:2 in
+  Ctp.Dup_cache.remember c ~origin:0 ~seq:0;
+  Ctp.Dup_cache.remember c ~origin:0 ~seq:1;
+  Ctp.Dup_cache.remember c ~origin:0 ~seq:2;
+  (* seq 0 was evicted (FIFO). *)
+  Alcotest.(check bool) "oldest evicted" false (Ctp.Dup_cache.seen c ~origin:0 ~seq:0);
+  Alcotest.(check bool) "newest present" true (Ctp.Dup_cache.seen c ~origin:0 ~seq:2);
+  Alcotest.(check int) "bounded" 2 (Ctp.Dup_cache.length c)
+
+let dup_cache_reinsert_no_dup_entry () =
+  let c = Ctp.Dup_cache.create ~capacity:2 in
+  Ctp.Dup_cache.remember c ~origin:0 ~seq:0;
+  Ctp.Dup_cache.remember c ~origin:0 ~seq:0;
+  Alcotest.(check int) "single entry" 1 (Ctp.Dup_cache.length c)
+
+let dup_cache_property =
+  QCheck.Test.make ~name:"dup cache size never exceeds capacity" ~count:100
+    QCheck.(pair (int_range 1 8) (small_list (pair small_nat small_nat)))
+    (fun (capacity, inserts) ->
+      let c = Ctp.Dup_cache.create ~capacity in
+      List.iter (fun (o, s) -> Ctp.Dup_cache.remember c ~origin:o ~seq:s) inserts;
+      Ctp.Dup_cache.length c <= capacity)
+
+(* -- Forward queue ---------------------------------------------------------- *)
+
+let queue_fifo () =
+  let q = Ctp.Forward_queue.create ~capacity:3 in
+  let alloc = Net.Packet.allocator () in
+  let p1 = Net.Packet.fresh alloc ~origin:0 ~now:0. in
+  let p2 = Net.Packet.fresh alloc ~origin:0 ~now:1. in
+  Alcotest.(check bool) "push 1" true (Ctp.Forward_queue.push q p1 = `Enqueued);
+  Alcotest.(check bool) "push 2" true (Ctp.Forward_queue.push q p2 = `Enqueued);
+  Alcotest.(check bool) "peek head" true
+    (Ctp.Forward_queue.peek q = Some p1);
+  Alcotest.(check bool) "pop 1" true (Ctp.Forward_queue.pop q = Some p1);
+  Alcotest.(check bool) "pop 2" true (Ctp.Forward_queue.pop q = Some p2);
+  Alcotest.(check bool) "empty" true (Ctp.Forward_queue.pop q = None)
+
+let queue_overflow () =
+  let q = Ctp.Forward_queue.create ~capacity:1 in
+  let alloc = Net.Packet.allocator () in
+  let p1 = Net.Packet.fresh alloc ~origin:0 ~now:0. in
+  let p2 = Net.Packet.fresh alloc ~origin:0 ~now:1. in
+  Alcotest.(check bool) "fits" true (Ctp.Forward_queue.push q p1 = `Enqueued);
+  Alcotest.(check bool) "full" true (Ctp.Forward_queue.is_full q);
+  Alcotest.(check bool) "overflow" true (Ctp.Forward_queue.push q p2 = `Overflow);
+  Alcotest.(check int) "unchanged" 1 (Ctp.Forward_queue.length q)
+
+let () =
+  Alcotest.run "ctp"
+    [
+      ( "estimator",
+        [
+          Alcotest.test_case "converges up" `Quick estimator_converges_up;
+          Alcotest.test_case "converges down (capped)" `Quick
+            estimator_converges_down;
+          Alcotest.test_case "ewma step" `Quick estimator_ewma_step;
+          Alcotest.test_case "invalid args" `Quick estimator_invalid;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "sink" `Quick sink_router;
+          Alcotest.test_case "adopts parent" `Quick node_adopts_parent;
+          Alcotest.test_case "paper parent rule" `Quick paper_parent_rule;
+          Alcotest.test_case "hysteresis" `Quick hysteresis_damps_thrash;
+          Alcotest.test_case "infinite advert" `Quick infinite_advert_not_parent;
+          Alcotest.test_case "missed beacons reroute" `Quick
+            missed_beacons_degrade;
+          Alcotest.test_case "data feedback reroutes" `Quick
+            data_feedback_degrades;
+          Alcotest.test_case "self beacon ignored" `Quick self_beacon_ignored;
+          Alcotest.test_case "link etx accessor" `Quick link_etx_accessor;
+          Alcotest.test_case "reset" `Quick router_reset;
+        ] );
+      ( "dup_cache",
+        [
+          Alcotest.test_case "basics" `Quick dup_cache_basics;
+          Alcotest.test_case "eviction" `Quick dup_cache_eviction;
+          Alcotest.test_case "reinsert" `Quick dup_cache_reinsert_no_dup_entry;
+          Alcotest.test_case "clear" `Quick dup_cache_clear;
+          QCheck_alcotest.to_alcotest dup_cache_property;
+        ] );
+      ( "forward_queue",
+        [
+          Alcotest.test_case "fifo" `Quick queue_fifo;
+          Alcotest.test_case "overflow" `Quick queue_overflow;
+        ] );
+    ]

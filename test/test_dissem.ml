@@ -1,0 +1,367 @@
+(* Tests for the dissemination protocol model (Fig. 3(b)/(d)'s negotiation
+   pattern on the generic engine). *)
+
+open Refill
+
+let ev node label peer : Dissem.event = { node; label; peer }
+
+let labels items =
+  List.map
+    (fun (i : (Dissem.label, Dissem.event) Engine.item) ->
+      Dissem.label_name i.label)
+    items
+
+let lossless_round_completes () =
+  let rng = Prelude.Rng.create ~seed:1L in
+  let out =
+    Dissem.generate rng ~broadcaster:0 ~receivers:[ 1; 2; 3 ]
+      ~message_loss:0. ~record_loss:0.
+  in
+  List.iter
+    (fun (r, completed) ->
+      Alcotest.(check bool) (Printf.sprintf "receiver %d truth" r) true
+        completed)
+    out.completed;
+  List.iter
+    (fun (r, progress) ->
+      Alcotest.(check int) (Printf.sprintf "receiver %d done" r) 4 progress)
+    (Dissem.analyze_round ~broadcaster:0 ~events:out.events)
+
+let single_done_reconstructs_everything () =
+  let items, stats =
+    Dissem.reconstruct ~broadcaster:0 ~receiver:1
+      ~events:[ ev 1 Dissem.L_done None ]
+  in
+  Alcotest.(check (list string)) "full cascade"
+    [ "adv"; "rx_adv"; "req"; "rx_req"; "data"; "rx_data"; "done" ]
+    (labels items);
+  Alcotest.(check int) "six inferred" 6 stats.emitted_inferred;
+  Alcotest.(check int) "done proven" 4
+    (Dissem.receiver_progress ~receiver:1 items)
+
+let broadcaster_only_view () =
+  (* Only the broadcaster's data record survives: the receiver must have
+     heard the advert and requested. *)
+  let items, _ =
+    Dissem.reconstruct ~broadcaster:0 ~receiver:7
+      ~events:[ ev 0 Dissem.L_data (Some 7) ]
+  in
+  Alcotest.(check (list string)) "cascade through the receiver"
+    [ "adv"; "rx_adv"; "req"; "rx_req"; "data" ]
+    (labels items);
+  (* Data *sent* proves the receiver requested, not that it received. *)
+  Alcotest.(check int) "progress capped at requested" 2
+    (Dissem.receiver_progress ~receiver:7 items)
+
+let truncated_exchange_not_overclaimed () =
+  (* The advert was heard but the request vanished: reconstruction must not
+     invent completion. *)
+  let events =
+    [
+      ev 0 Dissem.L_adv None;
+      ev 1 Dissem.L_rx_adv (Some 0);
+      ev 1 Dissem.L_req (Some 0);
+    ]
+  in
+  let items, stats = Dissem.reconstruct ~broadcaster:0 ~receiver:1 ~events in
+  Alcotest.(check int) "nothing inferred" 0 stats.emitted_inferred;
+  Alcotest.(check int) "progress = requested" 2
+    (Dissem.receiver_progress ~receiver:1 items)
+
+let pair_filtering () =
+  (* Receiver 2's records must not leak into receiver 1's reconstruction. *)
+  let events =
+    [
+      ev 0 Dissem.L_adv None;
+      ev 0 Dissem.L_rx_req (Some 2);
+      ev 0 Dissem.L_data (Some 2);
+      ev 1 Dissem.L_rx_adv (Some 0);
+    ]
+  in
+  let items, _ = Dissem.reconstruct ~broadcaster:0 ~receiver:1 ~events in
+  Alcotest.(check (list string)) "only pair events" [ "adv"; "rx_adv" ]
+    (labels items)
+
+let mixed_round_progress () =
+  (* Deterministically build a round where receiver 1 completed and
+     receiver 2's data message was lost. *)
+  let events =
+    [
+      ev 0 Dissem.L_adv None;
+      ev 1 Dissem.L_rx_adv (Some 0);
+      ev 1 Dissem.L_req (Some 0);
+      ev 0 Dissem.L_rx_req (Some 1);
+      ev 0 Dissem.L_data (Some 1);
+      ev 1 Dissem.L_rx_data (Some 0);
+      ev 1 Dissem.L_done None;
+      ev 2 Dissem.L_rx_adv (Some 0);
+      ev 2 Dissem.L_req (Some 0);
+      ev 0 Dissem.L_rx_req (Some 2);
+      ev 0 Dissem.L_data (Some 2);
+      (* rx_data / done on 2 never happened *)
+    ]
+  in
+  match Dissem.analyze_round ~broadcaster:0 ~events with
+  | [ (1, p1); (2, p2) ] ->
+      Alcotest.(check int) "receiver 1 done" 4 p1;
+      Alcotest.(check int) "receiver 2 stuck at requested" 2 p2
+  | other ->
+      Alcotest.failf "unexpected receivers: %d" (List.length other)
+
+let generator_truncates_consistently =
+  QCheck.Test.make
+    ~name:"generated rounds: completion iff all three messages survive"
+    ~count:100
+    QCheck.(pair int64 (float_bound_inclusive 1.))
+    (fun (seed, message_loss) ->
+      let rng = Prelude.Rng.create ~seed in
+      let out =
+        Dissem.generate rng ~broadcaster:0 ~receivers:[ 1; 2; 3; 4 ]
+          ~message_loss ~record_loss:0.
+      in
+      (* With no record loss, reconstruction's proven progress must equal
+         ground truth completion for every receiver. *)
+      let progress = Dissem.analyze_round ~broadcaster:0 ~events:out.events in
+      List.for_all
+        (fun (r, completed) ->
+          match List.assoc_opt r progress with
+          | Some p -> if completed then p = 4 else p < 4
+          | None -> not completed)
+        out.completed)
+
+let reconstruction_never_overclaims =
+  QCheck.Test.make
+    ~name:"under record loss, proven progress never exceeds ground truth"
+    ~count:200
+    QCheck.(triple int64 (float_bound_inclusive 0.8) (float_bound_inclusive 0.8))
+    (fun (seed, message_loss, record_loss) ->
+      let rng = Prelude.Rng.create ~seed in
+      let out =
+        Dissem.generate rng ~broadcaster:0 ~receivers:[ 1; 2; 3 ]
+          ~message_loss ~record_loss
+      in
+      let progress = Dissem.analyze_round ~broadcaster:0 ~events:out.events in
+      List.for_all
+        (fun (r, p) ->
+          match List.assoc_opt r out.completed with
+          | Some true -> true (* any progress is fine *)
+          | Some false -> p < 4 (* must not prove completion *)
+          | None -> false)
+        progress)
+
+(* -- The simulated substrate (Dissem_sim.Rounds) ----------------------------- *)
+
+let sim_setup ?(range = 15.) ?(seed = 5L) positions =
+  let topo = Net.Topology.create ~positions ~range in
+  let link = Net.Link_model.create ~seed:9L ~topology:topo () in
+  let rng = Prelude.Rng.create ~seed in
+  (rng, topo, link)
+
+let simulated_round_matches_truth () =
+  (* Close-by receivers with strong links: everyone completes, and the
+     reconstruction proves it from the simulated logs. *)
+  let rng, topo, link =
+    sim_setup [| (0., 0.); (3., 0.); (0., 3.); (3., 3.) |]
+  in
+  let result =
+    Dissem_sim.Rounds.run rng ~topology:topo ~link ~broadcaster:0
+      Dissem_sim.Rounds.default_config
+  in
+  Alcotest.(check bool) "advertised" true (result.advertisements > 0);
+  List.iter
+    (fun (r, completed) ->
+      Alcotest.(check bool) (Printf.sprintf "r%d completed" r) true completed)
+    result.completed;
+  let events = Dissem_sim.Rounds.merged_events result in
+  List.iter
+    (fun (r, progress) ->
+      Alcotest.(check int) (Printf.sprintf "r%d proven done" r) 4 progress)
+    (Refill.Dissem.analyze_round ~broadcaster:0 ~events)
+
+let simulated_round_weak_links_partial () =
+  (* One receiver at the edge of range: it may fail; reconstruction must
+     agree with ground truth exactly on lossless logs. *)
+  let rng, topo, link =
+    sim_setup [| (0., 0.); (3., 0.); (13.5, 0.) |]
+  in
+  let result =
+    Dissem_sim.Rounds.run rng ~topology:topo ~link ~broadcaster:0
+      Dissem_sim.Rounds.default_config
+  in
+  let events = Dissem_sim.Rounds.merged_events result in
+  let progress = Refill.Dissem.analyze_round ~broadcaster:0 ~events in
+  List.iter
+    (fun (r, completed) ->
+      match List.assoc_opt r progress with
+      | Some p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "r%d proven iff completed" r)
+            completed (p = 4)
+      | None ->
+          Alcotest.(check bool)
+            (Printf.sprintf "r%d absent implies incomplete" r)
+            false completed)
+    result.completed
+
+let simulated_logs_well_formed () =
+  let rng, topo, link =
+    sim_setup [| (0., 0.); (3., 0.); (0., 3.) |]
+  in
+  let result =
+    Dissem_sim.Rounds.run rng ~topology:topo ~link ~broadcaster:0
+      Dissem_sim.Rounds.default_config
+  in
+  (* The broadcaster's adv records match the round counter. *)
+  let b_log = List.assoc 0 result.logs in
+  let advs =
+    List.length
+      (List.filter
+         (fun (e : Refill.Dissem.event) -> e.label = Refill.Dissem.L_adv)
+         b_log)
+  in
+  Alcotest.(check int) "adv count" result.advertisements advs;
+  (* Receivers only write receiver-side labels; the broadcaster only
+     broadcaster-side ones. *)
+  List.iter
+    (fun (node, log) ->
+      List.iter
+        (fun (e : Refill.Dissem.event) ->
+          let broadcaster_side =
+            match e.label with
+            | Refill.Dissem.L_adv | Refill.Dissem.L_rx_req
+            | Refill.Dissem.L_data ->
+                true
+            | Refill.Dissem.L_rx_adv | Refill.Dissem.L_req
+            | Refill.Dissem.L_rx_data | Refill.Dissem.L_done ->
+                false
+          in
+          Alcotest.(check bool) "side matches" (node = 0) broadcaster_side)
+        log)
+    result.logs
+
+let simulated_soundness_under_record_loss =
+  QCheck.Test.make ~name:"simulated rounds: sound under record loss"
+    ~count:50
+    QCheck.(pair int64 (float_bound_inclusive 0.7))
+    (fun (seed, record_loss) ->
+      let rng, topo, link =
+        sim_setup ~seed
+          [| (0., 0.); (3., 0.); (0., 3.); (8., 8.); (12., 0.) |]
+      in
+      let result =
+        Dissem_sim.Rounds.run rng ~topology:topo ~link ~broadcaster:0
+          Dissem_sim.Rounds.default_config
+      in
+      let events =
+        List.filter
+          (fun _ -> not (Prelude.Rng.bernoulli rng ~p:record_loss))
+          (Dissem_sim.Rounds.merged_events result)
+      in
+      let progress = Refill.Dissem.analyze_round ~broadcaster:0 ~events in
+      List.for_all
+        (fun (r, p) ->
+          match List.assoc_opt r result.completed with
+          | Some true -> true
+          | Some false -> p < 4
+          | None -> false)
+        progress)
+
+let epidemic_floods_and_reconstructs () =
+  let rng = Prelude.Rng.create ~seed:7L in
+  let topo_rng = Prelude.Rng.create ~seed:5L in
+  let topo =
+    Net.Topology.jittered_grid topo_rng ~nx:5 ~ny:5 ~spacing:10. ~jitter:2.
+      ~range:16.
+  in
+  let link = Net.Link_model.create ~seed:9L ~topology:topo () in
+  let result =
+    Dissem_sim.Rounds.run_epidemic rng ~topology:topo ~link ~seed:0
+      { Dissem_sim.Rounds.default_config with duration = 400. }
+  in
+  let done_count = List.length (List.filter snd result.completed) in
+  (* The data must spread well beyond the seed's one-hop neighborhood. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "flooded (%d/24)" done_count)
+    true
+    (done_count > List.length (Net.Topology.neighbors topo 0));
+  let events = Dissem_sim.Rounds.merged_events result in
+  let progress = Refill.Dissem.analyze_epidemic ~seed:0 ~events in
+  List.iter
+    (fun (r, completed) ->
+      match List.assoc_opt r progress with
+      | Some p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d proven iff completed" r)
+            completed (p = 4)
+      | None ->
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d absent implies incomplete" r)
+            false completed)
+    result.completed
+
+let epidemic_sound_under_loss =
+  QCheck.Test.make ~name:"epidemic reconstruction sound under record loss"
+    ~count:25
+    QCheck.(pair int64 (float_bound_inclusive 0.6))
+    (fun (seed, loss) ->
+      let rng = Prelude.Rng.create ~seed in
+      let topo_rng = Prelude.Rng.create ~seed:5L in
+      let topo =
+        Net.Topology.jittered_grid topo_rng ~nx:4 ~ny:4 ~spacing:10.
+          ~jitter:2. ~range:16.
+      in
+      let link = Net.Link_model.create ~seed:9L ~topology:topo () in
+      let result =
+        Dissem_sim.Rounds.run_epidemic rng ~topology:topo ~link ~seed:0
+          { Dissem_sim.Rounds.default_config with duration = 250. }
+      in
+      let events =
+        List.filter
+          (fun _ -> not (Prelude.Rng.bernoulli rng ~p:loss))
+          (Dissem_sim.Rounds.merged_events result)
+      in
+      let progress = Refill.Dissem.analyze_epidemic ~seed:0 ~events in
+      List.for_all
+        (fun (r, p) ->
+          match List.assoc_opt r result.completed with
+          | Some c -> p < 4 || c
+          | None -> false)
+        progress)
+
+let () =
+  Alcotest.run "dissem"
+    [
+      ( "reconstruction",
+        [
+          Alcotest.test_case "lossless round" `Quick lossless_round_completes;
+          Alcotest.test_case "single done record" `Quick
+            single_done_reconstructs_everything;
+          Alcotest.test_case "broadcaster-only view" `Quick
+            broadcaster_only_view;
+          Alcotest.test_case "truncated exchange" `Quick
+            truncated_exchange_not_overclaimed;
+          Alcotest.test_case "pair filtering" `Quick pair_filtering;
+          Alcotest.test_case "mixed round" `Quick mixed_round_progress;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest generator_truncates_consistently;
+          QCheck_alcotest.to_alcotest reconstruction_never_overclaims;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "full completion" `Quick
+            simulated_round_matches_truth;
+          Alcotest.test_case "weak links partial" `Quick
+            simulated_round_weak_links_partial;
+          Alcotest.test_case "well-formed logs" `Quick
+            simulated_logs_well_formed;
+          QCheck_alcotest.to_alcotest simulated_soundness_under_record_loss;
+        ] );
+      ( "epidemic",
+        [
+          Alcotest.test_case "floods and reconstructs" `Quick
+            epidemic_floods_and_reconstructs;
+          QCheck_alcotest.to_alcotest epidemic_sound_under_loss;
+        ] );
+    ]

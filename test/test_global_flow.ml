@@ -1,0 +1,183 @@
+(* Tests for the network-wide event flow (§II Eq. 1): the topological merge
+   of per-packet flows under per-node log constraints. *)
+
+let scenario = lazy (Scenario.Citysee.run Scenario.Citysee.tiny)
+
+let build_lossless () =
+  let sc = Lazy.force scenario in
+  let collected = Scenario.Citysee.collected sc in
+  let flows = Refill.Reconstruct.all collected ~sink:sc.sink in
+  (sc, collected, flows, Refill.Global_flow.build collected ~flows)
+
+let counts_add_up () =
+  let _, collected, flows, (items, stats) = build_lossless () in
+  Alcotest.(check int) "events = sum of flows"
+    (List.fold_left (fun acc (f : Refill.Flow.t) -> acc + Refill.Flow.length f) 0 flows)
+    stats.events;
+  Alcotest.(check int) "list matches stats" stats.events (List.length items);
+  Alcotest.(check int) "logged events = consumed records"
+    (Logsys.Collected.total collected)
+    (stats.logged + 0);
+  Alcotest.(check int) "partition" stats.events (stats.logged + stats.inferred)
+
+let preserves_per_packet_flow_order () =
+  let _, _, flows, (items, _) = build_lossless () in
+  (* For each packet, the subsequence of its items in the global flow must
+     equal its own flow. *)
+  let global = Array.of_list items in
+  let positions = Hashtbl.create 1024 in
+  Array.iteri
+    (fun idx (i : Refill.Flow.item) ->
+      match i.payload with
+      | Some r ->
+          let key = Logsys.Record.packet_key r in
+          Hashtbl.replace positions key
+            (idx :: Option.value ~default:[] (Hashtbl.find_opt positions key))
+      | None -> ())
+    global;
+  List.iter
+    (fun (f : Refill.Flow.t) ->
+      match Hashtbl.find_opt positions (f.origin, f.seq) with
+      | None -> ()
+      | Some idxs_rev ->
+          let idxs = List.rev idxs_rev in
+          let sub = List.map (fun i -> global.(i)) idxs in
+          Alcotest.(check int)
+            (Printf.sprintf "packet (%d,%d) intact" f.origin f.seq)
+            (Refill.Flow.length f) (List.length sub);
+          List.iter2
+            (fun (a : Refill.Flow.item) (b : Refill.Flow.item) ->
+              Alcotest.(check bool) "same order" true
+                (a.label = b.label && a.node = b.node && a.inferred = b.inferred))
+            f.items sub)
+      flows
+
+let wall_clock_agreement_high () =
+  let sc, _, _, (items, stats) = build_lossless () in
+  Alcotest.(check bool)
+    (Printf.sprintf "few relaxations (%d)" stats.relaxed)
+    true
+    (stats.relaxed < stats.events / 20);
+  (* Pairwise order agreement with ground-truth time over logged events. *)
+  let gt = Logsys.Logger.ground_truth (Node.Network.logger sc.network) in
+  let pos = Hashtbl.create 4096 in
+  List.iteri (fun i (r : Logsys.Record.t) -> Hashtbl.replace pos r.gseq i) gt;
+  let seq =
+    List.filter_map
+      (fun (i : Refill.Flow.item) ->
+        if i.inferred then None
+        else
+          Option.bind i.payload (fun (r : Logsys.Record.t) ->
+              Hashtbl.find_opt pos r.gseq))
+      items
+    |> Array.of_list
+  in
+  let rng = Prelude.Rng.create ~seed:3L in
+  let total = ref 0 and good = ref 0 in
+  for _ = 1 to 50_000 do
+    let a = Prelude.Rng.int rng (Array.length seq) in
+    let b = Prelude.Rng.int rng (Array.length seq) in
+    if a < b then begin
+      incr total;
+      if seq.(a) < seq.(b) then incr good
+    end
+  done;
+  let agreement = Prelude.Stats.ratio !good !total in
+  Alcotest.(check bool)
+    (Printf.sprintf "agreement %.3f > 0.9" agreement)
+    true (agreement > 0.9)
+
+let works_under_record_loss () =
+  let sc = Lazy.force scenario in
+  let rng = Prelude.Rng.create ~seed:17L in
+  let lossy =
+    Logsys.Collected.lossify (Logsys.Loss_model.uniform 0.3) rng
+      (Scenario.Citysee.collected sc)
+  in
+  let flows = Refill.Reconstruct.all lossy ~sink:sc.sink in
+  let items, stats = Refill.Global_flow.build lossy ~flows in
+  Alcotest.(check int) "complete" stats.events (List.length items);
+  Alcotest.(check bool) "has inferred events" true (stats.inferred > 0)
+
+let hand_built_cross_packet_order () =
+  (* Two packets share relay 2; node 2's log interleaves them — the global
+     flow must keep P0's events on node 2 before P1's. *)
+  let r ~node ~kind ~seq ~gseq : Logsys.Record.t =
+    { node; kind; origin = 1; pkt_seq = seq; true_time = float_of_int gseq; gseq }
+  in
+  let logs =
+    [|
+      (* node 0 = sink *)
+      [|
+        r ~node:0 ~kind:(Recv { from = 2 }) ~seq:0 ~gseq:6;
+        r ~node:0 ~kind:Deliver ~seq:0 ~gseq:7;
+        r ~node:0 ~kind:(Recv { from = 2 }) ~seq:1 ~gseq:14;
+        r ~node:0 ~kind:Deliver ~seq:1 ~gseq:15;
+      |];
+      (* node 1 = origin of both packets *)
+      [|
+        r ~node:1 ~kind:Gen ~seq:0 ~gseq:0;
+        r ~node:1 ~kind:(Trans { to_ = 2 }) ~seq:0 ~gseq:1;
+        r ~node:1 ~kind:(Ack_recvd { to_ = 2 }) ~seq:0 ~gseq:3;
+        r ~node:1 ~kind:Gen ~seq:1 ~gseq:8;
+        r ~node:1 ~kind:(Trans { to_ = 2 }) ~seq:1 ~gseq:9;
+        r ~node:1 ~kind:(Ack_recvd { to_ = 2 }) ~seq:1 ~gseq:11;
+      |];
+      (* node 2 = shared relay; its log orders the two packets *)
+      [|
+        r ~node:2 ~kind:(Recv { from = 1 }) ~seq:0 ~gseq:2;
+        r ~node:2 ~kind:(Trans { to_ = 0 }) ~seq:0 ~gseq:4;
+        r ~node:2 ~kind:(Ack_recvd { to_ = 0 }) ~seq:0 ~gseq:5;
+        r ~node:2 ~kind:(Recv { from = 1 }) ~seq:1 ~gseq:10;
+        r ~node:2 ~kind:(Trans { to_ = 0 }) ~seq:1 ~gseq:12;
+        r ~node:2 ~kind:(Ack_recvd { to_ = 0 }) ~seq:1 ~gseq:13;
+      |];
+    |]
+  in
+  let collected = Logsys.Collected.of_node_logs logs in
+  let flows = Refill.Reconstruct.all collected ~sink:0 in
+  let items, stats = Refill.Global_flow.build collected ~flows in
+  Alcotest.(check int) "all 16 events" 16 stats.events;
+  Alcotest.(check int) "nothing relaxed" 0 stats.relaxed;
+  (* P0's recv on node 2 strictly precedes P1's recv on node 2. *)
+  let idx_of seq kind =
+    match
+      List.find_index
+        (fun (i : Refill.Flow.item) ->
+          match i.payload with
+          | Some (r : Logsys.Record.t) ->
+              r.pkt_seq = seq && Logsys.Record.kind_name r.kind = kind
+                && r.node = 2
+          | None -> false)
+        items
+    with
+    | Some i -> i
+    | None -> Alcotest.failf "missing %s for packet %d" kind seq
+  in
+  Alcotest.(check bool) "relay order across packets" true
+    (idx_of 0 "recv" < idx_of 1 "recv");
+  Alcotest.(check bool) "P0 ack before P1 trans on relay" true
+    (idx_of 0 "ack" < idx_of 1 "trans")
+
+let empty_inputs () =
+  let empty = Logsys.Collected.of_node_logs [| [||]; [||] |] in
+  let items, stats = Refill.Global_flow.build empty ~flows:[] in
+  Alcotest.(check int) "no events" 0 (List.length items);
+  Alcotest.(check int) "no relaxations" 0 stats.relaxed
+
+let () =
+  Alcotest.run "global-flow"
+    [
+      ( "merge",
+        [
+          Alcotest.test_case "counts" `Quick counts_add_up;
+          Alcotest.test_case "per-packet order preserved" `Quick
+            preserves_per_packet_flow_order;
+          Alcotest.test_case "wall-clock agreement" `Quick
+            wall_clock_agreement_high;
+          Alcotest.test_case "under record loss" `Quick works_under_record_loss;
+          Alcotest.test_case "cross-packet relay order" `Quick
+            hand_built_cross_packet_order;
+          Alcotest.test_case "empty" `Quick empty_inputs;
+        ] );
+    ]

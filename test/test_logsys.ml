@@ -1,0 +1,275 @@
+(* Tests for records, loggers, loss models and collected logs. *)
+
+let record node kind ~origin ~seq ~time ~gseq : Logsys.Record.t =
+  { node; kind; origin; pkt_seq = seq; true_time = time; gseq }
+
+let r0 node kind = record node kind ~origin:1 ~seq:0 ~time:0. ~gseq:0
+
+(* -- Record ---------------------------------------------------------------- *)
+
+let record_accessors () =
+  let trans = r0 4 (Trans { to_ = 7 }) in
+  Alcotest.(check string) "kind name" "trans" (Logsys.Record.kind_name trans.kind);
+  Alcotest.(check (option int)) "peer" (Some 7) (Logsys.Record.peer trans);
+  Alcotest.(check (option (pair int int))) "link" (Some (4, 7))
+    (Logsys.Record.link trans);
+  Alcotest.(check bool) "sender side" true (Logsys.Record.is_sender_side trans);
+  let recv = r0 7 (Recv { from = 4 }) in
+  Alcotest.(check (option (pair int int))) "recv link sender-first" (Some (4, 7))
+    (Logsys.Record.link recv);
+  Alcotest.(check bool) "receiver side" false (Logsys.Record.is_sender_side recv);
+  let gen = r0 1 Gen in
+  Alcotest.(check (option int)) "gen has no peer" None (Logsys.Record.peer gen);
+  Alcotest.(check (pair int int)) "packet key" (1, 0)
+    (Logsys.Record.packet_key gen)
+
+let record_to_string () =
+  Alcotest.(check string) "paper style" "4-7 trans@4"
+    (Logsys.Record.to_string (r0 4 (Trans { to_ = 7 })));
+  Alcotest.(check string) "local event" "gen@1"
+    (Logsys.Record.to_string (r0 1 Gen))
+
+let record_time_order () =
+  let a = record 0 Gen ~origin:0 ~seq:0 ~time:1. ~gseq:0 in
+  let b = record 0 Gen ~origin:0 ~seq:1 ~time:2. ~gseq:1 in
+  let c = record 0 Gen ~origin:0 ~seq:2 ~time:2. ~gseq:2 in
+  Alcotest.(check bool) "by time" true (Logsys.Record.compare_by_time a b < 0);
+  Alcotest.(check bool) "tie by gseq" true (Logsys.Record.compare_by_time b c < 0)
+
+(* -- Cause ------------------------------------------------------------------ *)
+
+let cause_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "name roundtrip" true
+        (Logsys.Cause.of_name (Logsys.Cause.name c) = Some c))
+    Logsys.Cause.all;
+  Alcotest.(check bool) "unknown name" true (Logsys.Cause.of_name "nope" = None)
+
+let cause_is_loss () =
+  Alcotest.(check bool) "delivered not loss" false
+    (Logsys.Cause.is_loss Logsys.Cause.Delivered);
+  Alcotest.(check bool) "unknown not loss" false
+    (Logsys.Cause.is_loss Logsys.Cause.Unknown);
+  List.iter
+    (fun c -> Alcotest.(check bool) "loss" true (Logsys.Cause.is_loss c))
+    Logsys.Cause.loss_causes
+
+(* -- Logger ------------------------------------------------------------------ *)
+
+let logger_per_node_order () =
+  let l = Logsys.Logger.create ~n_nodes:3 in
+  Logsys.Logger.log l (record 1 Gen ~origin:1 ~seq:0 ~time:0. ~gseq:0);
+  Logsys.Logger.log l (record 1 (Trans { to_ = 2 }) ~origin:1 ~seq:0 ~time:1. ~gseq:1);
+  Logsys.Logger.log l (record 2 (Recv { from = 1 }) ~origin:1 ~seq:0 ~time:2. ~gseq:2);
+  let n1 = Logsys.Logger.node_log l 1 in
+  Alcotest.(check int) "two records" 2 (Array.length n1);
+  Alcotest.(check string) "write order" "gen"
+    (Logsys.Record.kind_name n1.(0).kind);
+  Alcotest.(check int) "total" 3 (Logsys.Logger.total l);
+  let gt = Logsys.Logger.ground_truth l in
+  Alcotest.(check (list int)) "chronological" [ 0; 1; 2 ]
+    (List.map (fun (r : Logsys.Record.t) -> r.gseq) gt)
+
+let logger_bad_node () =
+  let l = Logsys.Logger.create ~n_nodes:2 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Logger.log: node id out of range") (fun () ->
+      Logsys.Logger.log l (record 5 Gen ~origin:0 ~seq:0 ~time:0. ~gseq:0))
+
+(* -- Loss model --------------------------------------------------------------- *)
+
+let sample_log n =
+  Array.init n (fun i ->
+      record 0 Gen ~origin:0 ~seq:i ~time:(float_of_int i) ~gseq:i)
+
+let loss_none_is_identity () =
+  let rng = Prelude.Rng.create ~seed:1L in
+  let log = sample_log 50 in
+  let out = Logsys.Loss_model.apply Logsys.Loss_model.none rng log in
+  Alcotest.(check int) "same length" 50 (Array.length out)
+
+let loss_uniform_drops () =
+  let rng = Prelude.Rng.create ~seed:1L in
+  let log = sample_log 2000 in
+  let out = Logsys.Loss_model.apply (Logsys.Loss_model.uniform 0.3) rng log in
+  let kept = Array.length out in
+  Alcotest.(check bool) "≈70% kept" true (kept > 1300 && kept < 1500)
+
+let loss_preserves_order_subset () =
+  let rng = Prelude.Rng.create ~seed:2L in
+  let log = sample_log 500 in
+  let out = Logsys.Loss_model.apply Logsys.Loss_model.default rng log in
+  (* Surviving gseq values are strictly increasing (order preserved, pure
+     subset). *)
+  let ok = ref true in
+  let last = ref (-1) in
+  Array.iter
+    (fun (r : Logsys.Record.t) ->
+      if r.gseq <= !last then ok := false;
+      last := r.gseq)
+    out;
+  Alcotest.(check bool) "subsequence" true !ok
+
+let loss_node_wipe () =
+  let rng = Prelude.Rng.create ~seed:3L in
+  let config = { Logsys.Loss_model.none with node_wipe = 1.0 } in
+  let out = Logsys.Loss_model.apply config rng (sample_log 10) in
+  Alcotest.(check int) "all gone" 0 (Array.length out)
+
+let loss_ring_capacity () =
+  let rng = Prelude.Rng.create ~seed:4L in
+  let config = { Logsys.Loss_model.none with ring_capacity = Some 3 } in
+  let out = Logsys.Loss_model.apply config rng (sample_log 10) in
+  Alcotest.(check int) "last 3 kept" 3 (Array.length out);
+  Alcotest.(check int) "newest survive" 7 out.(0).gseq
+
+let loss_chunk () =
+  let rng = Prelude.Rng.create ~seed:5L in
+  let config =
+    { Logsys.Loss_model.none with chunk_size = 10; chunk_loss = 1.0 }
+  in
+  let out = Logsys.Loss_model.apply config rng (sample_log 35) in
+  Alcotest.(check int) "all chunks lost" 0 (Array.length out)
+
+let loss_validate () =
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Loss_model: write_loss out of [0,1]") (fun () ->
+      Logsys.Loss_model.validate
+        { Logsys.Loss_model.none with write_loss = 1.5 });
+  Alcotest.check_raises "bad chunk"
+    (Invalid_argument "Loss_model: chunk_size <= 0") (fun () ->
+      Logsys.Loss_model.validate { Logsys.Loss_model.none with chunk_size = 0 })
+
+let loss_subset_property =
+  QCheck.Test.make ~name:"loss model output is an ordered subset" ~count:100
+    QCheck.(pair (int_range 0 200) int64)
+    (fun (n, seed) ->
+      let rng = Prelude.Rng.create ~seed in
+      let log = sample_log n in
+      let out = Logsys.Loss_model.apply Logsys.Loss_model.default rng log in
+      let last = ref (-1) in
+      Array.for_all
+        (fun (r : Logsys.Record.t) ->
+          let ok = r.gseq > !last in
+          last := r.gseq;
+          ok)
+        out)
+
+(* -- Collected ------------------------------------------------------------- *)
+
+let make_collected () =
+  let l = Logsys.Logger.create ~n_nodes:3 in
+  Logsys.Logger.log l (record 1 Gen ~origin:1 ~seq:0 ~time:0. ~gseq:0);
+  Logsys.Logger.log l (record 1 (Trans { to_ = 2 }) ~origin:1 ~seq:0 ~time:1. ~gseq:1);
+  Logsys.Logger.log l (record 2 (Recv { from = 1 }) ~origin:1 ~seq:0 ~time:2. ~gseq:2);
+  Logsys.Logger.log l (record 1 Gen ~origin:1 ~seq:1 ~time:3. ~gseq:3);
+  Logsys.Collected.of_logger l
+
+let collected_packet_keys () =
+  let c = make_collected () in
+  Alcotest.(check (list (pair int int))) "keys" [ (1, 0); (1, 1) ]
+    (Logsys.Collected.packet_keys c);
+  Alcotest.(check int) "total" 4 (Logsys.Collected.total c)
+
+let collected_events_of_packet () =
+  let c = make_collected () in
+  let groups = Logsys.Collected.events_of_packet c ~origin:1 ~seq:0 in
+  Alcotest.(check (list int)) "nodes with records" [ 1; 2 ]
+    (List.map fst groups);
+  let node1 = List.assoc 1 groups in
+  Alcotest.(check (list string)) "order preserved" [ "gen"; "trans" ]
+    (List.map (fun (r : Logsys.Record.t) -> Logsys.Record.kind_name r.kind) node1);
+  Alcotest.(check (list (pair int int))) "missing packet" []
+    (List.map (fun (n, _) -> (n, 0))
+       (Logsys.Collected.events_of_packet c ~origin:9 ~seq:9))
+
+let collected_merges_preserve_local_order () =
+  let c = make_collected () in
+  let check_merge name merged =
+    (* Per-node gseq order must be preserved in any merge. *)
+    let last = Hashtbl.create 4 in
+    List.iter
+      (fun (r : Logsys.Record.t) ->
+        let prev = Option.value ~default:(-1) (Hashtbl.find_opt last r.node) in
+        Alcotest.(check bool) (name ^ " local order") true (r.gseq > prev);
+        Hashtbl.replace last r.node r.gseq)
+      merged;
+    Alcotest.(check int) (name ^ " complete") 4 (List.length merged)
+  in
+  check_merge "concat" (Logsys.Collected.merged_concat c);
+  check_merge "round-robin" (Logsys.Collected.merged_round_robin c)
+
+(* -- Truth ------------------------------------------------------------------- *)
+
+let truth_basics () =
+  let t = Logsys.Truth.create () in
+  Logsys.Truth.record t ~origin:1 ~seq:0
+    {
+      cause = Logsys.Cause.Delivered;
+      loss_node = None;
+      path = [ 1; 2; 0 ];
+      generated_at = 0.;
+      resolved_at = 5.;
+    };
+  Logsys.Truth.record t ~origin:1 ~seq:1
+    {
+      cause = Logsys.Cause.Timeout_loss;
+      loss_node = Some 2;
+      path = [ 1; 2 ];
+      generated_at = 1.;
+      resolved_at = 9.;
+    };
+  Alcotest.(check int) "count" 2 (Logsys.Truth.count t);
+  Alcotest.(check int) "losses" 1 (Logsys.Truth.loss_count t);
+  Alcotest.(check bool) "find" true
+    (Logsys.Truth.find t ~origin:1 ~seq:0 <> None);
+  Alcotest.(check bool) "missing" true
+    (Logsys.Truth.find t ~origin:9 ~seq:9 = None);
+  let counts = Logsys.Truth.cause_counts t in
+  Alcotest.(check (option int)) "delivered count" (Some 1)
+    (List.assoc_opt Logsys.Cause.Delivered counts);
+  Alcotest.(check (option int)) "timeout count" (Some 1)
+    (List.assoc_opt Logsys.Cause.Timeout_loss counts);
+  Alcotest.(check (option int)) "zero included" (Some 0)
+    (List.assoc_opt Logsys.Cause.Overflow_loss counts)
+
+let () =
+  Alcotest.run "logsys"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "accessors" `Quick record_accessors;
+          Alcotest.test_case "to_string" `Quick record_to_string;
+          Alcotest.test_case "time order" `Quick record_time_order;
+        ] );
+      ( "cause",
+        [
+          Alcotest.test_case "roundtrip" `Quick cause_roundtrip;
+          Alcotest.test_case "is_loss" `Quick cause_is_loss;
+        ] );
+      ( "logger",
+        [
+          Alcotest.test_case "per-node order" `Quick logger_per_node_order;
+          Alcotest.test_case "bad node" `Quick logger_bad_node;
+        ] );
+      ( "loss_model",
+        [
+          Alcotest.test_case "none is identity" `Quick loss_none_is_identity;
+          Alcotest.test_case "uniform drops" `Quick loss_uniform_drops;
+          Alcotest.test_case "ordered subset" `Quick loss_preserves_order_subset;
+          Alcotest.test_case "node wipe" `Quick loss_node_wipe;
+          Alcotest.test_case "ring capacity" `Quick loss_ring_capacity;
+          Alcotest.test_case "chunk loss" `Quick loss_chunk;
+          Alcotest.test_case "validate" `Quick loss_validate;
+          QCheck_alcotest.to_alcotest loss_subset_property;
+        ] );
+      ( "collected",
+        [
+          Alcotest.test_case "packet keys" `Quick collected_packet_keys;
+          Alcotest.test_case "events of packet" `Quick collected_events_of_packet;
+          Alcotest.test_case "merge order" `Quick
+            collected_merges_preserve_local_order;
+        ] );
+      ("truth", [ Alcotest.test_case "basics" `Quick truth_basics ]);
+    ]

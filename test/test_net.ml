@@ -1,0 +1,293 @@
+(* Tests for packets, topology, link model and MAC sampler. *)
+
+let rng () = Prelude.Rng.create ~seed:42L
+
+(* -- Packet ---------------------------------------------------------------- *)
+
+let packet_allocation () =
+  let alloc = Net.Packet.allocator () in
+  let p1 = Net.Packet.fresh alloc ~origin:3 ~now:1. in
+  let p2 = Net.Packet.fresh alloc ~origin:3 ~now:2. in
+  let p3 = Net.Packet.fresh alloc ~origin:5 ~now:3. in
+  Alcotest.(check bool) "unique ids" true (p1.id <> p2.id && p2.id <> p3.id);
+  Alcotest.(check int) "per-origin seq 0" 0 p1.seq;
+  Alcotest.(check int) "per-origin seq 1" 1 p2.seq;
+  Alcotest.(check int) "other origin restarts" 0 p3.seq;
+  Alcotest.(check int) "count" 3 (Net.Packet.count alloc)
+
+let packet_compare_equal () =
+  let alloc = Net.Packet.allocator () in
+  let p1 = Net.Packet.fresh alloc ~origin:0 ~now:0. in
+  let p2 = Net.Packet.fresh alloc ~origin:0 ~now:0. in
+  Alcotest.(check bool) "equal self" true (Net.Packet.equal p1 p1);
+  Alcotest.(check bool) "distinct" false (Net.Packet.equal p1 p2);
+  Alcotest.(check bool) "ordered" true (Net.Packet.compare p1 p2 < 0)
+
+(* -- Topology -------------------------------------------------------------- *)
+
+let topology_basic () =
+  let positions = [| (0., 0.); (3., 4.); (100., 100.) |] in
+  let t = Net.Topology.create ~positions ~range:6. in
+  Alcotest.(check int) "n_nodes" 3 (Net.Topology.n_nodes t);
+  Alcotest.(check (float 1e-9)) "distance" 5. (Net.Topology.distance t 0 1);
+  Alcotest.(check bool) "in range" true (Net.Topology.in_range t 0 1);
+  Alcotest.(check bool) "self not in range" false (Net.Topology.in_range t 0 0);
+  Alcotest.(check bool) "far not in range" false (Net.Topology.in_range t 0 2);
+  Alcotest.(check (list int)) "neighbors of 0" [ 1 ] (Net.Topology.neighbors t 0);
+  Alcotest.(check (list int)) "neighbors of 2" [] (Net.Topology.neighbors t 2)
+
+let topology_invalid () =
+  Alcotest.check_raises "range <= 0"
+    (Invalid_argument "Topology.create: range must be positive") (fun () ->
+      ignore (Net.Topology.create ~positions:[| (0., 0.) |] ~range:0.));
+  Alcotest.check_raises "no nodes"
+    (Invalid_argument "Topology.create: no nodes") (fun () ->
+      ignore (Net.Topology.create ~positions:[||] ~range:1.))
+
+let topology_grid () =
+  let t =
+    Net.Topology.jittered_grid (rng ()) ~nx:4 ~ny:3 ~spacing:10. ~jitter:0.
+      ~range:11.
+  in
+  Alcotest.(check int) "12 nodes" 12 (Net.Topology.n_nodes t);
+  (* Without jitter, inner nodes have 4 neighbors at spacing 10 < range 11. *)
+  let inner = 1 + 4 (* node (1,1) in row-major = 5 *) in
+  Alcotest.(check int) "inner degree" 4
+    (List.length (Net.Topology.neighbors t inner))
+
+let topology_connectivity () =
+  let t =
+    Net.Topology.jittered_grid (rng ()) ~nx:4 ~ny:4 ~spacing:10. ~jitter:0.
+      ~range:11.
+  in
+  Alcotest.(check bool) "grid connected" true (Net.Topology.is_connected t ~from:0);
+  let disconnected =
+    Net.Topology.create ~positions:[| (0., 0.); (100., 0.) |] ~range:5.
+  in
+  Alcotest.(check bool) "two islands" false
+    (Net.Topology.is_connected disconnected ~from:0)
+
+let topology_nearest () =
+  let t =
+    Net.Topology.create
+      ~positions:[| (0., 0.); (10., 10.); (2., 2.) |]
+      ~range:5.
+  in
+  Alcotest.(check int) "nearest to origin" 0 (Net.Topology.nearest_to t (0.5, 0.5));
+  Alcotest.(check int) "nearest to middle" 2 (Net.Topology.nearest_to t (3., 3.))
+
+let topology_random_geometric () =
+  let t = Net.Topology.random_geometric (rng ()) ~n:50 ~side:100. ~range:25. in
+  Alcotest.(check int) "n" 50 (Net.Topology.n_nodes t);
+  for i = 0 to 49 do
+    let x, y = Net.Topology.position t i in
+    Alcotest.(check bool) "inside square" true
+      (x >= 0. && x < 100. && y >= 0. && y < 100.)
+  done
+
+let neighbor_symmetry =
+  QCheck.Test.make ~name:"neighbor relation is symmetric" ~count:50
+    QCheck.(int_range 2 30)
+    (fun n ->
+      let r = Prelude.Rng.create ~seed:(Int64.of_int (n * 7)) in
+      let t = Net.Topology.random_geometric r ~n ~side:50. ~range:20. in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j -> List.mem i (Net.Topology.neighbors t j))
+            (Net.Topology.neighbors t i))
+        (List.init n Fun.id))
+
+(* -- Link model ------------------------------------------------------------ *)
+
+let make_link () =
+  let t =
+    Net.Topology.jittered_grid (rng ()) ~nx:3 ~ny:3 ~spacing:10. ~jitter:0.
+      ~range:15.
+  in
+  (t, Net.Link_model.create ~seed:7L ~topology:t ())
+
+let link_prr_range () =
+  let t, lm = make_link () in
+  for src = 0 to Net.Topology.n_nodes t - 1 do
+    for dst = 0 to Net.Topology.n_nodes t - 1 do
+      if src <> dst then begin
+        let p = Net.Link_model.prr lm ~now:0. ~src ~dst in
+        Alcotest.(check bool) "in [0,1]" true (p >= 0. && p <= 1.)
+      end
+    done
+  done
+
+let link_out_of_range_zero () =
+  let t =
+    Net.Topology.create ~positions:[| (0., 0.); (100., 0.) |] ~range:10.
+  in
+  let lm = Net.Link_model.create ~seed:7L ~topology:t () in
+  Alcotest.(check (float 1e-9)) "zero" 0. (Net.Link_model.prr lm ~now:0. ~src:0 ~dst:1)
+
+let link_deterministic () =
+  let _, lm1 = make_link () in
+  let _, lm2 = make_link () in
+  for now = 0 to 5 do
+    let now = float_of_int now *. 100. in
+    Alcotest.(check (float 1e-12)) "same prr"
+      (Net.Link_model.prr lm1 ~now ~src:0 ~dst:1)
+      (Net.Link_model.prr lm2 ~now ~src:0 ~dst:1)
+  done
+
+let link_distance_monotone () =
+  let t =
+    Net.Topology.create
+      ~positions:[| (0., 0.); (4., 0.); (12., 0.) |]
+      ~range:15.
+  in
+  let lm = Net.Link_model.create ~seed:7L ~topology:t () in
+  let near = Net.Link_model.base_prr lm ~src:0 ~dst:1 in
+  let far = Net.Link_model.base_prr lm ~src:0 ~dst:2 in
+  Alcotest.(check bool) "nearer link is much better" true (near > far +. 0.2)
+
+let link_weather_degrades () =
+  let _, lm = make_link () in
+  let before = Net.Link_model.prr lm ~now:50. ~src:0 ~dst:1 in
+  Net.Link_model.set_weather lm (fun _ -> 0.5);
+  let after = Net.Link_model.prr lm ~now:50. ~src:0 ~dst:1 in
+  Alcotest.(check (float 1e-9)) "halved" (before *. 0.5) after
+
+let link_burst_local_and_timed () =
+  let _, reference = make_link () in
+  let _, lm = make_link () in
+  Net.Link_model.add_burst lm
+    {
+      start = 90.;
+      duration = 20.;
+      severity = 1.0;
+      center = (5., 0.);
+      radius = 8.;
+    };
+  (* Link 0-1 midpoint is (5, 0): inside the burst. *)
+  Alcotest.(check (float 1e-9)) "killed during burst" 0.
+    (Net.Link_model.prr lm ~now:100. ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-9)) "unaffected after burst"
+    (Net.Link_model.prr reference ~now:200. ~src:0 ~dst:1)
+    (Net.Link_model.prr lm ~now:200. ~src:0 ~dst:1);
+  (* Link 2-5 midpoint is (20, 5): outside the burst radius. *)
+  Alcotest.(check (float 1e-9)) "distant link unaffected"
+    (Net.Link_model.prr reference ~now:100. ~src:2 ~dst:5)
+    (Net.Link_model.prr lm ~now:100. ~src:2 ~dst:5)
+
+(* -- MAC ------------------------------------------------------------------- *)
+
+let mac_attempt_outcomes () =
+  let t =
+    Net.Topology.create ~positions:[| (0., 0.); (1., 0.) |] ~range:100.
+  in
+  let lm = Net.Link_model.create ~seed:7L ~topology:t () in
+  let r = rng () in
+  let acked = ref 0 and lost = ref 0 and ack_lost = ref 0 in
+  for _ = 1 to 2000 do
+    match
+      Net.Mac.attempt Net.Mac.default_config lm r ~now:0. ~src:0 ~dst:1
+    with
+    | Net.Mac.Received_acked -> incr acked
+    | Net.Mac.Frame_lost -> incr lost
+    | Net.Mac.Received_ack_lost -> incr ack_lost
+  done;
+  (* A 1-meter link with range 100 is essentially perfect. *)
+  Alcotest.(check bool) "mostly acked" true (!acked > 1900)
+
+let mac_bad_link_mostly_lost () =
+  let t =
+    Net.Topology.create ~positions:[| (0., 0.); (95., 0.) |] ~range:100.
+  in
+  let lm = Net.Link_model.create ~seed:7L ~topology:t () in
+  let r = rng () in
+  let lost = ref 0 in
+  for _ = 1 to 1000 do
+    if
+      Net.Mac.attempt Net.Mac.default_config lm r ~now:0. ~src:0 ~dst:1
+      = Net.Mac.Frame_lost
+    then incr lost
+  done;
+  Alcotest.(check bool) "mostly lost" true (!lost > 900)
+
+let mac_attempt_delay_bounds () =
+  let r = rng () in
+  let c = Net.Mac.default_config in
+  for _ = 1 to 100 do
+    let d = Net.Mac.attempt_delay c r in
+    Alcotest.(check bool) "within interval+jitter" true
+      (d >= c.attempt_interval && d <= c.attempt_interval +. c.attempt_jitter)
+  done
+
+(* -- Energy ----------------------------------------------------------------- *)
+
+let energy_accumulates () =
+  let e = Net.Energy.create () in
+  Net.Energy.charge_tx e 1.5;
+  Net.Energy.charge_rx e 0.5;
+  Net.Energy.charge_tx e 0.5;
+  Alcotest.(check (float 1e-9)) "tx" 2.0 (Net.Energy.tx_time e);
+  Alcotest.(check (float 1e-9)) "rx" 0.5 (Net.Energy.rx_time e);
+  Alcotest.(check (float 1e-9)) "active" 2.5 (Net.Energy.active_time e)
+
+let energy_mj_accounting () =
+  let p = Net.Energy.default_params in
+  let e = Net.Energy.create () in
+  Net.Energy.charge_tx e 10.;
+  let mj = Net.Energy.energy_mj p e ~duration:100. in
+  (* 10 s tx + 90 s sleep. *)
+  Alcotest.(check (float 1e-6)) "mj" ((10. *. p.tx_mw) +. (90. *. p.sleep_mw)) mj;
+  Alcotest.(check (float 1e-9)) "duty" 0.1 (Net.Energy.duty_cycle e ~duration:100.);
+  Alcotest.check_raises "too-short duration"
+    (Invalid_argument "Energy.energy_mj: duration shorter than active time")
+    (fun () -> ignore (Net.Energy.energy_mj p e ~duration:1.))
+
+let energy_idle_node_sleeps () =
+  let p = Net.Energy.default_params in
+  let e = Net.Energy.create () in
+  Alcotest.(check (float 1e-9)) "pure sleep" (100. *. p.sleep_mw)
+    (Net.Energy.energy_mj p e ~duration:100.);
+  Alcotest.(check (float 1e-9)) "zero duty over zero time" 0.
+    (Net.Energy.duty_cycle e ~duration:0.)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "allocation" `Quick packet_allocation;
+          Alcotest.test_case "compare/equal" `Quick packet_compare_equal;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "basic" `Quick topology_basic;
+          Alcotest.test_case "invalid" `Quick topology_invalid;
+          Alcotest.test_case "grid" `Quick topology_grid;
+          Alcotest.test_case "connectivity" `Quick topology_connectivity;
+          Alcotest.test_case "nearest" `Quick topology_nearest;
+          Alcotest.test_case "random geometric" `Quick
+            topology_random_geometric;
+          QCheck_alcotest.to_alcotest neighbor_symmetry;
+        ] );
+      ( "link_model",
+        [
+          Alcotest.test_case "prr range" `Quick link_prr_range;
+          Alcotest.test_case "out of range" `Quick link_out_of_range_zero;
+          Alcotest.test_case "deterministic" `Quick link_deterministic;
+          Alcotest.test_case "distance monotone" `Quick link_distance_monotone;
+          Alcotest.test_case "weather" `Quick link_weather_degrades;
+          Alcotest.test_case "bursts" `Quick link_burst_local_and_timed;
+        ] );
+      ( "mac",
+        [
+          Alcotest.test_case "good link acked" `Quick mac_attempt_outcomes;
+          Alcotest.test_case "bad link lost" `Quick mac_bad_link_mostly_lost;
+          Alcotest.test_case "attempt delay" `Quick mac_attempt_delay_bounds;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "accumulates" `Quick energy_accumulates;
+          Alcotest.test_case "mj accounting" `Quick energy_mj_accounting;
+          Alcotest.test_case "idle sleeps" `Quick energy_idle_node_sleeps;
+        ] );
+    ]

@@ -1,0 +1,453 @@
+(* Tests for the node OS model and the composed network simulator. *)
+
+(* -- Server ------------------------------------------------------------------ *)
+
+let server_windows () =
+  let s = Node.Server.create ~outages:[ (10., 5.); (30., 10.) ] in
+  Alcotest.(check bool) "up before" true (Node.Server.is_up s 5.);
+  Alcotest.(check bool) "down at start" false (Node.Server.is_up s 10.);
+  Alcotest.(check bool) "down inside" false (Node.Server.is_up s 14.9);
+  Alcotest.(check bool) "up at end (half open)" true (Node.Server.is_up s 15.);
+  Alcotest.(check bool) "down second window" false (Node.Server.is_up s 35.);
+  Alcotest.(check bool) "always up" true (Node.Server.is_up Node.Server.always_up 0.)
+
+let server_downtime () =
+  let s = Node.Server.create ~outages:[ (10., 5.); (12., 6.) ] in
+  (* Overlapping windows [10,15) and [12,18) merge to [10,18). *)
+  Alcotest.(check (float 1e-9)) "merged downtime" 8.
+    (Node.Server.downtime s ~until:100.);
+  Alcotest.(check (float 1e-9)) "clipped" 4. (Node.Server.downtime s ~until:14.)
+
+let server_invalid () =
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Server.create: negative outage duration") (fun () ->
+      ignore (Node.Server.create ~outages:[ (0., -1.) ]))
+
+(* -- Serial link --------------------------------------------------------------- *)
+
+let serial_stable_never_drops () =
+  let rng = Prelude.Rng.create ~seed:1L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "pushed" true
+      (Node.Serial_link.sample Node.Serial_link.stable rng ~now:0.
+      = Node.Serial_link.Pushed)
+  done
+
+let serial_step_function () =
+  let s =
+    Node.Serial_link.unstable_until ~fix_time:100. ~bad_rate:1.0 ~good_rate:0.
+      ~prelog_fraction:0.
+  in
+  let rng = Prelude.Rng.create ~seed:2L in
+  Alcotest.(check bool) "drops before fix" true
+    (Node.Serial_link.sample s rng ~now:50. = Node.Serial_link.Dropped_after_log);
+  Alcotest.(check bool) "clean after fix" true
+    (Node.Serial_link.sample s rng ~now:150. = Node.Serial_link.Pushed);
+  Alcotest.(check (float 1e-9)) "rate accessor" 1.0
+    (Node.Serial_link.drop_probability s 0.)
+
+let serial_prelog_split () =
+  let s =
+    Node.Serial_link.create ~drop_probability:(fun _ -> 1.0)
+      ~prelog_fraction:1.0
+  in
+  let rng = Prelude.Rng.create ~seed:3L in
+  Alcotest.(check bool) "always prelog" true
+    (Node.Serial_link.sample s rng ~now:0. = Node.Serial_link.Dropped_before_log)
+
+(* -- Upstack --------------------------------------------------------------------- *)
+
+let upstack_reliable () =
+  let rng = Prelude.Rng.create ~seed:4L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "survives" true
+      (Node.Upstack.sample Node.Upstack.reliable rng = Node.Upstack.Survive)
+  done
+
+let upstack_split () =
+  let u = Node.Upstack.create ~drop_probability:1.0 ~prelog_fraction:0.0 in
+  let rng = Prelude.Rng.create ~seed:5L in
+  Alcotest.(check bool) "postlog death" true
+    (Node.Upstack.sample u rng = Node.Upstack.Drop_after_log);
+  let u2 = Node.Upstack.create ~drop_probability:1.0 ~prelog_fraction:1.0 in
+  Alcotest.(check bool) "prelog death" true
+    (Node.Upstack.sample u2 rng = Node.Upstack.Drop_before_log)
+
+let upstack_invalid () =
+  Alcotest.check_raises "bad drop"
+    (Invalid_argument "Upstack.create: drop_probability") (fun () ->
+      ignore (Node.Upstack.create ~drop_probability:2. ~prelog_fraction:0.))
+
+(* -- Network simulator -------------------------------------------------------- *)
+
+let line_topology n spacing range =
+  Net.Topology.create
+    ~positions:(Array.init n (fun i -> (float_of_int i *. spacing, 0.)))
+    ~range
+
+let run_simple ?(config = Node.Network.default_config) ?(warmup = 300.)
+    ?(duration = 600.) topo =
+  let net = Node.Network.create config topo ~sink:0 in
+  Node.Network.start net ~warmup ~duration;
+  net
+
+let network_delivers_on_good_links () =
+  let topo = line_topology 4 5. 8. in
+  let net = run_simple topo in
+  Alcotest.(check bool) "routing converged" true
+    (Node.Network.routing_converged net);
+  let truth = Node.Network.truth net in
+  let counts = Logsys.Truth.cause_counts truth in
+  let delivered =
+    Option.value ~default:0 (List.assoc_opt Logsys.Cause.Delivered counts)
+  in
+  let total = Logsys.Truth.count truth in
+  Alcotest.(check bool) "packets flowed" true (total > 10);
+  Alcotest.(check bool) "almost all delivered" true
+    (float_of_int delivered /. float_of_int total > 0.95)
+
+let network_every_packet_has_fate () =
+  let topo = line_topology 4 5. 8. in
+  let net = run_simple topo in
+  Alcotest.(check int) "one fate per generated packet"
+    (Node.Network.packets_generated net)
+    (Logsys.Truth.count (Node.Network.truth net))
+
+let network_tree_points_to_sink () =
+  let topo = line_topology 5 5. 8. in
+  let net = run_simple topo in
+  (* On a line with short range, each node's parent must be its predecessor. *)
+  for i = 1 to 4 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "parent of %d" i)
+      (Some (i - 1))
+      (Node.Network.parent_of net i)
+  done;
+  Alcotest.(check bool) "cost grows with depth" true
+    (Node.Network.path_etx_of net 4 > Node.Network.path_etx_of net 1)
+
+let network_logs_match_protocol_order () =
+  let topo = line_topology 3 5. 8. in
+  let net = run_simple topo in
+  (* Per packet per node, recv (or gen) must precede trans, which precedes
+     ack, in the node's log. *)
+  let logger = Node.Network.logger net in
+  let check_node node =
+    let per_packet = Hashtbl.create 32 in
+    Array.iter
+      (fun (r : Logsys.Record.t) ->
+        let key = Logsys.Record.packet_key r in
+        let l = Option.value ~default:[] (Hashtbl.find_opt per_packet key) in
+        Hashtbl.replace per_packet key (Logsys.Record.kind_name r.kind :: l))
+      (Logsys.Logger.node_log logger node);
+    Hashtbl.iter
+      (fun _ kinds_rev ->
+        let kinds = List.rev kinds_rev in
+        let index k =
+          match List.find_index (String.equal k) kinds with
+          | Some i -> i
+          | None -> max_int
+        in
+        if index "trans" < max_int then begin
+          Alcotest.(check bool) "hold before trans" true
+            (index "gen" < index "trans" || index "recv" < index "trans");
+          if index "ack" < max_int then
+            Alcotest.(check bool) "trans before ack" true
+              (index "trans" < index "ack")
+        end)
+      per_packet
+  in
+  for node = 0 to 2 do
+    check_node node
+  done
+
+let network_timeout_on_dead_link () =
+  (* Two nodes out of radio range never deliver; sources report timeouts or
+     nothing at all (no route). *)
+  let topo = line_topology 2 5. 8. in
+  let config =
+    {
+      Node.Network.default_config with
+      mac = { Net.Mac.default_config with max_retx = 3; attempt_interval = 0.05 };
+    }
+  in
+  let net = Node.Network.create config topo ~sink:0 in
+  (* Degrade the link completely before starting. *)
+  Net.Link_model.set_weather (Node.Network.link_model net) (fun _ -> 0.);
+  Node.Network.start net ~warmup:100. ~duration:300.;
+  let counts = Logsys.Truth.cause_counts (Node.Network.truth net) in
+  Alcotest.(check (option int)) "nothing delivered" (Some 0)
+    (List.assoc_opt Logsys.Cause.Delivered counts)
+
+let network_server_outage_counted () =
+  let topo = line_topology 3 5. 8. in
+  let config =
+    {
+      Node.Network.default_config with
+      (* Down for the whole data phase. *)
+      server = Node.Server.create ~outages:[ (0., 10_000.) ];
+    }
+  in
+  let net = run_simple ~config topo in
+  let counts = Logsys.Truth.cause_counts (Node.Network.truth net) in
+  let outage =
+    Option.value ~default:0
+      (List.assoc_opt Logsys.Cause.Server_outage_loss counts)
+  in
+  Alcotest.(check bool) "all sink-delivered packets hit the outage" true
+    (outage > 10);
+  Alcotest.(check (option int)) "none delivered" (Some 0)
+    (List.assoc_opt Logsys.Cause.Delivered counts)
+
+let network_serial_losses () =
+  let topo = line_topology 3 5. 8. in
+  let config =
+    {
+      Node.Network.default_config with
+      serial =
+        Node.Serial_link.create ~drop_probability:(fun _ -> 1.0)
+          ~prelog_fraction:0.;
+    }
+  in
+  let net = run_simple ~config topo in
+  let counts = Logsys.Truth.cause_counts (Node.Network.truth net) in
+  let received =
+    Option.value ~default:0 (List.assoc_opt Logsys.Cause.Received_loss counts)
+  in
+  Alcotest.(check bool) "all losses are received@sink" true (received > 10);
+  (* With prelog_fraction 0 the sink logs recv but never deliver. *)
+  let truth = Node.Network.truth net in
+  Logsys.Truth.iter truth (fun _ fate ->
+      if Logsys.Cause.equal fate.cause Logsys.Cause.Received_loss then
+        Alcotest.(check (option int)) "at sink" (Some 0) fate.loss_node)
+
+let network_upstack_acked_losses () =
+  let topo = line_topology 3 5. 8. in
+  let config =
+    {
+      Node.Network.default_config with
+      upstack = Node.Upstack.create ~drop_probability:1.0 ~prelog_fraction:1.0;
+    }
+  in
+  let net = run_simple ~config topo in
+  (* The up-stack model applies at forwarding nodes only: node 1 swallows
+     every packet from node 2 silently (acked loss at node 1), while node
+     1's own packets go straight to the sink and deliver. *)
+  let truth = Node.Network.truth net in
+  Logsys.Truth.iter truth (fun (origin, _) fate ->
+      if origin = 2 then begin
+        Alcotest.(check string) "node 2's packets acked-lost"
+          (Logsys.Cause.name Logsys.Cause.Acked_loss)
+          (Logsys.Cause.name fate.cause);
+        Alcotest.(check (option int)) "at node 1" (Some 1) fate.loss_node
+      end
+      else
+        Alcotest.(check string) "node 1's packets delivered"
+          (Logsys.Cause.name Logsys.Cause.Delivered)
+          (Logsys.Cause.name fate.cause))
+
+let network_deterministic () =
+  let run () =
+    let topo = line_topology 4 5. 8. in
+    let net = run_simple topo in
+    ( Node.Network.packets_generated net,
+      Logsys.Logger.total (Node.Network.logger net),
+      Logsys.Truth.cause_counts (Node.Network.truth net) )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-identical reruns" true (a = b)
+
+let software_ack_retries_through_serial_faults () =
+  (* A 50%-lossy serial link: hardware ACKs lose half the packets at the
+     sink; software ACKs retry until the push succeeds. *)
+  let run mode =
+    let topo = line_topology 3 5. 8. in
+    let config =
+      {
+        Node.Network.default_config with
+        ack_mode = mode;
+        serial =
+          Node.Serial_link.create ~drop_probability:(fun _ -> 0.5)
+            ~prelog_fraction:0.5;
+      }
+    in
+    let net = run_simple ~config topo in
+    let counts = Logsys.Truth.cause_counts (Node.Network.truth net) in
+    let get c = Option.value ~default:0 (List.assoc_opt c counts) in
+    ( Logsys.Truth.count (Node.Network.truth net),
+      get Logsys.Cause.Delivered,
+      get Logsys.Cause.Acked_loss + get Logsys.Cause.Received_loss )
+  in
+  let _, hw_delivered, hw_sink_losses = run Node.Network.Hardware in
+  let sw_total, sw_delivered, sw_sink_losses = run Node.Network.Software in
+  Alcotest.(check bool) "hardware loses at the sink" true (hw_sink_losses > 5);
+  Alcotest.(check int) "software never loses at the sink" 0 sw_sink_losses;
+  Alcotest.(check bool) "software delivers everything" true
+    (sw_delivered = sw_total);
+  Alcotest.(check bool) "software beats hardware" true
+    (sw_delivered > hw_delivered)
+
+let software_ack_upstack_black_hole_times_out () =
+  (* A relay that swallows every packet silently: under software ACKs the
+     sender sees no ACK and, after exhausting retries, reports a timeout —
+     the loss surfaces at the SENDER instead of vanishing as an acked
+     loss. *)
+  let topo = line_topology 3 5. 8. in
+  let config =
+    {
+      Node.Network.default_config with
+      ack_mode = Node.Network.Software;
+      upstack = Node.Upstack.create ~drop_probability:1.0 ~prelog_fraction:1.0;
+      mac = { Net.Mac.default_config with max_retx = 4; attempt_interval = 0.05 };
+    }
+  in
+  let net = run_simple ~config topo in
+  let truth = Node.Network.truth net in
+  Logsys.Truth.iter truth (fun (origin, _) fate ->
+      if origin = 2 then begin
+        Alcotest.(check string) "timeout, not acked loss"
+          (Logsys.Cause.name Logsys.Cause.Timeout_loss)
+          (Logsys.Cause.name fate.cause);
+        Alcotest.(check (option int)) "at the sender" (Some 2) fate.loss_node
+      end)
+
+let reboots_inject_failures_consistently () =
+  (* Aggressive reboots: the network stays consistent (every packet gets
+     exactly one fate, no crash), deliveries drop, and received losses
+     appear at the rebooting relays. *)
+  let topo = line_topology 4 5. 8. in
+  let run mtbf =
+    (* High data rate keeps queues busy so reboots have something to
+       kill. *)
+    let config =
+      {
+        Node.Network.default_config with
+        reboot_mtbf = mtbf;
+        data_interval = 5.;
+        data_jitter = 2.;
+      }
+    in
+    let net = run_simple ~config topo in
+    let truth = Node.Network.truth net in
+    Alcotest.(check int) "every packet fated"
+      (Node.Network.packets_generated net)
+      (Logsys.Truth.count truth);
+    let counts = Logsys.Truth.cause_counts truth in
+    let get c = Option.value ~default:0 (List.assoc_opt c counts) in
+    ( net,
+      Prelude.Stats.ratio (get Logsys.Cause.Delivered)
+        (Logsys.Truth.count truth),
+      get Logsys.Cause.Received_loss )
+  in
+  let _, stable_rate, stable_received = run None in
+  let net, flaky_rate, flaky_received = run (Some 60.) in
+  let reboots =
+    List.init 4 (fun i -> Node.Network.reboots_of net i)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check bool) "reboots happened" true (reboots > 5);
+  Alcotest.(check int) "sink never reboots" 0 (Node.Network.reboots_of net 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery rate suffers (%.3f < %.3f)" flaky_rate
+       stable_rate)
+    true
+    (flaky_rate < stable_rate);
+  Alcotest.(check bool) "in-node losses appear" true
+    (flaky_received > stable_received)
+
+let reboot_wipes_spool () =
+  let topo = line_topology 3 5. 8. in
+  let config =
+    {
+      Node.Network.default_config with
+      reboot_mtbf = Some 100.;
+      log_transport = Some Node.Network.default_log_transport;
+    }
+  in
+  let net = run_simple ~config topo in
+  match Node.Network.in_band_stats net with
+  | None -> Alcotest.fail "stats expected"
+  | Some (written, dropped, collected) ->
+      Alcotest.(check bool) "spool records were lost to reboots" true
+        (dropped > 0);
+      Alcotest.(check bool) "collection still works" true
+        (collected > 0 && collected <= written)
+
+let network_energy_and_exchanges () =
+  let topo = line_topology 4 5. 8. in
+  let net = run_simple topo in
+  let exchanges, attempts = Node.Network.exchange_stats net in
+  Alcotest.(check bool) "exchanges happened" true (exchanges > 10);
+  Alcotest.(check bool) "attempts >= exchanges" true (attempts >= exchanges);
+  (* Every node paid at least the LPL sampling baseline; relays paid more
+     than leaves. *)
+  let active i = Net.Energy.active_time (Node.Network.energy_of net i) in
+  for i = 0 to 3 do
+    Alcotest.(check bool) "baseline charged" true (active i > 0.)
+  done;
+  Alcotest.(check bool) "relay (1) outworks leaf (3)" true
+    (active 1 > active 3)
+
+let network_ground_truth_ordered () =
+  let topo = line_topology 4 5. 8. in
+  let net = run_simple topo in
+  let gt = Logsys.Logger.ground_truth (Node.Network.logger net) in
+  let ok = ref true in
+  let rec check = function
+    | (a : Logsys.Record.t) :: (b : Logsys.Record.t) :: rest ->
+        if Logsys.Record.compare_by_time a b > 0 then ok := false;
+        check (b :: rest)
+    | _ -> ()
+  in
+  check gt;
+  Alcotest.(check bool) "sorted" true !ok
+
+let () =
+  Alcotest.run "node"
+    [
+      ( "server",
+        [
+          Alcotest.test_case "windows" `Quick server_windows;
+          Alcotest.test_case "downtime" `Quick server_downtime;
+          Alcotest.test_case "invalid" `Quick server_invalid;
+        ] );
+      ( "serial",
+        [
+          Alcotest.test_case "stable" `Quick serial_stable_never_drops;
+          Alcotest.test_case "step function" `Quick serial_step_function;
+          Alcotest.test_case "prelog split" `Quick serial_prelog_split;
+        ] );
+      ( "upstack",
+        [
+          Alcotest.test_case "reliable" `Quick upstack_reliable;
+          Alcotest.test_case "split" `Quick upstack_split;
+          Alcotest.test_case "invalid" `Quick upstack_invalid;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delivers" `Quick network_delivers_on_good_links;
+          Alcotest.test_case "every packet fated" `Quick
+            network_every_packet_has_fate;
+          Alcotest.test_case "tree to sink" `Quick network_tree_points_to_sink;
+          Alcotest.test_case "log protocol order" `Quick
+            network_logs_match_protocol_order;
+          Alcotest.test_case "dead link" `Quick network_timeout_on_dead_link;
+          Alcotest.test_case "server outage" `Quick
+            network_server_outage_counted;
+          Alcotest.test_case "serial losses" `Quick network_serial_losses;
+          Alcotest.test_case "upstack acked losses" `Quick
+            network_upstack_acked_losses;
+          Alcotest.test_case "deterministic" `Quick network_deterministic;
+          Alcotest.test_case "reboots" `Quick
+            reboots_inject_failures_consistently;
+          Alcotest.test_case "reboot wipes spool" `Quick reboot_wipes_spool;
+          Alcotest.test_case "software ack vs serial faults" `Quick
+            software_ack_retries_through_serial_faults;
+          Alcotest.test_case "software ack black hole" `Quick
+            software_ack_upstack_black_hole_times_out;
+          Alcotest.test_case "energy and exchanges" `Quick
+            network_energy_and_exchanges;
+          Alcotest.test_case "ground truth ordered" `Quick
+            network_ground_truth_ordered;
+        ] );
+    ]

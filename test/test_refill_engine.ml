@@ -1,0 +1,377 @@
+(* Tests for the connected inference engines and the transition algorithm,
+   built around the four abstract examples of Fig. 3. Each node's FSM is the
+   paper's two-edge chain: init --eA--> mid --eB--> done. *)
+
+open Refill
+
+let s_init = 0
+
+let s_mid = 1
+
+let s_done = 2
+
+(* Node i's chain FSM with labels taken from [labels_of i]. *)
+let chain_fsm (la, lb) =
+  let f = Fsm.create ~n_states:3 ~initial:s_init in
+  Fsm.add_transition f ~src:s_init ~dst:s_mid la;
+  Fsm.add_transition f ~src:s_mid ~dst:s_done lb;
+  f
+
+(* Standard Fig. 3 node labels: node 1 = e1,e2; node 2 = e3,e4; node 3 =
+   e5,e6. *)
+let labels_of = function
+  | 1 -> ("e1", "e2")
+  | 2 -> ("e3", "e4")
+  | 3 -> ("e5", "e6")
+  | n -> Alcotest.failf "unexpected node %d" n
+
+let config ~prerequisites : (string, unit) Engine.config =
+  {
+    fsm_of = (fun node -> chain_fsm (labels_of node));
+    prerequisites = (fun ~node ~label ~payload:_ -> prerequisites node label);
+    infer_payload = (fun ~node:_ ~label:_ -> None);
+  }
+
+let flow_labels items =
+  List.map (fun (i : (string, unit) Engine.item) -> i.label) items
+
+let index label items =
+  match List.find_index (fun (i : (string, unit) Engine.item) -> i.label = label) items with
+  | Some i -> i
+  | None -> Alcotest.failf "label %s missing from flow" label
+
+let event node label = (node, label, None)
+
+(* Fig. 3 (a): cascading prerequisites — e2 needs node 2 done, e4 needs
+   node 3 done. *)
+let cascade_prereqs node label =
+  match (node, label) with
+  | 1, "e2" -> [ (2, s_done) ]
+  | 2, "e4" -> [ (3, s_done) ]
+  | _ -> []
+
+let fig3a_full_logs () =
+  let events =
+    [
+      event 1 "e1"; event 1 "e2"; event 2 "e3"; event 2 "e4"; event 3 "e5";
+      event 3 "e6";
+    ]
+  in
+  let items, stats =
+    Engine.run (config ~prerequisites:cascade_prereqs) ~events
+  in
+  Alcotest.(check (list string)) "paper's exact flow"
+    [ "e1"; "e3"; "e5"; "e6"; "e4"; "e2" ]
+    (flow_labels items);
+  Alcotest.(check int) "all logged" 6 stats.emitted_logged;
+  Alcotest.(check int) "none inferred" 0 stats.emitted_inferred;
+  Alcotest.(check int) "none skipped" 0 stats.skipped
+
+let fig3a_only_e2 () =
+  (* §IV.B: "even when there is only one event e2 on node 1 and all other
+     events are lost, the transition algorithm can generate the correct
+     event flow and infer lost events." *)
+  let items, stats =
+    Engine.run (config ~prerequisites:cascade_prereqs) ~events:[ event 1 "e2" ]
+  in
+  Alcotest.(check (list string)) "reconstructed flow"
+    [ "e1"; "e3"; "e5"; "e6"; "e4"; "e2" ]
+    (flow_labels items);
+  Alcotest.(check int) "five inferred" 5 stats.emitted_inferred;
+  let inferred =
+    List.filter (fun (i : (string, unit) Engine.item) -> i.inferred) items
+  in
+  Alcotest.(check (list string)) "exactly the lost ones"
+    [ "e1"; "e3"; "e5"; "e6"; "e4" ]
+    (flow_labels inferred)
+
+let fig3b_one_to_many () =
+  (* e4 requires both node 1 and node 3 to be done. *)
+  let prereqs node label =
+    match (node, label) with
+    | 2, "e4" -> [ (1, s_done); (3, s_done) ]
+    | _ -> []
+  in
+  let events =
+    [
+      event 1 "e1"; event 1 "e2"; event 2 "e3"; event 2 "e4"; event 3 "e5";
+      event 3 "e6";
+    ]
+  in
+  let items, _ = Engine.run (config ~prerequisites:prereqs) ~events in
+  Alcotest.(check bool) "e2 before e4" true (index "e2" items < index "e4" items);
+  Alcotest.(check bool) "e6 before e4" true (index "e6" items < index "e4" items);
+  Alcotest.(check int) "all six" 6 (List.length items)
+
+let fig3c_many_to_one () =
+  (* e3 on node 2 is prerequisite for both e1 and e5. *)
+  let prereqs node label =
+    match (node, label) with
+    | 1, "e1" | 3, "e5" -> [ (2, s_mid) ]
+    | _ -> []
+  in
+  let events =
+    [
+      event 1 "e1"; event 1 "e2"; event 3 "e5"; event 3 "e6"; event 2 "e3";
+      event 2 "e4";
+    ]
+  in
+  let items, _ = Engine.run (config ~prerequisites:prereqs) ~events in
+  Alcotest.(check bool) "e3 before e1" true (index "e3" items < index "e1" items);
+  Alcotest.(check bool) "e3 before e5" true (index "e3" items < index "e5" items)
+
+let fig3d_mixed () =
+  (* e3 ⊢ {e1, e5}; {e2, e6} ⊢ e4 — the negotiation pattern. *)
+  let prereqs node label =
+    match (node, label) with
+    | 1, "e1" | 3, "e5" -> [ (2, s_mid) ]
+    | 2, "e4" -> [ (1, s_done); (3, s_done) ]
+    | _ -> []
+  in
+  let events =
+    [
+      event 1 "e1"; event 1 "e2"; event 2 "e3"; event 2 "e4"; event 3 "e5";
+      event 3 "e6";
+    ]
+  in
+  let items, _ = Engine.run (config ~prerequisites:prereqs) ~events in
+  List.iter
+    (fun (before, after) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s before %s" before after)
+        true
+        (index before items < index after items))
+    [ ("e3", "e1"); ("e3", "e5"); ("e2", "e4"); ("e6", "e4") ]
+
+let fig3a_insensitive_to_merge_order () =
+  (* Any merge preserving per-node order yields the same flow here. *)
+  let orders =
+    [
+      [ event 1 "e1"; event 1 "e2"; event 2 "e3"; event 2 "e4"; event 3 "e5"; event 3 "e6" ];
+      [ event 3 "e5"; event 3 "e6"; event 2 "e3"; event 2 "e4"; event 1 "e1"; event 1 "e2" ];
+      [ event 1 "e1"; event 2 "e3"; event 3 "e5"; event 1 "e2"; event 2 "e4"; event 3 "e6" ];
+    ]
+  in
+  let flows =
+    List.map
+      (fun events ->
+        let items, _ =
+          Engine.run (config ~prerequisites:cascade_prereqs) ~events
+        in
+        flow_labels items
+        |> List.filteri (fun _ _ -> true))
+      orders
+  in
+  match flows with
+  | first :: rest ->
+      List.iter
+        (fun f ->
+          Alcotest.(check (list string)) "same set" (List.sort compare first)
+            (List.sort compare f))
+        rest
+  | [] -> assert false
+
+(* -- Mechanics beyond Fig. 3 ------------------------------------------------ *)
+
+let unfireable_events_skipped () =
+  (* e2 from the initial state uses the intra transition; a label the FSM
+     does not know is skipped. *)
+  let cfg : (string, unit) Engine.config =
+    {
+      fsm_of = (fun _ -> chain_fsm ("e1", "e2"));
+      prerequisites = (fun ~node:_ ~label:_ ~payload:_ -> []);
+      infer_payload = (fun ~node:_ ~label:_ -> None);
+    }
+  in
+  let items, stats = Engine.run cfg ~events:[ (1, "bogus", None); (1, "e2", None) ] in
+  Alcotest.(check int) "one skipped" 1 stats.skipped;
+  Alcotest.(check (list string)) "e1 inferred then e2" [ "e1"; "e2" ]
+    (flow_labels items)
+
+let intra_fires_with_inferred_prefix () =
+  let cfg : (string, unit) Engine.config =
+    {
+      fsm_of = (fun _ -> chain_fsm ("e1", "e2"));
+      prerequisites = (fun ~node:_ ~label:_ ~payload:_ -> []);
+      infer_payload = (fun ~node:_ ~label:_ -> None);
+    }
+  in
+  let items, stats = Engine.run cfg ~events:[ (1, "e2", None) ] in
+  Alcotest.(check int) "e1 inferred" 1 stats.emitted_inferred;
+  (match items with
+  | [ first; second ] ->
+      Alcotest.(check bool) "first inferred" true first.inferred;
+      Alcotest.(check bool) "second logged" false second.inferred;
+      Alcotest.(check int) "entered mid" s_mid first.entered;
+      Alcotest.(check int) "entered done" s_done second.entered
+  | _ -> Alcotest.fail "two items expected")
+
+let historical_prerequisite () =
+  (* Node 2 moves past the prerequisite state before node 1's event is
+     processed; the prerequisite must still count as satisfied (visited
+     history, not current state). *)
+  let f2 () =
+    let f = Fsm.create ~n_states:3 ~initial:0 in
+    Fsm.add_transition f ~src:0 ~dst:1 "x";
+    Fsm.add_transition f ~src:1 ~dst:2 "y";
+    f
+  in
+  let cfg : (string, unit) Engine.config =
+    {
+      fsm_of = (fun node -> if node = 2 then f2 () else chain_fsm ("e1", "e2"));
+      prerequisites =
+        (fun ~node ~label ~payload:_ ->
+          if node = 1 && label = "e1" then [ (2, 1) ] else []);
+      infer_payload = (fun ~node:_ ~label:_ -> None);
+    }
+  in
+  let items, stats =
+    Engine.run cfg ~events:[ (2, "x", None); (2, "y", None); (1, "e1", None) ]
+  in
+  Alcotest.(check int) "nothing inferred" 0 stats.emitted_inferred;
+  Alcotest.(check (list string)) "order" [ "x"; "y"; "e1" ] (flow_labels items)
+
+let prerequisite_cycle_terminates () =
+  (* Mutual prerequisites: e1 needs node 2 mid, e3 needs node 1 mid. The
+     driving-set guard must break the cycle. *)
+  let cfg : (string, unit) Engine.config =
+    {
+      fsm_of = (fun node -> chain_fsm (labels_of node));
+      prerequisites =
+        (fun ~node ~label ~payload:_ ->
+          match (node, label) with
+          | 1, "e1" -> [ (2, s_mid) ]
+          | 2, "e3" -> [ (1, s_mid) ]
+          | _ -> []);
+      infer_payload = (fun ~node:_ ~label:_ -> None);
+    }
+  in
+  let items, _ = Engine.run cfg ~events:[ event 1 "e1"; event 2 "e3" ] in
+  (* Both events appear; the cycle resolved by inferring one side. *)
+  Alcotest.(check bool) "e1 present" true
+    (List.exists (fun (i : (string, unit) Engine.item) -> i.label = "e1" && not i.inferred) items);
+  Alcotest.(check bool) "e3 present" true
+    (List.exists (fun (i : (string, unit) Engine.item) -> i.label = "e3" && not i.inferred) items)
+
+let unsatisfiable_prerequisite_ignored () =
+  (* A prerequisite naming an unreachable state cannot be driven; the event
+     still fires (best effort, matching step 3's permissiveness). *)
+  let cfg : (string, unit) Engine.config =
+    {
+      fsm_of = (fun node -> chain_fsm (labels_of node));
+      prerequisites =
+        (fun ~node ~label ~payload:_ ->
+          match (node, label) with
+          | 1, "e1" -> [ (2, 42) ] (* state 42 does not exist *)
+          | _ -> []);
+      infer_payload = (fun ~node:_ ~label:_ -> None);
+    }
+  in
+  match Engine.run cfg ~events:[ event 1 "e1" ] with
+  | exception _ -> Alcotest.fail "must not raise"
+  | items, _ ->
+      Alcotest.(check int) "fired anyway" 1 (List.length items)
+
+let payload_synthesis_called () =
+  let synthesized = ref [] in
+  let cfg : (string, string) Engine.config =
+    {
+      fsm_of = (fun _ -> chain_fsm ("e1", "e2"));
+      prerequisites = (fun ~node:_ ~label:_ ~payload:_ -> []);
+      infer_payload =
+        (fun ~node:_ ~label ->
+          synthesized := label :: !synthesized;
+          Some ("payload-" ^ label));
+    }
+  in
+  let items, _ = Engine.run cfg ~events:[ (1, "e2", Some "logged") ] in
+  Alcotest.(check (list string)) "synthesis for lost e1" [ "e1" ] !synthesized;
+  match items with
+  | [ first; second ] ->
+      Alcotest.(check (option string)) "synthesized payload"
+        (Some "payload-e1") first.payload;
+      Alcotest.(check (option string)) "original payload" (Some "logged")
+        second.payload
+  | _ -> Alcotest.fail "two items expected"
+
+(* Strong ordering invariant: whenever an event with a prerequisite fires,
+   the prerequisite state has been entered strictly earlier in the flow. *)
+let prerequisites_precede_in_flow =
+  QCheck.Test.make ~name:"prerequisite states precede dependent events"
+    ~count:300
+    QCheck.(small_list (pair (int_range 1 3) (int_range 0 5)))
+    (fun raw ->
+      let all_labels = [| "e1"; "e2"; "e3"; "e4"; "e5"; "e6" |] in
+      let events = List.map (fun (n, l) -> (n, all_labels.(l), None)) raw in
+      let items, _ =
+        Engine.run (config ~prerequisites:cascade_prereqs) ~events
+      in
+      (* Track, per node, the flow index at which each state was entered. *)
+      let entered = Hashtbl.create 16 in
+      List.for_all
+        (fun (ok, idx) -> ok && idx >= 0)
+        (List.mapi
+           (fun idx (i : (string, unit) Engine.item) ->
+             let ok =
+               List.for_all
+                 (fun (rnode, rstate) ->
+                   match Hashtbl.find_opt entered (rnode, rstate) with
+                   | Some earlier -> earlier < idx
+                   | None -> false)
+                 (cascade_prereqs i.node i.label)
+             in
+             Hashtbl.replace entered (i.node, i.entered) idx;
+             (* First entry wins; replace only if absent. *)
+             (match Hashtbl.find_opt entered (i.node, i.entered) with
+             | Some prev when prev < idx ->
+                 Hashtbl.replace entered (i.node, i.entered) prev
+             | _ -> ());
+             (ok, idx))
+           items))
+
+let logged_events_emitted_once =
+  QCheck.Test.make ~name:"every input event is fired or skipped exactly once"
+    ~count:200
+    QCheck.(small_list (pair (int_range 1 3) (int_range 0 5)))
+    (fun raw ->
+      let all_labels = [| "e1"; "e2"; "e3"; "e4"; "e5"; "e6" |] in
+      let events = List.map (fun (n, l) -> (n, all_labels.(l), None)) raw in
+      let items, stats =
+        Engine.run (config ~prerequisites:cascade_prereqs) ~events
+      in
+      let logged =
+        List.length
+          (List.filter (fun (i : (string, unit) Engine.item) -> not i.inferred) items)
+      in
+      logged = stats.emitted_logged
+      && stats.emitted_logged + stats.skipped = List.length events)
+
+let () =
+  Alcotest.run "refill-engine"
+    [
+      ( "fig3",
+        [
+          Alcotest.test_case "(a) cascade, full logs" `Quick fig3a_full_logs;
+          Alcotest.test_case "(a) cascade, only e2" `Quick fig3a_only_e2;
+          Alcotest.test_case "(b) 1-to-many" `Quick fig3b_one_to_many;
+          Alcotest.test_case "(c) many-to-1" `Quick fig3c_many_to_one;
+          Alcotest.test_case "(d) mixed" `Quick fig3d_mixed;
+          Alcotest.test_case "(a) merge-order insensitive" `Quick
+            fig3a_insensitive_to_merge_order;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "skips unfireable" `Quick unfireable_events_skipped;
+          Alcotest.test_case "intra inferred prefix" `Quick
+            intra_fires_with_inferred_prefix;
+          Alcotest.test_case "historical prerequisite" `Quick
+            historical_prerequisite;
+          Alcotest.test_case "cycle terminates" `Quick
+            prerequisite_cycle_terminates;
+          Alcotest.test_case "unsatisfiable prerequisite" `Quick
+            unsatisfiable_prerequisite_ignored;
+          Alcotest.test_case "payload synthesis" `Quick payload_synthesis_called;
+          QCheck_alcotest.to_alcotest logged_events_emitted_once;
+          QCheck_alcotest.to_alcotest prerequisites_precede_in_flow;
+        ] );
+    ]

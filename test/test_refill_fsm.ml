@@ -1,0 +1,222 @@
+(* Tests for the FSM graph and the intra-node transition derivation
+   (§IV.A–B). *)
+
+open Refill
+
+(* The paper's running example shape: a small chain with a loop. *)
+let chain () =
+  (* 0 --a--> 1 --b--> 2 --c--> 3, plus 3 --d--> 1 (loop back). *)
+  let f = Fsm.create ~n_states:4 ~initial:0 in
+  Fsm.add_transition f ~src:0 ~dst:1 "a";
+  Fsm.add_transition f ~src:1 ~dst:2 "b";
+  Fsm.add_transition f ~src:2 ~dst:3 "c";
+  Fsm.add_transition f ~src:3 ~dst:1 "d";
+  f
+
+let create_validates () =
+  Alcotest.check_raises "n_states" (Invalid_argument "Fsm.create: n_states")
+    (fun () -> ignore (Fsm.create ~n_states:0 ~initial:0));
+  Alcotest.check_raises "initial" (Invalid_argument "Fsm.create: initial")
+    (fun () -> ignore (Fsm.create ~n_states:2 ~initial:5))
+
+let add_validates () =
+  let f = Fsm.create ~n_states:2 ~initial:0 in
+  Alcotest.check_raises "src range"
+    (Invalid_argument "Fsm.add_transition: src") (fun () ->
+      Fsm.add_transition f ~src:7 ~dst:0 "x")
+
+let duplicates_ignored () =
+  let f = Fsm.create ~n_states:2 ~initial:0 in
+  Fsm.add_transition f ~src:0 ~dst:1 "x";
+  Fsm.add_transition f ~src:0 ~dst:1 "x";
+  Alcotest.(check int) "one edge" 1 (List.length (Fsm.transitions f))
+
+let normal_next_lookup () =
+  let f = chain () in
+  Alcotest.(check (option int)) "0 a" (Some 1) (Fsm.normal_next f ~from:0 "a");
+  Alcotest.(check (option int)) "no edge" None (Fsm.normal_next f ~from:0 "b");
+  Alcotest.(check (option int)) "loop edge" (Some 1)
+    (Fsm.normal_next f ~from:3 "d")
+
+let labels_and_transitions () =
+  let f = chain () in
+  Alcotest.(check (list string)) "labels in insertion order"
+    [ "a"; "b"; "c"; "d" ] (Fsm.labels f);
+  Alcotest.(check int) "4 transitions" 4 (List.length (Fsm.transitions f))
+
+let reachability () =
+  let f = chain () in
+  Alcotest.(check bool) "self" true (Fsm.reachable f ~from:2 2);
+  Alcotest.(check bool) "forward" true (Fsm.reachable f ~from:0 3);
+  Alcotest.(check bool) "via loop" true (Fsm.reachable f ~from:3 2);
+  Alcotest.(check bool) "initial unreachable" false (Fsm.reachable f ~from:1 0)
+
+let shortest_path_basics () =
+  let f = chain () in
+  Alcotest.(check bool) "empty self path" true
+    (Fsm.shortest_path f ~from:1 ~to_:1 = Some []);
+  (match Fsm.shortest_path f ~from:0 ~to_:3 with
+  | Some path ->
+      Alcotest.(check (list string)) "labels along path" [ "a"; "b"; "c" ]
+        (List.map (fun (_, _, l) -> l) path)
+  | None -> Alcotest.fail "path expected");
+  Alcotest.(check bool) "unreachable" true
+    (Fsm.shortest_path f ~from:1 ~to_:0 = None)
+
+let shortest_path_prefers_short () =
+  (* Two routes 0→3: direct edge "z" and the long chain. BFS must take the
+     single edge. *)
+  let f = chain () in
+  Fsm.add_transition f ~src:0 ~dst:3 "z";
+  match Fsm.shortest_path f ~from:0 ~to_:3 with
+  | Some [ (0, 3, "z") ] -> ()
+  | Some other ->
+      Alcotest.failf "expected direct edge, got %d hops" (List.length other)
+  | None -> Alcotest.fail "path expected"
+
+let intra_target_unique () =
+  let f = chain () in
+  (* Event "c" has a single target state 3, reachable from 0: intra defined. *)
+  Alcotest.(check (option int)) "unique target" (Some 3)
+    (Fsm.intra_target f ~from:0 "c");
+  (* Unknown label: no targets. *)
+  Alcotest.(check (option int)) "no label" None (Fsm.intra_target f ~from:0 "q")
+
+let intra_target_ambiguous () =
+  (* Label "x" targets two distinct states both reachable from 0: no intra
+     transition may be derived (the paper's uniqueness condition). *)
+  let f = Fsm.create ~n_states:4 ~initial:0 in
+  Fsm.add_transition f ~src:0 ~dst:1 "a";
+  Fsm.add_transition f ~src:1 ~dst:2 "x";
+  Fsm.add_transition f ~src:0 ~dst:3 "x";
+  Alcotest.(check (option int)) "ambiguous" None (Fsm.intra_target f ~from:0 "x");
+  (* From state 1 only target 2 is reachable: intra defined again. *)
+  Alcotest.(check (option int)) "unique from 1" (Some 2)
+    (Fsm.intra_target f ~from:1 "x")
+
+let intra_unreachable_target () =
+  let f = Fsm.create ~n_states:3 ~initial:0 in
+  Fsm.add_transition f ~src:1 ~dst:2 "x";
+  (* From 0, state 2 is not reachable at all. *)
+  Alcotest.(check (option int)) "unreachable" None
+    (Fsm.intra_target f ~from:0 "x")
+
+let infer_intra_path () =
+  let f = chain () in
+  (* Taking "c" from state 0 implies the lost path a, b. *)
+  match Fsm.infer_intra f ~from:0 "c" with
+  | Some (lost, target) ->
+      Alcotest.(check int) "target" 3 target;
+      Alcotest.(check (list string)) "lost labels" [ "a"; "b" ]
+        (List.map (fun (_, _, l) -> l) lost)
+  | None -> Alcotest.fail "intra expected"
+
+let infer_intra_loop_case () =
+  let f = chain () in
+  (* From state 3, event "b" implies the loop edge d was taken (lost),
+     reaching 1, then b fires into 2. *)
+  match Fsm.infer_intra f ~from:3 "b" with
+  | Some (lost, target) ->
+      Alcotest.(check int) "target" 2 target;
+      Alcotest.(check (list string)) "lost loop entry" [ "d" ]
+        (List.map (fun (_, _, l) -> l) lost)
+  | None -> Alcotest.fail "intra expected"
+
+let infer_intra_none_when_normal_missing_everywhere () =
+  let f = chain () in
+  Alcotest.(check bool) "no intra for unknown" true
+    (Fsm.infer_intra f ~from:0 "q" = None)
+
+(* Property: whenever infer_intra returns a path, replaying it with normal
+   transitions is consistent and ends at a source of a [label] edge into the
+   returned target. *)
+let infer_intra_sound =
+  QCheck.Test.make ~name:"infer_intra path replays on normal edges" ~count:200
+    QCheck.(
+      pair (int_range 2 8)
+        (small_list (pair (pair (int_range 0 7) (int_range 0 7)) (int_range 0 3))))
+    (fun (n, edges) ->
+      let f = Fsm.create ~n_states:n ~initial:0 in
+      List.iter
+        (fun ((s, d), l) ->
+          if s < n && d < n then
+            Fsm.add_transition f ~src:s ~dst:d (string_of_int l))
+        edges;
+      List.for_all
+        (fun from ->
+          List.for_all
+            (fun label ->
+              match Fsm.infer_intra f ~from label with
+              | None -> true
+              | Some (path, target) ->
+                  (* Replay: each edge must be a normal transition and the
+                     chain must be contiguous from [from]. *)
+                  let ok, last =
+                    List.fold_left
+                      (fun (ok, cur) (s, d, l) ->
+                        let valid =
+                          s = cur
+                          && List.mem (s, d, l) (Fsm.transitions f)
+                        in
+                        (ok && valid, d))
+                      (true, from) path
+                  in
+                  ok
+                  && List.exists
+                       (fun (s, d, l) -> s = last && d = target && l = label)
+                       (Fsm.transitions f))
+            (Fsm.labels f))
+        (List.init n Fun.id))
+
+let to_dot_renders () =
+  let f = chain () in
+  let dot =
+    Fsm.to_dot ~name:"chain" ~label_name:Fun.id
+      ~state_name:(fun s -> "s" ^ string_of_int s)
+      f
+  in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  List.iter
+    (fun needle ->
+      let contains =
+        let n = String.length needle and h = String.length dot in
+        let rec scan i =
+          i + n <= h && (String.sub dot i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) ("contains " ^ needle) true contains)
+    [ "\"s0\" -> \"s1\""; "label=\"a\""; "\"s3\" -> \"s1\"" ]
+
+let () =
+  Alcotest.run "refill-fsm"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "create validates" `Quick create_validates;
+          Alcotest.test_case "add validates" `Quick add_validates;
+          Alcotest.test_case "duplicates ignored" `Quick duplicates_ignored;
+          Alcotest.test_case "normal_next" `Quick normal_next_lookup;
+          Alcotest.test_case "labels/transitions" `Quick labels_and_transitions;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "reachability" `Quick reachability;
+          Alcotest.test_case "shortest path" `Quick shortest_path_basics;
+          Alcotest.test_case "prefers short" `Quick shortest_path_prefers_short;
+        ] );
+      ( "intra-node derivation",
+        [
+          Alcotest.test_case "unique target" `Quick intra_target_unique;
+          Alcotest.test_case "ambiguous blocked" `Quick intra_target_ambiguous;
+          Alcotest.test_case "unreachable blocked" `Quick
+            intra_unreachable_target;
+          Alcotest.test_case "lost path" `Quick infer_intra_path;
+          Alcotest.test_case "loop case" `Quick infer_intra_loop_case;
+          Alcotest.test_case "no intra" `Quick
+            infer_intra_none_when_normal_missing_everywhere;
+          QCheck_alcotest.to_alcotest infer_intra_sound;
+        ] );
+      ("dot", [ Alcotest.test_case "renders" `Quick to_dot_renders ]);
+    ]

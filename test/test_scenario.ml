@@ -1,0 +1,166 @@
+(* Tests for the CitySee scenario builder. *)
+
+let built = lazy (Scenario.Citysee.build Scenario.Citysee.tiny)
+
+let build_is_connected_with_corner_sink () =
+  let t = Lazy.force built in
+  let topo = Node.Network.topology t.network in
+  Alcotest.(check bool) "connected" true
+    (Net.Topology.is_connected topo ~from:t.sink);
+  (* The sink sits near the (0,0) corner. *)
+  let x, y = Scenario.Citysee.position t t.sink in
+  Alcotest.(check bool) "corner sink" true (x < 15. && y < 15.)
+
+let day_mapping () =
+  let t = Scenario.Citysee.build { Scenario.Citysee.tiny with days = 3 } in
+  let warmup = t.params.warmup and len = t.params.day_length in
+  Alcotest.(check int) "day 0" 0 (Scenario.Citysee.day_of t warmup);
+  Alcotest.(check int) "day 1" 1 (Scenario.Citysee.day_of t (warmup +. len +. 1.));
+  Alcotest.(check int) "clamped below" 0 (Scenario.Citysee.day_of t 0.);
+  Alcotest.(check int) "clamped above" 2
+    (Scenario.Citysee.day_of t (warmup +. (10. *. len)));
+  let lo, hi = Scenario.Citysee.day_bounds t 1 in
+  Alcotest.(check (float 1e-9)) "bounds width" len (hi -. lo);
+  Alcotest.(check (float 1e-9)) "bounds start" (warmup +. len) lo
+
+let run_produces_traffic () =
+  let t = Scenario.Citysee.run Scenario.Citysee.tiny in
+  Alcotest.(check bool) "packets generated" true
+    (Node.Network.packets_generated t.network > 100);
+  let collected = Scenario.Citysee.collected t in
+  Alcotest.(check bool) "records collected" true
+    (Logsys.Collected.total collected > 500)
+
+let deterministic_runs () =
+  let run () =
+    let t = Scenario.Citysee.run Scenario.Citysee.tiny in
+    ( Node.Network.packets_generated t.network,
+      Logsys.Truth.cause_counts (Node.Network.truth t.network) )
+  in
+  Alcotest.(check bool) "same seed, same world" true (run () = run ())
+
+let different_seeds_differ () =
+  let run seed =
+    let t =
+      Scenario.Citysee.run { Scenario.Citysee.tiny with seed }
+    in
+    Logsys.Logger.total (Node.Network.logger t.network)
+  in
+  Alcotest.(check bool) "different worlds" true (run 1L <> run 2L)
+
+let lossy_collection_deterministic () =
+  let t = Scenario.Citysee.run Scenario.Citysee.tiny in
+  let a = Scenario.Citysee.collected_lossy t Logsys.Loss_model.default in
+  let b = Scenario.Citysee.collected_lossy t Logsys.Loss_model.default in
+  Alcotest.(check int) "same surviving records" (Logsys.Collected.total a)
+    (Logsys.Collected.total b);
+  Alcotest.(check bool) "strictly lossy" true
+    (Logsys.Collected.total a < Logsys.Collected.total (Scenario.Citysee.collected t))
+
+let snow_degrades_links () =
+  let params =
+    { Scenario.Citysee.tiny with days = 3; snow_days = Some (1, 1); snow_quality = 0.4 }
+  in
+  let t = Scenario.Citysee.build params in
+  let link = Node.Network.link_model t.network in
+  let day1_start, _ = Scenario.Citysee.day_bounds t 1 in
+  let day0_start, _ = Scenario.Citysee.day_bounds t 0 in
+  (* Compare the same link at the same phase offset in a snowy vs clear
+     day; the weather multiplier must show through. *)
+  let topo = Node.Network.topology t.network in
+  let probe = List.hd (Net.Topology.neighbors topo t.sink) in
+  let clear = Net.Link_model.prr link ~now:day0_start ~src:t.sink ~dst:probe in
+  ignore clear;
+  let with_weather = Net.Link_model.prr link ~now:day1_start ~src:t.sink ~dst:probe in
+  Net.Link_model.set_weather link (fun _ -> 1.);
+  let without_weather =
+    Net.Link_model.prr link ~now:day1_start ~src:t.sink ~dst:probe
+  in
+  Alcotest.(check (float 1e-9)) "snow multiplier" (without_weather *. 0.4)
+    with_weather
+
+let sink_fix_changes_serial () =
+  let params =
+    {
+      Scenario.Citysee.tiny with
+      days = 4;
+      sink_fix_day = Some 2;
+      serial_bad_rate = 0.5;
+      serial_good_rate = 0.;
+    }
+  in
+  let t = Scenario.Citysee.run params in
+  let truth = Node.Network.truth t.network in
+  (* Sink-position received/acked losses must all predate the fix. *)
+  let fix_time, _ = Scenario.Citysee.day_bounds t 2 in
+  Logsys.Truth.iter truth (fun _ fate ->
+      match fate.cause with
+      | Logsys.Cause.Received_loss | Logsys.Cause.Acked_loss
+        when fate.loss_node = Some t.sink ->
+          Alcotest.(check bool) "before fix" true (fate.resolved_at < fix_time)
+      | _ -> ())
+
+let bursts_registered () =
+  let params = { Scenario.Citysee.tiny with bursts_per_day = 2; days = 3 } in
+  let t = Scenario.Citysee.build params in
+  let link = Node.Network.link_model t.network in
+  Alcotest.(check int) "2 per day for 3 days" 6
+    (List.length (Net.Link_model.bursts link))
+
+let server_outages_within_run () =
+  let params =
+    { Scenario.Citysee.tiny with server_outages = 3; server_outage_mean = 50. }
+  in
+  let t = Scenario.Citysee.build params in
+  let outages = Node.Server.outages (Scenario.Citysee.server t) in
+  Alcotest.(check int) "three windows" 3 (List.length outages);
+  List.iter
+    (fun (start, d) ->
+      Alcotest.(check bool) "inside run" true
+        (start >= t.params.warmup
+        && start +. d <= t.params.warmup +. t.duration +. 1e-6))
+    outages
+
+let truth_paths_respect_topology () =
+  (* Conservation/consistency: every ground-truth path starts at the
+     packet's origin and each hop is a radio neighbor. *)
+  let t = Scenario.Citysee.run Scenario.Citysee.tiny in
+  let topo = Node.Network.topology t.network in
+  let truth = Node.Network.truth t.network in
+  Logsys.Truth.iter truth (fun (origin, _) fate ->
+      match fate.path with
+      | [] -> ()
+      | first :: _ ->
+          Alcotest.(check int) "path starts at origin" origin first;
+          let rec hops = function
+            | a :: (b :: _ as rest) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%d-%d are neighbors" a b)
+                  true
+                  (Net.Topology.in_range topo a b);
+                hops rest
+            | _ -> ()
+          in
+          hops fate.path)
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "citysee",
+        [
+          Alcotest.test_case "connected corner sink" `Quick
+            build_is_connected_with_corner_sink;
+          Alcotest.test_case "day mapping" `Quick day_mapping;
+          Alcotest.test_case "traffic" `Quick run_produces_traffic;
+          Alcotest.test_case "deterministic" `Quick deterministic_runs;
+          Alcotest.test_case "seeds differ" `Quick different_seeds_differ;
+          Alcotest.test_case "lossy deterministic" `Quick
+            lossy_collection_deterministic;
+          Alcotest.test_case "snow" `Quick snow_degrades_links;
+          Alcotest.test_case "sink fix" `Quick sink_fix_changes_serial;
+          Alcotest.test_case "bursts" `Quick bursts_registered;
+          Alcotest.test_case "outages" `Quick server_outages_within_run;
+          Alcotest.test_case "paths respect topology" `Quick
+            truth_paths_respect_topology;
+        ] );
+    ]

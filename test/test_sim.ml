@@ -1,0 +1,139 @@
+(* Tests for the discrete-event simulation engine. *)
+
+let callbacks_run_in_time_order () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  let record tag = fun _ -> order := tag :: !order in
+  ignore (Sim.Engine.schedule e ~delay:3. (record "c"));
+  ignore (Sim.Engine.schedule e ~delay:1. (record "a"));
+  ignore (Sim.Engine.schedule e ~delay:2. (record "b"));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !order)
+
+let fifo_among_equal_times () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  let record tag = fun _ -> order := tag :: !order in
+  ignore (Sim.Engine.schedule e ~delay:1. (record "first"));
+  ignore (Sim.Engine.schedule e ~delay:1. (record "second"));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "fifo" [ "first"; "second" ] (List.rev !order)
+
+let clock_advances () =
+  let e = Sim.Engine.create () in
+  let seen = ref [] in
+  ignore (Sim.Engine.schedule e ~delay:5. (fun e -> seen := Sim.Engine.now e :: !seen));
+  ignore (Sim.Engine.schedule e ~delay:2. (fun e -> seen := Sim.Engine.now e :: !seen));
+  Sim.Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "times" [ 2.; 5. ] (List.rev !seen);
+  Alcotest.(check (float 1e-9)) "final clock" 5. (Sim.Engine.now e)
+
+let negative_delay_clamped () =
+  let e = Sim.Engine.create () in
+  let ran = ref false in
+  ignore (Sim.Engine.schedule e ~delay:(-4.) (fun _ -> ran := true));
+  Sim.Engine.run e;
+  Alcotest.(check bool) "ran at t=0" true !ran;
+  Alcotest.(check (float 1e-9)) "clock 0" 0. (Sim.Engine.now e)
+
+let cancel_prevents_run () =
+  let e = Sim.Engine.create () in
+  let ran = ref false in
+  let h = Sim.Engine.schedule e ~delay:1. (fun _ -> ran := true) in
+  Alcotest.(check bool) "pending" true (Sim.Engine.is_pending h);
+  Sim.Engine.cancel h;
+  Alcotest.(check bool) "not pending" false (Sim.Engine.is_pending h);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "cancelled" false !ran
+
+let nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec tick engine =
+    incr count;
+    if !count < 5 then ignore (Sim.Engine.schedule engine ~delay:1. tick)
+  in
+  ignore (Sim.Engine.schedule e ~delay:1. tick);
+  Sim.Engine.run e;
+  Alcotest.(check int) "5 ticks" 5 !count;
+  Alcotest.(check (float 1e-9)) "clock at 5" 5. (Sim.Engine.now e)
+
+let run_until_stops_at_horizon () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec tick engine =
+    incr count;
+    ignore (Sim.Engine.schedule engine ~delay:1. tick)
+  in
+  ignore (Sim.Engine.schedule e ~delay:1. tick);
+  Sim.Engine.run ~until:10.5 e;
+  Alcotest.(check int) "10 ticks" 10 !count;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 10.5 (Sim.Engine.now e);
+  (* Continue running: the pending tick resumes. *)
+  Sim.Engine.run ~until:12. e;
+  Alcotest.(check int) "12 ticks" 12 !count
+
+let run_until_drained_clock_at_horizon () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:1. (fun _ -> ()));
+  Sim.Engine.run ~until:100. e;
+  Alcotest.(check (float 1e-9)) "clock jumps to horizon" 100.
+    (Sim.Engine.now e)
+
+let run_for_relative () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:1. (fun _ -> ()));
+  Sim.Engine.run_for e ~duration:2.;
+  Alcotest.(check (float 1e-9)) "now 2" 2. (Sim.Engine.now e);
+  Sim.Engine.run_for e ~duration:3.;
+  Alcotest.(check (float 1e-9)) "now 5" 5. (Sim.Engine.now e)
+
+let schedule_at_past_clamped () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:5. (fun _ -> ()));
+  Sim.Engine.run e;
+  let time_seen = ref 0. in
+  ignore
+    (Sim.Engine.schedule_at e ~time:1. (fun e -> time_seen := Sim.Engine.now e));
+  Sim.Engine.run e;
+  Alcotest.(check (float 1e-9)) "clamped to now" 5. !time_seen
+
+let step_one_at_a_time () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  ignore (Sim.Engine.schedule e ~delay:1. (fun _ -> incr count));
+  ignore (Sim.Engine.schedule e ~delay:2. (fun _ -> incr count));
+  Alcotest.(check bool) "step 1" true (Sim.Engine.step e);
+  Alcotest.(check int) "one ran" 1 !count;
+  Alcotest.(check bool) "step 2" true (Sim.Engine.step e);
+  Alcotest.(check bool) "exhausted" false (Sim.Engine.step e)
+
+let pending_count_tracks () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:1. (fun _ -> ()));
+  ignore (Sim.Engine.schedule e ~delay:2. (fun _ -> ()));
+  Alcotest.(check int) "two pending" 2 (Sim.Engine.pending_count e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "drained" 0 (Sim.Engine.pending_count e)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick callbacks_run_in_time_order;
+          Alcotest.test_case "fifo ties" `Quick fifo_among_equal_times;
+          Alcotest.test_case "clock advances" `Quick clock_advances;
+          Alcotest.test_case "negative delay" `Quick negative_delay_clamped;
+          Alcotest.test_case "cancel" `Quick cancel_prevents_run;
+          Alcotest.test_case "nested scheduling" `Quick nested_scheduling;
+          Alcotest.test_case "run until horizon" `Quick
+            run_until_stops_at_horizon;
+          Alcotest.test_case "drained clock" `Quick
+            run_until_drained_clock_at_horizon;
+          Alcotest.test_case "run_for" `Quick run_for_relative;
+          Alcotest.test_case "schedule_at past" `Quick schedule_at_past_clamped;
+          Alcotest.test_case "step" `Quick step_one_at_a_time;
+          Alcotest.test_case "pending count" `Quick pending_count_tracks;
+        ] );
+    ]
