@@ -681,18 +681,58 @@ let experiments =
     ("perf", perf);
   ]
 
+(* Persist the run machine-readably so the perf trajectory accumulates:
+   per-experiment wall time plus a full metrics snapshot (event counts,
+   inference counters, latency histograms). *)
+let rec find_repo_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_repo_root parent
+
+let write_bench_json timings =
+  let module J = Refill_obs.Json in
+  let root =
+    Option.value ~default:(Sys.getcwd ()) (find_repo_root (Sys.getcwd ()))
+  in
+  let path = Filename.concat root "BENCH_refill.json" in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "refill-bench-v1");
+        ("unix_time", J.Num (Unix.gettimeofday ()));
+        ( "experiments",
+          J.Arr
+            (List.map
+               (fun (name, seconds) ->
+                 J.Obj [ ("name", J.Str name); ("seconds", J.Num seconds) ])
+               timings) );
+        ("metrics", Refill_obs.Metrics.to_json ());
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (J.to_string doc ^ "\n"));
+  Printf.printf "\nwrote %s (%d experiments)\n" path (List.length timings)
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst experiments
   in
+  let timings = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          timings := (name, Unix.gettimeofday () -. t0) :: !timings
       | None ->
           Printf.eprintf "unknown experiment %S; known: %s\n" name
             (String.concat ", " (List.map fst experiments));
           exit 1)
-    requested
+    requested;
+  write_bench_json (List.rev !timings)

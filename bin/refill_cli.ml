@@ -10,6 +10,101 @@
 *)
 
 open Cmdliner
+module Obs = Refill_obs
+
+(* -- Observability plumbing ------------------------------------------------- *)
+
+type obs_opts = {
+  metrics : string option;  (* "-" = stdout *)
+  trace_out : string option;
+  quiet : bool;
+  verbose : bool;
+}
+
+let obs_opts_term =
+  let metrics =
+    let doc =
+      "Dump a metrics snapshot after the command: Prometheus text to \
+       $(docv) (stdout if $(docv) is '-' or omitted), or JSON if $(docv) \
+       ends in .json."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let trace_out =
+    let doc =
+      "Record pipeline spans to $(docv) as Chrome trace_event JSON \
+       (open in Perfetto or chrome://tracing)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show debug output.")
+  in
+  Term.(
+    const (fun metrics trace_out quiet verbose ->
+        { metrics; trace_out; quiet; verbose })
+    $ metrics $ trace_out $ quiet $ verbose)
+
+let dump_metrics = function
+  | None -> ()
+  | Some dest ->
+      let text =
+        if dest <> "-" && Filename.check_suffix dest ".json" then
+          Obs.Metrics.dump_json () ^ "\n"
+        else Obs.Metrics.dump_prometheus ()
+      in
+      if dest = "-" then print_string text
+      else begin
+        let oc = open_out dest in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc text);
+        Obs.Log.info "metrics dump written to %s" dest
+      end
+
+(* Install the requested log level and trace sink, run the command body, and
+   tear down — turning unreadable/corrupt inputs into a clear message and a
+   non-zero exit instead of an exception backtrace. *)
+let with_observability opts f =
+  Obs.Log.set_level
+    (if opts.quiet then Obs.Log.Quiet
+     else if opts.verbose then Obs.Log.Debug
+     else Obs.Log.Info);
+  let cleanup () =
+    Obs.Sink.close (Obs.Span.sink ());
+    Obs.Span.set_sink Obs.Sink.null
+  in
+  match
+    (match opts.trace_out with
+    | Some path -> Obs.Span.set_sink (Obs.Sink.file path)
+    | None -> ());
+    let code = f () in
+    cleanup ();
+    (match opts.trace_out with
+    | Some path ->
+        Obs.Log.info
+          "trace written to %s (load it in Perfetto or chrome://tracing)"
+          path
+    | None -> ());
+    dump_metrics opts.metrics;
+    code
+  with
+  | code -> code
+  | exception Sys_error msg ->
+      cleanup ();
+      Obs.Log.error "%s" msg;
+      1
+  | exception Failure msg ->
+      cleanup ();
+      Obs.Log.error "%s" msg;
+      1
 
 (* -- Shared argument definitions ------------------------------------------- *)
 
@@ -63,15 +158,16 @@ let scenario_params ~seed ~days ~nodes =
 
 (* -- simulate ----------------------------------------------------------------- *)
 
-let simulate seed days nodes loss output =
+let simulate obs seed days nodes loss output =
+  with_observability obs @@ fun () ->
   match parse_loss loss with
   | Error e ->
-      prerr_endline e;
+      Obs.Log.error "%s" e;
       1
   | Ok loss_config ->
       let params = scenario_params ~seed ~days ~nodes in
-      Printf.printf "simulating %d nodes for %d day(s) (seed %d)...\n%!" nodes
-        days seed;
+      Obs.Log.info "simulating %d nodes for %d day(s) (seed %d)..." nodes days
+        seed;
       let t = Scenario.Citysee.run params in
       let collected = Scenario.Citysee.collected_lossy t loss_config in
       let truth = Node.Network.truth t.network in
@@ -94,7 +190,9 @@ let simulate_cmd =
   let doc = "Simulate a CitySee-like deployment and dump collected logs." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
-    Term.(const simulate $ seed_arg $ days_arg $ nodes_arg $ loss_arg $ output)
+    Term.(
+      const simulate $ obs_opts_term $ seed_arg $ days_arg $ nodes_arg
+      $ loss_arg $ output)
 
 (* -- analyze ------------------------------------------------------------------ *)
 
@@ -127,15 +225,13 @@ let print_breakdown verdicts ~sink ~total_label =
             (if s > 0 then Printf.sprintf "  [%d at sink]" s else ""))
     (Logsys.Cause.loss_causes @ [ Logsys.Cause.Unknown ])
 
-let analyze input =
+let analyze obs input =
+  with_observability obs @@ fun () ->
   match Logsys.Log_io.load_file input with
-  | exception Sys_error e ->
-      prerr_endline e;
-      1
-  | exception Failure e ->
-      prerr_endline e;
-      1
   | dump ->
+      Obs.Log.debug "loaded %d surviving records from %s"
+        (Logsys.Collected.total dump.collected)
+        input;
       let flows = Refill.Reconstruct.all dump.collected ~sink:dump.sink in
       let summary = Refill.Reconstruct.summarize flows in
       Printf.printf
@@ -194,15 +290,15 @@ let analyze_cmd =
       & info [] ~docv:"LOGFILE" ~doc:"Log dump produced by `refill simulate`.")
   in
   let doc = "Reconstruct event flows from a log dump and classify losses." in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ input)
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(const analyze $ obs_opts_term $ input)
 
 (* -- trace -------------------------------------------------------------------- *)
 
-let trace input origin seq =
+let trace obs input origin seq =
+  with_observability obs @@ fun () ->
   match Logsys.Log_io.load_file input with
-  | exception Sys_error e ->
-      prerr_endline e;
-      1
   | dump ->
       let flow =
         Refill.Reconstruct.packet dump.collected ~origin ~seq ~sink:dump.sink
@@ -264,18 +360,23 @@ let trace_cmd =
       & info [ "seq" ] ~docv:"SEQ" ~doc:"Per-origin sequence number.")
   in
   let doc = "Print one packet's reconstructed event flow." in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ input $ origin $ seq)
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const trace $ obs_opts_term $ input $ origin $ seq)
 
 (* -- figures ------------------------------------------------------------------- *)
 
-let figures seed days nodes csv_dir which =
+let figures obs seed days nodes csv_dir which =
+  with_observability obs @@ fun () ->
   let params = scenario_params ~seed ~days ~nodes in
+  Obs.Log.info "simulating %d nodes for %d day(s) (seed %d)..." nodes days
+    seed;
   let t = Scenario.Citysee.run params in
   let p = Analysis.Pipeline.make t in
   (match csv_dir with
   | Some dir ->
       let written = Analysis.Export.write_all p ~dir in
-      List.iter (Printf.printf "wrote %s\n") written
+      List.iter (fun path -> Obs.Log.info "wrote %s" path) written
   | None -> ());
   let render = function
     | "table2" -> print_string (Analysis.Figures.table2 ())
@@ -284,7 +385,7 @@ let figures seed days nodes csv_dir which =
     | "fig6" -> print_string (Analysis.Figures.fig6 p)
     | "fig8" -> print_string (Analysis.Figures.fig8 p)
     | "fig9" -> print_string (Analysis.Figures.fig9 p)
-    | other -> Printf.eprintf "unknown figure %S\n" other
+    | other -> Obs.Log.error "unknown figure %S" other
   in
   (match which with
   | [] -> List.iter render [ "table2"; "fig4"; "fig5"; "fig6"; "fig8"; "fig9" ]
@@ -308,12 +409,17 @@ let figures_cmd =
   let doc = "Regenerate the paper's figures from a fresh simulation." in
   Cmd.v
     (Cmd.info "figures" ~doc)
-    Term.(const figures $ seed_arg $ days_arg $ nodes_arg $ csv_dir $ which)
+    Term.(
+      const figures $ obs_opts_term $ seed_arg $ days_arg $ nodes_arg
+      $ csv_dir $ which)
 
 (* -- report -------------------------------------------------------------------- *)
 
-let report seed days nodes =
+let report obs seed days nodes =
+  with_observability obs @@ fun () ->
   let params = scenario_params ~seed ~days ~nodes in
+  Obs.Log.info "simulating %d nodes for %d day(s) (seed %d)..." nodes days
+    seed;
   let t = Scenario.Citysee.run params in
   let pipeline = Analysis.Pipeline.make t in
   print_string (Analysis.Report.to_string (Analysis.Report.build pipeline));
@@ -325,7 +431,7 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(const report $ seed_arg $ days_arg $ nodes_arg)
+    Term.(const report $ obs_opts_term $ seed_arg $ days_arg $ nodes_arg)
 
 (* -- main ---------------------------------------------------------------------- *)
 

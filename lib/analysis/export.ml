@@ -77,6 +77,8 @@ let write_all pipeline ~dir =
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc content);
+    Refill_obs.Log.debug "export: wrote %s (%d bytes)" path
+      (String.length content);
     path
   in
   [

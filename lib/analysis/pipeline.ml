@@ -1,3 +1,5 @@
+module Obs = Refill_obs
+
 type verdicts = ((int * int) * Refill.Classify.verdict) list
 
 type t = {
@@ -43,9 +45,17 @@ let refine_with_server ~delivered_db verdicts =
 
 let make ?(log_loss = Logsys.Loss_model.default) (scenario : Scenario.Citysee.t)
     =
+  Obs.Span.with_ ~cat:"pipeline" ~name:"pipeline.make" @@ fun () ->
+  let stage name f = Obs.Span.with_ ~cat:"pipeline" ~name f in
   let truth = Node.Network.truth scenario.network in
-  let collected = Scenario.Citysee.collected_lossy scenario log_loss in
-  let flows = Refill.Reconstruct.all collected ~sink:scenario.sink in
+  let collected =
+    stage "pipeline.lossify" (fun () ->
+        Scenario.Citysee.collected_lossy scenario log_loss)
+  in
+  let flows =
+    stage "pipeline.reconstruct" (fun () ->
+        Refill.Reconstruct.all collected ~sink:scenario.sink)
+  in
   let delivered_db =
     Logsys.Truth.fold truth ~init:[] ~f:(fun acc key fate ->
         if Logsys.Cause.equal fate.cause Logsys.Cause.Delivered then
@@ -54,22 +64,26 @@ let make ?(log_loss = Logsys.Loss_model.default) (scenario : Scenario.Citysee.t)
     |> List.sort compare
   in
   let raw_verdicts =
-    List.map
-      (fun (f : Refill.Flow.t) ->
-        ((f.origin, f.seq), Refill.Classify.classify f))
-      flows
+    stage "pipeline.classify" (fun () ->
+        List.map
+          (fun (f : Refill.Flow.t) ->
+            ((f.origin, f.seq), Refill.Classify.classify f))
+          flows)
   in
-  let refill = refine_with_server ~delivered_db raw_verdicts in
+  let refill =
+    stage "pipeline.refine_with_server" (fun () ->
+        refine_with_server ~delivered_db raw_verdicts)
+  in
   let expected =
     Logsys.Truth.fold truth ~init:[] ~f:(fun acc key _ -> key :: acc)
     |> List.sort compare
   in
   let lost =
-    Baseline.Sink_view.analyze
-      ~delivered:
-        (List.map (fun ((o, s), t) -> (o, s, t)) delivered_db)
-      ~expected
-      ~data_interval:scenario.params.data_interval
+    stage "pipeline.sink_view" (fun () ->
+        Baseline.Sink_view.analyze
+          ~delivered:(List.map (fun ((o, s), t) -> (o, s, t)) delivered_db)
+          ~expected
+          ~data_interval:scenario.params.data_interval)
   in
   let loss_times =
     List.map

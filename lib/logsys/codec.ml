@@ -1,3 +1,11 @@
+let c_encoded_bytes =
+  Refill_obs.Metrics.Counter.v "logsys_codec_encoded_bytes_total"
+    ~help:"Bytes produced when encoding node logs for transport."
+
+let c_decoded_records =
+  Refill_obs.Metrics.Counter.v "logsys_codec_decoded_records_total"
+    ~help:"Records recovered when decoding transported logs."
+
 (* Kind tags: stable on-disk values. *)
 let tag_of_kind (kind : Record.kind) =
   match kind with
@@ -97,7 +105,9 @@ let decode_record ~node b ~pos =
 let encode_log log =
   let buf = Buffer.create (8 * Array.length log) in
   Array.iter (encode_record buf) log;
-  Buffer.to_bytes buf
+  let b = Buffer.to_bytes buf in
+  Refill_obs.Metrics.Counter.inc ~by:(Bytes.length b) c_encoded_bytes;
+  b
 
 let decode_log ~node b =
   let len = Bytes.length b in
@@ -108,7 +118,9 @@ let decode_log ~node b =
       go pos (r :: acc)
     end
   in
-  Array.of_list (go 0 [])
+  let records = Array.of_list (go 0 []) in
+  Refill_obs.Metrics.Counter.inc ~by:(Array.length records) c_decoded_records;
+  records
 
 let encoded_size (r : Record.t) =
   1

@@ -1,3 +1,7 @@
+let c_written =
+  Refill_obs.Metrics.Counter.v "logsys_records_written_total"
+    ~help:"Log records written by nodes (pre-loss ground truth)."
+
 type t = { logs : Record.t list ref array }
 
 let create ~n_nodes =
@@ -10,6 +14,7 @@ let log t (record : Record.t) =
   if record.node < 0 || record.node >= Array.length t.logs then
     invalid_arg "Logger.log: node id out of range";
   let cell = t.logs.(record.node) in
+  Refill_obs.Metrics.Counter.inc c_written;
   cell := record :: !cell
 
 let node_log t node =

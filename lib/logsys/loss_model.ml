@@ -1,3 +1,20 @@
+(* One drop counter per loss mechanism, so a metrics dump shows where
+   records went missing. *)
+let dropped stage =
+  Refill_obs.Metrics.Counter.v "logsys_records_dropped_total"
+    ~help:"Log records destroyed by the loss model, by mechanism."
+    ~labels:[ ("stage", stage) ]
+
+let c_node_wipe = dropped "node_wipe"
+
+let c_ring = dropped "ring_overflow"
+
+let c_tail = dropped "tail_wipe"
+
+let c_chunk = dropped "chunk_loss"
+
+let c_write = dropped "write_loss"
+
 type config = {
   write_loss : float;
   node_wipe : float;
@@ -45,12 +62,20 @@ let validate c =
 
 let apply config rng log =
   validate config;
-  if Prelude.Rng.bernoulli rng ~p:config.node_wipe then [||]
+  let count_drop counter before after =
+    if before > after then
+      Refill_obs.Metrics.Counter.inc ~by:(before - after) counter
+  in
+  if Prelude.Rng.bernoulli rng ~p:config.node_wipe then begin
+    count_drop c_node_wipe (Array.length log) 0;
+    [||]
+  end
   else begin
     (* Ring bound: only the newest [k] records were still in the buffer. *)
     let log =
       match config.ring_capacity with
       | Some k when Array.length log > k ->
+          count_drop c_ring (Array.length log) k;
           Array.sub log (Array.length log - k) k
       | _ -> log
     in
@@ -61,6 +86,7 @@ let apply config rng log =
         && Prelude.Rng.bernoulli rng ~p:config.tail_wipe
       then begin
         let keep = Prelude.Rng.int rng (Array.length log + 1) in
+        count_drop c_tail (Array.length log) keep;
         Array.sub log 0 keep
       end
       else log
@@ -79,16 +105,23 @@ let apply config rng log =
             done;
           i := !i + len
         done;
-        Array.of_list (List.rev !kept)
+        let survivors = Array.of_list (List.rev !kept) in
+        count_drop c_chunk n (Array.length survivors);
+        survivors
       end
       else log
     in
     (* Write failures: iid per record. *)
-    if config.write_loss > 0. then
-      Array.of_list
-        (Array.to_list log
-        |> List.filter (fun _ ->
-               not (Prelude.Rng.bernoulli rng ~p:config.write_loss)))
+    if config.write_loss > 0. then begin
+      let survivors =
+        Array.of_list
+          (Array.to_list log
+          |> List.filter (fun _ ->
+                 not (Prelude.Rng.bernoulli rng ~p:config.write_loss)))
+      in
+      count_drop c_write (Array.length log) (Array.length survivors);
+      survivors
+    end
     else log
   end
 

@@ -1,0 +1,25 @@
+(** Minimal dependency-free JSON: enough to build and check the
+    observability dumps (Chrome traces, metric snapshots) without pulling a
+    third-party library into every layer of the pipeline. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val quote : string -> string
+(** [quote s] is [s] as a double-quoted JSON string literal, with the
+    mandatory escapes applied. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one complete JSON document; anything but trailing
+    whitespace after the value is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)

@@ -1,0 +1,74 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : char;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+type file_state = { oc : out_channel; mutable first : bool; mutable closed : bool }
+
+type t = Null | Memory of event list ref | File of file_state
+
+let null = Null
+
+let is_null = function Null -> true | Memory _ | File _ -> false
+
+let memory () = Memory (ref [])
+
+let event_to_json e =
+  let base =
+    [
+      ("name", Json.Str e.name);
+      ("cat", Json.Str e.cat);
+      ("ph", Json.Str (String.make 1 e.ph));
+      ("ts", Json.Num e.ts_us);
+      ("dur", Json.Num e.dur_us);
+      ("pid", Json.Num 1.);
+      ("tid", Json.Num (float_of_int e.tid));
+    ]
+  in
+  let args =
+    match e.args with
+    | [] -> []
+    | args ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)) ]
+  in
+  Json.Obj (base @ args)
+
+let trace_json events =
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map event_to_json events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let file path =
+  let oc = open_out path in
+  output_string oc "{\"traceEvents\":[";
+  File { oc; first = true; closed = false }
+
+let emit t e =
+  match t with
+  | Null -> ()
+  | Memory buf -> buf := e :: !buf
+  | File f ->
+      if not f.closed then begin
+        if f.first then f.first <- false else output_char f.oc ',';
+        output_string f.oc (Json.to_string (event_to_json e))
+      end
+
+let events = function
+  | Memory buf -> List.rev !buf
+  | Null | File _ -> []
+
+let close = function
+  | Null | Memory _ -> ()
+  | File f ->
+      if not f.closed then begin
+        f.closed <- true;
+        output_string f.oc "],\"displayTimeUnit\":\"ms\"}\n";
+        close_out f.oc
+      end

@@ -1,0 +1,55 @@
+let current = ref Sink.null
+
+let set_sink s = current := s
+
+let sink () = !current
+
+let enabled () = not (Sink.is_null !current)
+
+let nesting = ref 0
+
+let depth () = !nesting
+
+(* Timestamps are microseconds since process start: small enough to keep
+   full precision through JSON rendering, and Perfetto only cares about
+   relative time anyway. *)
+let epoch = Unix.gettimeofday ()
+
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let with_ ?(cat = "refill") ?(attrs = []) ~name f =
+  let s = !current in
+  if Sink.is_null s then f ()
+  else begin
+    let t0 = now_us () in
+    incr nesting;
+    Fun.protect
+      ~finally:(fun () ->
+        decr nesting;
+        let t1 = now_us () in
+        Sink.emit s
+          {
+            Sink.name;
+            cat;
+            ph = 'X';
+            ts_us = t0;
+            dur_us = t1 -. t0;
+            tid = 1;
+            args = attrs;
+          })
+      f
+  end
+
+let instant ?(cat = "refill") ?(attrs = []) name =
+  let s = !current in
+  if not (Sink.is_null s) then
+    Sink.emit s
+      {
+        Sink.name;
+        cat;
+        ph = 'i';
+        ts_us = now_us ();
+        dur_us = 0.;
+        tid = 1;
+        args = attrs;
+      }

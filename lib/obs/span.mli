@@ -1,0 +1,30 @@
+(** Nested timed spans over the process-wide trace sink.
+
+    With the default {!Sink.null} installed, [with_] is one branch and a
+    closure call — instrumented hot paths cost nothing when tracing is off.
+    With a memory or file sink, each span is emitted as a Chrome
+    [trace_event] complete ('X') event at exit, so nesting is recovered by
+    timestamp containment. *)
+
+val set_sink : Sink.t -> unit
+(** Install the sink spans report to (replacing the previous one, which is
+    NOT closed). *)
+
+val sink : unit -> Sink.t
+
+val enabled : unit -> bool
+(** [false] iff the null sink is installed. *)
+
+val depth : unit -> int
+(** Current span nesting depth (0 outside any span). *)
+
+val with_ :
+  ?cat:string -> ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f], timing it as a span.  The span is emitted
+    even if [f] raises (the exception is re-raised). *)
+
+val instant : ?cat:string -> ?attrs:(string * string) list -> string -> unit
+(** A zero-duration marker event. *)
+
+val now_us : unit -> float
+(** The trace clock: wall microseconds since process start. *)

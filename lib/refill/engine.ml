@@ -1,3 +1,29 @@
+module Obs = Refill_obs
+
+(* The engine's own event stream: run-local [stats] are deltas of these
+   process-wide counters, so the same numbers flow to `--metrics` dumps and
+   to callers without parallel plumbing. *)
+let c_logged =
+  Obs.Metrics.Counter.v "refill_logged_events_total"
+    ~help:"Input log events fired by the inference engines."
+
+let c_inferred =
+  Obs.Metrics.Counter.v "refill_inferred_events_total"
+    ~help:"Lost events reconstructed by the inference engines."
+
+let c_skipped =
+  Obs.Metrics.Counter.v "refill_skipped_events_total"
+    ~help:"Input log events with no available transition."
+
+let c_cascades =
+  Obs.Metrics.Counter.v "refill_prereq_cascades_total"
+    ~help:"Prerequisite engine drives started (inter-node cascades)."
+
+let h_drive_depth =
+  Obs.Metrics.Histogram.v "refill_drive_depth"
+    ~help:"Recursion depth of prerequisite drives."
+    ~buckets:(Obs.Metrics.Histogram.log_buckets ~lo:1. ~hi:1024. ~factor:2.)
+
 type ('label, 'payload) item = {
   node : int;
   label : 'label;
@@ -34,9 +60,10 @@ let run ?(use_intra = true) config ~events =
   let n = Array.length arr in
   let consumed = Array.make n false in
   let out = ref [] in
-  let emitted_logged = ref 0
-  and emitted_inferred = ref 0
-  and skipped = ref 0 in
+  let base_logged = Obs.Metrics.Counter.value c_logged
+  and base_inferred = Obs.Metrics.Counter.value c_inferred
+  and base_skipped = Obs.Metrics.Counter.value c_skipped in
+  let skip () = Obs.Metrics.Counter.inc c_skipped in
   let instances : (int, ('label, 'payload) instance) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -74,7 +101,7 @@ let run ?(use_intra = true) config ~events =
   in
   let emit node label payload ~inferred ~entered =
     out := { node; label; payload; inferred; entered } :: !out;
-    if inferred then incr emitted_inferred else incr emitted_logged
+    Obs.Metrics.Counter.inc (if inferred then c_inferred else c_logged)
   in
   let enter inst dst =
     inst.state <- dst;
@@ -82,6 +109,7 @@ let run ?(use_intra = true) config ~events =
   in
   (* Guard against prerequisite cycles: (node, target) pairs being driven. *)
   let driving = Hashtbl.create 8 in
+  let drive_depth = ref 0 in
   let rec fire node label payload ~inferred =
     let inst = instance node in
     match Fsm.normal_next inst.fsm ~from:inst.state label with
@@ -124,8 +152,13 @@ let run ?(use_intra = true) config ~events =
     else if Hashtbl.mem driving (rnode, target) then ()
     else begin
       Hashtbl.add driving (rnode, target) ();
+      incr drive_depth;
+      Obs.Metrics.Counter.inc c_cascades;
+      Obs.Metrics.Histogram.observe_int h_drive_depth !drive_depth;
       Fun.protect
-        ~finally:(fun () -> Hashtbl.remove driving (rnode, target))
+        ~finally:(fun () ->
+          decr drive_depth;
+          Hashtbl.remove driving (rnode, target))
         (fun () -> drive_loop inst rnode target)
     end
 
@@ -138,8 +171,7 @@ let run ?(use_intra = true) config ~events =
             let _, label, payload = arr.(idx) in
             if consume_helps inst label target then begin
               consumed.(idx) <- true;
-              if not (fire rnode label payload ~inferred:false) then
-                incr skipped;
+              if not (fire rnode label payload ~inferred:false) then skip ();
               true
             end
             else false
@@ -179,12 +211,12 @@ let run ?(use_intra = true) config ~events =
     (fun idx (node, label, payload) ->
       if not consumed.(idx) then begin
         consumed.(idx) <- true;
-        if not (fire node label payload ~inferred:false) then incr skipped
+        if not (fire node label payload ~inferred:false) then skip ()
       end)
     arr;
   ( List.rev !out,
     {
-      emitted_logged = !emitted_logged;
-      emitted_inferred = !emitted_inferred;
-      skipped = !skipped;
+      emitted_logged = Obs.Metrics.Counter.value c_logged - base_logged;
+      emitted_inferred = Obs.Metrics.Counter.value c_inferred - base_inferred;
+      skipped = Obs.Metrics.Counter.value c_skipped - base_skipped;
     } )

@@ -1,3 +1,7 @@
+let c_intra =
+  Refill_obs.Metrics.Counter.v "refill_intra_inferences_total"
+    ~help:"Successful intra-node transition derivations (lost-path bridges)."
+
 type 'label t = {
   n_states : int;
   initial : Fsm_state.t;
@@ -142,4 +146,7 @@ let infer_intra t ~from label =
                 | _ -> Some (ic, path)))
           None sources
       in
+      (match best with
+      | Some _ -> Refill_obs.Metrics.Counter.inc c_intra
+      | None -> ());
       Option.map (fun (_, path) -> (path, jc)) best

@@ -1,3 +1,13 @@
+module Obs = Refill_obs
+
+let h_latency =
+  Obs.Metrics.Histogram.v "refill_packet_latency_seconds"
+    ~help:"Wall time to reconstruct one packet's event flow."
+
+let c_packets =
+  Obs.Metrics.Counter.v "refill_packets_reconstructed_total"
+    ~help:"Packets run through the reconstruction engines."
+
 let merged_records collected ~origin ~seq =
   let groups = Logsys.Collected.events_of_packet collected ~origin ~seq in
   (* Start processing at the origin: its [gen] grounds the cascades. *)
@@ -6,8 +16,9 @@ let merged_records collected ~origin ~seq =
   in
   List.concat_map snd (origin_group @ others)
 
-let packet ?(use_intra = true) ?(use_inter = true) collected ~origin ~seq
-    ~sink =
+let packet_untraced ?(use_intra = true) ?(use_inter = true) collected ~origin
+    ~seq ~sink =
+  let t0 = Obs.Span.now_us () in
   let records = merged_records collected ~origin ~seq in
   let config = Protocol.make_config ~records ~origin ~seq ~sink in
   let config =
@@ -16,12 +27,23 @@ let packet ?(use_intra = true) ?(use_inter = true) collected ~origin ~seq
   in
   let events = Protocol.events_of_records records in
   let items, stats = Engine.run ~use_intra config ~events in
+  Obs.Metrics.Counter.inc c_packets;
+  Obs.Metrics.Histogram.observe h_latency ((Obs.Span.now_us () -. t0) /. 1e6);
   { Flow.origin; seq; items; stats }
 
-let all ?(use_intra = true) ?(use_inter = true) collected ~sink =
-  Logsys.Collected.packet_keys collected
-  |> List.map (fun (origin, seq) ->
-         packet ~use_intra ~use_inter collected ~origin ~seq ~sink)
+let packet ?use_intra ?use_inter collected ~origin ~seq ~sink =
+  if Obs.Span.enabled () then
+    Obs.Span.with_ ~name:"refill.packet"
+      ~attrs:[ ("origin", string_of_int origin); ("seq", string_of_int seq) ]
+      (fun () ->
+        packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink)
+  else packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink
+
+let all ?use_intra ?use_inter collected ~sink =
+  Obs.Span.with_ ~name:"refill.reconstruct_all" (fun () ->
+      Logsys.Collected.packet_keys collected
+      |> List.map (fun (origin, seq) ->
+             packet ?use_intra ?use_inter collected ~origin ~seq ~sink))
 
 type summary = {
   packets : int;

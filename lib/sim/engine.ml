@@ -1,3 +1,17 @@
+module Obs = Refill_obs
+
+let c_events =
+  Obs.Metrics.Counter.v "sim_events_total"
+    ~help:"Simulator callbacks executed."
+
+let c_cancelled =
+  Obs.Metrics.Counter.v "sim_cancelled_events_total"
+    ~help:"Scheduled entries popped after cancellation."
+
+let g_clock =
+  Obs.Metrics.Gauge.v "sim_clock_seconds"
+    ~help:"Virtual clock at the end of the last run."
+
 type t = { mutable clock : float; queue : entry Prelude.Heap.t }
 
 and entry = { mutable cancelled : bool; callback : t -> unit }
@@ -29,20 +43,26 @@ let step t =
   | None -> false
   | Some (time, entry) ->
       t.clock <- time;
-      if not entry.cancelled then entry.callback t;
+      if entry.cancelled then Obs.Metrics.Counter.inc c_cancelled
+      else begin
+        Obs.Metrics.Counter.inc c_events;
+        entry.callback t
+      end;
       true
 
 let run ?until t =
-  match until with
-  | None -> while step t do () done
-  | Some horizon ->
-      let continue = ref true in
-      while !continue do
-        match Prelude.Heap.peek t.queue with
-        | Some (time, _) when time <= horizon -> ignore (step t : bool)
-        | Some _ | None ->
-            t.clock <- max t.clock horizon;
-            continue := false
-      done
+  Obs.Span.with_ ~cat:"sim" ~name:"sim.run" (fun () ->
+      (match until with
+      | None -> while step t do () done
+      | Some horizon ->
+          let continue = ref true in
+          while !continue do
+            match Prelude.Heap.peek t.queue with
+            | Some (time, _) when time <= horizon -> ignore (step t : bool)
+            | Some _ | None ->
+                t.clock <- max t.clock horizon;
+                continue := false
+          done);
+      Obs.Metrics.Gauge.set g_clock t.clock)
 
 let run_for t ~duration = run ~until:(t.clock +. duration) t

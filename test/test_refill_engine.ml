@@ -294,6 +294,37 @@ let payload_synthesis_called () =
         second.payload
   | _ -> Alcotest.fail "two items expected"
 
+let stats_match_obs_counters () =
+  (* Engine.stats is defined as the delta of the Refill_obs counters over
+     the run; check the two agree on a cascading-inference scenario. *)
+  let module C = Refill_obs.Metrics.Counter in
+  let c_logged = C.v "refill_logged_events_total" in
+  let c_inferred = C.v "refill_inferred_events_total" in
+  let c_skipped = C.v "refill_skipped_events_total" in
+  let c_cascades = C.v "refill_prereq_cascades_total" in
+  let h_depth = Refill_obs.Metrics.Histogram.v "refill_drive_depth" in
+  let logged0 = C.value c_logged
+  and inferred0 = C.value c_inferred
+  and skipped0 = C.value c_skipped
+  and cascades0 = C.value c_cascades
+  and depth_obs0 = Refill_obs.Metrics.Histogram.count h_depth in
+  let _, stats =
+    Engine.run (config ~prerequisites:cascade_prereqs)
+      ~events:[ event 1 "e2"; (1, "bogus", None) ]
+  in
+  Alcotest.(check int) "logged delta" stats.emitted_logged
+    (C.value c_logged - logged0);
+  Alcotest.(check int) "inferred delta" stats.emitted_inferred
+    (C.value c_inferred - inferred0);
+  Alcotest.(check int) "skipped delta" stats.skipped
+    (C.value c_skipped - skipped0);
+  (* e2's cascade drives nodes 2 then 3, so at least two prerequisite
+     cascades ran and the depth histogram recorded them. *)
+  Alcotest.(check bool) "cascades counted" true
+    (C.value c_cascades - cascades0 >= 2);
+  Alcotest.(check bool) "drive depth observed" true
+    (Refill_obs.Metrics.Histogram.count h_depth - depth_obs0 >= 2)
+
 (* Strong ordering invariant: whenever an event with a prerequisite fires,
    the prerequisite state has been entered strictly earlier in the flow. *)
 let prerequisites_precede_in_flow =
@@ -371,6 +402,8 @@ let () =
           Alcotest.test_case "unsatisfiable prerequisite" `Quick
             unsatisfiable_prerequisite_ignored;
           Alcotest.test_case "payload synthesis" `Quick payload_synthesis_called;
+          Alcotest.test_case "stats match obs counters" `Quick
+            stats_match_obs_counters;
           QCheck_alcotest.to_alcotest logged_events_emitted_once;
           QCheck_alcotest.to_alcotest prerequisites_precede_in_flow;
         ] );
