@@ -433,6 +433,92 @@ let report_cmd =
     (Cmd.info "report" ~doc)
     Term.(const report $ obs_opts_term $ seed_arg $ days_arg $ nodes_arg)
 
+(* -- check --------------------------------------------------------------------- *)
+
+let check obs json dot_dir models =
+  with_observability obs @@ fun () ->
+  let known = Refill_check.Builtin.names in
+  let models =
+    match models with [] -> Refill_check.Builtin.default_names | l -> l
+  in
+  let unknown = List.filter (fun m -> not (List.mem m known)) models in
+  if unknown <> [] then begin
+    Obs.Log.error "unknown model(s): %s (known: %s)"
+      (String.concat ", " unknown)
+      (String.concat ", " known);
+    2
+  end
+  else begin
+    let results =
+      List.map
+        (fun m ->
+          (m, Option.get (Refill_check.Builtin.run_model m)))
+        models
+    in
+    (match dot_dir with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun m ->
+            List.iter
+              (fun (fname, src) ->
+                let path = Filename.concat dir fname in
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> output_string oc src);
+                Obs.Log.info "wrote %s" path)
+              (Refill_check.Builtin.dots m))
+          models);
+    if json then
+      print_string
+        (Obs.Json.to_string (Refill_check.Check.to_json results) ^ "\n")
+    else print_string (Refill_check.Check.to_text results);
+    if Refill_check.Check.error_count (List.concat_map snd results) > 0 then 1
+    else 0
+  end
+
+let check_cmd =
+  let models =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"MODEL"
+          ~doc:
+            "Protocol models to analyze (ctp, dissem); all of them when \
+             omitted.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as a JSON document (for CI).")
+  in
+  let dot_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"DIR"
+          ~doc:
+            "Also write each role FSM as Graphviz into $(docv), with the \
+             derived intra transitions dashed.")
+  in
+  let doc =
+    "Statically analyze the protocol models (FSM well-formedness, intra \
+     audit, prerequisite graph, classification totality)."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Exits 0 when no error-severity diagnostic is found, 1 when the \
+         models violate an invariant the inference pipeline relies on, and \
+         2 on unknown model names.  Warnings and infos never affect the \
+         exit code.";
+    ]
+  in
+  Cmd.v (Cmd.info "check" ~doc ~man)
+    Term.(const check $ obs_opts_term $ json $ dot_dir $ models)
+
 (* -- main ---------------------------------------------------------------------- *)
 
 let () =
@@ -443,4 +529,11 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ simulate_cmd; analyze_cmd; trace_cmd; figures_cmd; report_cmd ]))
+          [
+            simulate_cmd;
+            analyze_cmd;
+            trace_cmd;
+            figures_cmd;
+            report_cmd;
+            check_cmd;
+          ]))

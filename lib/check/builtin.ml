@@ -1,0 +1,160 @@
+module P = Refill.Protocol
+module Ds = Refill.Dissem
+module Fsm = Refill.Fsm
+
+(* -- CTP ------------------------------------------------------------------- *)
+
+(* Mirror of Classify's frontier case analysis (see test_check's agreement
+   test): every state a frontier can end at must map to a cause here. *)
+let ctp_cause s =
+  if s = P.delivered then Some "delivered"
+  else if s = P.dup_dropped then Some "duplicate loss"
+  else if s = P.overflow_dropped then Some "overflow loss"
+  else if s = P.holding then Some "received or acked loss"
+  else if s = P.sent || s = P.timed_out then Some "timeout loss"
+  else if s = P.acked then Some "acked loss"
+  else None
+
+let ctp_role role fsm : P.label Model.role =
+  {
+    Model.role;
+    fsm;
+    state_name = P.state_name;
+    entry_states = [ P.holding ];
+    frontier_cause = ctp_cause;
+  }
+
+(* Role-level projection of Protocol.prerequisites: a reception's sender is
+   any transmitting role, an ACK's receiver any accepting role. *)
+let ctp_prereqs ~role:_ label =
+  match (label : P.label) with
+  | P.L_recv | P.L_dup | P.L_overflow ->
+      [ ("origin", P.sent); ("forwarder", P.sent) ]
+  | P.L_ack -> [ ("forwarder", P.holding); ("sink", P.holding) ]
+  | P.L_gen | P.L_trans | P.L_timeout | P.L_deliver -> []
+
+let ctp : P.label Model.t =
+  {
+    Model.name = "ctp";
+    label_name = P.label_name;
+    roles =
+      [
+        ctp_role "origin" (P.fsm_of_role P.Origin);
+        ctp_role "forwarder" (P.fsm_of_role P.Forwarder);
+        ctp_role "sink" (P.fsm_of_role P.Sink);
+      ];
+    prerequisites = ctp_prereqs;
+  }
+
+(* -- Dissemination --------------------------------------------------------- *)
+
+(* Progress-style classification: the outcome *is* the furthest state, so
+   every state names its own verdict (cf. Dissem.receiver_progress). *)
+let dissem_receiver_cause s = Some ("progress: " ^ Ds.receiver_state_name s)
+
+let dissem_broadcaster_cause s =
+  Some ("progress: " ^ Ds.broadcaster_state_name s)
+
+let dissem_prereqs ~role:_ label =
+  match (label : Ds.label) with
+  | Ds.L_rx_adv -> [ ("broadcaster", Ds.b_advertised) ]
+  | Ds.L_rx_req -> [ ("receiver", Ds.r_requested) ]
+  | Ds.L_rx_data -> [ ("broadcaster", Ds.b_data_sent) ]
+  | Ds.L_adv | Ds.L_req | Ds.L_data | Ds.L_done -> []
+
+let dissem : Ds.label Model.t =
+  {
+    Model.name = "dissem";
+    label_name = Ds.label_name;
+    roles =
+      [
+        {
+          Model.role = "broadcaster";
+          fsm = Ds.broadcaster_fsm;
+          state_name = Ds.broadcaster_state_name;
+          entry_states = [ Ds.b_init ];
+          frontier_cause = dissem_broadcaster_cause;
+        };
+        {
+          Model.role = "receiver";
+          fsm = Ds.receiver_fsm;
+          state_name = Ds.receiver_state_name;
+          entry_states = [ Ds.r_init ];
+          frontier_cause = dissem_receiver_cause;
+        };
+      ];
+    prerequisites = dissem_prereqs;
+  }
+
+(* -- Broken demo ----------------------------------------------------------- *)
+
+(* A fixture violating one invariant per pass family, so `refill check
+   broken-demo` demonstrates every diagnostic class and the nonzero exit. *)
+let broken : string Model.t =
+  let fsm_a = Fsm.create ~n_states:4 ~initial:0 in
+  Fsm.add_transition fsm_a ~src:0 ~dst:1 "go";
+  (* FSM004: second (src, label) edge — normal_next silently prefers 0→1. *)
+  Fsm.add_transition fsm_a ~src:0 ~dst:2 "go";
+  Fsm.add_transition fsm_a ~src:1 ~dst:2 "stop";
+  (* FSM001: state 3 is wired in but unreachable. *)
+  Fsm.add_transition fsm_a ~src:3 ~dst:1 "go";
+  let fsm_b = Fsm.create ~n_states:3 ~initial:0 in
+  Fsm.add_transition fsm_b ~src:0 ~dst:1 "ping";
+  (* INT001 lives on fsm_a too: from 0, "go" has two reachable targets, but
+     the normal edge masks it; "stop" from 3... state 3 is unreachable so the
+     audit skips it. The ambiguity below is the real one: *)
+  let state_name s = "s" ^ string_of_int s in
+  {
+    Model.name = "broken-demo";
+    label_name = Fun.id;
+    roles =
+      [
+        {
+          Model.role = "a";
+          fsm = fsm_a;
+          state_name;
+          entry_states = [ 1 ];
+          (* CLS001: state 2 is frontier-reachable but unclassified. *)
+          frontier_cause = (fun s -> if s = 1 then Some "stalled" else None);
+        };
+        {
+          Model.role = "b";
+          fsm = fsm_b;
+          state_name;
+          entry_states = [ 0 ];
+          frontier_cause = (fun s -> Some (state_name s));
+        };
+      ];
+    prerequisites =
+      (fun ~role label ->
+        (* PRE001: b can never reach state 2. *)
+        if role = "a" && label = "go" then [ ("b", 2) ] else []);
+  }
+
+(* -- Registry -------------------------------------------------------------- *)
+
+let default_names = [ "ctp"; "dissem" ]
+
+let names = default_names @ [ "broken-demo" ]
+
+let run_model = function
+  | "ctp" -> Some (Check.run ctp)
+  | "dissem" -> Some (Check.run dissem)
+  | "broken-demo" -> Some (Check.run broken)
+  | _ -> None
+
+let dots_of_model (m : _ Model.t) =
+  List.map
+    (fun (r : _ Model.role) ->
+      ( Printf.sprintf "%s-%s.dot" m.Model.name r.Model.role,
+        Fsm.to_dot
+          ~name:(Printf.sprintf "%s_%s" m.Model.name r.Model.role)
+          ~intra:true ~label_name:m.Model.label_name
+          ~state_name:r.Model.state_name r.Model.fsm ))
+    m.Model.roles
+
+let dots = function
+  | "ctp" -> dots_of_model ctp
+  | "dissem" -> dots_of_model dissem
+  | "broken-demo" -> dots_of_model broken
+  | _ -> []

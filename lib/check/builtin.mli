@@ -1,0 +1,40 @@
+(** Static checker models of the two protocol instantiations that ship with
+    the repo.  These are the projections [refill check] runs over by
+    default; {!test/test_check.ml} cross-checks them against the live
+    {!Refill.Classify} / {!Refill.Protocol} behavior so they cannot drift
+    silently. *)
+
+val ctp : Refill.Protocol.label Model.t
+(** The per-packet CTP collection model: roles origin / forwarder / sink
+    over {!Refill.Protocol.fsm_of_role}, the recv-requires-sent and
+    ack-requires-holding prerequisites, frontier anchored at
+    {!Refill.Protocol.holding}, causes mirroring {!Refill.Classify}. *)
+
+val dissem : Refill.Dissem.label Model.t
+(** The dissemination/negotiation model: roles broadcaster / receiver,
+    reception-implies-transmission prerequisites, progress-style
+    classification (every state is an outcome, so totality is by
+    construction). *)
+
+val broken : string Model.t
+(** A deliberately broken fixture, one violation per pass family (FSM001,
+    FSM004, PRE001, CLS001), kept as a CLI-reachable demo ([refill check
+    broken-demo]) and as the pinned negative case for the test suite.  Not
+    part of {!default_names}. *)
+
+val default_names : string list
+(** The models [refill check] analyzes when none are named:
+    [\["ctp"; "dissem"\]]. *)
+
+val names : string list
+(** Every model name {!run_model} accepts (includes ["broken-demo"]). *)
+
+val run_model : string -> Diagnostic.t list option
+(** Run {!Check.run} over the named built-in model; [None] for unknown
+    names. *)
+
+val dots : string -> (string * string) list
+(** [dots name] renders each role FSM of the named built-in model to
+    Graphviz with derived intra edges dashed: [(filename, dot source)]
+    pairs, e.g. [("ctp-origin.dot", "digraph ...")].  Unknown names give
+    []. *)

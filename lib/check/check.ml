@@ -1,0 +1,353 @@
+module Fsm = Refill.Fsm
+module D = Diagnostic
+
+(* -- Graph helpers --------------------------------------------------------- *)
+
+let reachable_set fsm ~from =
+  let n = Fsm.n_states fsm in
+  let seen = Array.make n false in
+  if from >= 0 && from < n then begin
+    seen.(from) <- true;
+    let queue = Queue.create () in
+    Queue.add from queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun (v, _) ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            Queue.add v queue
+          end)
+        (Fsm.edges_from fsm u)
+    done
+  end;
+  seen
+
+(* States that take part in at least one transition; the rest are unused
+   slots in a shared state numbering (CTP roles share ids) and are not
+   findings. *)
+let participating fsm =
+  let p = Array.make (Fsm.n_states fsm) false in
+  List.iter
+    (fun (src, dst, _) ->
+      p.(src) <- true;
+      p.(dst) <- true)
+    (Fsm.transitions fsm);
+  p
+
+(* -- Pass 1: FSM well-formedness ------------------------------------------- *)
+
+let well_formedness_role model (r : _ Model.role) =
+  let fsm = r.fsm in
+  let reach = reachable_set fsm ~from:(Fsm.initial fsm) in
+  let part = participating fsm in
+  let diags = ref [] in
+  let emit ?state ?label code severity message =
+    diags :=
+      D.make ~code ~severity
+        ~loc:(D.loc ~role:r.role ?state ?label model.Model.name)
+        message
+      :: !diags
+  in
+  (* FSM001: a state wired into the graph but unreachable from initial. *)
+  for s = 0 to Fsm.n_states fsm - 1 do
+    if part.(s) && not reach.(s) then
+      emit ~state:(r.state_name s) "FSM001" D.Warning
+        "state has transitions but is unreachable from the initial state"
+  done;
+  (* FSM002: a reachable dead end that no loss cause explains — packets that
+     end there vanish from the diagnosis. *)
+  for s = 0 to Fsm.n_states fsm - 1 do
+    if
+      reach.(s)
+      && Fsm.edges_from fsm s = []
+      && r.frontier_cause s = None
+    then
+      emit ~state:(r.state_name s) "FSM002" D.Warning
+        "reachable dead-end state traps packets without a loss cause"
+  done;
+  (* FSM003: a label whose every source state is unreachable can never fire
+     on a normal edge (and never anchors an intra shortcut either). *)
+  List.iter
+    (fun label ->
+      let sources =
+        List.filter_map
+          (fun (src, _, l) -> if l = label then Some src else None)
+          (Fsm.transitions fsm)
+      in
+      if sources <> [] && List.for_all (fun s -> not reach.(s)) sources then
+        emit ~label:(model.Model.label_name label) "FSM003" D.Warning
+          "label can never fire: every edge carrying it starts at an \
+           unreachable state")
+    (Fsm.labels fsm);
+  (* FSM004: nondeterministic (src, label) — normal_next silently takes the
+     first-added edge; report what is shadowed. *)
+  for s = 0 to Fsm.n_states fsm - 1 do
+    if reach.(s) then
+      List.iter
+        (fun label ->
+          match Fsm.normal_next_all fsm ~from:s label with
+          | [] | [ _ ] -> ()
+          | winner :: shadowed ->
+              emit ~state:(r.state_name s)
+                ~label:(model.Model.label_name label)
+                "FSM004" D.Warning
+                (Printf.sprintf
+                   "nondeterministic (src, label): normal_next takes the \
+                    first-added edge to %s, shadowing %s"
+                   (r.state_name winner)
+                   (String.concat ", "
+                      (List.map r.state_name
+                         (List.sort_uniq compare shadowed)))))
+        (Fsm.labels fsm)
+  done;
+  List.rev !diags
+
+let well_formedness model =
+  List.concat_map (well_formedness_role model) model.Model.roles
+
+(* -- Pass 2: intra-inference audit ----------------------------------------- *)
+
+let intra_audit_role model (r : _ Model.role) =
+  let fsm = r.fsm in
+  let reach = reachable_set fsm ~from:(Fsm.initial fsm) in
+  let diags = ref [] in
+  let emit ?state ?label code severity message =
+    diags :=
+      D.make ~code ~severity
+        ~loc:(D.loc ~role:r.role ?state ?label model.Model.name)
+        message
+      :: !diags
+  in
+  let normal = ref 0 and shortcut = ref 0 in
+  let ambiguous = ref 0 and blind = ref 0 in
+  for s = 0 to Fsm.n_states fsm - 1 do
+    if reach.(s) then
+      List.iter
+        (fun label ->
+          match Fsm.normal_next fsm ~from:s label with
+          | Some _ -> incr normal
+          | None -> (
+              let targets =
+                Fsm.targets_of_label fsm label
+                |> List.filter (fun jc -> Fsm.reachable fsm ~from:s jc)
+              in
+              (* A unique reachable target is not enough: infer_intra also
+                 needs a reachable *source* of a [label]-edge into it, or
+                 the engine still skips (cf. Fsm.infer_intra). *)
+              let takeable jc =
+                List.exists
+                  (fun (src, dst, l) ->
+                    l = label && dst = jc && Fsm.reachable fsm ~from:s src)
+                  (Fsm.transitions fsm)
+              in
+              match targets with
+              | [ jc ] when takeable jc -> incr shortcut
+              | [] | [ _ ] ->
+                  incr blind;
+                  emit ~state:(r.state_name s)
+                    ~label:(model.Model.label_name label)
+                    "INT002" D.Info
+                    "inference blind spot: no normal edge and no reachable \
+                     intra target — the event would be skipped here"
+              | _ :: _ :: _ ->
+                  incr ambiguous;
+                  emit ~state:(r.state_name s)
+                    ~label:(model.Model.label_name label)
+                    "INT001" D.Warning
+                    (Printf.sprintf
+                       "intra shortcut blocked: %d targets reachable (%s) — \
+                        §IV.B requires a unique one, so the event would be \
+                        skipped here"
+                       (List.length targets)
+                       (String.concat ", " (List.map r.state_name targets)))))
+        (Fsm.labels fsm)
+  done;
+  let total = !normal + !shortcut + !ambiguous + !blind in
+  emit "INT000" D.Info
+    (Printf.sprintf
+       "intra audit: %d reachable (state, label) pairs — %d on normal \
+        edges, %d via the intra shortcut, %d ambiguous, %d blind"
+       total !normal !shortcut !ambiguous !blind);
+  List.rev !diags
+
+let intra_audit model =
+  List.concat_map (intra_audit_role model) model.Model.roles
+
+(* -- Pass 3: prerequisite-graph analysis ----------------------------------- *)
+
+let prereq_graph model =
+  let diags = ref [] in
+  let emit ?role ?state ?label code severity message =
+    diags :=
+      D.make ~code ~severity
+        ~loc:(D.loc ?role ?state ?label model.Model.name)
+        message
+      :: !diags
+  in
+  (* Collect the role-level digraph: (from role, label, to role, state). *)
+  let edges = ref [] in
+  List.iter
+    (fun (r : _ Model.role) ->
+      List.iter
+        (fun label ->
+          List.iter
+            (fun (rname, rstate) ->
+              edges := (r.Model.role, label, rname, rstate) :: !edges)
+            (model.Model.prerequisites ~role:r.Model.role label))
+        (Fsm.labels r.Model.fsm))
+    model.Model.roles;
+  let edges = List.rev !edges in
+  (* Each listed (role, state) alternative must be statically satisfiable:
+     the engine's drive gives up silently when the target is unreachable. *)
+  List.iter
+    (fun (from_role, label, rname, rstate) ->
+      let label_n = model.Model.label_name label in
+      match Model.find_role model rname with
+      | None ->
+          emit ~role:from_role ~label:label_n "PRE002" D.Error
+            (Printf.sprintf "prerequisite names unknown role %S" rname)
+      | Some remote ->
+          if rstate < 0 || rstate >= Fsm.n_states remote.Model.fsm then
+            emit ~role:from_role ~label:label_n "PRE003" D.Error
+              (Printf.sprintf
+                 "prerequisite state %d is out of range on role %s" rstate
+                 rname)
+          else if
+            not
+              (Fsm.reachable remote.Model.fsm
+                 ~from:(Fsm.initial remote.Model.fsm)
+                 rstate)
+          then
+            emit ~role:from_role ~label:label_n "PRE001" D.Error
+              (Printf.sprintf
+                 "prerequisite %s.%s is unreachable on the remote role's \
+                  FSM: the inter transition is statically unsatisfiable \
+                  and drive would give up silently"
+                 rname
+                 (remote.Model.state_name rstate)))
+    edges;
+  (* Cycles: transitive closure over role names; a role that requires itself
+     (possibly via others) makes drive's termination rest on the runtime
+     driving-set guard rather than on the graph. *)
+  let roles = List.map (fun (r : _ Model.role) -> r.Model.role) model.roles in
+  let indexed = List.mapi (fun i name -> (name, i)) roles in
+  let idx name = List.assoc_opt name indexed in
+  let n = List.length roles in
+  let adj = Array.make_matrix n n false in
+  List.iter
+    (fun (a, _, b, _) ->
+      match (idx a, idx b) with
+      | Some i, Some j -> adj.(i).(j) <- true
+      | _ -> ())
+    edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if adj.(i).(k) && adj.(k).(j) then adj.(i).(j) <- true
+      done
+    done
+  done;
+  let cyclic =
+    List.filteri (fun i _ -> adj.(i).(i)) roles
+  in
+  if cyclic <> [] then
+    emit "PRE004" D.Info
+      (Printf.sprintf
+         "prerequisite cycle through role(s) %s: drive recursion is bounded \
+          only by the engine's (node, target) driving-set guard, not by the \
+          graph"
+         (String.concat ", " cyclic));
+  List.rev !diags
+
+(* -- Pass 4: classification totality --------------------------------------- *)
+
+let classification_role model (r : _ Model.role) =
+  let fsm = r.fsm in
+  let diags = ref [] in
+  let emit ?state code severity message =
+    diags :=
+      D.make ~code ~severity
+        ~loc:(D.loc ~role:r.role ?state model.Model.name)
+        message
+      :: !diags
+  in
+  (match r.entry_states with
+  | [] ->
+      emit "CLS000" D.Info
+        "no frontier anchors declared; classification totality not checked"
+  | entries ->
+      let n = Fsm.n_states fsm in
+      let frontier = Array.make n false in
+      List.iter
+        (fun e ->
+          if e >= 0 && e < n then begin
+            let reach = reachable_set fsm ~from:e in
+            for s = 0 to n - 1 do
+              if reach.(s) then frontier.(s) <- true
+            done
+          end)
+        entries;
+      let total = ref 0 and gaps = ref 0 in
+      for s = 0 to n - 1 do
+        if frontier.(s) then begin
+          incr total;
+          if r.frontier_cause s = None then begin
+            incr gaps;
+            emit ~state:(r.state_name s) "CLS001" D.Error
+              "frontier can end at this state but no loss cause is \
+               assigned: flows ending here are unclassifiable"
+          end
+        end
+      done;
+      emit "CLS000" D.Info
+        (Printf.sprintf
+           "classification totality: %d/%d frontier-reachable states \
+            classified"
+           (!total - !gaps) !total));
+  List.rev !diags
+
+let classification model =
+  List.concat_map (classification_role model) model.Model.roles
+
+(* -- Driver and reports ----------------------------------------------------- *)
+
+let run model =
+  well_formedness model @ intra_audit model @ prereq_graph model
+  @ classification model
+
+let error_count diags = D.count D.Error diags
+
+let to_text results =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, diags) ->
+      Buffer.add_string buf (Printf.sprintf "model %s:\n" name);
+      List.iter
+        (fun d -> Buffer.add_string buf ("  " ^ D.to_string d ^ "\n"))
+        diags)
+    results;
+  let all = List.concat_map snd results in
+  Buffer.add_string buf
+    (Printf.sprintf "%d error(s), %d warning(s), %d info\n"
+       (D.count D.Error all) (D.count D.Warning all) (D.count D.Info all));
+  Buffer.contents buf
+
+let to_json results =
+  let module J = Refill_obs.Json in
+  let num n = J.Num (float_of_int n) in
+  let model_json (name, diags) =
+    J.Obj
+      [
+        ("name", J.Str name);
+        ("errors", num (D.count D.Error diags));
+        ("warnings", num (D.count D.Warning diags));
+        ("infos", num (D.count D.Info diags));
+        ("diagnostics", J.Arr (List.map D.to_json diags));
+      ]
+  in
+  J.Obj
+    [
+      ("models", J.Arr (List.map model_json results));
+      ("errors", num (error_count (List.concat_map snd results)));
+    ]

@@ -1,0 +1,44 @@
+(** The static analyzer: four pass families over a protocol {!Model}.
+
+    The passes machine-check the preconditions the inference pipeline
+    quietly assumes:
+
+    - {!well_formedness} — each role FSM, as a graph: unreachable states
+      (FSM001), reachable dead ends with no loss cause (FSM002), labels that
+      can never fire (FSM003), and nondeterministic [(src, label)] pairs
+      where {!Refill.Fsm.normal_next}'s first-added-wins rule silently picks
+      one edge (FSM004);
+    - {!intra_audit} — for every reachable [(state, label)] pair, whether
+      the §IV.B intra shortcut is defined, covered by a normal edge, blocked
+      by multiple reachable targets (INT001), or a blind spot where the
+      event would be skipped (INT002); totals per role in INT000;
+    - {!prereq_graph} — the role×role prerequisite digraph: prerequisites
+      whose target is statically unsatisfiable, i.e. the remote role can
+      never reach the required state so [Engine.run]'s [drive] would give up
+      silently (PRE001–PRE003), and cycles that make [drive]'s termination
+      depend on its runtime driving-set guard (PRE004);
+    - {!classification} — totality: every frontier state reachable from a
+      role's entry states must map to a loss cause (CLS001), so the
+      classifier can never meet a flow it has no verdict for.
+
+    {!run} runs all four in the order above. *)
+
+val well_formedness : 'label Model.t -> Diagnostic.t list
+
+val intra_audit : 'label Model.t -> Diagnostic.t list
+
+val prereq_graph : 'label Model.t -> Diagnostic.t list
+
+val classification : 'label Model.t -> Diagnostic.t list
+
+val run : 'label Model.t -> Diagnostic.t list
+
+val error_count : Diagnostic.t list -> int
+
+val to_text : (string * Diagnostic.t list) list -> string
+(** Human-readable report over named results (one section per model),
+    ending with a one-line tally. *)
+
+val to_json : (string * Diagnostic.t list) list -> Refill_obs.Json.t
+(** [{"models": [{"name", "errors", "warnings", "infos", "diagnostics"}...],
+    "errors": total}] — machine-readable report for CI. *)

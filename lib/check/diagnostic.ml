@@ -1,0 +1,55 @@
+type severity = Error | Warning | Info
+
+type location = {
+  model : string;
+  role : string option;
+  state : string option;
+  label : string option;
+}
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  loc : location;
+}
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let loc ?role ?state ?label model = { model; role; state; label }
+
+let make ~code ~severity ~loc message = { code; severity; message; loc }
+
+let loc_to_string l =
+  let parts =
+    (match l.role with Some r -> [ l.model ^ "/" ^ r ] | None -> [ l.model ])
+    @ (match l.state with Some s -> [ s ] | None -> [])
+    @ match l.label with Some lb -> [ "'" ^ lb ^ "'" ] | None -> []
+  in
+  String.concat " " parts
+
+let to_string d =
+  Printf.sprintf "%-7s %s [%s]: %s"
+    (severity_name d.severity)
+    d.code (loc_to_string d.loc) d.message
+
+let to_json d =
+  let module J = Refill_obs.Json in
+  let opt key = function Some v -> [ (key, J.Str v) ] | None -> [] in
+  J.Obj
+    ([
+       ("code", J.Str d.code);
+       ("severity", J.Str (severity_name d.severity));
+       ("message", J.Str d.message);
+       ("model", J.Str d.loc.model);
+     ]
+    @ opt "role" d.loc.role
+    @ opt "state" d.loc.state
+    @ opt "label" d.loc.label)
+
+let count sev diags = List.length (List.filter (fun d -> d.severity = sev) diags)
+
+let by_code code diags = List.filter (fun d -> d.code = code) diags

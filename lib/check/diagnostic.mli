@@ -1,0 +1,58 @@
+(** Checker diagnostics: a finding about a protocol model, with a stable
+    code, a severity, and a location inside the model.
+
+    Codes are part of the tool's contract — tests, CI greps, and suppression
+    lists key on them — so existing codes must never be renumbered or
+    reused.  The current table:
+
+    {v
+    FSM001  warning  state unreachable from the initial state
+    FSM002  warning  reachable dead-end state with no loss cause
+    FSM003  warning  label can never fire (every source unreachable)
+    FSM004  warning  nondeterministic (src, label) pair
+    INT000  info     per-role intra-inference audit summary
+    INT001  warning  intra shortcut blocked: multiple reachable targets
+    INT002  info     inference blind spot: event would be skipped
+    PRE001  error    prerequisite target state unreachable on remote role
+    PRE002  error    prerequisite names an unknown role
+    PRE003  error    prerequisite state out of range on remote role
+    PRE004  info     cycle in the role-level prerequisite digraph
+    CLS000  info     per-role classification totality summary
+    CLS001  error    reachable frontier state with no classification
+    v} *)
+
+type severity = Error | Warning | Info
+
+type location = {
+  model : string;
+  role : string option;
+  state : string option;
+  label : string option;
+}
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  loc : location;
+}
+
+val severity_name : severity -> string
+
+val loc :
+  ?role:string -> ?state:string -> ?label:string -> string -> location
+(** [loc model] with optional narrowing. *)
+
+val make :
+  code:string -> severity:severity -> loc:location -> string -> t
+
+val to_string : t -> string
+(** One line: [severity CODE \[model/role state label\]: message]. *)
+
+val to_json : t -> Refill_obs.Json.t
+(** Object with [code], [severity], [message], [model], and the optional
+    [role]/[state]/[label] fields when present. *)
+
+val count : severity -> t list -> int
+
+val by_code : string -> t list -> t list

@@ -1,0 +1,16 @@
+type 'label role = {
+  role : string;
+  fsm : 'label Refill.Fsm.t;
+  state_name : Refill.Fsm_state.t -> string;
+  entry_states : Refill.Fsm_state.t list;
+  frontier_cause : Refill.Fsm_state.t -> string option;
+}
+
+type 'label t = {
+  name : string;
+  label_name : 'label -> string;
+  roles : 'label role list;
+  prerequisites : role:string -> 'label -> (string * Refill.Fsm_state.t) list;
+}
+
+let find_role t name = List.find_opt (fun r -> r.role = name) t.roles

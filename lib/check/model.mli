@@ -1,0 +1,38 @@
+(** Static description of a protocol instantiation — the analyzer's input.
+
+    {!Refill.Engine.config} is deliberately dynamic (FSMs are chosen per
+    node, prerequisites read payloads), which is what makes it impossible to
+    audit before a run.  A [Model.t] is the *static projection* the checker
+    works on: the finite set of roles a node can play, each role's FSM, and
+    the role-level prerequisite relation.  The built-in projections of the
+    CTP and dissemination protocols live in {!Builtin}; new protocol
+    instantiations should ship one alongside their [Engine.config]. *)
+
+type 'label role = {
+  role : string;
+  fsm : 'label Refill.Fsm.t;
+  state_name : Refill.Fsm_state.t -> string;
+  entry_states : Refill.Fsm_state.t list;
+      (** Frontier anchors: the states a packet's final holder is identified
+          by (CTP: [holding]).  Classification totality is checked over
+          every state reachable from one of these.  An empty list skips the
+          totality pass for the role (with an info diagnostic). *)
+  frontier_cause : Refill.Fsm_state.t -> string option;
+      (** The loss cause (or outcome) the classifier assigns when the
+          frontier ends at this state; [None] marks a classification gap. *)
+}
+
+type 'label t = {
+  name : string;
+  label_name : 'label -> string;
+  roles : 'label role list;
+  prerequisites : role:string -> 'label -> (string * Refill.Fsm_state.t) list;
+      (** Role-level projection of [Engine.config.prerequisites]: for an
+          event [label] firing on a node playing [role], the remote
+          [(role, state)] pairs that may be required.  Alternatives (the
+          sender could be an origin *or* a forwarder) are all listed; each
+          must be statically satisfiable, because the engine gives up
+          silently on an unreachable prerequisite target. *)
+}
+
+val find_role : 'label t -> string -> 'label role option

@@ -39,6 +39,14 @@ let receiver_fsm =
   Fsm.add_transition f ~src:r_done ~dst:r_done L_rx_adv;
   f
 
+let receiver_state_name = function
+  | 0 -> "init"
+  | 1 -> "heard"
+  | 2 -> "requested"
+  | 3 -> "received"
+  | 4 -> "done"
+  | s -> "state-" ^ string_of_int s
+
 (* Broadcaster chain (per receiver): init -adv-> advertised -rx_req->
    got-request -data-> data-sent. *)
 let b_init = 0
@@ -58,6 +66,13 @@ let broadcaster_fsm =
   Fsm.add_transition f ~src:b_data_sent ~dst:b_data_sent L_adv;
   Fsm.add_transition f ~src:b_data_sent ~dst:b_got_request L_rx_req;
   f
+
+let broadcaster_state_name = function
+  | 0 -> "init"
+  | 1 -> "advertised"
+  | 2 -> "got-request"
+  | 3 -> "data-sent"
+  | s -> "state-" ^ string_of_int s
 
 let make_config ~broadcaster ~receiver : (label, event) Engine.config =
   {

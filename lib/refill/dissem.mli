@@ -44,6 +44,21 @@ val receiver_fsm : label Fsm.t
 
 val broadcaster_fsm : label Fsm.t
 
+val r_init : Fsm_state.t
+val r_heard : Fsm_state.t
+val r_requested : Fsm_state.t
+val r_received : Fsm_state.t
+val r_done : Fsm_state.t
+
+val b_init : Fsm_state.t
+val b_advertised : Fsm_state.t
+val b_got_request : Fsm_state.t
+val b_data_sent : Fsm_state.t
+
+val receiver_state_name : Fsm_state.t -> string
+
+val broadcaster_state_name : Fsm_state.t -> string
+
 val reconstruct :
   broadcaster:int ->
   receiver:int ->

@@ -47,6 +47,14 @@ let normal_next t ~from label =
   in
   find t.by_src.(from)
 
+let normal_next_all t ~from label =
+  List.filter_map
+    (fun (dst, l) -> if l = label then Some dst else None)
+    t.by_src.(from)
+
+let edges_from t src =
+  if src < 0 || src >= t.n_states then [] else t.by_src.(src)
+
 let bfs_parents t ~from =
   (* parent.(v) = Some (u, label) on a shortest path tree rooted at [from];
      edges explored in insertion order for determinism. *)
@@ -94,21 +102,6 @@ let shortest_path t ~from ~to_ =
     end
   end
 
-let to_dot ?(name = "fsm") ~label_name ~state_name t =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
-  Buffer.add_string buf "  rankdir=LR;\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  %S [shape=doublecircle];\n" (state_name t.initial));
-  List.iter
-    (fun (src, dst, l) ->
-      Buffer.add_string buf
-        (Printf.sprintf "  %S -> %S [label=%S];\n" (state_name src)
-           (state_name dst) (label_name l)))
-    (transitions t);
-  Buffer.add_string buf "}\n";
-  Buffer.contents buf
-
 (* Distinct normal targets of [label]. *)
 let targets_of_label t label =
   List.fold_left
@@ -150,3 +143,40 @@ let infer_intra t ~from label =
       | Some _ -> Refill_obs.Metrics.Counter.inc c_intra
       | None -> ());
       Option.map (fun (_, path) -> (path, jc)) best
+
+let derived_intra_edges t =
+  let out = ref [] in
+  for src = t.n_states - 1 downto 0 do
+    List.iter
+      (fun label ->
+        match normal_next t ~from:src label with
+        | Some _ -> ()  (* the engine prefers the normal edge *)
+        | None -> (
+            match intra_target t ~from:src label with
+            | Some jc when jc <> src -> out := (src, jc, label) :: !out
+            | Some _ | None -> ()))
+      (labels t)
+  done;
+  !out
+
+let to_dot ?(name = "fsm") ?(intra = false) ~label_name ~state_name t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=LR;\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %S [shape=doublecircle];\n" (state_name t.initial));
+  List.iter
+    (fun (src, dst, l) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S -> %S [label=%S];\n" (state_name src)
+           (state_name dst) (label_name l)))
+    (transitions t);
+  if intra then
+    List.iter
+      (fun (src, dst, l) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %S -> %S [label=%S, style=dashed];\n"
+             (state_name src) (state_name dst) (label_name l)))
+      (derived_intra_edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

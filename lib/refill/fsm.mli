@@ -38,7 +38,30 @@ val transitions : 'label t -> (Fsm_state.t * Fsm_state.t * 'label) list
 
 val normal_next : 'label t -> from:Fsm_state.t -> 'label -> Fsm_state.t option
 (** Destination of the normal transition from [from] labeled [l]; when
-    several exist (nondeterministic FSM), the first added wins. *)
+    several exist (nondeterministic FSM), the first added wins.
+
+    The first-added-wins rule is *load-bearing*: the engine's event firing,
+    [infer_intra]'s path replay, and the checker's audit all resolve a
+    nondeterministic [(src, label)] pair the same way because they all go
+    through this function.  Protocol authors who rely on a different
+    resolution must disambiguate the FSM itself; {!normal_next_all} exposes
+    every candidate so tools (e.g. [Refill_check]) can detect and report the
+    ambiguity instead of silently diverging. *)
+
+val normal_next_all :
+  'label t -> from:Fsm_state.t -> 'label -> Fsm_state.t list
+(** Every destination of a normal transition from [from] labeled [l], in
+    insertion order.  [normal_next] is [List.nth_opt (normal_next_all ...) 0];
+    a result of two or more states is an ambiguous (nondeterministic) pair. *)
+
+val edges_from : 'label t -> Fsm_state.t -> (Fsm_state.t * 'label) list
+(** Outgoing normal transitions of a state as [(dst, label)] pairs in
+    insertion order; [] for out-of-range states (no exception). *)
+
+val targets_of_label : 'label t -> 'label -> Fsm_state.t list
+(** Distinct destination states of the normal transitions labeled [l], in
+    insertion order — the candidate set [{j1..jm}] of §IV.B's intra
+    derivation. *)
 
 val reachable : 'label t -> from:Fsm_state.t -> Fsm_state.t -> bool
 (** Graph reachability over normal transitions; every state reaches
@@ -58,15 +81,23 @@ val intra_target : 'label t -> from:Fsm_state.t -> 'label -> Fsm_state.t option
     the case where a normal transition exists (the engine prefers the normal
     edge; the intra edge is its degenerate form). *)
 
+val derived_intra_edges :
+  'label t -> (Fsm_state.t * Fsm_state.t * 'label) list
+(** Every intra-node transition the §IV.B derivation defines and the engine
+    could actually take: [(x, jc, l)] such that [x] has no normal [l]-edge
+    and [intra_target ~from:x l = Some jc].  Self-loops ([jc = x]) are
+    omitted — taking one infers no lost events.  Ordered by source state. *)
+
 val to_dot :
   ?name:string ->
+  ?intra:bool ->
   label_name:('label -> string) ->
   state_name:(Fsm_state.t -> string) ->
   'label t ->
   string
 (** Graphviz rendering of the normal transitions (for documentation and
-    debugging; the derived intra edges are a function of the current state
-    and are not drawn). *)
+    debugging).  With [~intra:true] the {!derived_intra_edges} are drawn
+    too, dashed, so checker findings can be eyeballed. *)
 
 val infer_intra :
   'label t ->

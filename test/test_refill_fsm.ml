@@ -168,6 +168,63 @@ let infer_intra_sound =
             (Fsm.labels f))
         (List.init n Fun.id))
 
+let normal_next_all_order () =
+  let f = Fsm.create ~n_states:3 ~initial:0 in
+  Fsm.add_transition f ~src:0 ~dst:1 "x";
+  Fsm.add_transition f ~src:0 ~dst:2 "x";
+  Alcotest.(check (list int)) "insertion order" [ 1; 2 ]
+    (Fsm.normal_next_all f ~from:0 "x");
+  (* normal_next is pinned to the head: the first-added-wins contract. *)
+  Alcotest.(check (option int)) "head wins" (Some 1)
+    (Fsm.normal_next f ~from:0 "x");
+  Alcotest.(check (list int)) "no match" [] (Fsm.normal_next_all f ~from:1 "x")
+
+let accessors () =
+  let f = chain () in
+  Alcotest.(check (list (pair int string))) "edges_from 0" [ (1, "a") ]
+    (Fsm.edges_from f 0);
+  Alcotest.(check (list (pair int string))) "edges_from out of range" []
+    (Fsm.edges_from f 99);
+  Alcotest.(check (list int)) "targets of b" [ 2 ] (Fsm.targets_of_label f "b");
+  Alcotest.(check (list int)) "targets of unknown" []
+    (Fsm.targets_of_label f "q")
+
+let derived_intra_edges_listed () =
+  let f = chain () in
+  let derived = Fsm.derived_intra_edges f in
+  (* 0 --c--> 3 is derivable (unique target 3, no normal c-edge at 0). *)
+  Alcotest.(check bool) "0-c-3 derived" true (List.mem (0, 3, "c") derived);
+  (* Self-loops are omitted, normal edges never repeated. *)
+  List.iter
+    (fun (s, d, l) ->
+      Alcotest.(check bool) "not a self loop" true (s <> d);
+      Alcotest.(check bool) "no normal edge shadow" true
+        (Fsm.normal_next f ~from:s l = None))
+    derived
+
+let to_dot_intra_dashed () =
+  let f = chain () in
+  let plain =
+    Fsm.to_dot ~label_name:Fun.id ~state_name:string_of_int f
+  in
+  let dot =
+    Fsm.to_dot ~intra:true ~label_name:Fun.id ~state_name:string_of_int f
+  in
+  let count_dashed s =
+    let n = String.length s in
+    let needle = "style=dashed" in
+    let m = String.length needle in
+    let rec scan i acc =
+      if i + m > n then acc
+      else scan (i + 1) (if String.sub s i m = needle then acc + 1 else acc)
+    in
+    scan 0 0
+  in
+  Alcotest.(check int) "plain has no dashed edges" 0 (count_dashed plain);
+  Alcotest.(check int) "one dashed edge per derived intra"
+    (List.length (Fsm.derived_intra_edges f))
+    (count_dashed dot)
+
 let to_dot_renders () =
   let f = chain () in
   let dot =
@@ -218,5 +275,16 @@ let () =
             infer_intra_none_when_normal_missing_everywhere;
           QCheck_alcotest.to_alcotest infer_intra_sound;
         ] );
-      ("dot", [ Alcotest.test_case "renders" `Quick to_dot_renders ]);
+      ( "accessors",
+        [
+          Alcotest.test_case "normal_next_all" `Quick normal_next_all_order;
+          Alcotest.test_case "edges_from/targets_of_label" `Quick accessors;
+          Alcotest.test_case "derived intra edges" `Quick
+            derived_intra_edges_listed;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "renders" `Quick to_dot_renders;
+          Alcotest.test_case "intra dashed" `Quick to_dot_intra_dashed;
+        ] );
     ]
