@@ -590,6 +590,65 @@ let run_scale () =
     "expected shape: the pipeline handles the paper's full 1200-node scale \
      in seconds on one core.\n"
 
+(* -- Extension A10: reconstruction scaling ------------------------------------- *)
+
+(* Events-vs-wall-time ladder for the reconstruction hot path alone: the
+   scenario is simulated once (setup, excluded from the measurement), its
+   logs lossified with the default model (losses are what exercise the
+   inference machinery), then timed through Reconstruct.all.  Results are
+   persisted into BENCH_refill.json so the perf trajectory accumulates
+   across PRs. *)
+
+type scaling_point = {
+  rung : string;
+  records : int;
+  flow_events : int;
+  reconstruct_seconds : float;
+}
+
+let scaling_results : scaling_point list ref = ref []
+
+let scaling_rung name params =
+  let t0 = Unix.gettimeofday () in
+  let scenario = Scenario.Citysee.run params in
+  let setup = Unix.gettimeofday () -. t0 in
+  let collected =
+    Scenario.Citysee.collected_lossy scenario Logsys.Loss_model.default
+  in
+  let records = Logsys.Collected.total collected in
+  let t1 = Unix.gettimeofday () in
+  let flows = Refill.Reconstruct.all collected ~sink:scenario.sink in
+  let dt = Unix.gettimeofday () -. t1 in
+  let s = Refill.Reconstruct.summarize flows in
+  let flow_events = s.logged_events + s.inferred_events in
+  Printf.printf
+    "%-12s  %9d records  %9d flow events  sim %6.1fs  reconstruct %8.3fs  \
+     (%.0f events/s)\n\
+     %!"
+    name records flow_events setup dt
+    (float_of_int flow_events /. Float.max 1e-9 dt);
+  scaling_results :=
+    { rung = name; records; flow_events; reconstruct_seconds = dt }
+    :: !scaling_results
+
+let scaling_ladder =
+  [
+    ("tiny-1d", Scenario.Citysee.tiny);
+    ("citysee-2d", Scenario.Citysee.two_day);
+    ("citysee-30d", Scenario.Citysee.default);
+  ]
+
+let run_scaling () =
+  section "A10 — reconstruction scaling: events vs wall time (small → 30-day \
+           CitySee)";
+  List.iter (fun (name, params) -> scaling_rung name params) scaling_ladder
+
+let run_scaling_smoke () =
+  section "A10 (smoke) — reconstruction scaling, smallest rung only";
+  match scaling_ladder with
+  | (name, params) :: _ -> scaling_rung name params
+  | [] -> ()
+
 (* -- Extension A2: bechamel microbenchmarks ----------------------------------- *)
 
 let perf () =
@@ -678,6 +737,8 @@ let experiments =
     ("reboots", run_reboots);
     ("globalflow", run_global_flow);
     ("scale", run_scale);
+    ("scaling", run_scaling);
+    ("scaling-smoke", run_scaling_smoke);
     ("perf", perf);
   ]
 
@@ -707,6 +768,18 @@ let write_bench_json timings =
                (fun (name, seconds) ->
                  J.Obj [ ("name", J.Str name); ("seconds", J.Num seconds) ])
                timings) );
+        ( "scaling",
+          J.Arr
+            (List.rev_map
+               (fun p ->
+                 J.Obj
+                   [
+                     ("rung", J.Str p.rung);
+                     ("records", J.Num (float_of_int p.records));
+                     ("flow_events", J.Num (float_of_int p.flow_events));
+                     ("reconstruct_seconds", J.Num p.reconstruct_seconds);
+                   ])
+               !scaling_results) );
         ("metrics", Refill_obs.Metrics.to_json ());
       ]
   in

@@ -27,6 +27,14 @@ val packet_keys : t -> (Net.Packet.node_id * int) list
 (** Distinct [(origin, seq)] packet keys appearing anywhere, sorted.
     Backed by a per-packet index built once per snapshot. *)
 
+val packet_records : t -> origin:Net.Packet.node_id -> seq:int -> Record.t array
+(** One packet's surviving records, flat, in node-scan order: nodes
+    ascending, each node's records contiguous in local write order.  The
+    array is shared with the index — callers must not mutate it.  [[||]]
+    for unknown packets.  This is the zero-copy view the reconstruction
+    hot path consumes; {!events_of_packet} derives the grouped view from
+    it. *)
+
 val events_of_packet :
   t ->
   origin:Net.Packet.node_id ->

@@ -162,21 +162,27 @@ module Histogram = struct
           (Printf.sprintf "Metrics: %S is a %s, not a histogram" name
              (kind_name m))
 
-  let observe t x =
-    let n = Array.length t.bounds in
-    (* First index with x <= bounds.(i); n means the +Inf bucket. *)
-    let rec bs lo hi =
-      if lo >= hi then lo
-      else
-        let mid = (lo + hi) / 2 in
-        if x <= t.bounds.(mid) then bs lo mid else bs (mid + 1) hi
-    in
-    let i = bs 0 n in
-    t.bucket.(i) <- t.bucket.(i) + 1;
-    t.h_sum <- t.h_sum +. x;
-    t.h_count <- t.h_count + 1
+  let observe_n t x times =
+    if times > 0 then begin
+      let n = Array.length t.bounds in
+      (* First index with x <= bounds.(i); n means the +Inf bucket. *)
+      let rec bs lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if x <= t.bounds.(mid) then bs lo mid else bs (mid + 1) hi
+      in
+      let i = bs 0 n in
+      t.bucket.(i) <- t.bucket.(i) + times;
+      t.h_sum <- t.h_sum +. (x *. float_of_int times);
+      t.h_count <- t.h_count + times
+    end
+
+  let observe t x = observe_n t x 1
 
   let observe_int t x = observe t (float_of_int x)
+
+  let observe_int_n t x times = observe_n t (float_of_int x) times
 
   let count t = t.h_count
 

@@ -78,6 +78,14 @@ module Histogram : sig
 
   val observe_int : t -> int -> unit
 
+  val observe_n : t -> float -> int -> unit
+  (** [observe_n h x times] records [times] observations of [x] in one
+      bucket update — what batched flushes (e.g. the engine's run-local
+      tallies) use instead of a per-observation loop. No-op when
+      [times <= 0]. *)
+
+  val observe_int_n : t -> int -> int -> unit
+
   val count : t -> int
 
   val sum : t -> float

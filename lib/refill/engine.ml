@@ -1,8 +1,10 @@
 module Obs = Refill_obs
 
-(* The engine's own event stream: run-local [stats] are deltas of these
-   process-wide counters, so the same numbers flow to `--metrics` dumps and
-   to callers without parallel plumbing. *)
+(* The engine's own event stream: run-local [stats] are counted locally
+   and flushed into these process-wide counters in one batch when the run
+   completes, so the same numbers flow to `--metrics` dumps and to callers
+   — and runs on worker domains stay exact (the flush holds
+   [Par.with_obs_lock]). *)
 let c_logged =
   Obs.Metrics.Counter.v "refill_logged_events_total"
     ~help:"Input log events fired by the inference engines."
@@ -18,6 +20,14 @@ let c_skipped =
 let c_cascades =
   Obs.Metrics.Counter.v "refill_prereq_cascades_total"
     ~help:"Prerequisite engine drives started (inter-node cascades)."
+
+(* Counted here, not in Fsm.infer_intra: consume_helps probes the same
+   derivation speculatively while deciding whether a pending record helps a
+   drive, and those probes must not inflate the metric — only intra
+   transitions the engine actually takes count. *)
+let c_intra =
+  Obs.Metrics.Counter.v "refill_intra_inferences_total"
+    ~help:"Intra-node transitions taken (lost-path bridges actually emitted)."
 
 let h_drive_depth =
   Obs.Metrics.Histogram.v "refill_drive_depth"
@@ -48,175 +58,370 @@ type stats = {
   skipped : int;
 }
 
+(* [visited] is a plain bool array indexed by state, and [pending] a list
+   of ascending indices into the event array: per-packet instances are
+   created and torn down a million times per CitySee run, so the per-event
+   bookkeeping must not hash or allocate. *)
 type ('label, 'payload) instance = {
   fsm : 'label Fsm.t;
   mutable state : Fsm_state.t;
-  visited : (Fsm_state.t, unit) Hashtbl.t;
-  queue : int Queue.t;  (* indices into the event array, local order *)
+  visited : bool array;
+  driving : bool array;
+      (* cycle guard: target states this instance is currently being
+         driven toward (the recursion can only cycle through in-range
+         states, so a per-instance flag array suffices) *)
+  mutable pending : int list;  (* indices into the event array, local order *)
 }
 
-let run ?(use_intra = true) config ~events =
-  let arr = Array.of_list events in
-  let n = Array.length arr in
-  let consumed = Array.make n false in
-  let out = ref [] in
-  let base_logged = Obs.Metrics.Counter.value c_logged
-  and base_inferred = Obs.Metrics.Counter.value c_inferred
-  and base_skipped = Obs.Metrics.Counter.value c_skipped in
-  let skip () = Obs.Metrics.Counter.inc c_skipped in
-  let instances : (int, ('label, 'payload) instance) Hashtbl.t =
-    Hashtbl.create 16
+(* One mutable context per run, threaded explicitly through top-level
+   functions: the engine runs once per packet — a million times per
+   CitySee reconstruction — and a closure group capturing a dozen refs
+   costs hundreds of words per packet where this record costs one
+   allocation. *)
+type ('label, 'payload) ctx = {
+  cfg : ('label, 'payload) config;
+  use_intra : bool;
+  labels : 'label array;
+  payloads : 'payload option array;
+  ids : int array;  (* per event: its label's dense id in its node's FSM *)
+  (* Per-event inter-node prerequisite, resolved by the caller (packed
+     input): peer node (-1 = none) and the state it must have visited.
+     Empty arrays = not resolved; fall back to [cfg.prerequisites]. *)
+  pre_nodes : int array;
+  pre_states : Fsm_state.t array;
+  consumed : bool array;
+  (* Output items, collected in a growable array rather than a cons list:
+     the old list was built newest-first and then [List.rev]ed, allocating
+     a full second copy of every cons cell as garbage on the hot path.
+     [out_hint] presizes the first growth to the input event count (output
+     is the inputs plus a few percent inferred), so the common packet pays
+     one array allocation. *)
+  mutable out : ('label, 'payload) item array;
+  mutable out_n : int;
+  out_hint : int;
+  (* Run-local tallies; flushed to the process-wide metrics in one locked
+     batch at the end so parallel runs neither race nor interleave. *)
+  mutable n_logged : int;
+  mutable n_inferred : int;
+  mutable n_skipped : int;
+  mutable n_cascades : int;
+  mutable n_intra : int;
+  (* Drive-depth tally: depth_counts.(d) = cascades observed at depth d.
+     Depths are tiny (bounded by prerequisite chain length), so a small
+     growable array replaces a per-cascade list and the flush becomes one
+     bulk histogram update per distinct depth. *)
+  mutable depth_counts : int array;
+  mutable drive_depth : int;
+  (* Per-packet node sets are tiny (a handful of hops), so a linear scan
+     over parallel arrays beats any hash table. *)
+  mutable inst_nodes : int array;
+  mutable inst_vals : ('label, 'payload) instance array;
+  mutable inst_n : int;
+}
+
+let note_depth ctx d =
+  let counts = ctx.depth_counts in
+  let counts =
+    if d < Array.length counts then counts
+    else begin
+      let counts' = Array.make (max (d + 1) (2 * Array.length counts)) 0 in
+      Array.blit counts 0 counts' 0 (Array.length counts);
+      ctx.depth_counts <- counts';
+      counts'
+    end
   in
-  let instance node =
-    match Hashtbl.find_opt instances node with
-    | Some inst -> inst
-    | None ->
-        let fsm = config.fsm_of node in
-        let inst =
-          {
-            fsm;
-            state = Fsm.initial fsm;
-            visited = Hashtbl.create 8;
-            queue = Queue.create ();
-          }
-        in
-        Hashtbl.replace inst.visited inst.state ();
-        Hashtbl.add instances node inst;
-        inst
+  counts.(d) <- counts.(d) + 1
+
+let new_instance ctx node =
+  let fsm = ctx.cfg.fsm_of node in
+  let n_states = Fsm.n_states fsm in
+  let visited = Array.make n_states false in
+  let inst =
+    {
+      fsm;
+      state = Fsm.initial fsm;
+      visited;
+      driving = Array.make n_states false;
+      pending = [];
+    }
   in
-  (* Per-node pending queues in merged (= local) order. *)
-  Array.iteri
-    (fun idx (node, _, _) -> Queue.add idx (instance node).queue)
-    arr;
-  let next_pending inst =
-    (* Drop already-consumed heads, then peek. *)
-    let rec loop () =
-      match Queue.peek_opt inst.queue with
-      | Some idx when consumed.(idx) ->
-          ignore (Queue.pop inst.queue : int);
-          loop ()
-      | other -> other
-    in
-    loop ()
+  visited.(inst.state) <- true;
+  if ctx.inst_n = Array.length ctx.inst_nodes then begin
+    let cap = max 8 (2 * ctx.inst_n) in
+    let nodes' = Array.make cap (-1) in
+    Array.blit ctx.inst_nodes 0 nodes' 0 ctx.inst_n;
+    ctx.inst_nodes <- nodes';
+    let vals' = Array.make cap inst in
+    Array.blit ctx.inst_vals 0 vals' 0 ctx.inst_n;
+    ctx.inst_vals <- vals'
+  end;
+  ctx.inst_nodes.(ctx.inst_n) <- node;
+  ctx.inst_vals.(ctx.inst_n) <- inst;
+  ctx.inst_n <- ctx.inst_n + 1;
+  inst
+
+let instance ctx node =
+  let nodes = ctx.inst_nodes in
+  let rec find i =
+    if i >= ctx.inst_n then new_instance ctx node
+    else if Array.unsafe_get nodes i = node then Array.unsafe_get ctx.inst_vals i
+    else find (i + 1)
   in
-  let emit node label payload ~inferred ~entered =
-    out := { node; label; payload; inferred; entered } :: !out;
-    Obs.Metrics.Counter.inc (if inferred then c_inferred else c_logged)
-  in
-  let enter inst dst =
-    inst.state <- dst;
-    Hashtbl.replace inst.visited dst ()
-  in
-  (* Guard against prerequisite cycles: (node, target) pairs being driven. *)
-  let driving = Hashtbl.create 8 in
-  let drive_depth = ref 0 in
-  let rec fire node label payload ~inferred =
-    let inst = instance node in
-    match Fsm.normal_next inst.fsm ~from:inst.state label with
-    | Some dst ->
-        satisfy_prerequisites node label payload;
-        enter inst dst;
-        emit node label payload ~inferred ~entered:dst;
-        true
-    | None when not use_intra -> false
-    | None -> (
-        match Fsm.infer_intra inst.fsm ~from:inst.state label with
+  find 0
+
+let rec next_pending ctx inst =
+  (* Drop already-consumed heads, then peek; -1 = exhausted. *)
+  match inst.pending with
+  | [] -> -1
+  | idx :: rest ->
+      if ctx.consumed.(idx) then begin
+        inst.pending <- rest;
+        next_pending ctx inst
+      end
+      else idx
+
+let emit ctx node label payload ~inferred ~entered =
+  let it = { node; label; payload; inferred; entered } in
+  if ctx.out_n = Array.length ctx.out then begin
+    let cap = max (max 8 ctx.out_hint) (2 * ctx.out_n) in
+    let out' = Array.make cap it in
+    Array.blit ctx.out 0 out' 0 ctx.out_n;
+    ctx.out <- out'
+  end;
+  Array.unsafe_set ctx.out ctx.out_n it;
+  ctx.out_n <- ctx.out_n + 1;
+  if inferred then ctx.n_inferred <- ctx.n_inferred + 1
+  else ctx.n_logged <- ctx.n_logged + 1
+
+let enter inst dst =
+  inst.state <- dst;
+  inst.visited.(dst) <- true
+
+let visited inst target =
+  target >= 0 && target < Array.length inst.visited && inst.visited.(target)
+
+let rec fire ctx idx node id label payload ~inferred =
+  let inst = instance ctx node in
+  match Fsm.step_id inst.fsm ~from:inst.state id with
+  | -1 ->
+      if not ctx.use_intra then false
+      else begin
+        match Fsm.infer_intra_id inst.fsm ~from:inst.state id with
         | None -> false
         | Some (lost_path, _jc) ->
+            ctx.n_intra <- ctx.n_intra + 1;
             List.iter
               (fun (_, d, l) ->
-                let p = config.infer_payload ~node ~label:l in
-                satisfy_prerequisites node l p;
+                let p = ctx.cfg.infer_payload ~node ~label:l in
+                satisfy_prerequisites ctx node l p;
                 enter inst d;
-                emit node l p ~inferred:true ~entered:d)
+                emit ctx node l p ~inferred:true ~entered:d)
               lost_path;
-            (match Fsm.normal_next inst.fsm ~from:inst.state label with
-            | Some dst ->
-                satisfy_prerequisites node label payload;
-                enter inst dst;
-                emit node label payload ~inferred ~entered:dst;
-                true
-            | None ->
+            (match Fsm.step_id inst.fsm ~from:inst.state id with
+            | -1 ->
                 (* infer_intra's path ends at a source of a normal
                    [label]-edge, so this branch is unreachable. *)
-                assert false))
+                assert false
+            | dst ->
+                satisfy_event_prereqs ctx idx node label payload;
+                enter inst dst;
+                emit ctx node label payload ~inferred ~entered:dst;
+                true)
+      end
+  | dst ->
+      satisfy_event_prereqs ctx idx node label payload;
+      enter inst dst;
+      emit ctx node label payload ~inferred ~entered:dst;
+      true
 
-  and satisfy_prerequisites node label payload =
-    List.iter
-      (fun (rnode, rstate) -> drive rnode rstate)
-      (config.prerequisites ~node ~label ~payload)
+(* Prerequisite of an *input* event: packed callers resolved it into the
+   per-event arrays; otherwise ask the config.  Inferred emissions always
+   go through [satisfy_prerequisites] — they have no input slot. *)
+and satisfy_event_prereqs ctx idx node label payload =
+  if Array.length ctx.pre_nodes > 0 then begin
+    let pn = Array.unsafe_get ctx.pre_nodes idx in
+    if pn >= 0 then drive ctx pn ctx.pre_states.(idx)
+  end
+  else satisfy_prerequisites ctx node label payload
 
-  and drive rnode target =
-    let inst = instance rnode in
-    if Hashtbl.mem inst.visited target then ()
-    else if Hashtbl.mem driving (rnode, target) then ()
-    else begin
-      Hashtbl.add driving (rnode, target) ();
-      incr drive_depth;
-      Obs.Metrics.Counter.inc c_cascades;
-      Obs.Metrics.Histogram.observe_int h_drive_depth !drive_depth;
-      Fun.protect
-        ~finally:(fun () ->
-          decr drive_depth;
-          Hashtbl.remove driving (rnode, target))
-        (fun () -> drive_loop inst rnode target)
+and satisfy_prerequisites ctx node label payload =
+  match ctx.cfg.prerequisites ~node ~label ~payload with
+  | [] -> ()
+  | prereqs ->
+      List.iter (fun (rnode, rstate) -> drive ctx rnode rstate) prereqs
+
+and drive ctx rnode target =
+  let inst = instance ctx rnode in
+  (* A cycle re-enters drive for the same (instance, target), and only
+     in-range targets can recurse (an out-of-range target fires nothing,
+     so its drive terminates immediately); out-of-range targets skip the
+     guard. *)
+  let guarded = target >= 0 && target < Array.length inst.driving in
+  if visited inst target then ()
+  else if guarded && inst.driving.(target) then ()
+  else begin
+    if guarded then inst.driving.(target) <- true;
+    ctx.drive_depth <- ctx.drive_depth + 1;
+    ctx.n_cascades <- ctx.n_cascades + 1;
+    note_depth ctx ctx.drive_depth;
+    (try drive_loop ctx inst rnode target
+     with e ->
+       ctx.drive_depth <- ctx.drive_depth - 1;
+       if guarded then inst.driving.(target) <- false;
+       raise e);
+    ctx.drive_depth <- ctx.drive_depth - 1;
+    if guarded then inst.driving.(target) <- false
+  end
+
+and drive_loop ctx inst rnode target =
+  if not (visited inst target) then begin
+    let consumed_one =
+      match next_pending ctx inst with
+      | -1 -> false
+      | idx ->
+          if consume_helps ctx inst ctx.ids.(idx) target then begin
+            ctx.consumed.(idx) <- true;
+            if
+              not
+                (fire ctx idx rnode ctx.ids.(idx) ctx.labels.(idx)
+                   ctx.payloads.(idx) ~inferred:false)
+            then ctx.n_skipped <- ctx.n_skipped + 1;
+            true
+          end
+          else false
+    in
+    if consumed_one then drive_loop ctx inst rnode target
+    else infer_path_to ctx inst rnode target
+  end
+
+(* Would firing the node's next logged event visit [target] or keep it
+   reachable? If not, consuming it here would overshoot; leave it for the
+   main loop and bridge the gap by inference instead. *)
+and consume_helps ctx inst id target =
+  match Fsm.step_id inst.fsm ~from:inst.state id with
+  | -1 ->
+      ctx.use_intra
+      && (match Fsm.infer_intra_id inst.fsm ~from:inst.state id with
+         | None -> false
+         | Some (lost_path, jc) ->
+             jc = target
+             || Fsm.reachable inst.fsm ~from:jc target
+             || List.exists (fun (_, d, _) -> d = target) lost_path)
+  | dst -> dst = target || Fsm.reachable inst.fsm ~from:dst target
+
+and infer_path_to ctx inst rnode target =
+  match Fsm.shortest_path inst.fsm ~from:inst.state ~to_:target with
+  | None -> ()  (* unsatisfiable prerequisite: give up silently *)
+  | Some path ->
+      List.iter
+        (fun (_, d, l) ->
+          let p = ctx.cfg.infer_payload ~node:rnode ~label:l in
+          satisfy_prerequisites ctx rnode l p;
+          enter inst d;
+          emit ctx rnode l p ~inferred:true ~entered:d)
+        path
+
+let make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes ~pre_states
+    ~n =
+  {
+    cfg = config;
+    use_intra;
+    labels;
+    payloads;
+    ids;
+    pre_nodes;
+    pre_states;
+    consumed = Array.make n false;
+    out = [||];
+    out_n = 0;
+    out_hint = n + (n / 8) + 8;
+    n_logged = 0;
+    n_inferred = 0;
+    n_skipped = 0;
+    n_cascades = 0;
+    n_intra = 0;
+    depth_counts = Array.make 16 0;
+    drive_depth = 0;
+    inst_nodes = [||];
+    inst_vals = [||];
+    inst_n = 0;
+  }
+
+let sweep ctx nodes =
+  let n = Array.length nodes in
+  for idx = 0 to n - 1 do
+    if not ctx.consumed.(idx) then begin
+      ctx.consumed.(idx) <- true;
+      if
+        not
+          (fire ctx idx nodes.(idx) ctx.ids.(idx) ctx.labels.(idx)
+             ctx.payloads.(idx) ~inferred:false)
+      then ctx.n_skipped <- ctx.n_skipped + 1
     end
-
-  and drive_loop inst rnode target =
-    if not (Hashtbl.mem inst.visited target) then begin
-      let consumed_one =
-        match next_pending inst with
-        | None -> false
-        | Some idx ->
-            let _, label, payload = arr.(idx) in
-            if consume_helps inst label target then begin
-              consumed.(idx) <- true;
-              if not (fire rnode label payload ~inferred:false) then skip ();
-              true
-            end
-            else false
-      in
-      if consumed_one then drive_loop inst rnode target
-      else infer_path_to inst rnode target
-    end
-
-  (* Would firing the node's next logged event visit [target] or keep it
-     reachable? If not, consuming it here would overshoot; leave it for the
-     main loop and bridge the gap by inference instead. *)
-  and consume_helps inst label target =
-    match Fsm.normal_next inst.fsm ~from:inst.state label with
-    | Some dst -> dst = target || Fsm.reachable inst.fsm ~from:dst target
-    | None when not use_intra -> false
-    | None -> (
-        match Fsm.infer_intra inst.fsm ~from:inst.state label with
-        | None -> false
-        | Some (lost_path, jc) ->
-            jc = target
-            || Fsm.reachable inst.fsm ~from:jc target
-            || List.exists (fun (_, d, _) -> d = target) lost_path)
-
-  and infer_path_to inst rnode target =
-    match Fsm.shortest_path inst.fsm ~from:inst.state ~to_:target with
-    | None -> ()  (* unsatisfiable prerequisite: give up silently *)
-    | Some path ->
-        List.iter
-          (fun (_, d, l) ->
-            let p = config.infer_payload ~node:rnode ~label:l in
-            satisfy_prerequisites rnode l p;
-            enter inst d;
-            emit rnode l p ~inferred:true ~entered:d)
-          path
+  done;
+  Par.with_obs_lock (fun () ->
+      Obs.Metrics.Counter.inc ~by:ctx.n_logged c_logged;
+      Obs.Metrics.Counter.inc ~by:ctx.n_inferred c_inferred;
+      Obs.Metrics.Counter.inc ~by:ctx.n_skipped c_skipped;
+      Obs.Metrics.Counter.inc ~by:ctx.n_cascades c_cascades;
+      Obs.Metrics.Counter.inc ~by:ctx.n_intra c_intra;
+      Array.iteri
+        (fun d times -> Obs.Metrics.Histogram.observe_int_n h_drive_depth d times)
+        ctx.depth_counts);
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (Array.unsafe_get ctx.out i :: acc)
   in
-  Array.iteri
-    (fun idx (node, label, payload) ->
-      if not consumed.(idx) then begin
-        consumed.(idx) <- true;
-        if not (fire node label payload ~inferred:false) then skip ()
-      end)
-    arr;
-  ( List.rev !out,
+  ( build (ctx.out_n - 1) [],
     {
-      emitted_logged = Obs.Metrics.Counter.value c_logged - base_logged;
-      emitted_inferred = Obs.Metrics.Counter.value c_inferred - base_inferred;
-      skipped = Obs.Metrics.Counter.value c_skipped - base_skipped;
+      emitted_logged = ctx.n_logged;
+      emitted_inferred = ctx.n_inferred;
+      skipped = ctx.n_skipped;
     } )
+
+let run_array ?(use_intra = true) config ~events:arr =
+  let n = Array.length arr in
+  if n = 0 then
+    sweep
+      (make_ctx config ~use_intra ~labels:[||] ~payloads:[||] ~ids:[||]
+         ~pre_nodes:[||] ~pre_states:[||] ~n:0)
+      [||]
+  else begin
+    let _, l0, p0 = arr.(0) in
+    let nodes = Array.make n 0 in
+    let labels = Array.make n l0 in
+    let payloads = Array.make n p0 in
+    let ids = Array.make n (-1) in
+    let ctx =
+      make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes:[||]
+        ~pre_states:[||] ~n
+    in
+    (* Per-node pending queues in merged (= local) order, and each event's
+       label resolved to its instance FSM's dense id exactly once.
+       Reverse iteration builds the ascending pending lists directly. *)
+    for idx = n - 1 downto 0 do
+      let node, label, payload = arr.(idx) in
+      nodes.(idx) <- node;
+      labels.(idx) <- label;
+      payloads.(idx) <- payload;
+      let inst = instance ctx node in
+      inst.pending <- idx :: inst.pending;
+      ids.(idx) <- Fsm.label_id inst.fsm label
+    done;
+    sweep ctx nodes
+  end
+
+let run_packed ?(use_intra = true) config ~nodes ~labels ~ids ~payloads
+    ~pre_nodes ~pre_states =
+  let n = Array.length nodes in
+  let ctx =
+    make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes ~pre_states
+      ~n
+  in
+  for idx = n - 1 downto 0 do
+    let inst = instance ctx nodes.(idx) in
+    inst.pending <- idx :: inst.pending
+  done;
+  sweep ctx nodes
+
+let run ?use_intra config ~events =
+  run_array ?use_intra config ~events:(Array.of_list events)

@@ -52,6 +52,35 @@ type stats = {
   skipped : int;  (** Input events with no available transition. *)
 }
 
+val run_array :
+  ?use_intra:bool ->
+  ('label, 'payload) config ->
+  events:(int * 'label * 'payload option) array ->
+  ('label, 'payload) item list * stats
+(** {!run} over an event array.  The engine takes ownership of the array
+    (it is read, never written); callers on the hot path build it directly
+    and skip the intermediate list. *)
+
+val run_packed :
+  ?use_intra:bool ->
+  ('label, 'payload) config ->
+  nodes:int array ->
+  labels:'label array ->
+  ids:int array ->
+  payloads:'payload option array ->
+  pre_nodes:int array ->
+  pre_states:Fsm_state.t array ->
+  ('label, 'payload) item list * stats
+(** {!run_array} over pre-resolved parallel arrays — the zero-overhead
+    entry the reconstruction hot path uses.  All arrays have one slot per
+    event: [ids.(i)] must equal [Fsm.label_id (config.fsm_of nodes.(i))
+    labels.(i)], and [pre_nodes]/[pre_states] carry each event's single
+    inter-node prerequisite ([-1] = none) with exactly the semantics
+    [config.prerequisites] would return (the closure is then only
+    consulted for inferred emissions).  Pass [pre_nodes = [||]] to fall
+    back to the closure for every event.  The engine takes ownership of
+    the arrays (read, never written). *)
+
 val run :
   ?use_intra:bool ->
   ('label, 'payload) config ->

@@ -1,96 +1,241 @@
-let c_intra =
-  Refill_obs.Metrics.Counter.v "refill_intra_inferences_total"
-    ~help:"Successful intra-node transition derivations (lost-path bridges)."
+(* The FSM graph plus a memoized query layer.
+
+   Role FSMs are built once and shared across every packet's engine
+   instance, while the hot path (Engine.consume_helps / fire) probes
+   [normal_next], [reachable], and [infer_intra] once per pending record
+   per drive step.  Recomputing a BFS per probe made a full CitySee run
+   O(records^2 * states); the cache below makes every steady-state query a
+   table lookup, computed lazily per source state / per (state, label)
+   pair and invalidated wholesale by [add_transition].
+
+   The mutable base representation ([transitions_rev], [by_src_rev],
+   [edge_set]) is the single source of truth; everything in ['label cache]
+   is derived.  [build_cache] asserts the base structures agree so a
+   mutation that bypassed [add_transition] (and hence [invalidate]) trips
+   in debug builds instead of serving stale answers. *)
+
+type 'label bfs_tree = {
+  seen : bool array;
+  (* parent.(v) = Some (u, label) on a shortest-path tree rooted at the
+     source; edges explored in insertion order for determinism. *)
+  parent : (Fsm_state.t * 'label) option array;
+}
+
+(* Lazily filled memo slot.  [Value] payloads are physically shared with
+   every subsequent query answer, which is what makes the warm query paths
+   allocation-free. *)
+type 'a memo = Unevaluated | Value of 'a
+
+type 'label cache = {
+  edges_fwd : (Fsm_state.t * 'label) list array;  (* insertion order *)
+  labels_fwd : 'label list;  (* distinct, insertion order *)
+  n_labels : int;
+  label_ids : ('label, int) Hashtbl.t;  (* dense ids, insertion order *)
+  label_arr : 'label array;  (* id -> label *)
+  step_arr : int array;
+      (* (src * n_labels + label id) -> dst + 1; 0 = no normal edge.
+         First-added wins: the normal_next contract, now one array read. *)
+  step_all : (Fsm_state.t * 'label, Fsm_state.t list) Hashtbl.t;
+  label_targets : ('label, Fsm_state.t list) Hashtbl.t;
+      (* distinct normal targets per label, insertion order *)
+  label_sources : ('label * Fsm_state.t, Fsm_state.t list) Hashtbl.t;
+      (* sources of [label]-edges into a target, insertion order *)
+  bfs : 'label bfs_tree option array;  (* per source, filled lazily *)
+  intra :
+    ((Fsm_state.t * Fsm_state.t * 'label) list * Fsm_state.t) option memo
+    array;
+      (* (src * n_labels + label id) -> memoized infer_intra, including
+         negative results *)
+  spath : (Fsm_state.t * Fsm_state.t * 'label) list option memo array;
+      (* (from * n_states + to_) -> memoized shortest_path *)
+}
 
 type 'label t = {
   n_states : int;
   initial : Fsm_state.t;
-  (* Normal transitions in insertion order, also indexed by source state. *)
   mutable transitions_rev : (Fsm_state.t * Fsm_state.t * 'label) list;
-  by_src : (Fsm_state.t * 'label) list array;  (* (dst, label), insertion order *)
+  mutable n_transitions : int;
+  by_src_rev : (Fsm_state.t * 'label) list array;  (* newest first *)
+  edge_set : (Fsm_state.t * Fsm_state.t * 'label, unit) Hashtbl.t;
+  mutable cache : 'label cache option;
 }
 
 let create ~n_states ~initial =
   if n_states <= 0 then invalid_arg "Fsm.create: n_states";
   if initial < 0 || initial >= n_states then invalid_arg "Fsm.create: initial";
-  { n_states; initial; transitions_rev = []; by_src = Array.make n_states [] }
+  {
+    n_states;
+    initial;
+    transitions_rev = [];
+    n_transitions = 0;
+    by_src_rev = Array.make n_states [];
+    edge_set = Hashtbl.create 32;
+    cache = None;
+  }
 
 let n_states t = t.n_states
 
 let initial t = t.initial
 
+let in_range t s = s >= 0 && s < t.n_states
+
+let transitions t = List.rev t.transitions_rev
+
 let check_state t s name =
   if s < 0 || s >= t.n_states then invalid_arg ("Fsm.add_transition: " ^ name)
+
+let invalidate t = t.cache <- None
 
 let add_transition t ~src ~dst label =
   check_state t src "src";
   check_state t dst "dst";
-  let exists =
-    List.exists (fun (d, l) -> d = dst && l = label) t.by_src.(src)
-  in
-  if not exists then begin
+  if not (Hashtbl.mem t.edge_set (src, dst, label)) then begin
+    Hashtbl.add t.edge_set (src, dst, label) ();
     t.transitions_rev <- (src, dst, label) :: t.transitions_rev;
-    t.by_src.(src) <- t.by_src.(src) @ [ (dst, label) ]
+    t.by_src_rev.(src) <- (dst, label) :: t.by_src_rev.(src);
+    t.n_transitions <- t.n_transitions + 1;
+    invalidate t
   end
 
-let transitions t = List.rev t.transitions_rev
+(* The three base structures must describe the same edge multiset (each
+   edge exactly once).  Runs on every cache (re)build, which only happens
+   after construction or mutation — never on the query hot path. *)
+let base_consistent t =
+  let by_src_total =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 t.by_src_rev
+  in
+  t.n_transitions = List.length t.transitions_rev
+  && t.n_transitions = by_src_total
+  && t.n_transitions = Hashtbl.length t.edge_set
+  && List.for_all (fun e -> Hashtbl.mem t.edge_set e) t.transitions_rev
 
-let labels t =
-  List.fold_left
-    (fun acc (_, _, l) -> if List.mem l acc then acc else acc @ [ l ])
-    [] (transitions t)
+(* Build every label/step index in one pass over the transitions in
+   insertion order; lists accumulate reversed and are flipped at the end. *)
+let build_cache t =
+  assert (base_consistent t);
+  let step_all = Hashtbl.create 32 in
+  let label_targets = Hashtbl.create 16 in
+  let label_sources = Hashtbl.create 32 in
+  let label_ids = Hashtbl.create 16 in
+  let labels_acc = ref [] in
+  let push tbl key v =
+    Hashtbl.replace tbl key
+      (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+  in
+  List.iter
+    (fun (src, dst, l) ->
+      push step_all (src, l) dst;
+      (match Hashtbl.find_opt label_targets l with
+      | None ->
+          Hashtbl.add label_ids l (Hashtbl.length label_ids);
+          labels_acc := l :: !labels_acc;
+          Hashtbl.add label_targets l [ dst ]
+      | Some targets ->
+          if not (List.mem dst targets) then
+            Hashtbl.replace label_targets l (dst :: targets));
+      push label_sources (l, dst) src)
+    (transitions t);
+  let rev_values tbl = Hashtbl.iter (fun k v -> Hashtbl.replace tbl k (List.rev v)) tbl in
+  rev_values step_all;
+  rev_values label_targets;
+  rev_values label_sources;
+  let labels_fwd = List.rev !labels_acc in
+  let n_labels = List.length labels_fwd in
+  let step_arr = Array.make (t.n_states * n_labels) 0 in
+  List.iter
+    (fun (src, dst, l) ->
+      let slot = (src * n_labels) + Hashtbl.find label_ids l in
+      if step_arr.(slot) = 0 then step_arr.(slot) <- dst + 1)
+    (transitions t);
+  {
+    edges_fwd = Array.map List.rev t.by_src_rev;
+    labels_fwd;
+    n_labels;
+    label_ids;
+    label_arr = Array.of_list labels_fwd;
+    step_arr;
+    step_all;
+    label_targets;
+    label_sources;
+    bfs = Array.make t.n_states None;
+    intra = Array.make (t.n_states * n_labels) Unevaluated;
+    spath = Array.make (t.n_states * t.n_states) Unevaluated;
+  }
+
+let cache t =
+  match t.cache with
+  | Some c -> c
+  | None ->
+      let c = build_cache t in
+      t.cache <- Some c;
+      c
+
+let labels t = (cache t).labels_fwd
+
+(* -- Integer fast path. --------------------------------------------------
+   The engine resolves each event's label to a dense id once, then every
+   per-event probe is an array read: no tuple keys, no polymorphic
+   hashing, no option allocation on the warm path. *)
+
+let label_id t label =
+  let c = cache t in
+  try Hashtbl.find c.label_ids label with Not_found -> -1
+
+let step_id t ~from id =
+  if id < 0 then -1
+  else
+    let c = cache t in
+    c.step_arr.((from * c.n_labels) + id) - 1
 
 let normal_next t ~from label =
-  let rec find = function
-    | [] -> None
-    | (dst, l) :: rest -> if l = label then Some dst else find rest
-  in
-  find t.by_src.(from)
+  if not (in_range t from) then None
+  else
+    match step_id t ~from (label_id t label) with
+    | -1 -> None
+    | dst -> Some dst
 
 let normal_next_all t ~from label =
-  List.filter_map
-    (fun (dst, l) -> if l = label then Some dst else None)
-    t.by_src.(from)
+  Option.value ~default:[] (Hashtbl.find_opt (cache t).step_all (from, label))
 
 let edges_from t src =
-  if src < 0 || src >= t.n_states then [] else t.by_src.(src)
+  if not (in_range t src) then [] else (cache t).edges_fwd.(src)
 
-let bfs_parents t ~from =
-  (* parent.(v) = Some (u, label) on a shortest path tree rooted at [from];
-     edges explored in insertion order for determinism. *)
-  let parent = Array.make t.n_states None in
-  let seen = Array.make t.n_states false in
-  seen.(from) <- true;
-  let queue = Queue.create () in
-  Queue.add from queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    List.iter
-      (fun (v, l) ->
-        if not seen.(v) then begin
-          seen.(v) <- true;
-          parent.(v) <- Some (u, l);
-          Queue.add v queue
-        end)
-      t.by_src.(u)
-  done;
-  (seen, parent)
+let targets_of_label t label =
+  Option.value ~default:[] (Hashtbl.find_opt (cache t).label_targets label)
 
-let in_range t s = s >= 0 && s < t.n_states
+let bfs_tree t ~from =
+  let c = cache t in
+  match c.bfs.(from) with
+  | Some tree -> tree
+  | None ->
+      let seen = Array.make t.n_states false in
+      let parent = Array.make t.n_states None in
+      seen.(from) <- true;
+      let queue = Queue.create () in
+      Queue.add from queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        List.iter
+          (fun (v, l) ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              parent.(v) <- Some (u, l);
+              Queue.add v queue
+            end)
+          c.edges_fwd.(u)
+      done;
+      let tree = { seen; parent } in
+      c.bfs.(from) <- Some tree;
+      tree
 
 let reachable t ~from target =
   if not (in_range t from && in_range t target) then false
-  else if from = target then true
-  else begin
-    let seen, _ = bfs_parents t ~from in
-    seen.(target)
-  end
+  else from = target || (bfs_tree t ~from).seen.(target)
 
-let shortest_path t ~from ~to_ =
-  if not (in_range t from && in_range t to_) then None
-  else if from = to_ then Some []
+let compute_shortest_path t ~from ~to_ =
+  if from = to_ then Some []
   else begin
-    let seen, parent = bfs_parents t ~from in
+    let { seen; parent } = bfs_tree t ~from in
     if not seen.(to_) then None
     else begin
       let rec build v acc =
@@ -102,29 +247,39 @@ let shortest_path t ~from ~to_ =
     end
   end
 
-(* Distinct normal targets of [label]. *)
-let targets_of_label t label =
-  List.fold_left
-    (fun acc (_, dst, l) ->
-      if l = label && not (List.mem dst acc) then acc @ [ dst ] else acc)
-    [] (transitions t)
+(* Memoized: the returned path list is physically shared between calls
+   (treat it as immutable, which the type already enforces). *)
+let shortest_path t ~from ~to_ =
+  if not (in_range t from && in_range t to_) then None
+  else
+    let c = cache t in
+    let slot = (from * t.n_states) + to_ in
+    match c.spath.(slot) with
+    | Value r -> r
+    | Unevaluated ->
+        let r = compute_shortest_path t ~from ~to_ in
+        c.spath.(slot) <- Value r;
+        r
 
 let intra_target t ~from label =
-  let reachable_targets =
-    targets_of_label t label |> List.filter (fun jc -> reachable t ~from jc)
-  in
-  match reachable_targets with [ jc ] -> Some jc | [] | _ :: _ :: _ -> None
+  if not (in_range t from) then None
+  else
+    let reachable_targets =
+      targets_of_label t label
+      |> List.filter (fun jc -> reachable t ~from jc)
+    in
+    match reachable_targets with [ jc ] -> Some jc | [] | _ :: _ :: _ -> None
 
-let infer_intra t ~from label =
+let compute_infer_intra t ~from label =
   match intra_target t ~from label with
   | None -> None
   | Some jc ->
       (* Among normal [label]-edges into [jc], pick the one whose source is
-         closest to [from]; the lost events are the path to that source. *)
+         closest to [from]; the lost events are the path to that source.
+         Ties resolve to the earliest-added source. *)
       let sources =
-        transitions t
-        |> List.filter_map (fun (src, dst, l) ->
-               if l = label && dst = jc then Some src else None)
+        Option.value ~default:[]
+          (Hashtbl.find_opt (cache t).label_sources (label, jc))
       in
       let best =
         List.fold_left
@@ -139,10 +294,36 @@ let infer_intra t ~from label =
                 | _ -> Some (ic, path)))
           None sources
       in
-      (match best with
-      | Some _ -> Refill_obs.Metrics.Counter.inc c_intra
-      | None -> ());
       Option.map (fun (_, path) -> (path, jc)) best
+
+(* A label unknown to the FSM has id -1 and can never derive an intra
+   transition; returning None without a memo write keeps a [precompute]d
+   FSM write-free under probes with foreign labels (domain safety). *)
+let infer_intra_id t ~from id =
+  if id < 0 || not (in_range t from) then None
+  else
+    let c = cache t in
+    let slot = (from * c.n_labels) + id in
+    match c.intra.(slot) with
+    | Value r -> r
+    | Unevaluated ->
+        let r = compute_infer_intra t ~from c.label_arr.(id) in
+        c.intra.(slot) <- Value r;
+        r
+
+let infer_intra t ~from label = infer_intra_id t ~from (label_id t label)
+
+let precompute t =
+  let c = cache t in
+  for s = 0 to t.n_states - 1 do
+    ignore (bfs_tree t ~from:s : _ bfs_tree);
+    for d = 0 to t.n_states - 1 do
+      ignore (shortest_path t ~from:s ~to_:d)
+    done;
+    for id = 0 to c.n_labels - 1 do
+      ignore (infer_intra_id t ~from:s id)
+    done
+  done
 
 let derived_intra_edges t =
   let out = ref [] in

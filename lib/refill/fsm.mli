@@ -13,12 +13,31 @@
     the engine can emit the lost events.
 
     Labels are compared with polymorphic equality: use simple variant or
-    string labels. *)
+    string labels.
+
+    {b Query caching.}  Every query below ([normal_next], [reachable],
+    [shortest_path], [intra_target], [infer_intra], [labels],
+    [targets_of_label], ...) is backed by a derived index — label/step
+    tables built on the first query after a mutation, per-source BFS trees
+    and per-[(state, label)] intra-inference results filled lazily and
+    memoized.  [add_transition] invalidates the whole derived layer, so
+    interleaving mutation and queries is safe (but rebuilds the index);
+    the intended pattern is build-once, query-forever, which makes every
+    steady-state query O(1) amortized.  Results are identical to a fresh
+    recomputation — the cache is invisible except for speed. *)
 
 type 'label t
 
 val create : n_states:int -> initial:Fsm_state.t -> 'label t
 (** @raise Invalid_argument if [n_states <= 0] or [initial] out of range. *)
+
+val precompute : 'label t -> unit
+(** Force the whole derived layer: the label/step indexes, every
+    per-source BFS tree, and the full [(state, label)] intra-inference
+    table.  Afterwards — until the next [add_transition] — all queries are
+    pure reads, so a precomputed FSM may be shared read-only across
+    domains (the engine precomputes the role FSMs before parallel
+    reconstruction). *)
 
 val n_states : _ t -> int
 
@@ -48,6 +67,32 @@ val normal_next : 'label t -> from:Fsm_state.t -> 'label -> Fsm_state.t option
     every candidate so tools (e.g. [Refill_check]) can detect and report the
     ambiguity instead of silently diverging. *)
 
+(** {2 Integer fast path}
+
+    The engine's per-event probes run millions of times per CitySee
+    reconstruction; these variants avoid the tuple keys, polymorphic
+    hashing, and option allocation of the label-typed API.  Resolve a
+    label to its dense id once with {!label_id}, then probe with the
+    [_id] functions.  Results are identical to the label-typed API. *)
+
+val label_id : 'label t -> 'label -> int
+(** Dense id of a label (labels are numbered in insertion order), or [-1]
+    for a label on no transition.  Ids are only meaningful for the FSM
+    that produced them and are invalidated by [add_transition]. *)
+
+val step_id : 'label t -> from:Fsm_state.t -> int -> Fsm_state.t
+(** [step_id t ~from id] is {!normal_next} as an array read: the
+    destination state, or [-1] when there is no normal edge (or [id] is
+    [-1]).  [from] must be a valid state of [t]. *)
+
+val infer_intra_id :
+  'label t ->
+  from:Fsm_state.t ->
+  int ->
+  ((Fsm_state.t * Fsm_state.t * 'label) list * Fsm_state.t) option
+(** {!infer_intra} keyed by label id.  The returned option (and path list)
+    is physically shared between calls — treat it as immutable. *)
+
 val normal_next_all :
   'label t -> from:Fsm_state.t -> 'label -> Fsm_state.t list
 (** Every destination of a normal transition from [from] labeled [l], in
@@ -73,7 +118,8 @@ val shortest_path :
   to_:Fsm_state.t ->
   (Fsm_state.t * Fsm_state.t * 'label) list option
 (** BFS shortest path over normal transitions, deterministic (edges
-    explored in insertion order); [Some \[\]] when [from = to_]. *)
+    explored in insertion order); [Some \[\]] when [from = to_].
+    Memoized: the returned list is physically shared between calls. *)
 
 val intra_target : 'label t -> from:Fsm_state.t -> 'label -> Fsm_state.t option
 (** The derived intra-node transition target: [Some jc] iff exactly one
@@ -109,4 +155,8 @@ val infer_intra :
     shortest normal path from [from] to the source [ic] of the cheapest
     normal [l]-edge into [jc] — the prerequisite events that must have been
     lost.  The final [l]-edge [(ic, jc, l)] is NOT included in
-    [lost_path].  Returns [None] when no intra transition is defined. *)
+    [lost_path].  Returns [None] when no intra transition is defined.
+
+    Pure: safe to call as a speculative probe.  Callers that {e act} on
+    the result (the engine's intra branch) are responsible for counting
+    the inference in [refill_intra_inferences_total]. *)

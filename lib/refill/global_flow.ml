@@ -114,7 +114,9 @@ let build collected ~flows =
   (* Inferred items inherit the anchor of the nearest logged neighbour in
      their flow (following first, then preceding). *)
   let fill_anchors () =
-    (* Forward pass per packet in id order (ids are flow-ordered). *)
+    (* Backward pass per packet (ids are flow-ordered, so [downto] walks
+       each flow tail-to-head): an unanchored item inherits the anchor of
+       the *following* logged item in its flow. *)
     let carry = Hashtbl.create 64 in
     for id = n - 1 downto 0 do
       let k = arr.(id) in
@@ -126,6 +128,8 @@ let build collected ~flows =
       else Hashtbl.replace carry k.packet k.anchor
     done;
     Hashtbl.reset carry;
+    (* Forward pass: anything still unanchored (nothing logged after it in
+       its flow) falls back to the *preceding* logged anchor, else 0. *)
     for id = 0 to n - 1 do
       let k = arr.(id) in
       if Float.is_nan k.anchor then begin

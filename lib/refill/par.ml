@@ -1,0 +1,44 @@
+(* Domain fan-out for the per-packet reconstruction loop.
+
+   Packets are independent, so Reconstruct.all shards them over a small
+   pool of domains pulling indices from a shared atomic counter.  The only
+   shared mutable state in a worker's path is the observability registry;
+   workers batch their metric updates and flush under [with_obs_lock], so
+   process-wide totals stay exact regardless of the fan-out. *)
+
+let obs_mutex = Mutex.create ()
+
+let with_obs_lock f =
+  Mutex.lock obs_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock obs_mutex) f
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Below this many items a domain spawn costs more than it saves; callers
+   use it to keep small workloads (unit tests, single packets) serial. *)
+let min_parallel_items = 256
+
+let map_array ~jobs f arr =
+  let n = Array.length arr in
+  let jobs = min jobs n in
+  if n = 0 then [||]
+  else if jobs <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f arr.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    Fun.protect
+      ~finally:(fun () -> List.iter Domain.join helpers)
+      worker;
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,21 @@
+(** Domain fan-out for embarrassingly parallel per-packet work.
+
+    [map_array ~jobs f arr] preserves order: slot [i] of the result is
+    [f arr.(i)] whichever domain computed it.  [f] must not touch shared
+    mutable state except under {!with_obs_lock} (and must only query
+    {!Fsm.precompute}d FSMs).  Exceptions raised by [f] propagate after
+    every helper domain has been joined. *)
+
+val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val min_parallel_items : int
+(** Workloads smaller than this are not worth a domain spawn; callers fall
+    back to the serial path below it. *)
+
+val with_obs_lock : (unit -> 'a) -> 'a
+(** Serialize updates to the process-wide metrics registry across
+    domains.  Cheap when uncontended; every metrics flush from code that
+    can run inside {!map_array} must go through it. *)

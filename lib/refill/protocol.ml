@@ -101,52 +101,71 @@ let unknown_node = -1
 
 (* -- Payload synthesis for inferred events. ------------------------------ *)
 
-(* Who transmitted toward [node]? Any sender-side record pointing at it. *)
-let find_sender_toward records node =
-  List.find_map
-    (fun (r : Logsys.Record.t) ->
-      match r.kind with
-      | Trans { to_ } | Ack_recvd { to_ } | Retx_timeout { to_ }
-        when to_ = node ->
-          Some r.node
-      | _ -> None)
-    records
+(* Peer recovery used to rescan the packet's record list once per inferred
+   event; [Peer_index.build] extracts the same first-match answers in one
+   pass so each synthesis is a hashtable lookup.  First-write-wins mirrors
+   the original List.find_map semantics exactly. *)
+module Peer_index = struct
+  type t = {
+    sender_toward : (int, int) Hashtbl.t;
+        (* receiver -> first sender-side record pointing at it *)
+    own_target : (int, int) Hashtbl.t;
+        (* sender -> target of its first own sender-side record *)
+    named_receiver : (int, int) Hashtbl.t;
+        (* sender -> first receiver-side record naming it as the source *)
+  }
 
-(* Whom did [node] transmit to? Its own sender-side records first, then any
-   receiver-side record naming it as the sender. *)
-let find_receiver_from records node =
-  let own =
-    List.find_map
-      (fun (r : Logsys.Record.t) ->
-        if r.node <> node then None
-        else
-          match r.kind with
-          | Trans { to_ } | Ack_recvd { to_ } | Retx_timeout { to_ } ->
-              Some to_
-          | _ -> None)
-      records
-  in
-  match own with
-  | Some _ -> own
-  | None ->
-      List.find_map
-        (fun (r : Logsys.Record.t) ->
-          match r.kind with
-          | Recv { from } | Dup { from } | Overflow { from } when from = node
-            ->
-              Some r.node
-          | _ -> None)
-        records
+  let create () =
+    {
+      sender_toward = Hashtbl.create 16;
+      own_target = Hashtbl.create 16;
+      named_receiver = Hashtbl.create 16;
+    }
 
-let synthesize ~records ~origin ~seq ~node label : Logsys.Record.t option =
+  let put tbl key v = if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v
+
+  let scan t (r : Logsys.Record.t) =
+    match r.kind with
+    | Trans { to_ } | Ack_recvd { to_ } | Retx_timeout { to_ } ->
+        put t.sender_toward to_ r.node;
+        put t.own_target r.node to_
+    | Recv { from } | Dup { from } | Overflow { from } ->
+        put t.named_receiver from r.node
+    | Gen | Deliver -> ()
+
+  let build (records : Logsys.Record.t list) =
+    let t = create () in
+    List.iter (scan t) records;
+    t
+
+  let build_of_events events =
+    let t = create () in
+    Array.iter
+      (fun (_, _, payload) ->
+        match payload with Some r -> scan t r | None -> ())
+      events;
+    t
+
+  (* Who transmitted toward [node]? Any sender-side record pointing at it. *)
+  let sender_toward t node = Hashtbl.find_opt t.sender_toward node
+
+  (* Whom did [node] transmit to? Its own sender-side records first, then
+     any receiver-side record naming it as the sender. *)
+  let receiver_from t node =
+    match Hashtbl.find_opt t.own_target node with
+    | Some _ as own -> own
+    | None -> Hashtbl.find_opt t.named_receiver node
+end
+
+let synthesize ~index ~origin ~seq ~node label : Logsys.Record.t option =
   let make kind : Logsys.Record.t =
     { node; kind; origin; pkt_seq = seq; true_time = Float.nan; gseq = -1 }
   in
   let peer_from () =
-    Option.value ~default:unknown_node (find_sender_toward records node)
+    Option.value ~default:unknown_node (Peer_index.sender_toward index node)
   in
   let peer_to () =
-    Option.value ~default:unknown_node (find_receiver_from records node)
+    Option.value ~default:unknown_node (Peer_index.receiver_from index node)
   in
   match label with
   | L_gen -> Some (make Gen)
@@ -173,16 +192,349 @@ let prerequisites ~node ~label:_ ~payload =
           else []
       | Gen | Trans _ | Retx_timeout _ | Deliver -> [])
 
-let make_config ~records ~origin ~seq ~sink : (label, Logsys.Record.t) Engine.config
-    =
+let config_with_index ~index ~origin ~seq ~sink :
+    (label, Logsys.Record.t) Engine.config =
   {
     fsm_of = (fun node -> fsm_of_role (role_of ~origin ~sink node));
     prerequisites;
     infer_payload =
-      (fun ~node ~label -> synthesize ~records ~origin ~seq ~node label);
+      (fun ~node ~label ->
+        synthesize ~index:(Lazy.force index) ~origin ~seq ~node label);
   }
+
+let make_config ~records ~origin ~seq ~sink =
+  (* One pass over the packet's records — and only for packets that infer
+     at all (lazily): every inferred event's peer recovery is then a
+     lookup instead of a rescan of [records]. *)
+  config_with_index ~index:(lazy (Peer_index.build records)) ~origin ~seq ~sink
+
+let make_config_of_events ~events ~origin ~seq ~sink =
+  config_with_index
+    ~index:(lazy (Peer_index.build_of_events events))
+    ~origin ~seq ~sink
 
 let events_of_records records =
   List.map
     (fun (r : Logsys.Record.t) -> (r.node, label_of_kind r.kind, Some r))
     records
+
+let event_array_of_records records =
+  match records with
+  | [] -> [||]
+  | (first : Logsys.Record.t) :: _ ->
+      let n = List.length records in
+      let arr = Array.make n (first.node, label_of_kind first.kind, Some first) in
+      let i = ref 0 in
+      List.iter
+        (fun (r : Logsys.Record.t) ->
+          arr.(!i) <- (r.node, label_of_kind r.kind, Some r);
+          incr i)
+        records;
+      arr
+
+(* First node this group's records show it transmitting toward, or -1. *)
+let rec group_next_hop (rs : Logsys.Record.t list) =
+  match rs with
+  | [] -> -1
+  | { kind = Trans { to_ } | Ack_recvd { to_ } | Retx_timeout { to_ }; _ } :: _
+    ->
+      to_
+  | _ :: rest -> group_next_hop rest
+
+(* Split a group's records into the three real-time segments of one hop:
+   [head] — reception-side processing before the node's first [Trans]
+   (recv/dup/overflow, the sink's deliver); [mid] — first through last
+   [Trans], the transmission exchanges including interleaved timeouts;
+   [post] — the trailing ACK/timeout outcome of the final exchange, which
+   in real time lands after the *next* hop has received and processed the
+   packet. *)
+let split_hop_segments (rs : Logsys.Record.t list) =
+  let rec before_first_trans = function
+    | ({ kind = Trans _; _ } : Logsys.Record.t) :: _ as tl -> ([], tl)
+    | x :: tl ->
+        let h, t = before_first_trans tl in
+        (x :: h, t)
+    | [] -> ([], [])
+  in
+  let head, tail = before_first_trans rs in
+  let rec last_trans i best = function
+    | [] -> best
+    | ({ kind = Trans _; _ } : Logsys.Record.t) :: tl -> last_trans (i + 1) i tl
+    | _ :: tl -> last_trans (i + 1) best tl
+  in
+  match last_trans 0 (-1) tail with
+  | -1 -> (head, [], tail)
+  | k ->
+      let rec split i = function
+        | x :: tl when i <= k ->
+            let mid, post = split (i + 1) tl in
+            (x :: mid, post)
+        | tl -> ([], tl)
+      in
+      let mid, post = split 0 tail in
+      (head, mid, post)
+
+let event_array_of_groups groups ~origin =
+  let n = List.fold_left (fun acc (_, rs) -> acc + List.length rs) 0 groups in
+  if n = 0 then [||]
+  else begin
+    let rec first_record = function
+      | (_, (r : Logsys.Record.t) :: _) :: _ -> r
+      | (_, []) :: rest -> first_record rest
+      | [] -> assert false  (* n > 0 *)
+    in
+    let f = first_record groups in
+    let arr = Array.make n (f.node, label_of_kind f.kind, Some f) in
+    let i = ref 0 in
+    let put (r : Logsys.Record.t) =
+      arr.(!i) <- (r.node, label_of_kind r.kind, Some r);
+      incr i
+    in
+    (* Merge the groups along the forwarding chains the records themselves
+       reveal: start at the origin, follow each group's next hop, and
+       restart from any group loss disconnected from its upstream.  Each
+       node's local record order is preserved, so the reconstruction is
+       unchanged, but a causal merge means prerequisites are almost always
+       already satisfied and the drive machinery rarely cascades. *)
+    let garr = Array.of_list groups in
+    let used = Array.make (Array.length garr) false in
+    let find node =
+      let rec f gi =
+        if gi >= Array.length garr then -1
+        else if (not used.(gi)) && fst garr.(gi) = node then gi
+        else f (gi + 1)
+      in
+      f 0
+    in
+    let rec walk node hops acc =
+      (* hop bound: a forwarding loop revisits a used group and stops, but
+         guard against pathological chains anyway *)
+      if hops >= 256 then List.rev acc
+      else
+        match find node with
+        | -1 -> List.rev acc
+        | gi ->
+            used.(gi) <- true;
+            let rs = snd garr.(gi) in
+            let next = group_next_hop rs in
+            if next >= 0 && next <> node then walk next (hops + 1) (rs :: acc)
+            else List.rev (rs :: acc)
+    in
+    (* Within a chain, interleave the way the radio exchange actually
+       happens: a hop's records through its last [Trans], then the next
+       hop's reception-side processing, then the previous hop's trailing
+       ACK/timeout, then the next hop's own transmissions — matching the
+       true chronological order gen, trans, recv, [deliver,] ack, ... *)
+    let emit_chain chain =
+      let rec go prev_post = function
+        | [] -> List.iter put prev_post
+        | rs :: rest ->
+            let head, mid, post = split_hop_segments rs in
+            List.iter put head;
+            List.iter put prev_post;
+            List.iter put mid;
+            go post rest
+      in
+      go [] chain
+    in
+    emit_chain (walk origin 0 []);
+    Array.iteri
+      (fun gi (node, _) -> if not used.(gi) then emit_chain (walk node 0 []))
+      garr;
+    arr
+  end
+
+(* -- Packed events: the zero-copy hot path. ------------------------------ *)
+
+(* A dense rank for each label, independent of any FSM's internal label
+   numbering, so per-role id tables are plain array lookups. *)
+let label_rank = function
+  | L_gen -> 0
+  | L_recv -> 1
+  | L_dup -> 2
+  | L_overflow -> 3
+  | L_trans -> 4
+  | L_ack -> 5
+  | L_timeout -> 6
+  | L_deliver -> 7
+
+let all_labels =
+  [| L_gen; L_recv; L_dup; L_overflow; L_trans; L_ack; L_timeout; L_deliver |]
+
+(* rank -> dense label id in the role's FSM (-1 when the role's FSM never
+   uses the label), replacing a per-event hashtable lookup with an array
+   read.  Built once per role; the FSMs are static. *)
+let role_id_table fsm = Array.map (fun l -> Fsm.label_id fsm l) all_labels
+
+let origin_ids = lazy (role_id_table origin_fsm)
+let forwarder_ids = lazy (role_id_table forwarder_fsm)
+let sink_ids = lazy (role_id_table sink_fsm)
+
+let ids_for_role = function
+  | Origin -> Lazy.force origin_ids
+  | Forwarder -> Lazy.force forwarder_ids
+  | Sink -> Lazy.force sink_ids
+
+let precompute_fsms () =
+  Fsm.precompute origin_fsm;
+  Fsm.precompute forwarder_fsm;
+  Fsm.precompute sink_fsm;
+  (* Also force the per-role id tables so worker domains only ever read
+     them. *)
+  ignore (ids_for_role Origin : int array);
+  ignore (ids_for_role Forwarder : int array);
+  ignore (ids_for_role Sink : int array)
+
+type packed = {
+  p_nodes : int array;
+  p_labels : label array;
+  p_ids : int array;  (* dense label id in the event's node's FSM *)
+  p_payloads : Logsys.Record.t option array;
+  p_pre_nodes : int array;  (* prerequisite peer node, -1 = none *)
+  p_pre_states : Fsm_state.t array;  (* state the peer must have visited *)
+}
+
+(* [pack_events records ~origin ~sink] builds the engine's packed input
+   straight from one packet's flat record array (node-scan order, as
+   {!Logsys.Collected.packet_records} returns it): the same causal
+   chain-merge as {!event_array_of_groups}, but emitting into parallel
+   arrays with labels, dense FSM ids, and inter-node prerequisites all
+   resolved per event in this single pass — no tuples, no hashing, no
+   per-event closure calls downstream. *)
+let pack_events (records : Logsys.Record.t array) ~origin ~sink =
+  let n = Array.length records in
+  let p =
+    {
+      p_nodes = Array.make n 0;
+      p_labels = Array.make n L_gen;
+      p_ids = Array.make n (-1);
+      p_payloads = Array.make n None;
+      p_pre_nodes = Array.make n (-1);
+      p_pre_states = Array.make n (-1);
+    }
+  in
+  if n = 0 then p
+  else begin
+    (* Segment discovery, fused into one pass over the records: boundaries
+       of maximal same-node runs, each segment's next hop (first
+       sender-side record's peer) and its first/last [Trans] indices —
+       everything the chain walk and the three-way split need, so neither
+       rescans the records.  Segment arrays are sized by the worst case
+       (every record its own segment); per-packet counts are tiny. *)
+    let seg_start = Array.make (n + 1) n in
+    let seg_node = Array.make n (-1) in
+    let seg_next = Array.make n (-1) in
+    let seg_ft = Array.make n (-1) in
+    let seg_lt = Array.make n (-1) in
+    let n_segs = ref 0 in
+    let last = ref (-1) in
+    for i = 0 to n - 1 do
+      let r = records.(i) in
+      let node = r.Logsys.Record.node in
+      if node <> !last then begin
+        seg_start.(!n_segs) <- i;
+        seg_node.(!n_segs) <- node;
+        incr n_segs;
+        last := node
+      end;
+      let s = !n_segs - 1 in
+      match r.Logsys.Record.kind with
+      | Trans { to_ } ->
+          if seg_ft.(s) < 0 then seg_ft.(s) <- i;
+          seg_lt.(s) <- i;
+          if seg_next.(s) < 0 then seg_next.(s) <- to_
+      | Ack_recvd { to_ } | Retx_timeout { to_ } ->
+          if seg_next.(s) < 0 then seg_next.(s) <- to_
+      | _ -> ()
+    done;
+    seg_start.(!n_segs) <- n;
+    let used = Array.make !n_segs false in
+    let find node =
+      let rec f s =
+        if s >= !n_segs then -1
+        else if (not used.(s)) && seg_node.(s) = node then s
+        else f (s + 1)
+      in
+      f 0
+    in
+    let next_hop s = seg_next.(s) in
+    let origin_tbl = ids_for_role Origin
+    and forwarder_tbl = ids_for_role Forwarder
+    and sink_tbl = ids_for_role Sink in
+    let out = ref 0 in
+    let put (r : Logsys.Record.t) =
+      let i = !out in
+      let node = r.node in
+      let lab = label_of_kind r.kind in
+      let tbl =
+        if node = sink then sink_tbl
+        else if node = origin then origin_tbl
+        else forwarder_tbl
+      in
+      p.p_nodes.(i) <- node;
+      p.p_labels.(i) <- lab;
+      p.p_ids.(i) <- tbl.(label_rank lab);
+      p.p_payloads.(i) <- Some r;
+      (match r.kind with
+      | Recv { from } | Dup { from } | Overflow { from } ->
+          if from <> node && from <> unknown_node then begin
+            p.p_pre_nodes.(i) <- from;
+            p.p_pre_states.(i) <- sent
+          end
+      | Ack_recvd { to_ } ->
+          if to_ <> node && to_ <> unknown_node then begin
+            p.p_pre_nodes.(i) <- to_;
+            p.p_pre_states.(i) <- holding
+          end
+      | Gen | Trans _ | Retx_timeout _ | Deliver -> ());
+      out := i + 1
+    in
+    let put_range lo hi = for i = lo to hi - 1 do put records.(i) done in
+    (* Same causal interleave as [event_array_of_groups]: emit a hop
+       through its last [Trans], then the next hop's reception-side
+       processing, then the previous hop's trailing ACK/timeout.  The
+       three-way split is [lo, ft) head, [ft, lt] mid, (lt, hi) post,
+       with ft/lt the segment's first/last [Trans] from discovery. *)
+    let rec emit_chain prev_post_lo prev_post_hi = function
+      | [] -> put_range prev_post_lo prev_post_hi
+      | s :: rest ->
+          let lo = seg_start.(s) and hi = seg_start.(s + 1) in
+          let ft = seg_ft.(s) and lt = seg_lt.(s) in
+          if ft < 0 then begin
+            put_range lo hi;
+            put_range prev_post_lo prev_post_hi;
+            emit_chain 0 0 rest
+          end
+          else begin
+            put_range lo ft;
+            put_range prev_post_lo prev_post_hi;
+            put_range ft (lt + 1);
+            emit_chain (lt + 1) hi rest
+          end
+    in
+    let rec walk node hops acc =
+      if hops >= 256 then List.rev acc
+      else
+        match find node with
+        | -1 -> List.rev acc
+        | s ->
+            used.(s) <- true;
+            let next = next_hop s in
+            if next >= 0 && next <> node then walk next (hops + 1) (s :: acc)
+            else List.rev (s :: acc)
+    in
+    emit_chain 0 0 (walk origin 0 []);
+    for s = 0 to !n_segs - 1 do
+      if not used.(s) then emit_chain 0 0 (walk seg_node.(s) 0 [])
+    done;
+    p
+  end
+
+let make_config_of_records ~records ~origin ~seq ~sink =
+  config_with_index
+    ~index:
+      (lazy
+        (let t = Peer_index.create () in
+         Array.iter (Peer_index.scan t) records;
+         t))
+    ~origin ~seq ~sink

@@ -63,11 +63,37 @@ val role_of : origin:int -> sink:int -> int -> role
 
 val fsm_of_role : role -> label Fsm.t
 (** The FSMs are built once per role and shared (they are immutable after
-    construction). *)
+    construction), so their memoized query caches amortize across every
+    packet ever reconstructed. *)
+
+val precompute_fsms : unit -> unit
+(** {!Fsm.precompute} all three role FSMs, making their caches complete
+    and therefore safe to share read-only across worker domains.  Called
+    by [Reconstruct.all] before going parallel; idempotent. *)
 
 val unknown_node : int
 (** [-1]: placeholder peer when synthesis cannot recover the other
     endpoint. *)
+
+(** Peer recovery index over one packet's surviving records.
+
+    Built in a single pass and queried per inferred event, replacing the
+    per-synthesis linear rescan of the record list.  First-write-wins
+    preserves the original first-match semantics: the answer for each node
+    is taken from the earliest matching record in list order. *)
+module Peer_index : sig
+  type t
+
+  val build : Logsys.Record.t list -> t
+
+  val sender_toward : t -> int -> int option
+  (** Who transmitted toward this node? First sender-side record
+      ([trans]/[ack recvd]/[retx timeout]) pointing at it. *)
+
+  val receiver_from : t -> int -> int option
+  (** Whom did this node transmit to? Its own first sender-side record,
+      else the first receiver-side record naming it as the sender. *)
+end
 
 val make_config :
   records:Logsys.Record.t list ->
@@ -78,6 +104,64 @@ val make_config :
 (** Engine configuration for reconstructing one packet.  [records] are the
     packet's surviving records network-wide (the synthesis search pool). *)
 
+val make_config_of_events :
+  events:(int * label * Logsys.Record.t option) array ->
+  origin:int ->
+  seq:int ->
+  sink:int ->
+  (label, Logsys.Record.t) Engine.config
+(** {!make_config} drawing the synthesis search pool from an already-built
+    event array (every [Some] payload), sparing the hot path its record
+    list.  Same first-match peer-recovery semantics. *)
+
 val events_of_records :
   Logsys.Record.t list -> (int * label * Logsys.Record.t option) list
 (** Map records to engine input events (node, label, payload). *)
+
+val event_array_of_records :
+  Logsys.Record.t list -> (int * label * Logsys.Record.t option) array
+(** [events_of_records] built directly as the array {!Engine.run_array}
+    consumes — one pass, no intermediate list. *)
+
+val make_config_of_records :
+  records:Logsys.Record.t array ->
+  origin:int ->
+  seq:int ->
+  sink:int ->
+  (label, Logsys.Record.t) Engine.config
+(** {!make_config} drawing the synthesis search pool from the packet's
+    flat record array ({!Logsys.Collected.packet_records}), lazily. *)
+
+(** Packed engine input: one packet's merged events as parallel arrays —
+    node, label, dense FSM label id, payload, and inter-node prerequisite
+    per event, all resolved in one pass.  The representation
+    {!Engine.run_packed} consumes; built by {!pack_events}. *)
+type packed = {
+  p_nodes : int array;
+  p_labels : label array;
+  p_ids : int array;
+  p_payloads : Logsys.Record.t option array;
+  p_pre_nodes : int array;  (** prerequisite peer node, [-1] = none *)
+  p_pre_states : Fsm_state.t array;
+}
+
+val pack_events : Logsys.Record.t array -> origin:int -> sink:int -> packed
+(** Build the packed engine input from one packet's flat record array (in
+    node-scan order, as {!Logsys.Collected.packet_records} returns it).
+    Applies the same causal chain-merge as {!event_array_of_groups} and
+    resolves each event's label, dense id ({!Fsm.label_id} via a per-role
+    table) and prerequisite ({!Engine.config.prerequisites} semantics)
+    inline. *)
+
+val event_array_of_groups :
+  (int * Logsys.Record.t list) list ->
+  origin:int ->
+  (int * label * Logsys.Record.t option) array
+(** The engine input for one packet straight from its per-node record
+    groups (as {!Logsys.Collected.events_of_packet} returns them).  Groups
+    are merged along the forwarding chain the records reveal — origin
+    first, then each next hop — with stragglers after in node order.
+    Each node's local record order is preserved, so the reconstruction is
+    unchanged (the engine is insensitive to the cross-node interleaving);
+    the causal order just means prerequisites are almost always already
+    satisfied, so drives rarely cascade. *)

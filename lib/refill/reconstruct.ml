@@ -8,27 +8,31 @@ let c_packets =
   Obs.Metrics.Counter.v "refill_packets_reconstructed_total"
     ~help:"Packets run through the reconstruction engines."
 
-let merged_records collected ~origin ~seq =
-  let groups = Logsys.Collected.events_of_packet collected ~origin ~seq in
-  (* Start processing at the origin: its [gen] grounds the cascades. *)
-  let origin_group, others =
-    List.partition (fun (node, _) -> node = origin) groups
-  in
-  List.concat_map snd (origin_group @ others)
-
 let packet_untraced ?(use_intra = true) ?(use_inter = true) collected ~origin
     ~seq ~sink =
   let t0 = Obs.Span.now_us () in
-  let records = merged_records collected ~origin ~seq in
-  let config = Protocol.make_config ~records ~origin ~seq ~sink in
+  let records = Logsys.Collected.packet_records collected ~origin ~seq in
+  let p = Protocol.pack_events records ~origin ~sink in
+  let config = Protocol.make_config_of_records ~records ~origin ~seq ~sink in
   let config =
     if use_inter then config
     else { config with prerequisites = (fun ~node:_ ~label:_ ~payload:_ -> []) }
   in
-  let events = Protocol.events_of_records records in
-  let items, stats = Engine.run ~use_intra config ~events in
-  Obs.Metrics.Counter.inc c_packets;
-  Obs.Metrics.Histogram.observe h_latency ((Obs.Span.now_us () -. t0) /. 1e6);
+  let pre_nodes, pre_states =
+    (* [use_inter:false] must suppress the packed prerequisites too — empty
+       arrays route every event through the (nulled) closure. *)
+    if use_inter then (p.Protocol.p_pre_nodes, p.Protocol.p_pre_states)
+    else ([||], [||])
+  in
+  let items, stats =
+    Engine.run_packed ~use_intra config ~nodes:p.Protocol.p_nodes
+      ~labels:p.Protocol.p_labels ~ids:p.Protocol.p_ids
+      ~payloads:p.Protocol.p_payloads ~pre_nodes ~pre_states
+  in
+  Par.with_obs_lock (fun () ->
+      Obs.Metrics.Counter.inc c_packets;
+      Obs.Metrics.Histogram.observe h_latency
+        ((Obs.Span.now_us () -. t0) /. 1e6));
   { Flow.origin; seq; items; stats }
 
 let packet ?use_intra ?use_inter collected ~origin ~seq ~sink =
@@ -39,11 +43,34 @@ let packet ?use_intra ?use_inter collected ~origin ~seq ~sink =
         packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink)
   else packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink
 
-let all ?use_intra ?use_inter collected ~sink =
+let all ?use_intra ?use_inter ?jobs collected ~sink =
   Obs.Span.with_ ~name:"refill.reconstruct_all" (fun () ->
-      Logsys.Collected.packet_keys collected
-      |> List.map (fun (origin, seq) ->
-             packet ?use_intra ?use_inter collected ~origin ~seq ~sink))
+      (* packet_keys also builds the per-packet record index, so by the
+         time workers run, the collected snapshot is read-only. *)
+      let keys = Array.of_list (Logsys.Collected.packet_keys collected) in
+      let jobs =
+        match jobs with Some j -> max 1 j | None -> Par.default_jobs ()
+      in
+      let jobs =
+        (* Tracing writes span events through a shared sink; keep those
+           runs serial.  Small workloads aren't worth a domain spawn. *)
+        if Obs.Span.enabled () || Array.length keys < Par.min_parallel_items
+        then 1
+        else jobs
+      in
+      if jobs <= 1 then
+        Array.to_list keys
+        |> List.map (fun (origin, seq) ->
+               packet ?use_intra ?use_inter collected ~origin ~seq ~sink)
+      else begin
+        Protocol.precompute_fsms ();
+        Par.map_array ~jobs
+          (fun (origin, seq) ->
+            packet_untraced ?use_intra ?use_inter collected ~origin ~seq
+              ~sink)
+          keys
+        |> Array.to_list
+      end)
 
 type summary = {
   packets : int;

@@ -22,10 +22,19 @@ val packet :
 val all :
   ?use_intra:bool ->
   ?use_inter:bool ->
+  ?jobs:int ->
   Logsys.Collected.t ->
   sink:int ->
   Flow.t list
-(** Reconstruct every packet found in the logs, sorted by packet key. *)
+(** Reconstruct every packet found in the logs, sorted by packet key.
+
+    Packets are independent, so large workloads are sharded over [jobs]
+    worker domains (default [Domain.recommended_domain_count ()]); the
+    result is identical to the serial run — order preserved, per-flow
+    stats exact, and process-wide metric totals exact (flushes are
+    batched per run under a lock).  Runs stay serial when [jobs <= 1],
+    when tracing spans are enabled, or when the workload is too small to
+    amortize a domain spawn. *)
 
 type summary = {
   packets : int;

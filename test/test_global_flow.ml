@@ -159,6 +159,73 @@ let hand_built_cross_packet_order () =
   Alcotest.(check bool) "P0 ack before P1 trans on relay" true
     (idx_of 0 "ack" < idx_of 1 "trans")
 
+let inferred_anchor_inherits_following () =
+  (* P0's relay reception is lost; the inferred stand-in has no log
+     position, so [fill_anchors] must give it the anchor of the *following*
+     logged item in its flow (the relay's late trans, anchor 0.75), not the
+     preceding one (the origin's early trans, anchor 0.25).  P1's gen sits
+     between the two (anchor 0.5) and is concurrent with the inferred item,
+     so the heap order of that pair reveals which anchor was inherited. *)
+  let r ~node ~origin ~kind ~seq ~gseq : Logsys.Record.t =
+    { node; kind; origin; pkt_seq = seq; true_time = float_of_int gseq; gseq }
+  in
+  let logs =
+    [|
+      (* node 0 = sink: Q's delivery, then P0's *)
+      [|
+        r ~node:0 ~origin:2 ~kind:(Recv { from = 2 }) ~seq:0 ~gseq:4;
+        r ~node:0 ~origin:2 ~kind:Deliver ~seq:0 ~gseq:5;
+        r ~node:0 ~origin:1 ~kind:(Recv { from = 2 }) ~seq:0 ~gseq:10;
+        r ~node:0 ~origin:1 ~kind:Deliver ~seq:0 ~gseq:11;
+      |];
+      (* node 1: P0's gen+trans, then P1's gen+trans *)
+      [|
+        r ~node:1 ~origin:1 ~kind:Gen ~seq:0 ~gseq:0;
+        r ~node:1 ~origin:1 ~kind:(Trans { to_ = 2 }) ~seq:0 ~gseq:1;
+        r ~node:1 ~origin:1 ~kind:Gen ~seq:1 ~gseq:7;
+        r ~node:1 ~origin:1 ~kind:(Trans { to_ = 3 }) ~seq:1 ~gseq:8;
+      |];
+      (* node 2: its own packet Q first, then P0's (late) forward; P0's
+         recv on this node was lost *)
+      [|
+        r ~node:2 ~origin:2 ~kind:Gen ~seq:0 ~gseq:2;
+        r ~node:2 ~origin:2 ~kind:(Trans { to_ = 0 }) ~seq:0 ~gseq:3;
+        r ~node:2 ~origin:2 ~kind:(Ack_recvd { to_ = 0 }) ~seq:0 ~gseq:6;
+        r ~node:2 ~origin:1 ~kind:(Trans { to_ = 0 }) ~seq:0 ~gseq:9;
+      |];
+      (* node 3: P1's receiver; logged nothing *)
+      [||];
+    |]
+  in
+  let collected = Logsys.Collected.of_node_logs logs in
+  let flows = Refill.Reconstruct.all collected ~sink:0 in
+  let items, stats = Refill.Global_flow.build collected ~flows in
+  Alcotest.(check int) "one inferred event" 1 stats.inferred;
+  Alcotest.(check int) "nothing relaxed" 0 stats.relaxed;
+  let idx_inferred =
+    match
+      List.find_index
+        (fun (i : Refill.Flow.item) -> i.inferred && i.node = 2)
+        items
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "inferred relay recv missing"
+  in
+  let idx_p1_gen =
+    match
+      List.find_index
+        (fun (i : Refill.Flow.item) ->
+          match i.payload with
+          | Some ({ kind = Gen; pkt_seq = 1; _ } : Logsys.Record.t) -> true
+          | _ -> false)
+        items
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "P1 gen missing"
+  in
+  Alcotest.(check bool) "P1 gen precedes the inferred relay recv" true
+    (idx_p1_gen < idx_inferred)
+
 let empty_inputs () =
   let empty = Logsys.Collected.of_node_logs [| [||]; [||] |] in
   let items, stats = Refill.Global_flow.build empty ~flows:[] in
@@ -178,6 +245,8 @@ let () =
           Alcotest.test_case "under record loss" `Quick works_under_record_loss;
           Alcotest.test_case "cross-packet relay order" `Quick
             hand_built_cross_packet_order;
+          Alcotest.test_case "inferred anchor inherits following" `Quick
+            inferred_anchor_inherits_following;
           Alcotest.test_case "empty" `Quick empty_inputs;
         ] );
     ]

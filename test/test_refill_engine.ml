@@ -325,6 +325,132 @@ let stats_match_obs_counters () =
   Alcotest.(check bool) "drive depth observed" true
     (Refill_obs.Metrics.Histogram.count h_depth - depth_obs0 >= 2)
 
+(* §IV.B: the merged event list must preserve each node's local order,
+   but the cross-node interleaving is arbitrary.  [shuffle_merge] draws a
+   random interleaving of the per-node subsequences of [events]. *)
+let shuffle_merge rng events =
+  let nodes = List.sort_uniq compare (List.map (fun (n, _, _) -> n) events) in
+  let queues =
+    List.map
+      (fun n -> ref (List.filter (fun (n', _, _) -> n' = n) events))
+      nodes
+  in
+  let out = ref [] in
+  let total = List.length events in
+  for _ = 1 to total do
+    let nonempty = List.filter (fun q -> !q <> []) queues in
+    let q = List.nth nonempty (Prelude.Rng.int rng (List.length nonempty)) in
+    match !q with
+    | e :: rest ->
+        q := rest;
+        out := e :: !out
+    | [] -> assert false
+  done;
+  List.rev !out
+
+(* §IV.B claims the merged list's cross-node interleaving is arbitrary.
+   That holds when each node's subsequence is a lossy projection of a
+   valid local run (which real logs are): whatever the interleaving, the
+   reconstruction has the same stats, the same event multiset, and the
+   same per-node subsequences.  (For garbage inputs — labels outside a
+   node's alphabet, impossible repeats — drives can legitimately bridge
+   past unfireable events differently, so no such invariant exists.) *)
+let interleaving_invariance_on_projections =
+  QCheck.Test.make
+    ~name:"reconstruction invariant under cross-node interleaving"
+    ~count:300
+    QCheck.(pair (int_bound 63) (int_bound 1_000_000))
+    (fun (mask, seed) ->
+      (* Bit 2i keeps node (i+1)'s first event, bit 2i+1 its second: every
+         lossy projection of the three two-event local runs. *)
+      let events =
+        List.concat_map
+          (fun i ->
+            let node = i + 1 in
+            let la, lb = labels_of node in
+            (if mask land (1 lsl (2 * i)) <> 0 then [ (node, la, None) ]
+             else [])
+            @
+            if mask land (1 lsl ((2 * i) + 1)) <> 0 then [ (node, lb, None) ]
+            else [])
+          [ 0; 1; 2 ]
+      in
+      let rng = Prelude.Rng.create ~seed:(Int64.of_int seed) in
+      let run es =
+        Engine.run (config ~prerequisites:cascade_prereqs) ~events:es
+      in
+      let items_a, stats_a = run events in
+      let items_b, stats_b = run (shuffle_merge rng events) in
+      let k (i : (string, unit) Engine.item) = (i.node, i.label, i.inferred) in
+      let multiset items = List.sort compare (List.map k items) in
+      let per_node n items =
+        List.filter_map
+          (fun (i : (string, unit) Engine.item) ->
+            if i.node = n then Some (k i) else None)
+          items
+      in
+      stats_a = stats_b
+      && multiset items_a = multiset items_b
+      && List.for_all
+           (fun n -> per_node n items_a = per_node n items_b)
+           [ 1; 2; 3 ])
+
+(* On complete (lossless) logs the reconstruction itself is invariant:
+   same event multiset and same per-node subsequences, whatever the
+   interleaving. *)
+let interleaving_preserves_lossless_output =
+  QCheck.Test.make
+    ~name:"lossless output invariant under cross-node interleaving"
+    ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let events =
+        [
+          event 1 "e1"; event 1 "e2"; event 2 "e3"; event 2 "e4";
+          event 3 "e5"; event 3 "e6";
+        ]
+      in
+      let rng = Prelude.Rng.create ~seed:(Int64.of_int seed) in
+      let run es =
+        fst (Engine.run (config ~prerequisites:cascade_prereqs) ~events:es)
+      in
+      let canonical = run events in
+      let shuffled = run (shuffle_merge rng events) in
+      let key (i : (string, unit) Engine.item) = (i.node, i.label, i.inferred) in
+      let multiset items = List.sort compare (List.map key items) in
+      let per_node node items =
+        List.filter_map
+          (fun (i : (string, unit) Engine.item) ->
+            if i.node = node then Some (key i) else None)
+          items
+      in
+      multiset canonical = multiset shuffled
+      && List.for_all
+           (fun n -> per_node n canonical = per_node n shuffled)
+           [ 1; 2; 3 ])
+
+let intra_counter_counts_only_taken_transitions () =
+  (* Regression for the counter-inflation bug: [consume_helps] probes
+     [Fsm.infer_intra_id] speculatively while a drive decides whether a
+     pending event helps, and those probes must not count.  Here
+     [e2@1; e4@2] takes exactly two intra transitions (e2 bridges over the
+     lost e1, e4 over the lost e3), but e2's drive of node 2 also *probes*
+     the intra derivation for the pending e4 — with the counter inside the
+     FSM query the delta read 3. *)
+  let module C = Refill_obs.Metrics.Counter in
+  let c_intra = C.v "refill_intra_inferences_total" in
+  let before = C.value c_intra in
+  let items, stats =
+    Engine.run (config ~prerequisites:cascade_prereqs)
+      ~events:[ event 1 "e2"; event 2 "e4" ]
+  in
+  Alcotest.(check (list string)) "reconstructed flow"
+    [ "e1"; "e3"; "e5"; "e6"; "e4"; "e2" ]
+    (flow_labels items);
+  Alcotest.(check int) "both logged events fired" 2 stats.emitted_logged;
+  Alcotest.(check int) "exactly the two intra transitions taken" 2
+    (C.value c_intra - before)
+
 (* Strong ordering invariant: whenever an event with a prerequisite fires,
    the prerequisite state has been entered strictly earlier in the flow. *)
 let prerequisites_precede_in_flow =
@@ -404,7 +530,11 @@ let () =
           Alcotest.test_case "payload synthesis" `Quick payload_synthesis_called;
           Alcotest.test_case "stats match obs counters" `Quick
             stats_match_obs_counters;
+          Alcotest.test_case "intra counter: taken transitions only" `Quick
+            intra_counter_counts_only_taken_transitions;
           QCheck_alcotest.to_alcotest logged_events_emitted_once;
           QCheck_alcotest.to_alcotest prerequisites_precede_in_flow;
+          QCheck_alcotest.to_alcotest interleaving_invariance_on_projections;
+          QCheck_alcotest.to_alcotest interleaving_preserves_lossless_output;
         ] );
     ]

@@ -246,6 +246,147 @@ let to_dot_renders () =
       Alcotest.(check bool) ("contains " ^ needle) true contains)
     [ "\"s0\" -> \"s1\""; "label=\"a\""; "\"s3\" -> \"s1\"" ]
 
+let self_loops_and_mutation_invalidate_cache () =
+  let f = chain () in
+  (* Warm every memoized layer first, so the mutations below must
+     invalidate a populated cache rather than a fresh one. *)
+  Alcotest.(check bool) "warm reachable" true (Fsm.reachable f ~from:0 3);
+  Alcotest.(check (option int)) "warm normal_next" (Some 1)
+    (Fsm.normal_next f ~from:0 "a");
+  Alcotest.(check bool) "warm label id" true (Fsm.label_id f "a" >= 0);
+  (* A self-loop is a legal transition and queries see it... *)
+  Fsm.add_transition f ~src:2 ~dst:2 "again";
+  Alcotest.(check (option int)) "self-loop normal_next" (Some 2)
+    (Fsm.normal_next f ~from:2 "again");
+  Alcotest.(check bool) "self-loop listed" true
+    (List.mem (2, 2, "again") (Fsm.transitions f));
+  (* ...but derives no intra edge: taking one infers no lost events. *)
+  Alcotest.(check bool) "no self-loop intra edge" true
+    (List.for_all (fun (x, jc, _) -> x <> jc) (Fsm.derived_intra_edges f));
+  (* Duplicate self-loops are ignored like any duplicate. *)
+  Fsm.add_transition f ~src:2 ~dst:2 "again";
+  Alcotest.(check int) "duplicate self-loop ignored" 5
+    (List.length (Fsm.transitions f));
+  (* Mutation after queries invalidates the derived layer: the new edge
+     is visible immediately through previously-warmed queries. *)
+  Alcotest.(check bool) "no shortcut yet" true
+    (Fsm.shortest_path f ~from:0 ~to_:3 <> Some [ (0, 3, "jump") ]);
+  Fsm.add_transition f ~src:0 ~dst:3 "jump";
+  Alcotest.(check bool) "shortcut after mutation" true
+    (Fsm.shortest_path f ~from:0 ~to_:3 = Some [ (0, 3, "jump") ]);
+  Alcotest.(check bool) "reachability rebuilt" true (Fsm.reachable f ~from:0 3);
+  Alcotest.(check (option int)) "old queries still correct" (Some 1)
+    (Fsm.normal_next f ~from:0 "a")
+
+(* Acceptance: the memo layer is invisible — every cached query agrees
+   with a fresh recomputation from the plain transition list, with
+   mutation interleaved so each step re-queries a just-invalidated
+   cache. *)
+let cached_queries_match_reference =
+  let n_states = 5 in
+  let labels = [| "a"; "b"; "c"; "d" |] in
+  let states = List.init n_states Fun.id in
+  let ref_edges_from trs s =
+    List.filter_map (fun (s', d, l) -> if s' = s then Some (d, l) else None) trs
+  in
+  let ref_normal_next trs ~from l =
+    List.find_map
+      (fun (s, d, l') -> if s = from && l' = l then Some d else None)
+      trs
+  in
+  let ref_bfs trs ~from =
+    let parent = Array.make n_states None in
+    let seen = Array.make n_states false in
+    seen.(from) <- true;
+    let q = Queue.create () in
+    Queue.add from q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun (v, l) ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            parent.(v) <- Some (u, l);
+            Queue.add v q
+          end)
+        (ref_edges_from trs u)
+    done;
+    (seen, parent)
+  in
+  let ref_shortest_path trs ~from ~to_ =
+    let seen, parent = ref_bfs trs ~from in
+    if not seen.(to_) then None
+    else
+      let rec up v acc =
+        if v = from then acc
+        else
+          match parent.(v) with
+          | Some (u, l) -> up u ((u, v, l) :: acc)
+          | None -> acc
+      in
+      Some (up to_ [])
+  in
+  let ref_targets trs l =
+    List.fold_left
+      (fun acc (_, d, l') ->
+        if l' = l && not (List.mem d acc) then acc @ [ d ] else acc)
+      [] trs
+  in
+  QCheck.Test.make ~name:"cached queries = uncached reference (with mutation)"
+    ~count:100
+    QCheck.(
+      small_list
+        (triple
+           (int_range 0 (n_states - 1))
+           (int_range 0 (n_states - 1))
+           (int_range 0 (Array.length labels - 1))))
+    (fun edges ->
+      let f = Fsm.create ~n_states ~initial:0 in
+      List.for_all
+        (fun (src, dst, li) ->
+          (* Warm the cache, mutate through it, then re-check everything. *)
+          ignore (Fsm.reachable f ~from:0 (n_states - 1) : bool);
+          Fsm.add_transition f ~src ~dst labels.(li);
+          let trs = Fsm.transitions f in
+          let ok_labelled =
+            List.for_all
+              (fun from ->
+                List.for_all
+                  (fun l ->
+                    let reference = ref_normal_next trs ~from l in
+                    Fsm.normal_next f ~from l = reference
+                    && (let id = Fsm.label_id f l in
+                        (if id < 0 then -1 else Fsm.step_id f ~from id)
+                        = Option.value ~default:(-1) reference)
+                    && Fsm.targets_of_label f l = ref_targets trs l
+                    &&
+                    let seen, _ = ref_bfs trs ~from in
+                    Fsm.intra_target f ~from l
+                    =
+                    match
+                      List.filter (fun jc -> seen.(jc)) (ref_targets trs l)
+                    with
+                    | [ jc ] -> Some jc
+                    | _ -> None)
+                  (Array.to_list labels))
+              states
+          in
+          let ok_paths =
+            List.for_all
+              (fun from ->
+                let seen, _ = ref_bfs trs ~from in
+                List.for_all
+                  (fun to_ ->
+                    Fsm.reachable f ~from to_ = seen.(to_)
+                    && Fsm.shortest_path f ~from ~to_
+                       = ref_shortest_path trs ~from ~to_)
+                  states)
+              states
+          in
+          ok_labelled && ok_paths
+          && Fsm.edges_from f src = ref_edges_from trs src)
+        edges)
+
 let () =
   Alcotest.run "refill-fsm"
     [
@@ -254,6 +395,9 @@ let () =
           Alcotest.test_case "create validates" `Quick create_validates;
           Alcotest.test_case "add validates" `Quick add_validates;
           Alcotest.test_case "duplicates ignored" `Quick duplicates_ignored;
+          Alcotest.test_case "self-loops + mutation invalidation" `Quick
+            self_loops_and_mutation_invalidate_cache;
+          QCheck_alcotest.to_alcotest cached_queries_match_reference;
           Alcotest.test_case "normal_next" `Quick normal_next_lookup;
           Alcotest.test_case "labels/transitions" `Quick labels_and_transitions;
         ] );

@@ -142,6 +142,27 @@ let case4 () =
   Alcotest.(check (option int)) "lost at node 2" (Some 2) v.loss_node;
   Alcotest.(check (option int)) "transmitting to node 3" (Some 3) v.next_hop
 
+let intra_counter_matches_table_ii () =
+  (* [refill_intra_inferences_total] must equal the intra transitions the
+     engine actually takes, per Table II case: case 1 and 2 bridge only
+     the origin's lost [gen] (1 each); case 3 additionally bridges the
+     loop re-reception before the second trans (2); case 4 bridges the
+     origin's [gen] and node 2's lost second reception (2). *)
+  let module C = Refill_obs.Metrics.Counter in
+  let c_intra = C.v "refill_intra_inferences_total" in
+  let delta records =
+    let before = C.value c_intra in
+    ignore (reconstruct records : Flow.t);
+    C.value c_intra - before
+  in
+  Alcotest.(check int) "case 1" 1
+    (delta [ record 1 (Trans { to_ = 2 }); record 3 (Recv { from = 2 }) ]);
+  Alcotest.(check int) "case 2" 1
+    (delta [ record 1 (Trans { to_ = 2 }); record 1 (Ack_recvd { to_ = 2 }) ]);
+  Alcotest.(check int) "case 3" 2
+    (delta [ record 1 (Ack_recvd { to_ = 2 }); record 1 (Trans { to_ = 2 }) ]);
+  Alcotest.(check int) "case 4" 2 (delta (case4_records ()))
+
 let complete_delivery_no_inference () =
   (* A clean end-to-end trace through a sink produces zero inferred events
      and a Delivered verdict. *)
@@ -355,6 +376,8 @@ let () =
           Alcotest.test_case "case 2" `Quick case2;
           Alcotest.test_case "case 3" `Quick case3;
           Alcotest.test_case "case 4" `Quick case4;
+          Alcotest.test_case "intra counter matches Table II" `Quick
+            intra_counter_matches_table_ii;
         ] );
       ( "classification",
         [
