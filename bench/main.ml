@@ -604,6 +604,8 @@ type scaling_point = {
   records : int;
   flow_events : int;
   reconstruct_seconds : float;
+  global_flow_seconds : float;
+  analysis_seconds : float;
 }
 
 let scaling_results : scaling_point list ref = ref []
@@ -617,18 +619,39 @@ let scaling_rung name params =
   in
   let records = Logsys.Collected.total collected in
   let t1 = Unix.gettimeofday () in
-  let flows = Refill.Reconstruct.all collected ~sink:scenario.sink in
-  let dt = Unix.gettimeofday () -. t1 in
-  let s = Refill.Reconstruct.summarize flows in
-  let flow_events = s.logged_events + s.inferred_events in
+  let flows = Refill.Reconstruct.all_array collected ~sink:scenario.sink in
+  let dt_rec = Unix.gettimeofday () -. t1 in
+  let t2 = Unix.gettimeofday () in
+  let _global, gstats = Refill.Global_flow.build_array collected ~flows in
+  let dt_gf = Unix.gettimeofday () -. t2 in
+  let t3 = Unix.gettimeofday () in
+  let verdicts = Array.map Refill.Classify.classify flows in
+  let dt_an = Unix.gettimeofday () -. t3 in
+  let delivered =
+    Array.fold_left
+      (fun acc (v : Refill.Classify.verdict) ->
+        if v.cause = Logsys.Cause.Delivered then acc + 1 else acc)
+      0 verdicts
+  in
+  let flow_events = gstats.Refill.Global_flow.events in
   Printf.printf
-    "%-12s  %9d records  %9d flow events  sim %6.1fs  reconstruct %8.3fs  \
-     (%.0f events/s)\n\
+    "%-12s  %9d records  %9d flow events  %7d delivered  sim %6.1fs\n\
+     %14sreconstruct %8.3fs (%.0f events/s)  global_flow %8.3fs  analysis \
+     %8.3fs\n\
      %!"
-    name records flow_events setup dt
-    (float_of_int flow_events /. Float.max 1e-9 dt);
+    name records flow_events delivered setup ""
+    dt_rec
+    (float_of_int flow_events /. Float.max 1e-9 dt_rec)
+    dt_gf dt_an;
   scaling_results :=
-    { rung = name; records; flow_events; reconstruct_seconds = dt }
+    {
+      rung = name;
+      records;
+      flow_events;
+      reconstruct_seconds = dt_rec;
+      global_flow_seconds = dt_gf;
+      analysis_seconds = dt_an;
+    }
     :: !scaling_results
 
 let scaling_ladder =
@@ -778,6 +801,8 @@ let write_bench_json timings =
                      ("records", J.Num (float_of_int p.records));
                      ("flow_events", J.Num (float_of_int p.flow_events));
                      ("reconstruct_seconds", J.Num p.reconstruct_seconds);
+                     ("global_flow_seconds", J.Num p.global_flow_seconds);
+                     ("analysis_seconds", J.Num p.analysis_seconds);
                    ])
                !scaling_results) );
         ("metrics", Refill_obs.Metrics.to_json ());

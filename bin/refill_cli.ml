@@ -225,7 +225,7 @@ let print_breakdown verdicts ~sink ~total_label =
             (if s > 0 then Printf.sprintf "  [%d at sink]" s else ""))
     (Logsys.Cause.loss_causes @ [ Logsys.Cause.Unknown ])
 
-let analyze obs input =
+let analyze obs global_flow input =
   with_observability obs @@ fun () ->
   match Logsys.Log_io.load_file input with
   | dump ->
@@ -239,6 +239,15 @@ let analyze obs input =
          events, %d unusable records\n"
         summary.packets summary.logged_events summary.inferred_events
         summary.skipped_events;
+      if global_flow then begin
+        let _items, (gs : Refill.Global_flow.stats) =
+          Refill.Global_flow.build dump.collected ~flows
+        in
+        Printf.printf
+          "global flow: %d events merged (%d logged, %d inferred), %d \
+           node-log constraints relaxed\n"
+          gs.events gs.logged gs.inferred gs.relaxed
+      end;
       let verdicts =
         List.map
           (fun (f : Refill.Flow.t) ->
@@ -289,10 +298,18 @@ let analyze_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"LOGFILE" ~doc:"Log dump produced by `refill simulate`.")
   in
+  let global_flow =
+    Arg.(
+      value & flag
+      & info [ "global-flow" ]
+          ~doc:
+            "Also merge the per-packet flows into the network-wide event \
+             flow (§II Eq. 1) and report its merge statistics.")
+  in
   let doc = "Reconstruct event flows from a log dump and classify losses." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const analyze $ obs_opts_term $ input)
+    Term.(const analyze $ obs_opts_term $ global_flow $ input)
 
 (* -- trace -------------------------------------------------------------------- *)
 

@@ -57,6 +57,10 @@ let rec write_varint buf v =
 let read_varint b pos =
   let len = Bytes.length b in
   let rec go pos shift acc =
+    (* An OCaml int holds 63 bits, i.e. at most 9 payload groups (shifts
+       0..56).  A continuation byte at shift 63 would silently discard
+       bits, so malformed/hostile input is rejected instead. *)
+    if shift > 56 then failwith "Codec: varint overflow (>63 bits)";
     if pos >= len then failwith "Codec: truncated varint";
     let byte = Char.code (Bytes.get b pos) in
     let acc = acc lor ((byte land 0x7f) lsl shift) in
@@ -111,16 +115,25 @@ let encode_log log =
 
 let decode_log ~node b =
   let len = Bytes.length b in
-  let rec go pos acc =
-    if pos >= len then List.rev acc
-    else begin
-      let r, pos = decode_record ~node b ~pos in
-      go pos (r :: acc)
-    end
-  in
-  let records = Array.of_list (go 0 []) in
-  Refill_obs.Metrics.Counter.inc ~by:(Array.length records) c_decoded_records;
-  records
+  if len = 0 then [||]
+  else begin
+    (* Every record costs at least 3 bytes (tag + origin + seq varints), so
+       [len / 3 + 1] slots always suffice — preallocate once and trim,
+       instead of cons-ing a list only to copy it into an array. *)
+    let first, pos = decode_record ~node b ~pos:0 in
+    let out = Array.make ((len / 3) + 1) first in
+    let count = ref 1 in
+    let pos = ref pos in
+    while !pos < len do
+      let r, next = decode_record ~node b ~pos:!pos in
+      out.(!count) <- r;
+      incr count;
+      pos := next
+    done;
+    let records = if !count = Array.length out then out else Array.sub out 0 !count in
+    Refill_obs.Metrics.Counter.inc ~by:!count c_decoded_records;
+    records
+  end
 
 let encoded_size (r : Record.t) =
   1

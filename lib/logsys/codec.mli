@@ -19,7 +19,8 @@ val decode_record :
   node:Net.Packet.node_id -> Bytes.t -> pos:int -> Record.t * int
 (** [decode_record ~node b ~pos] reads one record starting at [pos] and
     returns it (attributed to [node]) with the position after it.
-    @raise Failure on truncated or malformed input. *)
+    @raise Failure on truncated or malformed input, including varints that
+    would not fit a 63-bit OCaml int (more than 9 continuation groups). *)
 
 val encode_log : Record.t array -> Bytes.t
 (** Encode one node's log (records in order). *)

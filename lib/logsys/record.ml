@@ -42,6 +42,30 @@ let link t =
 
 let packet_key t = (t.origin, t.pkt_seq)
 
+let kind_equal (a : kind) (b : kind) =
+  match (a, b) with
+  | Gen, Gen | Deliver, Deliver -> true
+  | Recv { from = x }, Recv { from = y }
+  | Dup { from = x }, Dup { from = y }
+  | Overflow { from = x }, Overflow { from = y }
+  | Trans { to_ = x }, Trans { to_ = y }
+  | Ack_recvd { to_ = x }, Ack_recvd { to_ = y }
+  | Retx_timeout { to_ = x }, Retx_timeout { to_ = y } -> x = y
+  | ( ( Gen | Recv _ | Dup _ | Overflow _ | Trans _ | Ack_recvd _
+      | Retx_timeout _ | Deliver ),
+      _ ) ->
+      false
+
+let equal a b =
+  a == b
+  || a.node = b.node && a.origin = b.origin && a.pkt_seq = b.pkt_seq
+     && a.gseq = b.gseq
+     (* NaN (a decoded record's missing ground truth) must equal NaN, so a
+        straight [=] on [true_time] would be wrong. *)
+     && (a.true_time = b.true_time
+        || (Float.is_nan a.true_time && Float.is_nan b.true_time))
+     && kind_equal a.kind b.kind
+
 let is_sender_side t =
   match t.kind with
   | Trans _ | Ack_recvd _ | Retx_timeout _ | Gen | Deliver -> true

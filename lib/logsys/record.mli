@@ -55,6 +55,16 @@ val link : t -> (Net.Packet.node_id * Net.Packet.node_id) option
 val packet_key : t -> Net.Packet.node_id * int
 (** [(origin, pkt_seq)] — the per-packet grouping key. *)
 
+val kind_equal : kind -> kind -> bool
+
+val equal : t -> t -> bool
+(** Field-wise structural equality, with a physical-equality fast path for
+    the common case of comparing a record against itself flowing back out
+    of the pipeline.  The ground-truth fields participate: [gseq] by [=]
+    and [true_time] with [nan] equal to [nan] (decoded records carry
+    [true_time = nan]), so [equal] agrees with polymorphic [compare _ _ = 0]
+    on every record the system produces. *)
+
 val is_sender_side : t -> bool
 (** Whether the record was written by the sending side of a link operation
     ([Trans]/[Ack_recvd]/[Retx_timeout]); [Gen] and [Deliver] count as

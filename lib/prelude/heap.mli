@@ -16,6 +16,13 @@ val is_empty : 'a t -> bool
 val push : 'a t -> priority:float -> 'a -> unit
 (** Insert an element. *)
 
+val push_tie : 'a t -> priority:float -> tie:int -> 'a -> unit
+(** Like {!push}, but equal priorities pop in ascending [tie] order instead
+    of insertion order — a lexicographic [(priority, tie)] key.  A heap
+    should use either {!push} or {!push_tie} exclusively: mixing the two
+    makes the tie-break between an auto-sequenced and an explicitly-tied
+    entry meaningless. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the element with the smallest priority; [None] when
     empty. Equal priorities pop in insertion order. *)

@@ -27,8 +27,24 @@ type stats = {
 }
 
 val build :
-  Logsys.Collected.t -> flows:Flow.t list -> Flow.item list * stats
+  ?jobs:int ->
+  Logsys.Collected.t ->
+  flows:Flow.t list ->
+  Flow.item list * stats
 (** [build collected ~flows] returns the global flow.  [collected] must be
     the same snapshot the flows were reconstructed from (its per-node logs
     provide the cross-packet constraints).  Every flow's items appear in
-    their original relative order. *)
+    their original relative order.
+
+    [jobs] caps the domain fan-out of the per-node log alignment (default
+    {!Par.default_jobs}; small inputs stay serial).  The result is
+    independent of [jobs]. *)
+
+val build_array :
+  ?jobs:int ->
+  Logsys.Collected.t ->
+  flows:Flow.t array ->
+  Flow.item list * stats
+(** {!build} over the array {!Reconstruct.all_array} produces, merging
+    straight from the reconstruction output without an intermediate
+    per-flow list. *)

@@ -26,19 +26,32 @@ let map_array ~jobs f arr =
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
+    (* First worker exception, with its backtrace.  Workers trap instead of
+       letting the exception escape the domain: an escaped exception would
+       reach [Domain.join] (wrapped beyond recognition), leave its slots
+       [None], and crash the collector below.  Once set, the remaining
+       workers drain without calling [f] again. *)
+    let error = Atomic.make None in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (f arr.(i));
+        if i < n && Atomic.get error = None then begin
+          (match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore
+                (Atomic.compare_and_set error None (Some (e, bt)) : bool));
           loop ()
         end
       in
       loop ()
     in
     let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    Fun.protect
-      ~finally:(fun () -> List.iter Domain.join helpers)
-      worker;
+    worker ();
+    List.iter Domain.join helpers;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end

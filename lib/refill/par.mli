@@ -3,8 +3,9 @@
     [map_array ~jobs f arr] preserves order: slot [i] of the result is
     [f arr.(i)] whichever domain computed it.  [f] must not touch shared
     mutable state except under {!with_obs_lock} (and must only query
-    {!Fsm.precompute}d FSMs).  Exceptions raised by [f] propagate after
-    every helper domain has been joined. *)
+    {!Fsm.precompute}d FSMs).  If [f] raises, the first exception (in
+    completion order) is re-raised with its backtrace after every helper
+    domain has been joined; the remaining items are not mapped. *)
 
 val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 

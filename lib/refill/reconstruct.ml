@@ -43,7 +43,7 @@ let packet ?use_intra ?use_inter collected ~origin ~seq ~sink =
         packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink)
   else packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink
 
-let all ?use_intra ?use_inter ?jobs collected ~sink =
+let all_array ?use_intra ?use_inter ?jobs collected ~sink =
   Obs.Span.with_ ~name:"refill.reconstruct_all" (fun () ->
       (* packet_keys also builds the per-packet record index, so by the
          time workers run, the collected snapshot is read-only. *)
@@ -59,9 +59,10 @@ let all ?use_intra ?use_inter ?jobs collected ~sink =
         else jobs
       in
       if jobs <= 1 then
-        Array.to_list keys
-        |> List.map (fun (origin, seq) ->
-               packet ?use_intra ?use_inter collected ~origin ~seq ~sink)
+        Array.map
+          (fun (origin, seq) ->
+            packet ?use_intra ?use_inter collected ~origin ~seq ~sink)
+          keys
       else begin
         Protocol.precompute_fsms ();
         Par.map_array ~jobs
@@ -69,8 +70,10 @@ let all ?use_intra ?use_inter ?jobs collected ~sink =
             packet_untraced ?use_intra ?use_inter collected ~origin ~seq
               ~sink)
           keys
-        |> Array.to_list
       end)
+
+let all ?use_intra ?use_inter ?jobs collected ~sink =
+  Array.to_list (all_array ?use_intra ?use_inter ?jobs collected ~sink)
 
 type summary = {
   packets : int;

@@ -36,6 +36,17 @@ val all :
     when tracing spans are enabled, or when the workload is too small to
     amortize a domain spawn. *)
 
+val all_array :
+  ?use_intra:bool ->
+  ?use_inter:bool ->
+  ?jobs:int ->
+  Logsys.Collected.t ->
+  sink:int ->
+  Flow.t array
+(** {!all} as the flat array the workers fill — what
+    {!Global_flow.build_array} consumes directly, skipping the list
+    round-trip. *)
+
 type summary = {
   packets : int;
   logged_events : int;

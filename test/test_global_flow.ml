@@ -226,6 +226,414 @@ let inferred_anchor_inherits_following () =
   Alcotest.(check bool) "P1 gen precedes the inferred relay recv" true
     (idx_p1_gen < idx_inferred)
 
+(* -- Reference oracle -------------------------------------------------------
+   A direct copy of the pre-CSR list/Hashtbl implementation of
+   [Global_flow.build].  The production rewrite (flat arrays, interned
+   packet ids, heap-based stall recovery) must be output-identical to this
+   on every input; keeping the old code here pins that equivalence. *)
+
+module Reference = struct
+  type stats = Refill.Global_flow.stats = {
+    events : int;
+    logged : int;
+    inferred : int;
+    relaxed : int;
+  }
+
+  type tagged = {
+    item : Refill.Flow.item;
+    packet : int * int;
+    pos : int;
+    mutable anchor : float;
+  }
+
+  let build collected ~flows =
+    let all = ref [] in
+    List.iter
+      (fun (f : Refill.Flow.t) ->
+        List.iteri
+          (fun pos item ->
+            all :=
+              { item; packet = (f.origin, f.seq); pos; anchor = Float.nan }
+              :: !all)
+          f.items)
+      flows;
+    let arr = Array.of_list (List.rev !all) in
+    let n = Array.length arr in
+    let hard_successors = Array.make n [] in
+    let soft_successors = Array.make n [] in
+    let hard_in = Array.make n 0 in
+    let soft_in = Array.make n 0 in
+    let add_hard a b =
+      if a <> b then begin
+        hard_successors.(a) <- b :: hard_successors.(a);
+        hard_in.(b) <- hard_in.(b) + 1
+      end
+    in
+    let add_soft a b =
+      if a <> b then begin
+        soft_successors.(a) <- b :: soft_successors.(a);
+        soft_in.(b) <- soft_in.(b) + 1
+      end
+    in
+    let last_of_packet = Hashtbl.create 256 in
+    Array.iteri
+      (fun id k ->
+        (match Hashtbl.find_opt last_of_packet k.packet with
+        | Some prev -> add_hard prev id
+        | None -> ());
+        Hashtbl.replace last_of_packet k.packet id)
+      arr;
+    let queues : (int * int * int, int Queue.t) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    Array.iteri
+      (fun id k ->
+        if not k.item.inferred then begin
+          match k.item.payload with
+          | None -> ()
+          | Some r ->
+              let origin, seq = Logsys.Record.packet_key r in
+              let key = (origin, seq, k.item.node) in
+              let q =
+                match Hashtbl.find_opt queues key with
+                | Some q -> q
+                | None ->
+                    let q = Queue.create () in
+                    Hashtbl.add queues key q;
+                    q
+              in
+              Queue.add id q
+        end)
+      arr;
+    let soft_edges = ref [] in
+    for node = 0 to Logsys.Collected.n_nodes collected - 1 do
+      let log = Logsys.Collected.node_log collected node in
+      let len = float_of_int (max 1 (Array.length log)) in
+      let last = ref None in
+      Array.iteri
+        (fun log_idx (r : Logsys.Record.t) ->
+          let origin, seq = Logsys.Record.packet_key r in
+          match Hashtbl.find_opt queues (origin, seq, node) with
+          | None -> ()
+          | Some q -> (
+              match Queue.peek_opt q with
+              | Some id
+                when (match arr.(id).item.payload with
+                     | Some r' -> compare r r' = 0
+                     | None -> false) ->
+                  ignore (Queue.pop q : int);
+                  arr.(id).anchor <- float_of_int log_idx /. len;
+                  (match !last with
+                  | Some prev -> soft_edges := (prev, id) :: !soft_edges
+                  | None -> ());
+                  last := Some id
+              | Some _ | None -> ()))
+        log
+    done;
+    let relaxed = ref 0 in
+    List.iter
+      (fun (a, b) ->
+        if arr.(a).packet = arr.(b).packet && arr.(b).pos <= arr.(a).pos then
+          incr relaxed
+        else add_soft a b)
+      !soft_edges;
+    let fill_anchors () =
+      let carry = Hashtbl.create 64 in
+      for id = n - 1 downto 0 do
+        let k = arr.(id) in
+        if Float.is_nan k.anchor then begin
+          match Hashtbl.find_opt carry k.packet with
+          | Some a -> k.anchor <- a
+          | None -> ()
+        end
+        else Hashtbl.replace carry k.packet k.anchor
+      done;
+      Hashtbl.reset carry;
+      for id = 0 to n - 1 do
+        let k = arr.(id) in
+        if Float.is_nan k.anchor then begin
+          match Hashtbl.find_opt carry k.packet with
+          | Some a -> k.anchor <- a
+          | None -> k.anchor <- 0.
+        end
+        else Hashtbl.replace carry k.packet k.anchor
+      done
+    in
+    fill_anchors ();
+    let module Pq = Prelude.Heap in
+    let heap = Pq.create () in
+    let ready id = hard_in.(id) = 0 && soft_in.(id) = 0 in
+    Array.iteri
+      (fun id k -> if ready id then Pq.push heap ~priority:k.anchor id)
+      arr;
+    let out = ref [] in
+    let emitted = Array.make n false in
+    let emitted_count = ref 0 in
+    let emit id =
+      emitted.(id) <- true;
+      incr emitted_count;
+      out := arr.(id).item :: !out;
+      List.iter
+        (fun succ ->
+          hard_in.(succ) <- hard_in.(succ) - 1;
+          if ready succ && not emitted.(succ) then
+            Pq.push heap ~priority:arr.(succ).anchor succ)
+        hard_successors.(id);
+      List.iter
+        (fun succ ->
+          soft_in.(succ) <- soft_in.(succ) - 1;
+          if ready succ && not emitted.(succ) then
+            Pq.push heap ~priority:arr.(succ).anchor succ)
+        soft_successors.(id)
+    in
+    while !emitted_count < n do
+      match Pq.pop heap with
+      | Some (_, id) -> if not emitted.(id) then emit id
+      | None ->
+          let best = ref (-1) in
+          Array.iteri
+            (fun id k ->
+              if
+                (not emitted.(id))
+                && hard_in.(id) = 0
+                && (!best < 0 || k.anchor < arr.(!best).anchor)
+              then best := id)
+            arr;
+          relaxed := !relaxed + soft_in.(!best);
+          soft_in.(!best) <- 0;
+          emit !best
+    done;
+    let items = List.rev !out in
+    let logged =
+      List.length (List.filter (fun (i : Refill.Flow.item) -> not i.inferred) items)
+    in
+    (items, { events = n; logged; inferred = n - logged; relaxed = !relaxed })
+end
+
+let check_same_output label (ref_items, ref_stats) (items, stats) =
+  Alcotest.(check int) (label ^ ": events") ref_stats.Reference.events
+    stats.Refill.Global_flow.events;
+  Alcotest.(check int) (label ^ ": logged") ref_stats.logged stats.logged;
+  Alcotest.(check int) (label ^ ": inferred") ref_stats.inferred stats.inferred;
+  Alcotest.(check int) (label ^ ": relaxed") ref_stats.relaxed stats.relaxed;
+  Alcotest.(check int)
+    (label ^ ": item count")
+    (List.length ref_items) (List.length items);
+  (* Both implementations emit the very item values the flows hold, so the
+     sequences must agree physically, element by element. *)
+  Alcotest.(check bool)
+    (label ^ ": identical sequence")
+    true
+    (List.for_all2 (fun a b -> a == b) ref_items items)
+
+let matches_reference_implementation () =
+  let sc = Lazy.force scenario in
+  let cases =
+    [
+      ("lossless", Scenario.Citysee.collected sc);
+      ( "uniform 0.3",
+        Logsys.Collected.lossify (Logsys.Loss_model.uniform 0.3)
+          (Prelude.Rng.create ~seed:17L)
+          (Scenario.Citysee.collected sc) );
+      ( "uniform 0.6",
+        Logsys.Collected.lossify (Logsys.Loss_model.uniform 0.6)
+          (Prelude.Rng.create ~seed:99L)
+          (Scenario.Citysee.collected sc) );
+    ]
+  in
+  List.iter
+    (fun (label, collected) ->
+      let flows = Refill.Reconstruct.all collected ~sink:sc.sink in
+      let reference = Reference.build collected ~flows in
+      check_same_output label reference
+        (Refill.Global_flow.build collected ~flows);
+      (* The fan-out of the per-node alignment must not show in the output. *)
+      check_same_output (label ^ " jobs=1") reference
+        (Refill.Global_flow.build ~jobs:1 collected ~flows);
+      check_same_output (label ^ " jobs=8") reference
+        (Refill.Global_flow.build ~jobs:8 collected ~flows))
+    cases
+
+let soft_cycle_stall_recovery () =
+  (* Two packets cross in opposite directions through relays 3 and 4:
+     X travels 1→3→4→0, Y travels 2→4→3→0.  Node 3 logs Y's events before
+     X's; node 4 logs X's before Y's.  The two cross-packet node-log
+     constraints (Y-ack@3 before X-recv@3, X-ack@4 before Y-recv@4) plus
+     the two hard flow chains form a cycle, so exactly one constraint must
+     be dropped by stall recovery.  Both stalled candidates carry anchor
+     3/6; the tie breaks on the lower event id, i.e. packet X (packet keys
+     sort (1,0) < (2,0)), pinning which constraint survives. *)
+  let r ~node ~origin ~kind ~gseq : Logsys.Record.t =
+    { node; kind; origin; pkt_seq = 0; true_time = float_of_int gseq; gseq }
+  in
+  let logs =
+    [|
+      (* node 0 = sink *)
+      [|
+        r ~node:0 ~origin:1 ~kind:(Recv { from = 4 }) ~gseq:19;
+        r ~node:0 ~origin:1 ~kind:Deliver ~gseq:20;
+        r ~node:0 ~origin:2 ~kind:(Recv { from = 3 }) ~gseq:21;
+        r ~node:0 ~origin:2 ~kind:Deliver ~gseq:22;
+      |];
+      (* node 1 = X's origin *)
+      [|
+        r ~node:1 ~origin:1 ~kind:Gen ~gseq:0;
+        r ~node:1 ~origin:1 ~kind:(Trans { to_ = 3 }) ~gseq:1;
+        r ~node:1 ~origin:1 ~kind:(Ack_recvd { to_ = 3 }) ~gseq:2;
+      |];
+      (* node 2 = Y's origin *)
+      [|
+        r ~node:2 ~origin:2 ~kind:Gen ~gseq:3;
+        r ~node:2 ~origin:2 ~kind:(Trans { to_ = 4 }) ~gseq:4;
+        r ~node:2 ~origin:2 ~kind:(Ack_recvd { to_ = 4 }) ~gseq:5;
+      |];
+      (* node 3: Y's events first, then X's *)
+      [|
+        r ~node:3 ~origin:2 ~kind:(Recv { from = 4 }) ~gseq:10;
+        r ~node:3 ~origin:2 ~kind:(Trans { to_ = 0 }) ~gseq:11;
+        r ~node:3 ~origin:2 ~kind:(Ack_recvd { to_ = 0 }) ~gseq:12;
+        r ~node:3 ~origin:1 ~kind:(Recv { from = 1 }) ~gseq:13;
+        r ~node:3 ~origin:1 ~kind:(Trans { to_ = 4 }) ~gseq:14;
+        r ~node:3 ~origin:1 ~kind:(Ack_recvd { to_ = 4 }) ~gseq:15;
+      |];
+      (* node 4: X's events first, then Y's *)
+      [|
+        r ~node:4 ~origin:1 ~kind:(Recv { from = 3 }) ~gseq:6;
+        r ~node:4 ~origin:1 ~kind:(Trans { to_ = 0 }) ~gseq:7;
+        r ~node:4 ~origin:1 ~kind:(Ack_recvd { to_ = 0 }) ~gseq:8;
+        r ~node:4 ~origin:2 ~kind:(Recv { from = 2 }) ~gseq:16;
+        r ~node:4 ~origin:2 ~kind:(Trans { to_ = 3 }) ~gseq:17;
+        r ~node:4 ~origin:2 ~kind:(Ack_recvd { to_ = 3 }) ~gseq:18;
+      |];
+    |]
+  in
+  let collected = Logsys.Collected.of_node_logs logs in
+  let flows = Refill.Reconstruct.all collected ~sink:0 in
+  let items, stats = Refill.Global_flow.build collected ~flows in
+  check_same_output "soft cycle"
+    (Reference.build collected ~flows)
+    (items, stats);
+  Alcotest.(check int) "all 22 events" 22 stats.events;
+  Alcotest.(check int) "nothing inferred" 0 stats.inferred;
+  Alcotest.(check int) "exactly one constraint relaxed" 1 stats.relaxed;
+  let idx ~origin ~node kind =
+    match
+      List.find_index
+        (fun (i : Refill.Flow.item) ->
+          match i.payload with
+          | Some (r : Logsys.Record.t) ->
+              r.origin = origin && r.node = node
+              && Logsys.Record.kind_name r.kind = kind
+          | None -> false)
+        items
+    with
+    | Some i -> i
+    | None -> Alcotest.failf "missing %s@%d for origin %d" kind node origin
+  in
+  (* The dropped constraint is node 3's: X's recv jumps ahead of Y's ack. *)
+  Alcotest.(check bool) "X released on node 3" true
+    (idx ~origin:1 ~node:3 "recv" < idx ~origin:2 ~node:3 "ack");
+  (* Node 4's constraint survives: Y waits for X's ack there. *)
+  Alcotest.(check bool) "Y still waits on node 4" true
+    (idx ~origin:1 ~node:4 "ack" < idx ~origin:2 ~node:4 "recv")
+
+let order_preservation_property =
+  (* Under arbitrary uniform loss, the merged flow must (a) keep every
+     packet's own flow order exactly and (b) violate at most
+     [stats.relaxed] of the matched cross-packet per-node log pairs. *)
+  QCheck.Test.make ~name:"merge preserves packet and node-log order" ~count:5
+    QCheck.(pair (int_range 0 8) small_nat)
+    (fun (rate10, seed) ->
+      let sc = Lazy.force scenario in
+      let collected =
+        let base = Scenario.Citysee.collected sc in
+        if rate10 = 0 then base
+        else
+          Logsys.Collected.lossify
+            (Logsys.Loss_model.uniform (float_of_int rate10 /. 10.))
+            (Prelude.Rng.create ~seed:(Int64.of_int seed))
+            base
+      in
+      let flows = Refill.Reconstruct.all collected ~sink:sc.sink in
+      let items, stats = Refill.Global_flow.build collected ~flows in
+      (* Position of every logged event, keyed by its unique gseq. *)
+      let pos = Hashtbl.create 4096 in
+      List.iteri
+        (fun idx (i : Refill.Flow.item) ->
+          if not i.inferred then
+            match i.payload with
+            | Some (r : Logsys.Record.t) -> Hashtbl.replace pos r.gseq idx
+            | None -> ())
+        items;
+      (* (a) logged items of each flow appear at increasing positions. *)
+      let packet_order_ok =
+        List.for_all
+          (fun (f : Refill.Flow.t) ->
+            let last = ref (-1) in
+            List.for_all
+              (fun (i : Refill.Flow.item) ->
+                if i.inferred then true
+                else
+                  match i.payload with
+                  | None -> true
+                  | Some r -> (
+                      match Hashtbl.find_opt pos r.gseq with
+                      | None -> false
+                      | Some p ->
+                          let ok = p > !last in
+                          last := p;
+                          ok))
+              f.items)
+          flows
+      in
+      (* (b) replicate the per-node log alignment to find the matched
+         events, then count adjacent matched pairs emitted out of order. *)
+      let queues : (int * int * int, Logsys.Record.t Queue.t) Hashtbl.t =
+        Hashtbl.create 256
+      in
+      List.iter
+        (fun (f : Refill.Flow.t) ->
+          List.iter
+            (fun (i : Refill.Flow.item) ->
+              if not i.inferred then
+                match i.payload with
+                | Some (r : Logsys.Record.t) ->
+                    let key = (r.origin, r.pkt_seq, i.node) in
+                    let q =
+                      match Hashtbl.find_opt queues key with
+                      | Some q -> q
+                      | None ->
+                          let q = Queue.create () in
+                          Hashtbl.add queues key q;
+                          q
+                    in
+                    Queue.add r q
+                | None -> ())
+            f.items)
+        flows;
+      let violations = ref 0 in
+      for node = 0 to Logsys.Collected.n_nodes collected - 1 do
+        let last = ref None in
+        Array.iter
+          (fun (r : Logsys.Record.t) ->
+            match Hashtbl.find_opt queues (r.origin, r.pkt_seq, node) with
+            | None -> ()
+            | Some q -> (
+                match Queue.peek_opt q with
+                | Some r' when Logsys.Record.equal r r' ->
+                    ignore (Queue.pop q : Logsys.Record.t);
+                    (match !last with
+                    | Some prev_gseq ->
+                        if Hashtbl.find pos prev_gseq > Hashtbl.find pos r.gseq
+                        then incr violations
+                    | None -> ());
+                    last := Some r.gseq
+                | Some _ | None -> ()))
+          (Logsys.Collected.node_log collected node)
+      done;
+      packet_order_ok && !violations <= stats.relaxed)
+
 let empty_inputs () =
   let empty = Logsys.Collected.of_node_logs [| [||]; [||] |] in
   let items, stats = Refill.Global_flow.build empty ~flows:[] in
@@ -248,5 +656,13 @@ let () =
           Alcotest.test_case "inferred anchor inherits following" `Quick
             inferred_anchor_inherits_following;
           Alcotest.test_case "empty" `Quick empty_inputs;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "matches reference implementation" `Quick
+            matches_reference_implementation;
+          Alcotest.test_case "soft cycle stall recovery" `Quick
+            soft_cycle_stall_recovery;
+          QCheck_alcotest.to_alcotest order_preservation_property;
         ] );
     ]

@@ -204,6 +204,65 @@ let codec_log_roundtrip_property =
              a.kind = b.kind && a.origin = b.origin && a.pkt_seq = b.pkt_seq)
            log back)
 
+let codec_truncation_property =
+  (* Cutting an encoded log at any byte boundary must either fail cleanly
+     or decode to an exact prefix of the original — never garbage records
+     or a crash other than [Failure]. *)
+  QCheck.Test.make ~name:"codec truncation yields prefix or Failure" ~count:200
+    QCheck.(
+      pair
+        (small_list
+           (quad (int_range 0 7) (int_range 0 1000) (int_range 0 1000)
+              (int_range 0 100000)))
+        small_nat)
+    (fun (raw, cut) ->
+      let log =
+        raw
+        |> List.map (fun (tag, peer, origin, seq) ->
+               let kind : Logsys.Record.kind =
+                 match tag with
+                 | 0 -> Gen
+                 | 1 -> Recv { from = peer }
+                 | 2 -> Dup { from = peer }
+                 | 3 -> Overflow { from = peer }
+                 | 4 -> Trans { to_ = peer }
+                 | 5 -> Ack_recvd { to_ = peer }
+                 | 6 -> Retx_timeout { to_ = peer }
+                 | _ -> Deliver
+               in
+               record 9 kind ~origin ~seq ~time:0. ~gseq:0)
+        |> Array.of_list
+      in
+      let b = Logsys.Codec.encode_log log in
+      let cut = min cut (Bytes.length b) in
+      match Logsys.Codec.decode_log ~node:9 (Bytes.sub b 0 cut) with
+      | exception Failure _ -> true
+      | back ->
+          Array.length back <= Array.length log
+          && Array.for_all2
+               (fun (a : Logsys.Record.t) (b : Logsys.Record.t) ->
+                 a.kind = b.kind && a.origin = b.origin
+                 && a.pkt_seq = b.pkt_seq)
+               (Array.sub log 0 (Array.length back))
+               back)
+
+let codec_rejects_oversized_varint () =
+  (* Tag 0 (gen) followed by a varint with ten continuation groups — more
+     than a 63-bit int can hold.  Must fail, not silently wrap. *)
+  let b = Bytes.of_string "\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01" in
+  Alcotest.(check bool) "overflow rejected" true
+    (match Logsys.Codec.decode_log ~node:0 b with
+    | exception Failure _ -> true
+    | _ -> false);
+  (* Nine groups (shift 56) still fit and must decode. *)
+  let buf = Buffer.create 16 in
+  let r = record 3 Gen ~origin:0 ~seq:(1 lsl 60) ~time:0. ~gseq:0 in
+  Logsys.Codec.encode_record buf r;
+  let back =
+    Logsys.Codec.decode_log ~node:3 (Bytes.of_string (Buffer.contents buf))
+  in
+  Alcotest.(check int) "large seq survives" (1 lsl 60) back.(0).pkt_seq
+
 let codec_real_logs_compact () =
   let scenario = Scenario.Citysee.run Scenario.Citysee.tiny in
   let logger = Node.Network.logger scenario.network in
@@ -384,8 +443,11 @@ let () =
             codec_roundtrip_all_kinds;
           Alcotest.test_case "sizes" `Quick codec_sizes_small;
           Alcotest.test_case "rejects garbage" `Quick codec_rejects_garbage;
+          Alcotest.test_case "rejects oversized varint" `Quick
+            codec_rejects_oversized_varint;
           Alcotest.test_case "real logs compact" `Quick codec_real_logs_compact;
           QCheck_alcotest.to_alcotest codec_log_roundtrip_property;
+          QCheck_alcotest.to_alcotest codec_truncation_property;
         ] );
       ( "logging_policy",
         [

@@ -29,6 +29,27 @@ let record_to_string () =
   Alcotest.(check string) "local event" "gen@1"
     (Logsys.Record.to_string (r0 1 Gen))
 
+let record_equal () =
+  let a = record 4 (Trans { to_ = 7 }) ~origin:1 ~seq:2 ~time:3. ~gseq:5 in
+  Alcotest.(check bool) "reflexive" true (Logsys.Record.equal a a);
+  Alcotest.(check bool) "copy equal" true (Logsys.Record.equal a { a with node = 4 });
+  Alcotest.(check bool) "node differs" false
+    (Logsys.Record.equal a { a with node = 5 });
+  Alcotest.(check bool) "kind payload differs" false
+    (Logsys.Record.equal a { a with kind = Trans { to_ = 8 } });
+  Alcotest.(check bool) "kind constructor differs" false
+    (Logsys.Record.equal a { a with kind = Ack_recvd { to_ = 7 } });
+  Alcotest.(check bool) "gseq differs" false
+    (Logsys.Record.equal a { a with gseq = 6 });
+  (* Decoded records carry [true_time = nan]; equal must treat two nan
+     times as equal, matching polymorphic compare. *)
+  let n1 = { a with true_time = Float.nan } in
+  let n2 = { a with true_time = Float.nan } in
+  Alcotest.(check bool) "nan time equal" true (Logsys.Record.equal n1 n2);
+  Alcotest.(check bool) "nan vs finite" false (Logsys.Record.equal a n1);
+  Alcotest.(check bool) "agrees with compare" true
+    (Logsys.Record.equal n1 n2 = (compare n1 n2 = 0))
+
 let record_time_order () =
   let a = record 0 Gen ~origin:0 ~seq:0 ~time:1. ~gseq:0 in
   let b = record 0 Gen ~origin:0 ~seq:1 ~time:2. ~gseq:1 in
@@ -241,6 +262,7 @@ let () =
         [
           Alcotest.test_case "accessors" `Quick record_accessors;
           Alcotest.test_case "to_string" `Quick record_to_string;
+          Alcotest.test_case "equal" `Quick record_equal;
           Alcotest.test_case "time order" `Quick record_time_order;
         ] );
       ( "cause",

@@ -222,6 +222,21 @@ let empty_packet_reconstruction () =
   in
   Alcotest.(check int) "empty" 0 (Refill.Flow.length flow)
 
+let par_map_array_exception () =
+  (* A worker exception must surface in the caller — with every helper
+     domain joined first, so the pool is reusable afterwards. *)
+  let input = Array.init 2048 Fun.id in
+  Alcotest.check_raises "first worker exception re-raised" (Failure "boom")
+    (fun () ->
+      ignore
+        (Refill.Par.map_array ~jobs:4
+           (fun i -> if i = 1500 then failwith "boom" else i * i)
+           input
+          : int array));
+  let out = Refill.Par.map_array ~jobs:4 (fun i -> i + 1) input in
+  Alcotest.(check int) "later runs unaffected" 2048 (Array.length out);
+  Alcotest.(check int) "order preserved" 2001 out.(2000)
+
 let () =
   Alcotest.run "refill-pipeline"
     [
@@ -253,5 +268,10 @@ let () =
           Alcotest.test_case "summary totals" `Quick summary_totals;
           Alcotest.test_case "missing packet" `Quick
             empty_packet_reconstruction;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "worker exception propagates" `Quick
+            par_map_array_exception;
         ] );
     ]
