@@ -13,6 +13,27 @@
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* List/array wrappers over the sink-parameterized pipeline entry points —
+   the experiments below compare and fold flows, so they materialize. *)
+let reconstruct_flows ?(use_intra = true) ?(use_inter = true) collected ~sink =
+  let acc = ref [] in
+  Refill.Reconstruct.run
+    ~config:{ Refill.Config.default with use_intra; use_inter }
+    collected ~sink
+    ~emit:(fun f -> acc := f :: !acc);
+  List.rev !acc
+
+let reconstruct_flows_array collected ~sink =
+  Array.of_list (reconstruct_flows collected ~sink)
+
+let merge_flows collected ~flows =
+  let acc = ref [] in
+  let stats =
+    Refill.Global_flow.merge collected ~flows:(Array.of_list flows)
+      ~emit:(fun it -> acc := it :: !acc)
+  in
+  (List.rev !acc, stats)
+
 (* Scenario runs are shared across experiments. *)
 let two_day_pipeline =
   lazy
@@ -160,7 +181,7 @@ let run_accuracy () =
       let lossy =
         Logsys.Collected.lossify (Logsys.Loss_model.uniform p) rng collected
       in
-      let flows = Refill.Reconstruct.all lossy ~sink:scenario.sink in
+      let flows = reconstruct_flows lossy ~sink:scenario.sink in
       let refill_acc =
         Analysis.Metrics.accuracy
           (Analysis.Metrics.confusion ~truth
@@ -228,7 +249,7 @@ let run_ablation () =
   List.iter
     (fun (name, use_intra, use_inter) ->
       let flows =
-        Refill.Reconstruct.all ~use_intra ~use_inter lossy
+        reconstruct_flows ~use_intra ~use_inter lossy
           ~sink:scenario.sink
       in
       let acc =
@@ -324,7 +345,7 @@ let run_inband () =
     (100. *. duty_with) (100. *. duty_without)
     (100. *. ((duty_with /. duty_without) -. 1.));
   let score label collected =
-    let flows = Refill.Reconstruct.all collected ~sink:scenario.sink in
+    let flows = reconstruct_flows collected ~sink:scenario.sink in
     let raw_acc, refined_acc = scored_accuracies ~truth flows in
     let gt =
       Logsys.Logger.ground_truth (Node.Network.logger scenario.network)
@@ -377,7 +398,7 @@ let run_logging_policy () =
   List.iter
     (fun (label, policy) ->
       let filtered = Logsys.Logging_policy.apply policy collected in
-      let flows = Refill.Reconstruct.all filtered ~sink:scenario.sink in
+      let flows = reconstruct_flows filtered ~sink:scenario.sink in
       let raw_acc, refined_acc = scored_accuracies ~truth flows in
       let summary = Refill.Reconstruct.summarize flows in
       Printf.printf "%-46s  %-8.3f  %-9.3f  %-9d  %-8d\n" label raw_acc
@@ -481,7 +502,7 @@ let run_reboots () =
         | Some c -> c
         | None -> Scenario.Citysee.collected scenario
       in
-      let flows = Refill.Reconstruct.all collected ~sink:scenario.sink in
+      let flows = reconstruct_flows collected ~sink:scenario.sink in
       let raw_acc, refined_acc = scored_accuracies ~truth flows in
       let gt =
         Logsys.Logger.ground_truth (Node.Network.logger scenario.network)
@@ -543,8 +564,8 @@ let run_global_flow () =
           Logsys.Collected.lossify (Logsys.Loss_model.uniform p) rng
             (Scenario.Citysee.collected scenario)
       in
-      let flows = Refill.Reconstruct.all collected ~sink:scenario.sink in
-      let items, stats = Refill.Global_flow.build collected ~flows in
+      let flows = reconstruct_flows collected ~sink:scenario.sink in
+      let items, stats = merge_flows collected ~flows in
       Printf.printf "%-10.0f  %-8d  %-9d  %-9d  %-9d  %-11.3f\n" (100. *. p)
         stats.events stats.logged stats.inferred stats.relaxed
         (agreement items))
@@ -569,7 +590,7 @@ let run_scale () =
     Scenario.Citysee.collected_lossy scenario Logsys.Loss_model.default
   in
   let t2 = Unix.gettimeofday () in
-  let flows = Refill.Reconstruct.all collected ~sink:scenario.sink in
+  let flows = reconstruct_flows collected ~sink:scenario.sink in
   let t3 = Unix.gettimeofday () in
   let raw_acc, refined_acc = scored_accuracies ~truth flows in
   Printf.printf
@@ -595,7 +616,7 @@ let run_scale () =
 (* Events-vs-wall-time ladder for the reconstruction hot path alone: the
    scenario is simulated once (setup, excluded from the measurement), its
    logs lossified with the default model (losses are what exercise the
-   inference machinery), then timed through Reconstruct.all.  Results are
+   inference machinery), then timed through the batch pipeline.  Results are
    persisted into BENCH_refill.json so the perf trajectory accumulates
    across PRs. *)
 
@@ -606,6 +627,8 @@ type scaling_point = {
   reconstruct_seconds : float;
   global_flow_seconds : float;
   analysis_seconds : float;
+  stream_seconds : float;
+  peak_frontier_events : int;
 }
 
 let scaling_results : scaling_point list ref = ref []
@@ -619,10 +642,10 @@ let scaling_rung name params =
   in
   let records = Logsys.Collected.total collected in
   let t1 = Unix.gettimeofday () in
-  let flows = Refill.Reconstruct.all_array collected ~sink:scenario.sink in
+  let flows = reconstruct_flows_array collected ~sink:scenario.sink in
   let dt_rec = Unix.gettimeofday () -. t1 in
   let t2 = Unix.gettimeofday () in
-  let _global, gstats = Refill.Global_flow.build_array collected ~flows in
+  let gstats = Refill.Global_flow.merge collected ~flows ~emit:ignore in
   let dt_gf = Unix.gettimeofday () -. t2 in
   let t3 = Unix.gettimeofday () in
   let verdicts = Array.map Refill.Classify.classify flows in
@@ -634,15 +657,44 @@ let scaling_rung name params =
       0 verdicts
   in
   let flow_events = gstats.Refill.Global_flow.events in
+  (* Streaming rung: same trace in arrival order, fed chunk by chunk with
+     the watermark at 5% of the trace.  Input prep (the time-ordered merge)
+     is excluded from the measurement, like the simulation is. *)
+  let ordered = Logsys.Collected.merged_by_time collected in
+  let config =
+    { Refill.Config.default with watermark = max 1 (records / 20) }
+  in
+  let t4 = Unix.gettimeofday () in
+  let stream_flows = ref 0 in
+  let stream =
+    Refill.Stream.create ~config ~sink:scenario.sink
+      ~emit:(fun _ -> incr stream_flows)
+      ()
+  in
+  let n = Array.length ordered in
+  let i = ref 0 in
+  while !i < n do
+    let len = min config.chunk_events (n - !i) in
+    Refill.Stream.feed stream (Array.sub ordered !i len);
+    i := !i + len
+  done;
+  let ssum = Refill.Stream.finish stream in
+  let dt_stream = Unix.gettimeofday () -. t4 in
   Printf.printf
     "%-12s  %9d records  %9d flow events  %7d delivered  sim %6.1fs\n\
      %14sreconstruct %8.3fs (%.0f events/s)  global_flow %8.3fs  analysis \
      %8.3fs\n\
+     %14sstream      %8.3fs  %d flows  peak frontier %d events (%.1f%% of \
+     trace)\n\
      %!"
     name records flow_events delivered setup ""
     dt_rec
     (float_of_int flow_events /. Float.max 1e-9 dt_rec)
-    dt_gf dt_an;
+    dt_gf dt_an ""
+    dt_stream !stream_flows ssum.peak_frontier_events
+    (100.
+    *. float_of_int ssum.peak_frontier_events
+    /. float_of_int (max 1 records));
   scaling_results :=
     {
       rung = name;
@@ -651,6 +703,8 @@ let scaling_rung name params =
       reconstruct_seconds = dt_rec;
       global_flow_seconds = dt_gf;
       analysis_seconds = dt_an;
+      stream_seconds = dt_stream;
+      peak_frontier_events = ssum.peak_frontier_events;
     }
     :: !scaling_results
 
@@ -687,11 +741,11 @@ let perf () =
   let open Bechamel in
   let test_reconstruct_lossless =
     Test.make ~name:"reconstruct-all/lossless" (Staged.stage (fun () ->
-        ignore (Refill.Reconstruct.all collected ~sink:scenario.sink)))
+        ignore (reconstruct_flows collected ~sink:scenario.sink)))
   in
   let test_reconstruct_lossy =
     Test.make ~name:"reconstruct-all/20%-loss" (Staged.stage (fun () ->
-        ignore (Refill.Reconstruct.all lossy ~sink:scenario.sink)))
+        ignore (reconstruct_flows lossy ~sink:scenario.sink)))
   in
   let test_single_packet =
     let origin, seq = List.nth keys (List.length keys / 2) in
@@ -803,6 +857,9 @@ let write_bench_json timings =
                      ("reconstruct_seconds", J.Num p.reconstruct_seconds);
                      ("global_flow_seconds", J.Num p.global_flow_seconds);
                      ("analysis_seconds", J.Num p.analysis_seconds);
+                     ("stream_seconds", J.Num p.stream_seconds);
+                     ( "peak_frontier_events",
+                       J.Num (float_of_int p.peak_frontier_events) );
                    ])
                !scaling_results) );
         ("metrics", Refill_obs.Metrics.to_json ());

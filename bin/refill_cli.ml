@@ -1,12 +1,14 @@
 (* The `refill` command-line tool.
 
    Subcommands:
-     simulate   run a CitySee-like deployment and dump the (lossy) collected
-                logs — with ground truth — to a file
-     analyze    reconstruct event flows from a log dump and report loss
-                positions, causes, and accuracy against any embedded truth
-     trace      print one packet's reconstructed event flow
-     figures    regenerate the paper's figures from a fresh simulation
+     simulate     run a CitySee-like deployment and dump the (lossy) collected
+                  logs — with ground truth — to a file
+     analyze      reconstruct event flows from a log dump and report loss
+                  positions, causes, and accuracy against any embedded truth
+     reconstruct  run the reconstruction pipeline alone, batch or streaming
+                  (bounded memory, checkpoint/resume)
+     trace        print one packet's reconstructed event flow
+     figures      regenerate the paper's figures from a fresh simulation
 *)
 
 open Cmdliner
@@ -106,6 +108,12 @@ let with_observability opts f =
       Obs.Log.error "%s" msg;
       1
 
+(* Structured pipeline errors carry their own exit-code mapping
+   (I/O and malformed input -> 1, bad configuration -> 2). *)
+let err_exit e =
+  Obs.Log.error "%s" (Refill.Error.message e);
+  Refill.Error.exit_code e
+
 (* -- Shared argument definitions ------------------------------------------- *)
 
 let seed_arg =
@@ -158,7 +166,7 @@ let scenario_params ~seed ~days ~nodes =
 
 (* -- simulate ----------------------------------------------------------------- *)
 
-let simulate obs seed days nodes loss output =
+let simulate obs seed days nodes loss stream_order output =
   with_observability obs @@ fun () ->
   match parse_loss loss with
   | Error e ->
@@ -171,7 +179,8 @@ let simulate obs seed days nodes loss output =
       let t = Scenario.Citysee.run params in
       let collected = Scenario.Citysee.collected_lossy t loss_config in
       let truth = Node.Network.truth t.network in
-      Logsys.Log_io.save_file output ~sink:t.sink ~truth collected;
+      Logsys.Log_io.save_file output ~sink:t.sink ~truth
+        ~time_order:stream_order collected;
       Printf.printf
         "generated %d packets, %d surviving log records -> %s (sink = node \
          %d)\n"
@@ -187,12 +196,20 @@ let simulate_cmd =
       & opt string "citysee-logs.txt"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output log dump file.")
   in
+  let stream_order =
+    Arg.(
+      value & flag
+      & info [ "stream-order" ]
+          ~doc:
+            "Dump records in arrival (true-time) order instead of node-major \
+             order — the shape `refill reconstruct --stream` wants.")
+  in
   let doc = "Simulate a CitySee-like deployment and dump collected logs." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ obs_opts_term $ seed_arg $ days_arg $ nodes_arg
-      $ loss_arg $ output)
+      $ loss_arg $ stream_order $ output)
 
 (* -- analyze ------------------------------------------------------------------ *)
 
@@ -232,7 +249,10 @@ let analyze obs global_flow input =
       Obs.Log.debug "loaded %d surviving records from %s"
         (Logsys.Collected.total dump.collected)
         input;
-      let flows = Refill.Reconstruct.all dump.collected ~sink:dump.sink in
+      let flows_rev = ref [] in
+      Refill.Reconstruct.run dump.collected ~sink:dump.sink ~emit:(fun f ->
+          flows_rev := f :: !flows_rev);
+      let flows = List.rev !flows_rev in
       let summary = Refill.Reconstruct.summarize flows in
       Printf.printf
         "reconstructed %d packets: %d logged events, %d inferred lost \
@@ -240,8 +260,9 @@ let analyze obs global_flow input =
         summary.packets summary.logged_events summary.inferred_events
         summary.skipped_events;
       if global_flow then begin
-        let _items, (gs : Refill.Global_flow.stats) =
-          Refill.Global_flow.build dump.collected ~flows
+        let (gs : Refill.Global_flow.stats) =
+          Refill.Global_flow.merge dump.collected
+            ~flows:(Array.of_list flows) ~emit:ignore
         in
         Printf.printf
           "global flow: %d events merged (%d logged, %d inferred), %d \
@@ -310,6 +331,274 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(const analyze $ obs_opts_term $ global_flow $ input)
+
+(* -- reconstruct -------------------------------------------------------------- *)
+
+let print_packet_summary (s : Refill.Reconstruct.summary) =
+  Printf.printf
+    "reconstructed %d packets: %d logged events, %d inferred lost events, %d \
+     unusable records\n"
+    s.packets s.logged_events s.inferred_events s.skipped_events
+
+let print_global_flow_stats (gs : Refill.Global_flow.stats) =
+  Printf.printf
+    "global flow: %d events merged (%d logged, %d inferred), %d node-log \
+     constraints relaxed\n"
+    gs.events gs.logged gs.inferred gs.relaxed
+
+let print_stream_summary (s : Refill.Stream.summary) =
+  Printf.printf
+    "streamed %d records in %d segment(s): %d flows (%d complete, %d \
+     incomplete), %d mid-stream evictions, %d late fragments, peak frontier \
+     %d events\n"
+    s.events s.segments s.flows s.complete s.incomplete s.evictions
+    s.late_fragments s.peak_frontier_events
+
+let reconstruct_batch (config : Refill.Config.t) ~global_flow input =
+  match
+    Refill.Error.guard ~source:input (fun () -> Logsys.Log_io.load_file input)
+  with
+  | Error e -> err_exit e
+  | Ok dump ->
+      let summary = ref Refill.Reconstruct.empty_summary in
+      let flows_rev = ref [] in
+      Refill.Reconstruct.run ~config dump.collected ~sink:dump.sink
+        ~emit:(fun f ->
+          summary := Refill.Reconstruct.summary_add !summary f;
+          if global_flow then flows_rev := f :: !flows_rev);
+      print_packet_summary !summary;
+      if global_flow then
+        print_global_flow_stats
+          (Refill.Global_flow.merge ?jobs:config.jobs dump.collected
+             ~flows:(Array.of_list (List.rev !flows_rev))
+             ~emit:ignore);
+      0
+
+let reconstruct_stream (config : Refill.Config.t) ~global_flow ~checkpoint
+    ~finish input =
+  match open_in input with
+  | exception Sys_error message ->
+      err_exit (Refill.Error.Io { path = input; message })
+  | ic -> (
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      match
+        Refill.Error.guard ~source:input (fun () ->
+            Logsys.Log_io.Seg.of_channel ic)
+      with
+      | Error e -> err_exit e
+      | Ok reader -> (
+          let sink = Logsys.Log_io.Seg.sink reader in
+          let inc =
+            if global_flow then
+              Some
+                (Refill.Global_flow.Incremental.create
+                   ~n_nodes:(Logsys.Log_io.Seg.n_nodes reader)
+                   ())
+            else None
+          in
+          let summary = ref Refill.Reconstruct.empty_summary in
+          let emit (e : Refill.Stream.emitted) =
+            summary := Refill.Reconstruct.summary_add !summary e.flow;
+            Option.iter
+              (fun g -> Refill.Global_flow.Incremental.add_flow g e.flow)
+              inc
+          in
+          let stream_r =
+            match checkpoint with
+            | Some path when Sys.file_exists path -> (
+                match Refill.Stream.resume_file ~config path ~sink ~emit with
+                | Error e -> Error e
+                | Ok t ->
+                    let want = Refill.Stream.processed t in
+                    let skipped = Logsys.Log_io.Seg.skip reader want in
+                    if skipped < want then
+                      Error
+                        (Refill.Error.Bad_checkpoint
+                           {
+                             source = path;
+                             message =
+                               Printf.sprintf
+                                 "checkpoint is ahead of the input (%d \
+                                  records processed, input has %d)"
+                                 want skipped;
+                           })
+                    else begin
+                      Obs.Log.info "resumed from %s at record %d" path want;
+                      Ok t
+                    end)
+            | _ -> Ok (Refill.Stream.create ~config ~sink ~emit ())
+          in
+          match stream_r with
+          | Error e -> err_exit e
+          | Ok t -> (
+              let feed_all () =
+                let rec loop () =
+                  match
+                    Logsys.Log_io.Seg.next reader
+                      ~max_records:config.chunk_events
+                  with
+                  | None -> ()
+                  | Some seg ->
+                      Option.iter
+                        (fun g ->
+                          Refill.Global_flow.Incremental.add_records g seg)
+                        inc;
+                      Refill.Stream.feed t seg;
+                      loop ()
+                in
+                loop ()
+              in
+              match Refill.Error.guard ~source:input feed_all with
+              | Error e -> err_exit e
+              | Ok () -> (
+                  (* Checkpoint the live (pre-flush) state so a later run can
+                     resume exactly here; --finish then decides whether to
+                     flush the frontier now. *)
+                  match
+                    match checkpoint with
+                    | Some path -> Refill.Stream.checkpoint_file t path
+                    | None -> Ok ()
+                  with
+                  | Error e -> err_exit e
+                  | Ok () ->
+                      (match checkpoint with
+                      | Some path ->
+                          Obs.Log.info "checkpoint written to %s" path
+                      | None -> ());
+                      let flush_now = finish || checkpoint = None in
+                      if flush_now then begin
+                        let s = Refill.Stream.finish t in
+                        print_packet_summary !summary;
+                        print_stream_summary s;
+                        Option.iter
+                          (fun g ->
+                            print_global_flow_stats
+                              (Refill.Global_flow.Incremental.finish
+                                 ?jobs:config.jobs g ~emit:ignore))
+                          inc
+                      end
+                      else begin
+                        let s = Refill.Stream.summary t in
+                        print_stream_summary s;
+                        Obs.Log.info
+                          "frontier left open (%d buffered events); rerun \
+                           with --finish to flush"
+                          s.frontier_events
+                      end;
+                      0))))
+
+let reconstruct obs stream chunk_events watermark jobs checkpoint finish
+    global_flow input =
+  with_observability obs @@ fun () ->
+  match
+    Refill.Config.validate
+      { Refill.Config.default with chunk_events; watermark; jobs }
+  with
+  | Error e -> err_exit e
+  | Ok config ->
+      if (not stream) && (checkpoint <> None || finish) then
+        err_exit
+          (Refill.Error.Invalid_config
+             "--checkpoint and --finish require --stream")
+      else if global_flow && checkpoint <> None then
+        err_exit
+          (Refill.Error.Invalid_config
+             "--global-flow cannot be combined with --checkpoint: the \
+              incremental merge needs the records from before the resume \
+              point")
+      else if stream then
+        reconstruct_stream config ~global_flow ~checkpoint ~finish input
+      else reconstruct_batch config ~global_flow input
+
+let reconstruct_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LOGFILE" ~doc:"Log dump produced by `refill simulate`.")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Consume the dump incrementally with bounded memory, emitting \
+             each packet's flow when it goes quiet, instead of loading the \
+             whole file.")
+  in
+  let chunk_events =
+    Arg.(
+      value
+      & opt int Refill.Config.default.chunk_events
+      & info [ "chunk-events" ] ~docv:"N"
+          ~doc:"Records per segment fed to the streaming frontier.")
+  in
+  let watermark =
+    Arg.(
+      value
+      & opt int Refill.Config.default.watermark
+      & info [ "watermark" ] ~docv:"N"
+          ~doc:
+            "Evict a packet once no record of it appeared in the last \
+             $(docv) records processed.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the batch path (default: auto).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Resume from $(docv) if it exists, and write the live frontier \
+             back to it at end of input.  Implies leaving the frontier open \
+             unless --finish is also given.")
+  in
+  let finish =
+    Arg.(
+      value & flag
+      & info [ "finish" ]
+          ~doc:
+            "With --checkpoint: flush every still-open packet at end of \
+             input instead of leaving the frontier for a later resume.")
+  in
+  let global_flow =
+    Arg.(
+      value & flag
+      & info [ "global-flow" ]
+          ~doc:
+            "Also merge the per-packet flows into the network-wide event \
+             flow (§II Eq. 1) and report its merge statistics.")
+  in
+  let doc =
+    "Reconstruct per-packet event flows from a log dump, batch or streaming."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Without $(b,--stream) this loads the whole dump and runs the batch \
+         pipeline.  With $(b,--stream) the dump is consumed segment by \
+         segment: only the frontier (packets whose records are still \
+         arriving) is held in memory, each packet's flow is emitted when no \
+         record of it has been seen for $(b,--watermark) records, and the \
+         run can checkpoint its state and resume later.";
+      `P
+        "Streaming wants arrival-ordered input (`refill simulate \
+         --stream-order`); node-major dumps work but keep nearly every \
+         packet open until end of input.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "reconstruct" ~doc ~man)
+    Term.(
+      const reconstruct $ obs_opts_term $ stream $ chunk_events $ watermark
+      $ jobs $ checkpoint $ finish $ global_flow $ input)
 
 (* -- trace -------------------------------------------------------------------- *)
 
@@ -549,6 +838,7 @@ let () =
           [
             simulate_cmd;
             analyze_cmd;
+            reconstruct_cmd;
             trace_cmd;
             figures_cmd;
             report_cmd;

@@ -74,10 +74,14 @@ let () =
         Refill.Protocol.make_config ~records:[ ack ] ~origin ~seq
           ~sink:scenario.sink
       in
-      let items, stats =
-        Refill.Engine.run config
-          ~events:(Refill.Protocol.events_of_records [ ack ])
+      let acc = ref [] in
+      let stats =
+        Refill.Engine.process config
+          (Refill.Engine.Events
+             (Array.of_list (Refill.Protocol.events_of_records [ ack ])))
+          ~emit:(fun it -> acc := it :: !acc)
       in
+      let items = List.rev !acc in
       let flow = { Refill.Flow.origin; seq; items; stats } in
       Printf.printf
         "-- everything destroyed except one ack record (%s) --\n"

@@ -64,7 +64,10 @@ let () =
   List.iter (print_trace collected truth ~sink:scenario.sink) interesting;
 
   (* Aggregate: longest reconstructed path, average inference per flow. *)
-  let flows = Refill.Reconstruct.all collected ~sink:scenario.sink in
+  let flows_rev = ref [] in
+  Refill.Reconstruct.run collected ~sink:scenario.sink ~emit:(fun f ->
+      flows_rev := f :: !flows_rev);
+  let flows = List.rev !flows_rev in
   let longest =
     List.fold_left
       (fun best (f : Refill.Flow.t) ->

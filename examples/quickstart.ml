@@ -32,7 +32,13 @@ let () =
 
   (* Run the transition algorithm: logged events fire transitions; gaps are
      bridged by inferring the lost events (shown in [brackets]). *)
-  let items, stats = Refill.Engine.run config ~events in
+  let acc = ref [] in
+  let stats =
+    Refill.Engine.process config
+      (Refill.Engine.Events (Array.of_list events))
+      ~emit:(fun it -> acc := it :: !acc)
+  in
+  let items = List.rev !acc in
   let flow = { Refill.Flow.origin = 1; seq = 0; items; stats } in
 
   Printf.printf "surviving records : %s\n"

@@ -42,8 +42,13 @@ let table2_cases : (string * Logsys.Record.t list) list =
 let run_table2_case records =
   let config = Refill.Protocol.make_config ~records ~origin:1 ~seq:0 ~sink:99 in
   let events = Refill.Protocol.events_of_records records in
-  let items, stats = Refill.Engine.run config ~events in
-  { Refill.Flow.origin = 1; seq = 0; items; stats }
+  let acc = ref [] in
+  let stats =
+    Refill.Engine.process config
+      (Refill.Engine.Events (Array.of_list events))
+      ~emit:(fun it -> acc := it :: !acc)
+  in
+  { Refill.Flow.origin = 1; seq = 0; items = List.rev !acc; stats }
 
 let table2 () =
   let buf = Buffer.create 2048 in

@@ -54,7 +54,10 @@ let make ?(log_loss = Logsys.Loss_model.default) (scenario : Scenario.Citysee.t)
   in
   let flows =
     stage "pipeline.reconstruct" (fun () ->
-        Refill.Reconstruct.all collected ~sink:scenario.sink)
+        let acc = ref [] in
+        Refill.Reconstruct.run collected ~sink:scenario.sink ~emit:(fun f ->
+            acc := f :: !acc);
+        List.rev !acc)
   in
   let delivered_db =
     Logsys.Truth.fold truth ~init:[] ~f:(fun acc key fate ->

@@ -14,7 +14,7 @@
       event would be skipped (INT002); totals per role in INT000;
     - {!prereq_graph} — the role×role prerequisite digraph: prerequisites
       whose target is statically unsatisfiable, i.e. the remote role can
-      never reach the required state so [Engine.run]'s [drive] would give up
+      never reach the required state so the engine's [drive] would give up
       silently (PRE001–PRE003), and cycles that make [drive]'s termination
       depend on its runtime driving-set guard (PRE004);
     - {!classification} — totality: every frontier state reachable from a

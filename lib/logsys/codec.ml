@@ -135,6 +135,36 @@ let decode_log ~node b =
     records
   end
 
+(* Segments are cross-node slices of the collection stream, so unlike
+   [encode_log] each record must carry its recording node. *)
+let encode_segment records =
+  let buf = Buffer.create (8 * Array.length records + 4) in
+  write_varint buf (Array.length records);
+  Array.iter
+    (fun (r : Record.t) ->
+      write_varint buf (zigzag r.node);
+      encode_record buf r)
+    records;
+  let b = Buffer.to_bytes buf in
+  Refill_obs.Metrics.Counter.inc ~by:(Bytes.length b) c_encoded_bytes;
+  b
+
+let decode_segment b =
+  let count, pos = read_varint b 0 in
+  if count < 0 || count > Bytes.length b then
+    failwith "Codec: implausible segment count";
+  let pos = ref pos in
+  let out =
+    Array.init count (fun _ ->
+        let znode, p = read_varint b !pos in
+        let r, p = decode_record ~node:(unzigzag znode) b ~pos:p in
+        pos := p;
+        r)
+  in
+  if !pos <> Bytes.length b then failwith "Codec: trailing bytes in segment";
+  Refill_obs.Metrics.Counter.inc ~by:count c_decoded_records;
+  out
+
 let encoded_size (r : Record.t) =
   1
   + (match peer_of_kind r.kind with

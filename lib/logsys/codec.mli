@@ -29,6 +29,18 @@ val decode_log : node:Net.Packet.node_id -> Bytes.t -> Record.t array
 (** Inverse of {!encode_log}.
     @raise Failure on malformed input. *)
 
+val encode_segment : Record.t array -> Bytes.t
+(** Encode a cross-node slice of the collection stream: a record count
+    varint, then each record as a node-id varint followed by its
+    {!encode_record} body.  This is the frame shape streaming ingestion
+    ({!Refill.Stream}) consumes — unlike {!encode_log}, records may come
+    from any mix of nodes. *)
+
+val decode_segment : Bytes.t -> Record.t array
+(** Inverse of {!encode_segment}.  Decoded records carry [true_time = nan]
+    and [gseq = -1], like {!decode_log}.
+    @raise Failure on malformed input, including trailing bytes. *)
+
 val encoded_size : Record.t -> int
 (** Bytes {!encode_record} would emit for this record. *)
 

@@ -197,6 +197,13 @@ let events_of_packet t ~origin ~seq =
 let merged_concat t =
   Array.to_list t.node_logs |> List.concat_map Array.to_list
 
+let merged_by_time t =
+  let out = Array.concat (Array.to_list t.node_logs) in
+  (* Stable sort: records with equal (true_time, gseq) keys keep node-scan
+     order, so each node's local write order survives the merge. *)
+  Array.stable_sort Record.compare_by_time out;
+  out
+
 let merged_round_robin t =
   let positions = Array.map (fun _ -> ref 0) t.node_logs in
   let out = ref [] in

@@ -48,6 +48,14 @@ val merged_concat : t -> Record.t list
     order preserved) with no cross-node information, the adversarial input
     of the paper's step 1. *)
 
+val merged_by_time : t -> Record.t array
+(** All records in true-time order ([Record.compare_by_time]; stable, so
+    ties keep node-scan order).  This is the arrival-order view a streaming
+    consumer would see — the order {!Log_io.save} emits under
+    [~time_order:true] so the {!Refill.Stream} frontier stays small.  Uses
+    ground-truth timestamps, so it is a simulator-side convenience, not
+    something the reconstruction may consume. *)
+
 val merged_round_robin : t -> Record.t list
 (** Interleave one record per node per round — another valid merge used to
     check order-insensitivity of the reconstruction. *)

@@ -37,6 +37,15 @@ let record_to_line (r : Record.t) =
   Printf.sprintf "r %d %s %s %d %d %.6f %d" r.node kind (peer_str peer)
     r.origin r.pkt_seq r.true_time r.gseq
 
+(* Hex-float time field: %.6f loses bits, and a streaming checkpoint must
+   round-trip records byte-exactly.  [float_of_string] in [record_of_line]
+   accepts both forms (and "nan"), so exact lines load like ordinary
+   ones. *)
+let record_to_line_exact (r : Record.t) =
+  let kind, peer = kind_fields r.kind in
+  Printf.sprintf "r %d %s %s %d %d %h %d" r.node kind (peer_str peer) r.origin
+    r.pkt_seq r.true_time r.gseq
+
 let record_of_line line =
   match String.split_on_char ' ' line with
   | [ "r"; node; kind; peer; origin; seq; time; gseq ] ->
@@ -82,26 +91,34 @@ let fate_of_line line =
           : Truth.fate) )
   | _ -> failwith (Printf.sprintf "Log_io: malformed truth line %S" line)
 
-let save oc ~sink ?truth collected =
+let save oc ~sink ?truth ?(time_order = false) collected =
   Printf.fprintf oc "# refill-log v1\n";
   Printf.fprintf oc "# nodes %d\n" (Collected.n_nodes collected);
   Printf.fprintf oc "# sink %d\n" sink;
-  for node = 0 to Collected.n_nodes collected - 1 do
+  if time_order then
+    (* Arrival-order dump: what a sink collecting in real time would see.
+       Streaming readers want this order — node-major order forces the
+       frontier to hold nearly the whole trace. *)
     Array.iter
       (fun r -> output_string oc (record_to_line r ^ "\n"))
-      (Collected.node_log collected node)
-  done;
+      (Collected.merged_by_time collected)
+  else
+    for node = 0 to Collected.n_nodes collected - 1 do
+      Array.iter
+        (fun r -> output_string oc (record_to_line r ^ "\n"))
+        (Collected.node_log collected node)
+    done;
   match truth with
   | None -> ()
   | Some t ->
       Truth.iter t (fun (origin, seq) fate ->
           output_string oc (fate_to_line origin seq fate ^ "\n"))
 
-let save_file path ~sink ?truth collected =
+let save_file path ~sink ?truth ?time_order collected =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> save oc ~sink ?truth collected)
+    (fun () -> save oc ~sink ?truth ?time_order collected)
 
 let header_value line prefix =
   match String.split_on_char ' ' line with
@@ -157,3 +174,80 @@ let load ic =
 let load_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load ic)
+
+module Seg = struct
+  type reader = {
+    ic : in_channel;
+    seg_n_nodes : int;
+    seg_sink : int;
+    mutable eof : bool;
+  }
+
+  let of_channel ic =
+    let first = input_line ic in
+    if first <> "# refill-log v1" then
+      failwith (Printf.sprintf "Log_io: bad header %S" first);
+    let seg_n_nodes =
+      match header_value (input_line ic) "nodes" with
+      | Some n when n > 0 -> n
+      | _ -> failwith "Log_io: missing nodes header"
+    in
+    let seg_sink =
+      match header_value (input_line ic) "sink" with
+      | Some s -> s
+      | None -> failwith "Log_io: missing sink header"
+    in
+    { ic; seg_n_nodes; seg_sink; eof = false }
+
+  let n_nodes r = r.seg_n_nodes
+
+  let sink r = r.seg_sink
+
+  (* Next record line, skipping comments, blanks and truth lines — a
+     streaming consumer has no use for ground-truth fates. *)
+  let rec next_record r =
+    if r.eof then None
+    else
+      match input_line r.ic with
+      | exception End_of_file ->
+          r.eof <- true;
+          None
+      | line ->
+          if String.length line = 0 then next_record r
+          else if line.[0] = 'r' then begin
+            let rec_ = record_of_line line in
+            if rec_.node < 0 || rec_.node >= r.seg_n_nodes then
+              failwith "Log_io: record node out of range";
+            Some rec_
+          end
+          else if line.[0] = 't' || line.[0] = '#' then next_record r
+          else failwith (Printf.sprintf "Log_io: malformed line %S" line)
+
+  let next r ~max_records =
+    if max_records <= 0 then invalid_arg "Log_io.Seg.next: max_records <= 0";
+    match next_record r with
+    | None -> None
+    | Some first ->
+        let out = Array.make max_records first in
+        let count = ref 1 in
+        while
+          !count < max_records
+          &&
+          match next_record r with
+          | Some rec_ ->
+              out.(!count) <- rec_;
+              incr count;
+              true
+          | None -> false
+        do
+          ()
+        done;
+        Some (if !count = max_records then out else Array.sub out 0 !count)
+
+  let skip r n =
+    let skipped = ref 0 in
+    while !skipped < n && next_record r <> None do
+      incr skipped
+    done;
+    !skipped
+end

@@ -26,11 +26,21 @@ val save :
   out_channel ->
   sink:Net.Packet.node_id ->
   ?truth:Truth.t ->
+  ?time_order:bool ->
   Collected.t ->
   unit
+(** Write a dump.  Records go node-major by default; [~time_order:true]
+    emits them in true-time arrival order ({!Collected.merged_by_time})
+    instead — the shape streaming readers ({!Seg}) want, since node-major
+    order would make nearly every packet look still-in-flight. *)
 
 val save_file :
-  string -> sink:Net.Packet.node_id -> ?truth:Truth.t -> Collected.t -> unit
+  string ->
+  sink:Net.Packet.node_id ->
+  ?truth:Truth.t ->
+  ?time_order:bool ->
+  Collected.t ->
+  unit
 
 val load : in_channel -> dump
 (** @raise Failure on a malformed dump (bad header, unknown kind/cause,
@@ -43,3 +53,35 @@ val record_to_line : Record.t -> string
 
 val record_of_line : string -> Record.t
 (** @raise Failure on malformed input. *)
+
+val record_to_line_exact : Record.t -> string
+(** Like {!record_to_line} but with the time field in hexadecimal float
+    notation ([%h]), so {!record_of_line} recovers the record bit-exactly
+    (including [nan] times).  Checkpoints use this; ordinary dumps keep the
+    human-readable [%.6f] form. *)
+
+(** Segmented (incremental) reading of a dump: the same on-disk format as
+    {!load}, consumed chunk-by-chunk so a streaming pipeline never holds
+    the whole trace.  Truth ([t ...]) and comment lines are skipped. *)
+module Seg : sig
+  type reader
+
+  val of_channel : in_channel -> reader
+  (** Parse the three header lines and position the reader at the first
+      record.  The channel stays owned by the caller.
+      @raise Failure on a malformed header. *)
+
+  val n_nodes : reader -> int
+
+  val sink : reader -> Net.Packet.node_id
+
+  val next : reader -> max_records:int -> Record.t array option
+  (** Up to [max_records] further records, in file order; [None] at end of
+      input.  @raise Failure on a malformed line, [Invalid_argument] if
+      [max_records <= 0]. *)
+
+  val skip : reader -> int -> int
+  (** [skip r n] discards up to [n] records and returns how many were
+      actually skipped (fewer only at end of input) — how a resumed
+      streaming run fast-forwards past already-processed records. *)
+end

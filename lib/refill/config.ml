@@ -1,0 +1,26 @@
+type t = {
+  use_intra : bool;
+  use_inter : bool;
+  jobs : int option;
+  watermark : int;
+  chunk_events : int;
+}
+
+let default =
+  {
+    use_intra = true;
+    use_inter = true;
+    jobs = None;
+    watermark = 50_000;
+    chunk_events = 4096;
+  }
+
+let validate t =
+  if t.watermark <= 0 then
+    Error (Error.Invalid_config "watermark must be positive")
+  else if t.chunk_events <= 0 then
+    Error (Error.Invalid_config "chunk-events must be positive")
+  else
+    match t.jobs with
+    | Some j when j <= 0 -> Error (Error.Invalid_config "jobs must be positive")
+    | Some _ | None -> Ok t

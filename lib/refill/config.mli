@@ -1,0 +1,30 @@
+(** One record for the pipeline options that used to be threaded as
+    scattered optional arguments ([?use_intra], [?use_inter], [?jobs]) plus
+    the streaming knobs, so every entry point — batch {!Reconstruct.run},
+    streaming {!Stream}, and the CLI — speaks the same configuration
+    language. *)
+
+type t = {
+  use_intra : bool;
+      (** Enable the intra-node shortcut transitions (§IV.B ablation
+          knob). *)
+  use_inter : bool;
+      (** Enable the inter-node prerequisite connections. *)
+  jobs : int option;
+      (** Domain fan-out cap for parallel stages; [None] =
+          {!Par.default_jobs}. *)
+  watermark : int;
+      (** Streaming only: a frontier packet is evicted once this many
+          records have been processed since its last record arrived. *)
+  chunk_events : int;
+      (** Streaming only: segment size (records per {!Stream.feed} call)
+          used by readers that chunk an input stream. *)
+}
+
+val default : t
+(** [use_intra = true], [use_inter = true], [jobs = None],
+    [watermark = 50_000], [chunk_events = 4096]. *)
+
+val validate : t -> (t, Error.t) result
+(** [Error (Invalid_config _)] when [watermark <= 0], [chunk_events <= 0],
+    or [jobs = Some j] with [j <= 0]. *)

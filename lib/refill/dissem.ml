@@ -110,9 +110,16 @@ let pair_events ~broadcaster ~receiver events =
 let reconstruct ~broadcaster ~receiver ~events =
   let events = pair_events ~broadcaster ~receiver events in
   let engine_events =
-    List.map (fun e -> (e.node, e.label, Some e)) events
+    Array.of_list (List.map (fun e -> (e.node, e.label, Some e)) events)
   in
-  Engine.run (make_config ~broadcaster ~receiver) ~events:engine_events
+  let acc = ref [] in
+  let stats =
+    Engine.process
+      (make_config ~broadcaster ~receiver)
+      (Engine.Events engine_events)
+      ~emit:(fun it -> acc := it :: !acc)
+  in
+  (List.rev !acc, stats)
 
 let receiver_progress ~receiver items =
   List.fold_left

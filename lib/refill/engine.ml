@@ -58,6 +58,17 @@ type stats = {
   skipped : int;
 }
 
+type ('label, 'payload) input =
+  | Events of (int * 'label * 'payload option) array
+  | Packed of {
+      nodes : int array;
+      labels : 'label array;
+      ids : int array;
+      payloads : 'payload option array;
+      pre_nodes : int array;
+      pre_states : Fsm_state.t array;
+    }
+
 (* [visited] is a plain bool array indexed by state, and [pending] a list
    of ascending indices into the event array: per-packet instances are
    created and torn down a million times per CitySee run, so the per-event
@@ -90,15 +101,11 @@ type ('label, 'payload) ctx = {
   pre_nodes : int array;
   pre_states : Fsm_state.t array;
   consumed : bool array;
-  (* Output items, collected in a growable array rather than a cons list:
-     the old list was built newest-first and then [List.rev]ed, allocating
-     a full second copy of every cons cell as garbage on the hot path.
-     [out_hint] presizes the first growth to the input event count (output
-     is the inputs plus a few percent inferred), so the common packet pays
-     one array allocation. *)
-  mutable out : ('label, 'payload) item array;
-  mutable out_n : int;
-  out_hint : int;
+  (* Output sink: the engine emits each item in flow order the moment it
+     fires, so batch callers collect (Reconstruct keeps a presized
+     growable buffer) and streaming callers forward downstream without
+     materializing the flow. *)
+  emit_item : ('label, 'payload) item -> unit;
   (* Run-local tallies; flushed to the process-wide metrics in one locked
      batch at the end so parallel runs neither race nor interleave. *)
   mutable n_logged : int;
@@ -181,15 +188,7 @@ let rec next_pending ctx inst =
       else idx
 
 let emit ctx node label payload ~inferred ~entered =
-  let it = { node; label; payload; inferred; entered } in
-  if ctx.out_n = Array.length ctx.out then begin
-    let cap = max (max 8 ctx.out_hint) (2 * ctx.out_n) in
-    let out' = Array.make cap it in
-    Array.blit ctx.out 0 out' 0 ctx.out_n;
-    ctx.out <- out'
-  end;
-  Array.unsafe_set ctx.out ctx.out_n it;
-  ctx.out_n <- ctx.out_n + 1;
+  ctx.emit_item { node; label; payload; inferred; entered };
   if inferred then ctx.n_inferred <- ctx.n_inferred + 1
   else ctx.n_logged <- ctx.n_logged + 1
 
@@ -322,7 +321,7 @@ and infer_path_to ctx inst rnode target =
         path
 
 let make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes ~pre_states
-    ~n =
+    ~emit_item ~n =
   {
     cfg = config;
     use_intra;
@@ -332,9 +331,7 @@ let make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes ~pre_states
     pre_nodes;
     pre_states;
     consumed = Array.make n false;
-    out = [||];
-    out_n = 0;
-    out_hint = n + (n / 8) + 8;
+    emit_item;
     n_logged = 0;
     n_inferred = 0;
     n_skipped = 0;
@@ -368,60 +365,76 @@ let sweep ctx nodes =
       Array.iteri
         (fun d times -> Obs.Metrics.Histogram.observe_int_n h_drive_depth d times)
         ctx.depth_counts);
-  let rec build i acc =
-    if i < 0 then acc else build (i - 1) (Array.unsafe_get ctx.out i :: acc)
-  in
-  ( build (ctx.out_n - 1) [],
-    {
-      emitted_logged = ctx.n_logged;
-      emitted_inferred = ctx.n_inferred;
-      skipped = ctx.n_skipped;
-    } )
+  {
+    emitted_logged = ctx.n_logged;
+    emitted_inferred = ctx.n_inferred;
+    skipped = ctx.n_skipped;
+  }
 
-let run_array ?(use_intra = true) config ~events:arr =
-  let n = Array.length arr in
-  if n = 0 then
-    sweep
-      (make_ctx config ~use_intra ~labels:[||] ~payloads:[||] ~ids:[||]
-         ~pre_nodes:[||] ~pre_states:[||] ~n:0)
-      [||]
-  else begin
-    let _, l0, p0 = arr.(0) in
-    let nodes = Array.make n 0 in
-    let labels = Array.make n l0 in
-    let payloads = Array.make n p0 in
-    let ids = Array.make n (-1) in
-    let ctx =
-      make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes:[||]
-        ~pre_states:[||] ~n
-    in
-    (* Per-node pending queues in merged (= local) order, and each event's
-       label resolved to its instance FSM's dense id exactly once.
-       Reverse iteration builds the ascending pending lists directly. *)
-    for idx = n - 1 downto 0 do
-      let node, label, payload = arr.(idx) in
-      nodes.(idx) <- node;
-      labels.(idx) <- label;
-      payloads.(idx) <- payload;
-      let inst = instance ctx node in
-      inst.pending <- idx :: inst.pending;
-      ids.(idx) <- Fsm.label_id inst.fsm label
-    done;
-    sweep ctx nodes
-  end
+let process ?(use_intra = true) config input ~emit:emit_item =
+  match input with
+  | Packed { nodes; labels; ids; payloads; pre_nodes; pre_states } ->
+      let n = Array.length nodes in
+      let ctx =
+        make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes
+          ~pre_states ~emit_item ~n
+      in
+      for idx = n - 1 downto 0 do
+        let inst = instance ctx nodes.(idx) in
+        inst.pending <- idx :: inst.pending
+      done;
+      sweep ctx nodes
+  | Events arr ->
+      let n = Array.length arr in
+      if n = 0 then
+        sweep
+          (make_ctx config ~use_intra ~labels:[||] ~payloads:[||] ~ids:[||]
+             ~pre_nodes:[||] ~pre_states:[||] ~emit_item ~n:0)
+          [||]
+      else begin
+        let _, l0, p0 = arr.(0) in
+        let nodes = Array.make n 0 in
+        let labels = Array.make n l0 in
+        let payloads = Array.make n p0 in
+        let ids = Array.make n (-1) in
+        let ctx =
+          make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes:[||]
+            ~pre_states:[||] ~emit_item ~n
+        in
+        (* Per-node pending queues in merged (= local) order, and each
+           event's label resolved to its instance FSM's dense id exactly
+           once.  Reverse iteration builds the ascending pending lists
+           directly. *)
+        for idx = n - 1 downto 0 do
+          let node, label, payload = arr.(idx) in
+          nodes.(idx) <- node;
+          labels.(idx) <- label;
+          payloads.(idx) <- payload;
+          let inst = instance ctx node in
+          inst.pending <- idx :: inst.pending;
+          ids.(idx) <- Fsm.label_id inst.fsm label
+        done;
+        sweep ctx nodes
+      end
 
-let run_packed ?(use_intra = true) config ~nodes ~labels ~ids ~payloads
-    ~pre_nodes ~pre_states =
-  let n = Array.length nodes in
-  let ctx =
-    make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes ~pre_states
-      ~n
-  in
-  for idx = n - 1 downto 0 do
-    let inst = instance ctx nodes.(idx) in
-    inst.pending <- idx :: inst.pending
-  done;
-  sweep ctx nodes
+(* Deprecated aliases: collect the emissions into the list the old
+   signatures returned. *)
+
+let collect_items run =
+  let acc = ref [] in
+  let stats = run (fun it -> acc := it :: !acc) in
+  (List.rev !acc, stats)
+
+let run_array ?use_intra config ~events =
+  collect_items (fun emit -> process ?use_intra config (Events events) ~emit)
+
+let run_packed ?use_intra config ~nodes ~labels ~ids ~payloads ~pre_nodes
+    ~pre_states =
+  collect_items (fun emit ->
+      process ?use_intra config
+        (Packed { nodes; labels; ids; payloads; pre_nodes; pre_states })
+        ~emit)
 
 let run ?use_intra config ~events =
-  run_array ?use_intra config ~events:(Array.of_list events)
+  collect_items (fun emit ->
+      process ?use_intra config (Events (Array.of_list events)) ~emit)

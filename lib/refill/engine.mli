@@ -52,14 +52,65 @@ type stats = {
   skipped : int;  (** Input events with no available transition. *)
 }
 
+(** One packet's merged events, in either of the engine's two input
+    shapes.  Per-node order must be preserved in both; the cross-node
+    interleaving is arbitrary. *)
+type ('label, 'payload) input =
+  | Events of (int * 'label * 'payload option) array
+      (** [(node, label, payload)] per event. *)
+  | Packed of {
+      nodes : int array;
+      labels : 'label array;
+      ids : int array;
+      payloads : 'payload option array;
+      pre_nodes : int array;
+      pre_states : Fsm_state.t array;
+    }
+      (** Pre-resolved parallel arrays — the zero-overhead shape the
+          reconstruction hot path builds ({!Protocol.pack_events}).  All
+          arrays have one slot per event: [ids.(i)] must equal
+          [Fsm.label_id (config.fsm_of nodes.(i)) labels.(i)], and
+          [pre_nodes]/[pre_states] carry each event's single inter-node
+          prerequisite ([-1] = none) with exactly the semantics
+          [config.prerequisites] would return (the closure is then only
+          consulted for inferred emissions).  Pass [pre_nodes = [||]] to
+          fall back to the closure for every event. *)
+
+val process :
+  ?use_intra:bool ->
+  ('label, 'payload) config ->
+  ('label, 'payload) input ->
+  emit:(('label, 'payload) item -> unit) ->
+  stats
+(** [process config input ~emit] runs the transition algorithm over the
+    merged events and calls [emit] once per reconstructed event, in flow
+    order.  Logged events appear exactly once each (fired or skipped);
+    inferred events are interleaved where the engine proved they must have
+    occurred.  The engine takes ownership of the input arrays (read, never
+    written).
+
+    This is the single entry point: batch callers collect the emissions
+    (see {!Reconstruct}), streaming callers forward them downstream without
+    materializing the flow.
+
+    [use_intra] (default [true]) enables the intra-node shortcut
+    transitions; disabling it (events fire on normal transitions only, and
+    prerequisite gaps are still bridged) is the ablation knob for measuring
+    what §IV.B's intra-node derivation contributes.  Inter-node reasoning
+    is ablated by supplying a [prerequisites] that returns []. *)
+
+(** {2 Deprecated entry points}
+
+    Thin aliases over {!process} kept for one release so out-of-tree
+    callers can migrate (see README.md "API migration").  They buffer the
+    emissions into the list the old signatures returned. *)
+
 val run_array :
   ?use_intra:bool ->
   ('label, 'payload) config ->
   events:(int * 'label * 'payload option) array ->
   ('label, 'payload) item list * stats
-(** {!run} over an event array.  The engine takes ownership of the array
-    (it is read, never written); callers on the hot path build it directly
-    and skip the intermediate list. *)
+[@@deprecated "use Engine.process with Engine.Events"]
 
 val run_packed :
   ?use_intra:bool ->
@@ -71,29 +122,11 @@ val run_packed :
   pre_nodes:int array ->
   pre_states:Fsm_state.t array ->
   ('label, 'payload) item list * stats
-(** {!run_array} over pre-resolved parallel arrays — the zero-overhead
-    entry the reconstruction hot path uses.  All arrays have one slot per
-    event: [ids.(i)] must equal [Fsm.label_id (config.fsm_of nodes.(i))
-    labels.(i)], and [pre_nodes]/[pre_states] carry each event's single
-    inter-node prerequisite ([-1] = none) with exactly the semantics
-    [config.prerequisites] would return (the closure is then only
-    consulted for inferred emissions).  Pass [pre_nodes = [||]] to fall
-    back to the closure for every event.  The engine takes ownership of
-    the arrays (read, never written). *)
+[@@deprecated "use Engine.process with Engine.Packed"]
 
 val run :
   ?use_intra:bool ->
   ('label, 'payload) config ->
   events:(int * 'label * 'payload option) list ->
   ('label, 'payload) item list * stats
-(** [run config ~events] processes the merged event list (per-node order
-    must be preserved in it, cross-node order is arbitrary) and returns the
-    reconstructed event flow.  Logged events appear exactly once each
-    (fired or skipped); inferred events are interleaved where the engine
-    proved they must have occurred.
-
-    [use_intra] (default [true]) enables the intra-node shortcut
-    transitions; disabling it (events fire on normal transitions only, and
-    prerequisite gaps are still bridged) is the ablation knob for measuring
-    what §IV.B's intra-node derivation contributes. Inter-node reasoning is
-    ablated by supplying a [prerequisites] that returns []. *)
+[@@deprecated "use Engine.process with Engine.Events"]

@@ -1,0 +1,23 @@
+type t =
+  | Io of { path : string; message : string }
+  | Malformed of { source : string; message : string }
+  | Bad_checkpoint of { source : string; message : string }
+  | Invalid_config of string
+
+let message = function
+  | Io { path; message } -> Printf.sprintf "%s: %s" path message
+  | Malformed { source; message } ->
+      Printf.sprintf "%s: malformed input: %s" source message
+  | Bad_checkpoint { source; message } ->
+      Printf.sprintf "%s: bad checkpoint: %s" source message
+  | Invalid_config msg -> Printf.sprintf "invalid configuration: %s" msg
+
+let exit_code = function
+  | Io _ | Malformed _ | Bad_checkpoint _ -> 1
+  | Invalid_config _ -> 2
+
+let guard ~source f =
+  match f () with
+  | v -> Ok v
+  | exception Sys_error msg -> Error (Io { path = source; message = msg })
+  | exception Failure msg -> Error (Malformed { source; message = msg })

@@ -1,0 +1,34 @@
+(** Stable pipeline errors for CLI-reachable paths.
+
+    The reconstruction pipeline historically raised ad-hoc [Failure _] for
+    every failure mode, leaving callers (the CLI, library embedders) to
+    pattern-match on message strings.  This module gives the CLI-reachable
+    failures stable constructors and a fixed exit-code mapping, so tools
+    scripting `refill` can rely on the codes and library users can match on
+    the variants instead of strings. *)
+
+type t =
+  | Io of { path : string; message : string }
+      (** The OS refused a file operation (open/read/write). *)
+  | Malformed of { source : string; message : string }
+      (** A log dump or segment stream failed to parse.  [source] names the
+          input (a path, or ["<stdin>"]). *)
+  | Bad_checkpoint of { source : string; message : string }
+      (** A stream checkpoint failed to parse or is internally
+          inconsistent. *)
+  | Invalid_config of string
+      (** A configuration value is out of range or the requested option
+          combination is unsupported. *)
+
+val message : t -> string
+(** Human-readable one-liner (no trailing newline). *)
+
+val exit_code : t -> int
+(** The CLI exit-code mapping: [Io]/[Malformed]/[Bad_checkpoint] are
+    runtime failures (1); [Invalid_config] is a usage error (2, matching
+    the `check` subcommand's exit code for unknown models). *)
+
+val guard : source:string -> (unit -> 'a) -> ('a, t) result
+(** Run [f], converting the exceptions the lower layers raise into errors:
+    [Sys_error] becomes {!Io} and [Failure] becomes {!Malformed}
+    (attributed to [source]).  Other exceptions propagate. *)

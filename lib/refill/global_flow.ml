@@ -102,7 +102,7 @@ let ibuf_push2 b x y =
   b.data.(b.len + 1) <- y;
   b.len <- b.len + 2
 
-let merge ?jobs collected ~(flows : Flow.t array) =
+let merge_untimed ?jobs collected ~(flows : Flow.t array) ~emit:emit_item =
   (* ---- Pass 1: count items and intern every flow's packet. ---- *)
   let n_flows = Array.length flows in
   let interner = interner_create n_flows in
@@ -114,7 +114,7 @@ let merge ?jobs collected ~(flows : Flow.t array) =
       n := !n + List.length f.items)
     flows;
   let n = !n in
-  if n = 0 then ([], { events = 0; logged = 0; inferred = 0; relaxed = 0 })
+  if n = 0 then { events = 0; logged = 0; inferred = 0; relaxed = 0 }
   else begin
     let dummy =
       match Array.find_opt (fun (f : Flow.t) -> f.items <> []) flows with
@@ -331,7 +331,6 @@ let merge ?jobs collected ~(flows : Flow.t array) =
     let module Pq = Prelude.Heap in
     let main = Pq.create ~capacity:(max 16 (n / 4)) () in
     let stall = Pq.create ~capacity:(max 16 (n / 4)) () in
-    let out = Array.make n dummy in
     let emitted = Array.make n false in
     let emitted_count = ref 0 in
     let stalls = ref 0 in
@@ -343,7 +342,7 @@ let merge ?jobs collected ~(flows : Flow.t array) =
     done;
     let emit id =
       emitted.(id) <- true;
-      out.(!emitted_count) <- items.(id);
+      emit_item items.(id);
       incr emitted_count;
       (match hard_succ.(id) with
       | -1 -> ()
@@ -393,23 +392,90 @@ let merge ?jobs collected ~(flows : Flow.t array) =
         Obs.Metrics.Counter.inc ~by:n c_events;
         Obs.Metrics.Counter.inc ~by:!relaxed c_relaxed;
         Obs.Metrics.Counter.inc ~by:!stalls c_stalls);
-    (Array.to_list out, stats)
+    stats
   end
 
-let build_array ?jobs collected ~flows =
+let merge ?jobs collected ~flows ~emit =
   let run () =
     let t0 = Obs.Span.now_us () in
-    let result = merge ?jobs collected ~flows in
+    let stats = merge_untimed ?jobs collected ~flows ~emit in
     Par.with_obs_lock (fun () ->
         Obs.Metrics.Histogram.observe h_seconds
           ((Obs.Span.now_us () -. t0) /. 1e6));
-    result
+    stats
   in
   if Obs.Span.enabled () then
     Obs.Span.with_ ~name:"refill.global_flow"
       ~attrs:[ ("flows", string_of_int (Array.length flows)) ]
       run
   else run ()
+
+(* -- Incremental merge mode ------------------------------------------------ *)
+
+(* The streaming pipeline never holds a [Collected] snapshot: records
+   arrive in segments and flows are emitted at eviction time, in eviction
+   order.  The accumulator rebuilds both batch inputs — per-node logs in
+   arrival order (= each node's write order, since any valid stream merge
+   preserves it) and the flow array re-sorted to packet-key order (the
+   order {!Reconstruct.run} emits) — so [finish] reproduces the batch
+   merge exactly: same interner ids, same anchors, same heap tie-breaks. *)
+module Incremental = struct
+  type t = {
+    mutable logs_rev : Logsys.Record.t list array;  (* per node, newest first *)
+    mutable flows_rev : Flow.t list;
+    mutable n_flows : int;
+  }
+
+  let create ?(n_nodes = 0) () =
+    { logs_rev = Array.make (max 1 n_nodes) []; flows_rev = []; n_flows = 0 }
+
+  let ensure_node t node =
+    if node >= Array.length t.logs_rev then begin
+      let grown =
+        Array.make (max (node + 1) (2 * Array.length t.logs_rev)) []
+      in
+      Array.blit t.logs_rev 0 grown 0 (Array.length t.logs_rev);
+      t.logs_rev <- grown
+    end
+
+  let add_records t records =
+    Array.iter
+      (fun (r : Logsys.Record.t) ->
+        if r.node >= 0 then begin
+          ensure_node t r.node;
+          t.logs_rev.(r.node) <- r :: t.logs_rev.(r.node)
+        end)
+      records
+
+  let add_flow t flow =
+    t.flows_rev <- flow :: t.flows_rev;
+    t.n_flows <- t.n_flows + 1
+
+  let finish ?jobs t ~emit =
+    let node_logs =
+      Array.map (fun l -> Array.of_list (List.rev l)) t.logs_rev
+    in
+    let collected = Logsys.Collected.of_node_logs node_logs in
+    (* Stable sort restores the batch emission order (key-ascending);
+       duplicate keys — an evicted packet's late fragments — keep their
+       eviction order, which is also their arrival order. *)
+    let flows =
+      Array.of_list
+        (List.stable_sort
+           (fun (a : Flow.t) (b : Flow.t) ->
+             compare (a.origin, a.seq) (b.origin, b.seq))
+           (List.rev t.flows_rev))
+    in
+    merge ?jobs collected ~flows ~emit
+end
+
+(* Deprecated aliases: collect the emissions into the list the old
+   signatures returned. *)
+
+let build_array ?jobs collected ~flows =
+  let acc = ref [] in
+  let stats = merge ?jobs collected ~flows ~emit:(fun it -> acc := it :: !acc) in
+  (List.rev !acc, stats)
 
 let build ?jobs collected ~flows =
   build_array ?jobs collected ~flows:(Array.of_list flows)

@@ -26,25 +26,61 @@ type stats = {
           per-packet linearization (concurrency, not error). *)
 }
 
+val merge :
+  ?jobs:int ->
+  Logsys.Collected.t ->
+  flows:Flow.t array ->
+  emit:(Flow.item -> unit) ->
+  stats
+(** [merge collected ~flows ~emit] computes the global flow and hands each
+    item to [emit], in global-flow order.  [collected] must be the same
+    snapshot the flows were reconstructed from (its per-node logs provide
+    the cross-packet constraints).  Every flow's items appear in their
+    original relative order.  This is the single entry point; the old
+    [build]/[build_array] signatures below are thin collecting aliases.
+
+    [jobs] caps the domain fan-out of the per-node log alignment (default
+    {!Par.default_jobs}; small inputs stay serial).  The emission sequence
+    is independent of [jobs]. *)
+
+(** Incremental merge mode for the streaming pipeline: accumulate record
+    segments and evicted flows as they arrive, then run the batch merge
+    machinery once at the end of the stream.  On the same inputs the
+    emission sequence is identical to {!merge} over the batch
+    reconstruction — the accumulator rebuilds per-node logs in arrival
+    order (each node's write order) and re-sorts flows to packet-key
+    order, so interner ids, anchors and heap tie-breaks all coincide. *)
+module Incremental : sig
+  type t
+
+  val create : ?n_nodes:int -> unit -> t
+  (** [n_nodes] presizes the per-node accumulators (they grow on demand). *)
+
+  val add_records : t -> Logsys.Record.t array -> unit
+  (** Append a stream segment.  Segments must preserve each node's local
+      record order across calls; records with a negative node id are
+      ignored. *)
+
+  val add_flow : t -> Flow.t -> unit
+  (** Register one evicted flow (in eviction order). *)
+
+  val finish : ?jobs:int -> t -> emit:(Flow.item -> unit) -> stats
+  (** Merge everything accumulated.  The accumulator must not be reused
+      afterwards. *)
+end
+
+(** {2 Deprecated entry points} *)
+
 val build :
   ?jobs:int ->
   Logsys.Collected.t ->
   flows:Flow.t list ->
   Flow.item list * stats
-(** [build collected ~flows] returns the global flow.  [collected] must be
-    the same snapshot the flows were reconstructed from (its per-node logs
-    provide the cross-packet constraints).  Every flow's items appear in
-    their original relative order.
-
-    [jobs] caps the domain fan-out of the per-node log alignment (default
-    {!Par.default_jobs}; small inputs stay serial).  The result is
-    independent of [jobs]. *)
+[@@deprecated "use Global_flow.merge ~emit"]
 
 val build_array :
   ?jobs:int ->
   Logsys.Collected.t ->
   flows:Flow.t array ->
   Flow.item list * stats
-(** {!build} over the array {!Reconstruct.all_array} produces, merging
-    straight from the reconstruction output without an intermediate
-    per-flow list. *)
+[@@deprecated "use Global_flow.merge ~emit"]

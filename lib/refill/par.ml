@@ -1,6 +1,6 @@
 (* Domain fan-out for the per-packet reconstruction loop.
 
-   Packets are independent, so Reconstruct.all shards them over a small
+   Packets are independent, so Reconstruct.run shards them over a small
    pool of domains pulling indices from a shared atomic counter.  The only
    shared mutable state in a worker's path is the observability registry;
    workers batch their metric updates and flush under [with_obs_lock], so

@@ -69,7 +69,7 @@ val fsm_of_role : role -> label Fsm.t
 val precompute_fsms : unit -> unit
 (** {!Fsm.precompute} all three role FSMs, making their caches complete
     and therefore safe to share read-only across worker domains.  Called
-    by [Reconstruct.all] before going parallel; idempotent. *)
+    by [Reconstruct.run] before going parallel; idempotent. *)
 
 val unknown_node : int
 (** [-1]: placeholder peer when synthesis cannot recover the other
@@ -120,8 +120,8 @@ val events_of_records :
 
 val event_array_of_records :
   Logsys.Record.t list -> (int * label * Logsys.Record.t option) array
-(** [events_of_records] built directly as the array {!Engine.run_array}
-    consumes — one pass, no intermediate list. *)
+(** [events_of_records] built directly as the array {!Engine.process}'s
+    [Events] input consumes — one pass, no intermediate list. *)
 
 val make_config_of_records :
   records:Logsys.Record.t array ->
@@ -135,7 +135,8 @@ val make_config_of_records :
 (** Packed engine input: one packet's merged events as parallel arrays —
     node, label, dense FSM label id, payload, and inter-node prerequisite
     per event, all resolved in one pass.  The representation
-    {!Engine.run_packed} consumes; built by {!pack_events}. *)
+    {!Engine.process}'s [Packed] input consumes; built by
+    {!pack_events}. *)
 type packed = {
   p_nodes : int array;
   p_labels : label array;

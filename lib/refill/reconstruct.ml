@@ -8,10 +8,33 @@ let c_packets =
   Obs.Metrics.Counter.v "refill_packets_reconstructed_total"
     ~help:"Packets run through the reconstruction engines."
 
-let packet_untraced ?(use_intra = true) ?(use_inter = true) collected ~origin
-    ~seq ~sink =
+(* Growable item buffer for collecting one packet's emissions: presized to
+   the input event count plus a few percent (output is the inputs plus the
+   inferred events), so the common packet pays one array allocation and no
+   cons garbage on the hot path. *)
+type 'a buf = { mutable data : 'a array; mutable len : int; hint : int }
+
+let buf_create hint = { data = [||]; len = 0; hint }
+
+let buf_push b it =
+  if b.len = Array.length b.data then begin
+    let cap = max (max 8 b.hint) (2 * b.len) in
+    let grown = Array.make cap it in
+    Array.blit b.data 0 grown 0 b.len;
+    b.data <- grown
+  end;
+  Array.unsafe_set b.data b.len it;
+  b.len <- b.len + 1
+
+let buf_to_list b =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) (Array.unsafe_get b.data i :: acc)
+  in
+  go (b.len - 1) []
+
+let of_records ?(use_intra = true) ?(use_inter = true) records ~origin ~seq
+    ~sink =
   let t0 = Obs.Span.now_us () in
-  let records = Logsys.Collected.packet_records collected ~origin ~seq in
   let p = Protocol.pack_events records ~origin ~sink in
   let config = Protocol.make_config_of_records ~records ~origin ~seq ~sink in
   let config =
@@ -24,16 +47,30 @@ let packet_untraced ?(use_intra = true) ?(use_inter = true) collected ~origin
     if use_inter then (p.Protocol.p_pre_nodes, p.Protocol.p_pre_states)
     else ([||], [||])
   in
-  let items, stats =
-    Engine.run_packed ~use_intra config ~nodes:p.Protocol.p_nodes
-      ~labels:p.Protocol.p_labels ~ids:p.Protocol.p_ids
-      ~payloads:p.Protocol.p_payloads ~pre_nodes ~pre_states
+  let n = Array.length p.Protocol.p_nodes in
+  let items = buf_create (n + (n / 8) + 8) in
+  let stats =
+    Engine.process ~use_intra config
+      (Engine.Packed
+         {
+           nodes = p.Protocol.p_nodes;
+           labels = p.Protocol.p_labels;
+           ids = p.Protocol.p_ids;
+           payloads = p.Protocol.p_payloads;
+           pre_nodes;
+           pre_states;
+         })
+      ~emit:(buf_push items)
   in
   Par.with_obs_lock (fun () ->
       Obs.Metrics.Counter.inc c_packets;
       Obs.Metrics.Histogram.observe h_latency
         ((Obs.Span.now_us () -. t0) /. 1e6));
-  { Flow.origin; seq; items; stats }
+  { Flow.origin; seq; items = buf_to_list items; stats }
+
+let packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink =
+  let records = Logsys.Collected.packet_records collected ~origin ~seq in
+  of_records ?use_intra ?use_inter records ~origin ~seq ~sink
 
 let packet ?use_intra ?use_inter collected ~origin ~seq ~sink =
   if Obs.Span.enabled () then
@@ -43,13 +80,17 @@ let packet ?use_intra ?use_inter collected ~origin ~seq ~sink =
         packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink)
   else packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink
 
-let all_array ?use_intra ?use_inter ?jobs collected ~sink =
+let run ?(config = Config.default) collected ~sink ~emit =
   Obs.Span.with_ ~name:"refill.reconstruct_all" (fun () ->
       (* packet_keys also builds the per-packet record index, so by the
          time workers run, the collected snapshot is read-only. *)
       let keys = Array.of_list (Logsys.Collected.packet_keys collected) in
+      let use_intra = config.Config.use_intra in
+      let use_inter = config.Config.use_inter in
       let jobs =
-        match jobs with Some j -> max 1 j | None -> Par.default_jobs ()
+        match config.Config.jobs with
+        | Some j -> max 1 j
+        | None -> Par.default_jobs ()
       in
       let jobs =
         (* Tracing writes span events through a shared sink; keep those
@@ -59,21 +100,21 @@ let all_array ?use_intra ?use_inter ?jobs collected ~sink =
         else jobs
       in
       if jobs <= 1 then
-        Array.map
+        Array.iter
           (fun (origin, seq) ->
-            packet ?use_intra ?use_inter collected ~origin ~seq ~sink)
+            emit (packet ~use_intra ~use_inter collected ~origin ~seq ~sink))
           keys
       else begin
         Protocol.precompute_fsms ();
-        Par.map_array ~jobs
-          (fun (origin, seq) ->
-            packet_untraced ?use_intra ?use_inter collected ~origin ~seq
-              ~sink)
-          keys
+        let flows =
+          Par.map_array ~jobs
+            (fun (origin, seq) ->
+              packet_untraced ~use_intra ~use_inter collected ~origin ~seq
+                ~sink)
+            keys
+        in
+        Array.iter emit flows
       end)
-
-let all ?use_intra ?use_inter ?jobs collected ~sink =
-  Array.to_list (all_array ?use_intra ?use_inter ?jobs collected ~sink)
 
 type summary = {
   packets : int;
@@ -82,19 +123,43 @@ type summary = {
   skipped_events : int;
 }
 
-let summarize flows =
-  List.fold_left
-    (fun acc (f : Flow.t) ->
-      {
-        packets = acc.packets + 1;
-        logged_events = acc.logged_events + f.stats.emitted_logged;
-        inferred_events = acc.inferred_events + f.stats.emitted_inferred;
-        skipped_events = acc.skipped_events + f.stats.skipped;
-      })
-    { packets = 0; logged_events = 0; inferred_events = 0; skipped_events = 0 }
-    flows
+let empty_summary =
+  { packets = 0; logged_events = 0; inferred_events = 0; skipped_events = 0 }
+
+let summary_add acc (f : Flow.t) =
+  {
+    packets = acc.packets + 1;
+    logged_events = acc.logged_events + f.stats.emitted_logged;
+    inferred_events = acc.inferred_events + f.stats.emitted_inferred;
+    skipped_events = acc.skipped_events + f.stats.skipped;
+  }
+
+let summarize flows = List.fold_left summary_add empty_summary flows
+
+let summarize_array flows = Array.fold_left summary_add empty_summary flows
 
 let pp_summary ppf s =
   Format.fprintf ppf
     "packets=%d logged=%d inferred=%d skipped=%d" s.packets s.logged_events
     s.inferred_events s.skipped_events
+
+(* Deprecated aliases over [run]. *)
+
+let config_of ?use_intra ?use_inter ?jobs () =
+  {
+    Config.default with
+    use_intra = Option.value ~default:true use_intra;
+    use_inter = Option.value ~default:true use_inter;
+    jobs;
+  }
+
+let all ?use_intra ?use_inter ?jobs collected ~sink =
+  let acc = ref [] in
+  run
+    ~config:(config_of ?use_intra ?use_inter ?jobs ())
+    collected ~sink
+    ~emit:(fun f -> acc := f :: !acc);
+  List.rev !acc
+
+let all_array ?use_intra ?use_inter ?jobs collected ~sink =
+  Array.of_list (all ?use_intra ?use_inter ?jobs collected ~sink)

@@ -19,33 +19,42 @@ val packet :
     are the ablation knobs: they disable the intra-node shortcut
     transitions and the inter-node prerequisite connections respectively. *)
 
-val all :
+val of_records :
   ?use_intra:bool ->
   ?use_inter:bool ->
-  ?jobs:int ->
+  Logsys.Record.t array ->
+  origin:int ->
+  seq:int ->
+  sink:int ->
+  Flow.t
+(** [of_records records ~origin ~seq ~sink] is {!packet} from an explicit
+    record array instead of a {!Logsys.Collected} snapshot — the entry the
+    streaming frontier ({!Stream}) uses when it evicts a packet.  The
+    records must be in node-scan order (nodes ascending, each node's
+    records in local write order), exactly as
+    {!Logsys.Collected.packet_records} returns them; the engine takes
+    ownership of the array. *)
+
+val run :
+  ?config:Config.t ->
   Logsys.Collected.t ->
   sink:int ->
-  Flow.t list
-(** Reconstruct every packet found in the logs, sorted by packet key.
+  emit:(Flow.t -> unit) ->
+  unit
+(** Reconstruct every packet found in the logs and hand each flow to
+    [emit], in packet-key order.  This is the single batch entry point; the
+    old [all]/[all_array] signatures below are thin collecting aliases over
+    it.
 
-    Packets are independent, so large workloads are sharded over [jobs]
-    worker domains (default [Domain.recommended_domain_count ()]); the
-    result is identical to the serial run — order preserved, per-flow
-    stats exact, and process-wide metric totals exact (flushes are
-    batched per run under a lock).  Runs stay serial when [jobs <= 1],
-    when tracing spans are enabled, or when the workload is too small to
-    amortize a domain spawn. *)
-
-val all_array :
-  ?use_intra:bool ->
-  ?use_inter:bool ->
-  ?jobs:int ->
-  Logsys.Collected.t ->
-  sink:int ->
-  Flow.t array
-(** {!all} as the flat array the workers fill — what
-    {!Global_flow.build_array} consumes directly, skipping the list
-    round-trip. *)
+    Packets are independent, so large workloads are sharded over
+    [config.jobs] worker domains (default
+    [Domain.recommended_domain_count ()]); the emission sequence is
+    identical to the serial run — order preserved, per-flow stats exact,
+    and process-wide metric totals exact (flushes are batched per run under
+    a lock).  Runs stay serial when [jobs <= 1], when tracing spans are
+    enabled, or when the workload is too small to amortize a domain spawn;
+    on the parallel path flows are buffered and [emit] is called after the
+    join, still in key order. *)
 
 type summary = {
   packets : int;
@@ -54,6 +63,36 @@ type summary = {
   skipped_events : int;
 }
 
+val empty_summary : summary
+
+val summary_add : summary -> Flow.t -> summary
+(** Fold one flow into a running summary — what streaming consumers use to
+    summarize without materializing the flow sequence. *)
+
 val summarize : Flow.t list -> summary
 
+val summarize_array : Flow.t array -> summary
+(** {!summarize} over the array shape the batch and bench paths carry,
+    without a list round-trip. *)
+
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {2 Deprecated entry points} *)
+
+val all :
+  ?use_intra:bool ->
+  ?use_inter:bool ->
+  ?jobs:int ->
+  Logsys.Collected.t ->
+  sink:int ->
+  Flow.t list
+[@@deprecated "use Reconstruct.run ~emit"]
+
+val all_array :
+  ?use_intra:bool ->
+  ?use_inter:bool ->
+  ?jobs:int ->
+  Logsys.Collected.t ->
+  sink:int ->
+  Flow.t array
+[@@deprecated "use Reconstruct.run ~emit"]

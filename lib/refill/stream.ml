@@ -1,0 +1,388 @@
+module Obs = Refill_obs
+
+let c_events =
+  Obs.Metrics.Counter.v "refill_stream_events_total"
+    ~help:"Records consumed by streaming reconstruction."
+
+let c_segments =
+  Obs.Metrics.Counter.v "refill_stream_segments_total"
+    ~help:"Segments fed to streaming reconstruction."
+
+let c_flows =
+  Obs.Metrics.Counter.v "refill_stream_flows_total"
+    ~help:"Flows emitted by streaming reconstruction."
+
+let c_evictions =
+  Obs.Metrics.Counter.v "refill_stream_evictions_total"
+    ~help:"Packets evicted from the frontier by the watermark."
+
+let c_incomplete =
+  Obs.Metrics.Counter.v "refill_stream_incomplete_flows_total"
+    ~help:"Flows emitted with the Incomplete outcome."
+
+let g_frontier =
+  Obs.Metrics.Gauge.v "refill_stream_frontier_events"
+    ~help:"Records currently buffered in the streaming frontier."
+
+let g_peak =
+  Obs.Metrics.Gauge.v "refill_stream_peak_frontier_events"
+    ~help:"High-water mark of buffered records in the streaming frontier."
+
+type outcome = Complete | Incomplete
+
+type emitted = { flow : Flow.t; outcome : outcome }
+
+type summary = {
+  events : int;
+  segments : int;
+  flows : int;
+  complete : int;
+  incomplete : int;
+  evictions : int;
+  late_fragments : int;
+  frontier_events : int;
+  peak_frontier_events : int;
+}
+
+(* One open packet.  [records_rev] is arrival order, reversed; [last_seen]
+   is the processed-count position of the newest record — the only deadline
+   queue entry for this buffer that is still meaningful. *)
+type buffer = {
+  b_origin : int;
+  b_seq : int;
+  mutable records_rev : Logsys.Record.t list;
+  mutable count : int;
+  mutable last_seen : int;
+  b_late : bool;
+  mutable live : bool;
+}
+
+type t = {
+  sink : int;
+  use_intra : bool;
+  use_inter : bool;
+  watermark : int;
+  emit : emitted -> unit;
+  frontier : (int * int, buffer) Hashtbl.t;
+  evicted : (int * int, unit) Hashtbl.t;
+  (* (arrival position, buffer) in arrival order; entries are invalidated
+     lazily — one is acted on only if it is still the buffer's newest. *)
+  deadlines : (int * buffer) Queue.t;
+  mutable processed : int;
+  mutable segments : int;
+  mutable flows : int;
+  mutable complete : int;
+  mutable incomplete : int;
+  mutable evictions : int;
+  mutable late_fragments : int;
+  mutable frontier_events : int;
+  mutable peak_frontier_events : int;
+  mutable finished : bool;
+}
+
+let summary t =
+  {
+    events = t.processed;
+    segments = t.segments;
+    flows = t.flows;
+    complete = t.complete;
+    incomplete = t.incomplete;
+    evictions = t.evictions;
+    late_fragments = t.late_fragments;
+    frontier_events = t.frontier_events;
+    peak_frontier_events = t.peak_frontier_events;
+  }
+
+let processed t = t.processed
+
+let create ?(config = Config.default) ~sink ~emit () =
+  {
+    sink;
+    use_intra = config.Config.use_intra;
+    use_inter = config.Config.use_inter;
+    watermark = config.Config.watermark;
+    emit;
+    frontier = Hashtbl.create 256;
+    evicted = Hashtbl.create 1024;
+    deadlines = Queue.create ();
+    processed = 0;
+    segments = 0;
+    flows = 0;
+    complete = 0;
+    incomplete = 0;
+    evictions = 0;
+    late_fragments = 0;
+    frontier_events = 0;
+    peak_frontier_events = 0;
+    finished = false;
+  }
+
+(* Batched per feed/finish call, like the engine does per run: streams are
+   single-threaded but may coexist with worker domains. *)
+let flush_metrics t (before : summary) =
+  let after = summary t in
+  Par.with_obs_lock (fun () ->
+      let d get = get after - get before in
+      let inc c by = if by > 0 then Obs.Metrics.Counter.inc ~by c in
+      inc c_events (d (fun s -> s.events));
+      inc c_segments (d (fun s -> s.segments));
+      inc c_flows (d (fun s -> s.flows));
+      inc c_evictions (d (fun s -> s.evictions));
+      inc c_incomplete (d (fun s -> s.incomplete));
+      Obs.Metrics.Gauge.set g_frontier (float_of_int after.frontier_events);
+      Obs.Metrics.Gauge.set g_peak
+        (float_of_int after.peak_frontier_events))
+
+let evict t ~final buf =
+  buf.live <- false;
+  Hashtbl.remove t.frontier (buf.b_origin, buf.b_seq);
+  Hashtbl.replace t.evicted (buf.b_origin, buf.b_seq) ();
+  t.frontier_events <- t.frontier_events - buf.count;
+  (* Restore the batch index's node-scan order: stable sort by node over
+     arrival order keeps each node's local write order. *)
+  let records =
+    Array.of_list
+      (List.stable_sort
+         (fun (a : Logsys.Record.t) (b : Logsys.Record.t) ->
+           Int.compare a.node b.node)
+         (List.rev buf.records_rev))
+  in
+  let flow =
+    Reconstruct.of_records ~use_intra:t.use_intra ~use_inter:t.use_inter
+      records ~origin:buf.b_origin ~seq:buf.b_seq ~sink:t.sink
+  in
+  let outcome =
+    if buf.b_late then Incomplete
+    else if final then Complete
+    else if (Classify.classify flow).cause <> Logsys.Cause.Unknown then
+      Complete
+    else Incomplete
+  in
+  if not final then t.evictions <- t.evictions + 1;
+  t.flows <- t.flows + 1;
+  (match outcome with
+  | Complete -> t.complete <- t.complete + 1
+  | Incomplete -> t.incomplete <- t.incomplete + 1);
+  t.emit { flow; outcome }
+
+let drain t =
+  let limit = t.processed - t.watermark in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.deadlines with
+    | Some (pos, buf) when pos <= limit ->
+        ignore (Queue.pop t.deadlines);
+        if buf.live && buf.last_seen = pos then evict t ~final:false buf
+    | _ -> continue := false
+  done
+
+let feed t segment =
+  if t.finished then invalid_arg "Stream.feed: stream already finished";
+  let before = summary t in
+  t.segments <- t.segments + 1;
+  Array.iter
+    (fun (r : Logsys.Record.t) ->
+      if r.node >= 0 then begin
+        t.processed <- t.processed + 1;
+        let key = (r.origin, r.pkt_seq) in
+        let buf =
+          match Hashtbl.find_opt t.frontier key with
+          | Some b -> b
+          | None ->
+              let late = Hashtbl.mem t.evicted key in
+              if late then t.late_fragments <- t.late_fragments + 1;
+              let b =
+                {
+                  b_origin = r.origin;
+                  b_seq = r.pkt_seq;
+                  records_rev = [];
+                  count = 0;
+                  last_seen = 0;
+                  b_late = late;
+                  live = true;
+                }
+              in
+              Hashtbl.replace t.frontier key b;
+              b
+        in
+        buf.records_rev <- r :: buf.records_rev;
+        buf.count <- buf.count + 1;
+        buf.last_seen <- t.processed;
+        Queue.push (t.processed, buf) t.deadlines;
+        t.frontier_events <- t.frontier_events + 1;
+        if t.frontier_events > t.peak_frontier_events then
+          t.peak_frontier_events <- t.frontier_events;
+        drain t
+      end)
+    segment;
+  flush_metrics t before
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    let before = summary t in
+    let bufs = Hashtbl.fold (fun _ b acc -> b :: acc) t.frontier [] in
+    let bufs =
+      List.sort
+        (fun a b ->
+          compare (a.b_origin, a.b_seq) (b.b_origin, b.b_seq))
+        bufs
+    in
+    List.iter (fun b -> if b.live then evict t ~final:true b) bufs;
+    Queue.clear t.deadlines;
+    flush_metrics t before
+  end;
+  summary t
+
+(* -- Checkpointing --------------------------------------------------------- *)
+
+let ckpt_magic = "# refill-stream-ckpt v1"
+
+let checkpoint t oc =
+  Printf.fprintf oc "%s\n" ckpt_magic;
+  Printf.fprintf oc "# processed %d\n" t.processed;
+  Printf.fprintf oc "# watermark %d\n" t.watermark;
+  Printf.fprintf oc "# segments %d\n" t.segments;
+  Printf.fprintf oc "# flows %d\n" t.flows;
+  Printf.fprintf oc "# complete %d\n" t.complete;
+  Printf.fprintf oc "# incomplete %d\n" t.incomplete;
+  Printf.fprintf oc "# evictions %d\n" t.evictions;
+  Printf.fprintf oc "# late-fragments %d\n" t.late_fragments;
+  Printf.fprintf oc "# peak-frontier %d\n" t.peak_frontier_events;
+  let evicted_keys =
+    Hashtbl.fold (fun k () acc -> k :: acc) t.evicted [] |> List.sort compare
+  in
+  List.iter
+    (fun (origin, seq) -> Printf.fprintf oc "e %d %d\n" origin seq)
+    evicted_keys;
+  (* Buffers ascending by last_seen: resume pushes one deadline entry per
+     buffer in this order, which reproduces the live queue's effective
+     contents (all superseded entries are no-ops anyway). *)
+  let bufs = Hashtbl.fold (fun _ b acc -> b :: acc) t.frontier [] in
+  let bufs = List.sort (fun a b -> Int.compare a.last_seen b.last_seen) bufs in
+  List.iter
+    (fun b ->
+      Printf.fprintf oc "b %d %d %d %d %d\n" b.b_origin b.b_seq b.last_seen
+        (if b.b_late then 1 else 0)
+        b.count;
+      List.iter
+        (fun r ->
+          output_string oc (Logsys.Log_io.record_to_line_exact r ^ "\n"))
+        (List.rev b.records_rev))
+    bufs
+
+let checkpoint_file t path =
+  match open_out path with
+  | exception Sys_error message -> Error (Error.Io { path; message })
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> checkpoint t oc);
+      Ok ()
+
+let int_field line key =
+  match String.split_on_char ' ' line with
+  | [ "#"; k; v ] when k = key -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> failwith (Printf.sprintf "Stream: bad %s value %S" key v))
+  | _ -> failwith (Printf.sprintf "Stream: expected '# %s N', got %S" key line)
+
+let resume ?(config = Config.default) ic ~sink ~emit =
+  let parse () =
+    let first = input_line ic in
+    if first <> ckpt_magic then
+      failwith (Printf.sprintf "Stream: bad checkpoint header %S" first);
+    let processed = int_field (input_line ic) "processed" in
+    let watermark = int_field (input_line ic) "watermark" in
+    let segments = int_field (input_line ic) "segments" in
+    let flows = int_field (input_line ic) "flows" in
+    let complete = int_field (input_line ic) "complete" in
+    let incomplete = int_field (input_line ic) "incomplete" in
+    let evictions = int_field (input_line ic) "evictions" in
+    let late_fragments = int_field (input_line ic) "late-fragments" in
+    let peak = int_field (input_line ic) "peak-frontier" in
+    let t =
+      {
+        (create ~config ~sink ~emit ()) with
+        watermark;
+        processed;
+        segments;
+        flows;
+        complete;
+        incomplete;
+        evictions;
+        late_fragments;
+      }
+    in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line = 0 then ()
+         else
+           match line.[0] with
+           | 'e' -> (
+               match String.split_on_char ' ' line with
+               | [ "e"; origin; seq ] ->
+                   Hashtbl.replace t.evicted
+                     (int_of_string origin, int_of_string seq)
+                     ()
+               | _ ->
+                   failwith
+                     (Printf.sprintf "Stream: malformed evicted line %S" line))
+           | 'b' -> (
+               match String.split_on_char ' ' line with
+               | [ "b"; origin; seq; last_seen; late; count ] ->
+                   let origin = int_of_string origin
+                   and seq = int_of_string seq
+                   and last_seen = int_of_string last_seen
+                   and count = int_of_string count in
+                   if count <= 0 then
+                     failwith "Stream: empty checkpoint buffer";
+                   let records_rev = ref [] in
+                   for _ = 1 to count do
+                     records_rev :=
+                       Logsys.Log_io.record_of_line (input_line ic)
+                       :: !records_rev
+                   done;
+                   let buf =
+                     {
+                       b_origin = origin;
+                       b_seq = seq;
+                       records_rev = !records_rev;
+                       count;
+                       last_seen;
+                       b_late = late = "1";
+                       live = true;
+                     }
+                   in
+                   Hashtbl.replace t.frontier (origin, seq) buf;
+                   Queue.push (last_seen, buf) t.deadlines;
+                   t.frontier_events <- t.frontier_events + count
+               | _ ->
+                   failwith
+                     (Printf.sprintf "Stream: malformed buffer line %S" line))
+           | _ -> failwith (Printf.sprintf "Stream: malformed line %S" line)
+       done
+     with End_of_file -> ());
+    t.peak_frontier_events <- max peak t.frontier_events;
+    t
+  in
+  match parse () with
+  | t -> Ok t
+  | exception Failure message ->
+      Error (Error.Bad_checkpoint { source = "checkpoint"; message })
+  | exception End_of_file ->
+      Error
+        (Error.Bad_checkpoint
+           { source = "checkpoint"; message = "truncated checkpoint" })
+  | exception Sys_error message ->
+      Error (Error.Io { path = "checkpoint"; message })
+
+let resume_file ?config path ~sink ~emit =
+  match open_in path with
+  | exception Sys_error message -> Error (Error.Io { path; message })
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> resume ?config ic ~sink ~emit)

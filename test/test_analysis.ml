@@ -112,9 +112,14 @@ let path_quality_counts_acked_extension () =
     ]
   in
   let config = Refill.Protocol.make_config ~records ~origin:1 ~seq:0 ~sink:0 in
-  let items, stats =
-    Refill.Engine.run config ~events:(Refill.Protocol.events_of_records records)
+  let acc = ref [] in
+  let stats =
+    Refill.Engine.process config
+      (Refill.Engine.Events
+         (Array.of_list (Refill.Protocol.events_of_records records)))
+      ~emit:(fun it -> acc := it :: !acc)
   in
+  let items = List.rev !acc in
   let flow = { Refill.Flow.origin = 1; seq = 0; items; stats } in
   let q = Analysis.Metrics.path_quality ~truth ~flows:[ flow ] in
   Alcotest.(check (list int)) "reconstructed path has the extra hop"

@@ -3,11 +3,26 @@
 
 let scenario = lazy (Scenario.Citysee.run Scenario.Citysee.tiny)
 
+(* List-shaped wrappers over the sink-parameterized entry points: these
+   tests predate them and score flows/items as lists. *)
+let reconstruct_flows collected ~sink =
+  let acc = ref [] in
+  Refill.Reconstruct.run collected ~sink ~emit:(fun f -> acc := f :: !acc);
+  List.rev !acc
+
+let merge_flows ?jobs collected ~flows =
+  let acc = ref [] in
+  let stats =
+    Refill.Global_flow.merge ?jobs collected ~flows:(Array.of_list flows)
+      ~emit:(fun it -> acc := it :: !acc)
+  in
+  (List.rev !acc, stats)
+
 let build_lossless () =
   let sc = Lazy.force scenario in
   let collected = Scenario.Citysee.collected sc in
-  let flows = Refill.Reconstruct.all collected ~sink:sc.sink in
-  (sc, collected, flows, Refill.Global_flow.build collected ~flows)
+  let flows = reconstruct_flows collected ~sink:sc.sink in
+  (sc, collected, flows, merge_flows collected ~flows)
 
 let counts_add_up () =
   let _, collected, flows, (items, stats) = build_lossless () in
@@ -94,8 +109,8 @@ let works_under_record_loss () =
     Logsys.Collected.lossify (Logsys.Loss_model.uniform 0.3) rng
       (Scenario.Citysee.collected sc)
   in
-  let flows = Refill.Reconstruct.all lossy ~sink:sc.sink in
-  let items, stats = Refill.Global_flow.build lossy ~flows in
+  let flows = reconstruct_flows lossy ~sink:sc.sink in
+  let items, stats = merge_flows lossy ~flows in
   Alcotest.(check int) "complete" stats.events (List.length items);
   Alcotest.(check bool) "has inferred events" true (stats.inferred > 0)
 
@@ -135,8 +150,8 @@ let hand_built_cross_packet_order () =
     |]
   in
   let collected = Logsys.Collected.of_node_logs logs in
-  let flows = Refill.Reconstruct.all collected ~sink:0 in
-  let items, stats = Refill.Global_flow.build collected ~flows in
+  let flows = reconstruct_flows collected ~sink:0 in
+  let items, stats = merge_flows collected ~flows in
   Alcotest.(check int) "all 16 events" 16 stats.events;
   Alcotest.(check int) "nothing relaxed" 0 stats.relaxed;
   (* P0's recv on node 2 strictly precedes P1's recv on node 2. *)
@@ -198,8 +213,8 @@ let inferred_anchor_inherits_following () =
     |]
   in
   let collected = Logsys.Collected.of_node_logs logs in
-  let flows = Refill.Reconstruct.all collected ~sink:0 in
-  let items, stats = Refill.Global_flow.build collected ~flows in
+  let flows = reconstruct_flows collected ~sink:0 in
+  let items, stats = merge_flows collected ~flows in
   Alcotest.(check int) "one inferred event" 1 stats.inferred;
   Alcotest.(check int) "nothing relaxed" 0 stats.relaxed;
   let idx_inferred =
@@ -227,8 +242,8 @@ let inferred_anchor_inherits_following () =
     (idx_p1_gen < idx_inferred)
 
 (* -- Reference oracle -------------------------------------------------------
-   A direct copy of the pre-CSR list/Hashtbl implementation of
-   [Global_flow.build].  The production rewrite (flat arrays, interned
+   A direct copy of the pre-CSR list/Hashtbl implementation of the
+   network-wide merge.  The production rewrite (flat arrays, interned
    packet ids, heap-based stall recovery) must be output-identical to this
    on every input; keeping the old code here pins that equivalence. *)
 
@@ -444,15 +459,15 @@ let matches_reference_implementation () =
   in
   List.iter
     (fun (label, collected) ->
-      let flows = Refill.Reconstruct.all collected ~sink:sc.sink in
+      let flows = reconstruct_flows collected ~sink:sc.sink in
       let reference = Reference.build collected ~flows in
       check_same_output label reference
-        (Refill.Global_flow.build collected ~flows);
+        (merge_flows collected ~flows);
       (* The fan-out of the per-node alignment must not show in the output. *)
       check_same_output (label ^ " jobs=1") reference
-        (Refill.Global_flow.build ~jobs:1 collected ~flows);
+        (merge_flows ~jobs:1 collected ~flows);
       check_same_output (label ^ " jobs=8") reference
-        (Refill.Global_flow.build ~jobs:8 collected ~flows))
+        (merge_flows ~jobs:8 collected ~flows))
     cases
 
 let soft_cycle_stall_recovery () =
@@ -509,8 +524,8 @@ let soft_cycle_stall_recovery () =
     |]
   in
   let collected = Logsys.Collected.of_node_logs logs in
-  let flows = Refill.Reconstruct.all collected ~sink:0 in
-  let items, stats = Refill.Global_flow.build collected ~flows in
+  let flows = reconstruct_flows collected ~sink:0 in
+  let items, stats = merge_flows collected ~flows in
   check_same_output "soft cycle"
     (Reference.build collected ~flows)
     (items, stats);
@@ -555,8 +570,8 @@ let order_preservation_property =
             (Prelude.Rng.create ~seed:(Int64.of_int seed))
             base
       in
-      let flows = Refill.Reconstruct.all collected ~sink:sc.sink in
-      let items, stats = Refill.Global_flow.build collected ~flows in
+      let flows = reconstruct_flows collected ~sink:sc.sink in
+      let items, stats = merge_flows collected ~flows in
       (* Position of every logged event, keyed by its unique gseq. *)
       let pos = Hashtbl.create 4096 in
       List.iteri
@@ -636,7 +651,7 @@ let order_preservation_property =
 
 let empty_inputs () =
   let empty = Logsys.Collected.of_node_logs [| [||]; [||] |] in
-  let items, stats = Refill.Global_flow.build empty ~flows:[] in
+  let items, stats = merge_flows empty ~flows:[] in
   Alcotest.(check int) "no events" 0 (List.length items);
   Alcotest.(check int) "no relaxations" 0 stats.relaxed
 

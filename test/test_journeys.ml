@@ -122,7 +122,13 @@ let valid j = match j.terminal with T_dup -> j.hops >= 2 | _ -> true
 let classify_records records =
   let config = Protocol.make_config ~records ~origin:1 ~seq:0 ~sink:0 in
   let events = Protocol.events_of_records records in
-  let items, stats = Engine.run config ~events in
+  let acc = ref [] in
+  let stats =
+    Engine.process config
+      (Engine.Events (Array.of_list events))
+      ~emit:(fun it -> acc := it :: !acc)
+  in
+  let items = List.rev !acc in
   let flow = { Flow.origin = 1; seq = 0; items; stats } in
   (flow, Classify.classify flow)
 

@@ -112,7 +112,10 @@ let full_pipeline_through_file () =
   let scenario = Scenario.Citysee.run Scenario.Citysee.tiny in
   let collected = Scenario.Citysee.collected scenario in
   let verdicts c =
-    Refill.Reconstruct.all c ~sink:scenario.sink
+    (let acc = ref [] in
+     Refill.Reconstruct.run c ~sink:scenario.sink ~emit:(fun f ->
+         acc := f :: !acc);
+     List.rev !acc)
     |> List.map (fun (f : Refill.Flow.t) ->
            ((f.origin, f.seq), (Refill.Classify.classify f).cause))
   in
@@ -405,7 +408,10 @@ let in_band_reconstruction_works () =
   | None -> Alcotest.fail "no collection"
   | Some collected ->
       let truth = Node.Network.truth scenario.network in
-      let flows = Refill.Reconstruct.all collected ~sink:scenario.sink in
+      let flows_rev = ref [] in
+      Refill.Reconstruct.run collected ~sink:scenario.sink ~emit:(fun f ->
+          flows_rev := f :: !flows_rev);
+      let flows = List.rev !flows_rev in
       let confusion =
         Analysis.Metrics.confusion ~truth
           ~verdicts:

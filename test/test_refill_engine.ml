@@ -32,6 +32,17 @@ let config ~prerequisites : (string, unit) Engine.config =
     infer_payload = (fun ~node:_ ~label:_ -> None);
   }
 
+(* The pre-redesign run shape (event list in, item list out) over the
+   sink-parameterized [Engine.process]. *)
+let engine_run ?use_intra cfg ~events =
+  let acc = ref [] in
+  let stats =
+    Engine.process ?use_intra cfg
+      (Engine.Events (Array.of_list events))
+      ~emit:(fun it -> acc := it :: !acc)
+  in
+  (List.rev !acc, stats)
+
 let flow_labels items =
   List.map (fun (i : (string, unit) Engine.item) -> i.label) items
 
@@ -58,7 +69,7 @@ let fig3a_full_logs () =
     ]
   in
   let items, stats =
-    Engine.run (config ~prerequisites:cascade_prereqs) ~events
+    engine_run (config ~prerequisites:cascade_prereqs) ~events
   in
   Alcotest.(check (list string)) "paper's exact flow"
     [ "e1"; "e3"; "e5"; "e6"; "e4"; "e2" ]
@@ -72,7 +83,7 @@ let fig3a_only_e2 () =
      events are lost, the transition algorithm can generate the correct
      event flow and infer lost events." *)
   let items, stats =
-    Engine.run (config ~prerequisites:cascade_prereqs) ~events:[ event 1 "e2" ]
+    engine_run (config ~prerequisites:cascade_prereqs) ~events:[ event 1 "e2" ]
   in
   Alcotest.(check (list string)) "reconstructed flow"
     [ "e1"; "e3"; "e5"; "e6"; "e4"; "e2" ]
@@ -98,7 +109,7 @@ let fig3b_one_to_many () =
       event 3 "e6";
     ]
   in
-  let items, _ = Engine.run (config ~prerequisites:prereqs) ~events in
+  let items, _ = engine_run (config ~prerequisites:prereqs) ~events in
   Alcotest.(check bool) "e2 before e4" true (index "e2" items < index "e4" items);
   Alcotest.(check bool) "e6 before e4" true (index "e6" items < index "e4" items);
   Alcotest.(check int) "all six" 6 (List.length items)
@@ -116,7 +127,7 @@ let fig3c_many_to_one () =
       event 2 "e4";
     ]
   in
-  let items, _ = Engine.run (config ~prerequisites:prereqs) ~events in
+  let items, _ = engine_run (config ~prerequisites:prereqs) ~events in
   Alcotest.(check bool) "e3 before e1" true (index "e3" items < index "e1" items);
   Alcotest.(check bool) "e3 before e5" true (index "e3" items < index "e5" items)
 
@@ -134,7 +145,7 @@ let fig3d_mixed () =
       event 3 "e6";
     ]
   in
-  let items, _ = Engine.run (config ~prerequisites:prereqs) ~events in
+  let items, _ = engine_run (config ~prerequisites:prereqs) ~events in
   List.iter
     (fun (before, after) ->
       Alcotest.(check bool)
@@ -156,7 +167,7 @@ let fig3a_insensitive_to_merge_order () =
     List.map
       (fun events ->
         let items, _ =
-          Engine.run (config ~prerequisites:cascade_prereqs) ~events
+          engine_run (config ~prerequisites:cascade_prereqs) ~events
         in
         flow_labels items
         |> List.filteri (fun _ _ -> true))
@@ -183,7 +194,7 @@ let unfireable_events_skipped () =
       infer_payload = (fun ~node:_ ~label:_ -> None);
     }
   in
-  let items, stats = Engine.run cfg ~events:[ (1, "bogus", None); (1, "e2", None) ] in
+  let items, stats = engine_run cfg ~events:[ (1, "bogus", None); (1, "e2", None) ] in
   Alcotest.(check int) "one skipped" 1 stats.skipped;
   Alcotest.(check (list string)) "e1 inferred then e2" [ "e1"; "e2" ]
     (flow_labels items)
@@ -196,7 +207,7 @@ let intra_fires_with_inferred_prefix () =
       infer_payload = (fun ~node:_ ~label:_ -> None);
     }
   in
-  let items, stats = Engine.run cfg ~events:[ (1, "e2", None) ] in
+  let items, stats = engine_run cfg ~events:[ (1, "e2", None) ] in
   Alcotest.(check int) "e1 inferred" 1 stats.emitted_inferred;
   (match items with
   | [ first; second ] ->
@@ -226,7 +237,7 @@ let historical_prerequisite () =
     }
   in
   let items, stats =
-    Engine.run cfg ~events:[ (2, "x", None); (2, "y", None); (1, "e1", None) ]
+    engine_run cfg ~events:[ (2, "x", None); (2, "y", None); (1, "e1", None) ]
   in
   Alcotest.(check int) "nothing inferred" 0 stats.emitted_inferred;
   Alcotest.(check (list string)) "order" [ "x"; "y"; "e1" ] (flow_labels items)
@@ -246,7 +257,7 @@ let prerequisite_cycle_terminates () =
       infer_payload = (fun ~node:_ ~label:_ -> None);
     }
   in
-  let items, _ = Engine.run cfg ~events:[ event 1 "e1"; event 2 "e3" ] in
+  let items, _ = engine_run cfg ~events:[ event 1 "e1"; event 2 "e3" ] in
   (* Both events appear; the cycle resolved by inferring one side. *)
   Alcotest.(check bool) "e1 present" true
     (List.exists (fun (i : (string, unit) Engine.item) -> i.label = "e1" && not i.inferred) items);
@@ -267,7 +278,7 @@ let unsatisfiable_prerequisite_ignored () =
       infer_payload = (fun ~node:_ ~label:_ -> None);
     }
   in
-  match Engine.run cfg ~events:[ event 1 "e1" ] with
+  match engine_run cfg ~events:[ event 1 "e1" ] with
   | exception _ -> Alcotest.fail "must not raise"
   | items, _ ->
       Alcotest.(check int) "fired anyway" 1 (List.length items)
@@ -284,7 +295,7 @@ let payload_synthesis_called () =
           Some ("payload-" ^ label));
     }
   in
-  let items, _ = Engine.run cfg ~events:[ (1, "e2", Some "logged") ] in
+  let items, _ = engine_run cfg ~events:[ (1, "e2", Some "logged") ] in
   Alcotest.(check (list string)) "synthesis for lost e1" [ "e1" ] !synthesized;
   match items with
   | [ first; second ] ->
@@ -309,7 +320,7 @@ let stats_match_obs_counters () =
   and cascades0 = C.value c_cascades
   and depth_obs0 = Refill_obs.Metrics.Histogram.count h_depth in
   let _, stats =
-    Engine.run (config ~prerequisites:cascade_prereqs)
+    engine_run (config ~prerequisites:cascade_prereqs)
       ~events:[ event 1 "e2"; (1, "bogus", None) ]
   in
   Alcotest.(check int) "logged delta" stats.emitted_logged
@@ -377,7 +388,7 @@ let interleaving_invariance_on_projections =
       in
       let rng = Prelude.Rng.create ~seed:(Int64.of_int seed) in
       let run es =
-        Engine.run (config ~prerequisites:cascade_prereqs) ~events:es
+        engine_run (config ~prerequisites:cascade_prereqs) ~events:es
       in
       let items_a, stats_a = run events in
       let items_b, stats_b = run (shuffle_merge rng events) in
@@ -412,7 +423,7 @@ let interleaving_preserves_lossless_output =
       in
       let rng = Prelude.Rng.create ~seed:(Int64.of_int seed) in
       let run es =
-        fst (Engine.run (config ~prerequisites:cascade_prereqs) ~events:es)
+        fst (engine_run (config ~prerequisites:cascade_prereqs) ~events:es)
       in
       let canonical = run events in
       let shuffled = run (shuffle_merge rng events) in
@@ -441,7 +452,7 @@ let intra_counter_counts_only_taken_transitions () =
   let c_intra = C.v "refill_intra_inferences_total" in
   let before = C.value c_intra in
   let items, stats =
-    Engine.run (config ~prerequisites:cascade_prereqs)
+    engine_run (config ~prerequisites:cascade_prereqs)
       ~events:[ event 1 "e2"; event 2 "e4" ]
   in
   Alcotest.(check (list string)) "reconstructed flow"
@@ -461,7 +472,7 @@ let prerequisites_precede_in_flow =
       let all_labels = [| "e1"; "e2"; "e3"; "e4"; "e5"; "e6" |] in
       let events = List.map (fun (n, l) -> (n, all_labels.(l), None)) raw in
       let items, _ =
-        Engine.run (config ~prerequisites:cascade_prereqs) ~events
+        engine_run (config ~prerequisites:cascade_prereqs) ~events
       in
       (* Track, per node, the flow index at which each state was entered. *)
       let entered = Hashtbl.create 16 in
@@ -494,7 +505,7 @@ let logged_events_emitted_once =
       let all_labels = [| "e1"; "e2"; "e3"; "e4"; "e5"; "e6" |] in
       let events = List.map (fun (n, l) -> (n, all_labels.(l), None)) raw in
       let items, stats =
-        Engine.run (config ~prerequisites:cascade_prereqs) ~events
+        engine_run (config ~prerequisites:cascade_prereqs) ~events
       in
       let logged =
         List.length

@@ -12,6 +12,15 @@ let truth () = Node.Network.truth (Lazy.force tiny).network
 
 let sink () = (Lazy.force tiny).sink
 
+(* Collect [Reconstruct.run]'s emissions into the list shape these tests
+   score. *)
+let reconstruct_flows ?jobs collected ~sink =
+  let config = { Refill.Config.default with jobs } in
+  let acc = ref [] in
+  Refill.Reconstruct.run ~config collected ~sink ~emit:(fun f ->
+      acc := f :: !acc);
+  List.rev !acc
+
 let verdict_causes flows =
   List.map
     (fun (f : Refill.Flow.t) ->
@@ -19,7 +28,7 @@ let verdict_causes flows =
     flows
 
 let lossless_cause_accuracy () =
-  let flows = Refill.Reconstruct.all (collected ()) ~sink:(sink ()) in
+  let flows = reconstruct_flows (collected ()) ~sink:(sink ()) in
   let confusion =
     Analysis.Metrics.confusion ~truth:(truth ()) ~verdicts:(verdict_causes flows)
   in
@@ -28,7 +37,7 @@ let lossless_cause_accuracy () =
     (Analysis.Metrics.accuracy confusion)
 
 let lossless_position_accuracy () =
-  let flows = Refill.Reconstruct.all (collected ()) ~sink:(sink ()) in
+  let flows = reconstruct_flows (collected ()) ~sink:(sink ()) in
   let positions =
     List.map
       (fun (f : Refill.Flow.t) ->
@@ -39,7 +48,7 @@ let lossless_position_accuracy () =
     (Analysis.Metrics.position_accuracy ~truth:(truth ()) ~positions)
 
 let lossless_delivered_flows_have_no_inference () =
-  let flows = Refill.Reconstruct.all (collected ()) ~sink:(sink ()) in
+  let flows = reconstruct_flows (collected ()) ~sink:(sink ()) in
   List.iter
     (fun (f : Refill.Flow.t) ->
       match Logsys.Truth.find (truth ()) ~origin:f.origin ~seq:f.seq with
@@ -51,7 +60,7 @@ let lossless_delivered_flows_have_no_inference () =
 
 let flows_preserve_local_log_order () =
   let collected = collected () in
-  let flows = Refill.Reconstruct.all collected ~sink:(sink ()) in
+  let flows = reconstruct_flows collected ~sink:(sink ()) in
   List.iter
     (fun (f : Refill.Flow.t) ->
       (* For each node, the logged (non-inferred) items must appear in the
@@ -97,8 +106,8 @@ let merge_order_does_not_change_verdicts () =
      reverse the cross-node group order by reconstructing from a reversed-id
      relabelling of the same logs. Cheaper equivalent: verdicts must be a
      pure function of the collected snapshot. *)
-  let flows1 = Refill.Reconstruct.all (collected ()) ~sink:(sink ()) in
-  let flows2 = Refill.Reconstruct.all (collected ()) ~sink:(sink ()) in
+  let flows1 = reconstruct_flows (collected ()) ~sink:(sink ()) in
+  let flows2 = reconstruct_flows (collected ()) ~sink:(sink ()) in
   Alcotest.(check bool) "deterministic"
     true
     (verdict_causes flows1 = verdict_causes flows2)
@@ -116,7 +125,7 @@ let lossy_accuracy_degrades_gracefully () =
     let lossy =
       Logsys.Collected.lossify (Logsys.Loss_model.uniform p) rng (collected ())
     in
-    let flows = Refill.Reconstruct.all lossy ~sink:scenario.sink in
+    let flows = reconstruct_flows lossy ~sink:scenario.sink in
     let raw =
       List.map
         (fun (f : Refill.Flow.t) ->
@@ -153,7 +162,7 @@ let refill_beats_naive_under_loss () =
     Logsys.Collected.lossify (Logsys.Loss_model.uniform 0.25) rng (collected ())
   in
   let refill_acc =
-    let flows = Refill.Reconstruct.all lossy ~sink:scenario.sink in
+    let flows = reconstruct_flows lossy ~sink:scenario.sink in
     Analysis.Metrics.accuracy
       (Analysis.Metrics.confusion ~truth:(truth ())
          ~verdicts:(verdict_causes flows))
@@ -176,7 +185,7 @@ let event_recall_high_under_loss () =
   let lossy =
     Logsys.Collected.lossify (Logsys.Loss_model.uniform 0.3) rng (collected ())
   in
-  let flows = Refill.Reconstruct.all lossy ~sink:scenario.sink in
+  let flows = reconstruct_flows lossy ~sink:scenario.sink in
   let gt = Logsys.Logger.ground_truth (Node.Network.logger scenario.network) in
   let q = Analysis.Metrics.flow_quality ~ground_truth:gt ~flows in
   Alcotest.(check bool)
@@ -204,13 +213,13 @@ let reconstruction_inference_only_under_loss =
         Logsys.Collected.lossify (Logsys.Loss_model.uniform 0.2) rng
           (collected ())
       in
-      let flows = Refill.Reconstruct.all lossy ~sink:scenario.sink in
+      let flows = reconstruct_flows lossy ~sink:scenario.sink in
       let summary = Refill.Reconstruct.summarize flows in
       summary.logged_events + summary.skipped_events
       = Logsys.Collected.total lossy)
 
 let summary_totals () =
-  let flows = Refill.Reconstruct.all (collected ()) ~sink:(sink ()) in
+  let flows = reconstruct_flows (collected ()) ~sink:(sink ()) in
   let s = Refill.Reconstruct.summarize flows in
   Alcotest.(check int) "packet count" (List.length flows) s.packets;
   Alcotest.(check bool) "processed everything" true

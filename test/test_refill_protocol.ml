@@ -9,7 +9,13 @@ let record node kind : Logsys.Record.t =
 let reconstruct ?(origin = 1) ?(sink = 99) records =
   let config = Protocol.make_config ~records ~origin ~seq:0 ~sink in
   let events = Protocol.events_of_records records in
-  let items, stats = Engine.run config ~events in
+  let acc = ref [] in
+  let stats =
+    Engine.process config
+      (Engine.Events (Array.of_list events))
+      ~emit:(fun it -> acc := it :: !acc)
+  in
+  let items = List.rev !acc in
   { Flow.origin; seq = 0; items; stats }
 
 let flow_string flow = Flow.to_string flow

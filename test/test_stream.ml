@@ -1,0 +1,426 @@
+(* Streaming reconstruction: frontier/watermark semantics, equivalence with
+   the batch pipeline, chunk-size invariance, checkpoint/resume, the
+   segmented reader, and the incremental global-flow merge. *)
+
+let scenario = lazy (Scenario.Citysee.run Scenario.Citysee.tiny)
+
+let lossless = lazy (Scenario.Citysee.collected (Lazy.force scenario))
+
+let sink () = (Lazy.force scenario).sink
+
+let lossy_collected p seed =
+  let rng = Prelude.Rng.create ~seed:(Int64.of_int seed) in
+  Logsys.Collected.lossify (Logsys.Loss_model.uniform p) rng
+    (Lazy.force lossless)
+
+(* A flow's observable identity: nan-safe (Flow.to_string prints items;
+   stats are plain ints), unlike polymorphic equality on the payload
+   records. *)
+let flow_sig (f : Refill.Flow.t) =
+  (f.origin, f.seq, Refill.Flow.to_string f, f.stats)
+
+let batch_flows collected =
+  let acc = ref [] in
+  Refill.Reconstruct.run collected ~sink:(sink ()) ~emit:(fun f ->
+      acc := f :: !acc);
+  List.rev !acc
+
+(* Stream [collected]'s arrival-order trace in [chunk]-sized segments. *)
+let stream_all ?(watermark = max_int / 2) ~chunk collected =
+  let ordered = Logsys.Collected.merged_by_time collected in
+  let acc = ref [] in
+  let config = { Refill.Config.default with watermark } in
+  let t =
+    Refill.Stream.create ~config ~sink:(sink ()) ~emit:(fun e ->
+        acc := e :: !acc)
+      ()
+  in
+  let n = Array.length ordered in
+  let i = ref 0 in
+  while !i < n do
+    let len = min chunk (n - !i) in
+    Refill.Stream.feed t (Array.sub ordered !i len);
+    i := !i + len
+  done;
+  let s = Refill.Stream.finish t in
+  (List.rev !acc, s)
+
+let emission_sigs es =
+  List.map
+    (fun (e : Refill.Stream.emitted) -> (flow_sig e.flow, e.outcome))
+    es
+
+let sort_by_key l =
+  List.stable_sort
+    (fun ((o1, s1, _, _), _) ((o2, s2, _, _), _) -> compare (o1, s1) (o2, s2))
+    l
+
+(* -- Pinned acceptance: lossless tiny rung ------------------------------- *)
+
+let lossless_stream_equals_batch () =
+  let collected = Lazy.force lossless in
+  let total = Logsys.Collected.total collected in
+  let watermark = max 1 (total / 20) in
+  let emitted, s = stream_all ~watermark ~chunk:512 collected in
+  Alcotest.(check int) "every record consumed" total s.events;
+  Alcotest.(check int) "no late fragments on lossless input" 0
+    s.late_fragments;
+  Alcotest.(check int) "all flows complete" s.flows s.complete;
+  Alcotest.(check bool)
+    (Printf.sprintf "peak frontier %d < 10%% of %d records"
+       s.peak_frontier_events total)
+    true
+    (s.peak_frontier_events * 10 < total);
+  let batch = List.map flow_sig (batch_flows collected) in
+  let streamed =
+    List.map fst (sort_by_key (emission_sigs emitted))
+  in
+  Alcotest.(check int) "one flow per packet" (List.length batch)
+    (List.length streamed);
+  List.iter2
+    (fun (bo, bs, bstr, bstats) (so, ss, sstr, sstats) ->
+      Alcotest.(check (pair int int)) "key" (bo, bs) (so, ss);
+      Alcotest.(check string) "flow" bstr sstr;
+      Alcotest.(check bool) "stats" true (bstats = sstats))
+    batch streamed
+
+(* -- Chunk-size invariance ------------------------------------------------ *)
+
+let chunk_invariance =
+  QCheck.Test.make ~name:"stream emissions independent of chunk size"
+    ~count:15
+    QCheck.(int_range 1 777)
+    (fun chunk ->
+      let collected = Lazy.force lossless in
+      let watermark = max 1 (Logsys.Collected.total collected / 10) in
+      let reference, _ = stream_all ~watermark ~chunk:256 collected in
+      let got, _ = stream_all ~watermark ~chunk collected in
+      emission_sigs got = emission_sigs reference)
+
+(* -- Lossy inputs --------------------------------------------------------- *)
+
+(* Under loss and an aggressive watermark a packet may be split across
+   evictions.  The one-directional guarantee: any key whose streamed flows
+   differ from its batch flow has an Incomplete flow among them, and no
+   record is dropped on the floor. *)
+let lossy_divergence_is_flagged =
+  QCheck.Test.make ~name:"lossy streaming divergence is flagged Incomplete"
+    ~count:10
+    QCheck.(pair (int_range 0 1000) (int_range 1 10_000))
+    (fun (loss_milli, seed) ->
+      let p = float_of_int loss_milli /. 2000. in
+      let collected = lossy_collected p seed in
+      let total = Logsys.Collected.total collected in
+      let emitted, s = stream_all ~watermark:150 ~chunk:97 collected in
+      let consumed =
+        List.fold_left
+          (fun acc (e : Refill.Stream.emitted) ->
+            acc + e.flow.stats.emitted_logged + e.flow.stats.skipped)
+          0 emitted
+      in
+      if consumed <> total then
+        QCheck.Test.fail_reportf "record conservation: %d fed, %d consumed"
+          total consumed;
+      if s.events <> total then QCheck.Test.fail_report "events <> total";
+      let by_key = Hashtbl.create 64 in
+      List.iter
+        (fun (e : Refill.Stream.emitted) ->
+          let k = (e.flow.origin, e.flow.seq) in
+          Hashtbl.replace by_key k
+            (e :: Option.value ~default:[] (Hashtbl.find_opt by_key k)))
+        emitted;
+      List.for_all
+        (fun (b : Refill.Flow.t) ->
+          let streamed =
+            List.rev
+              (Option.value ~default:[]
+                 (Hashtbl.find_opt by_key (b.origin, b.seq)))
+          in
+          match streamed with
+          | [ one ] when flow_sig one.flow = flow_sig b -> true
+          | parts ->
+              (* Divergence from batch: must carry an Incomplete flag. *)
+              List.exists
+                (fun (e : Refill.Stream.emitted) ->
+                  e.outcome = Refill.Stream.Incomplete)
+                parts)
+        (batch_flows collected))
+
+(* -- Checkpoint / resume -------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "refill-stream" ".ckpt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let checkpoint_resume_identical () =
+  let collected = lossy_collected 0.25 42 in
+  let ordered = Logsys.Collected.merged_by_time collected in
+  let n = Array.length ordered in
+  let config = { Refill.Config.default with watermark = 150 } in
+  let run_split cut =
+    with_temp_file @@ fun path ->
+    let acc = ref [] in
+    let t1 =
+      Refill.Stream.create ~config ~sink:(sink ()) ~emit:(fun e ->
+          acc := e :: !acc)
+        ()
+    in
+    Refill.Stream.feed t1 (Array.sub ordered 0 cut);
+    (match Refill.Stream.checkpoint_file t1 path with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "checkpoint: %s" (Refill.Error.message e));
+    (* The abandoned first stream must not influence the resumed one. *)
+    let t2 =
+      match
+        Refill.Stream.resume_file ~config path ~sink:(sink ())
+          ~emit:(fun e -> acc := e :: !acc)
+      with
+      | Ok t -> t
+      | Error e -> Alcotest.failf "resume: %s" (Refill.Error.message e)
+    in
+    Alcotest.(check int) "resume position" cut (Refill.Stream.processed t2);
+    Refill.Stream.feed t2 (Array.sub ordered cut (n - cut));
+    let s = Refill.Stream.finish t2 in
+    (List.rev !acc, s)
+  in
+  let direct, sd = stream_all ~watermark:150 ~chunk:max_int collected in
+  List.iter
+    (fun cut ->
+      let resumed, sr = run_split cut in
+      Alcotest.(check bool)
+        (Printf.sprintf "emissions at cut %d" cut)
+        true
+        (emission_sigs resumed = emission_sigs direct);
+      Alcotest.(check bool)
+        (Printf.sprintf "summary at cut %d" cut)
+        true
+        ({ sr with segments = sd.segments } = sd))
+    [ 1; n / 3; n / 2; n - 1 ]
+
+let resume_rejects_garbage () =
+  with_temp_file @@ fun path ->
+  let oc = open_out path in
+  output_string oc "not a checkpoint\n";
+  close_out oc;
+  match
+    Refill.Stream.resume_file path ~sink:(sink ()) ~emit:(fun _ -> ())
+  with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error (Refill.Error.Bad_checkpoint _ as e) ->
+      Alcotest.(check int) "exit code" 1 (Refill.Error.exit_code e)
+  | Error e -> Alcotest.failf "wrong error: %s" (Refill.Error.message e)
+
+let feed_after_finish_raises () =
+  let t = Refill.Stream.create ~sink:0 ~emit:(fun _ -> ()) () in
+  ignore (Refill.Stream.finish t);
+  Alcotest.check_raises "feed after finish"
+    (Invalid_argument "Stream.feed: stream already finished") (fun () ->
+      Refill.Stream.feed t [||])
+
+(* -- Segmented reader ----------------------------------------------------- *)
+
+(* Ordinary dump lines carry %.6f times, so reloaded records match the
+   originals only up to that precision (exact lines are covered
+   separately). *)
+let record_close (a : Logsys.Record.t) (b : Logsys.Record.t) =
+  a.node = b.node
+  && Logsys.Record.kind_equal a.kind b.kind
+  && a.origin = b.origin && a.pkt_seq = b.pkt_seq && a.gseq = b.gseq
+  && ((Float.is_nan a.true_time && Float.is_nan b.true_time)
+     || Float.abs (a.true_time -. b.true_time) < 1e-5)
+
+let seg_reader_roundtrip () =
+  let collected = Lazy.force lossless in
+  let ordered = Logsys.Collected.merged_by_time collected in
+  with_temp_file @@ fun path ->
+  Logsys.Log_io.save_file path ~sink:(sink ()) ~time_order:true collected;
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let r = Logsys.Log_io.Seg.of_channel ic in
+  Alcotest.(check int) "n_nodes"
+    (Logsys.Collected.n_nodes collected)
+    (Logsys.Log_io.Seg.n_nodes r);
+  Alcotest.(check int) "sink" (sink ()) (Logsys.Log_io.Seg.sink r);
+  let acc = ref [] in
+  let rec loop () =
+    match Logsys.Log_io.Seg.next r ~max_records:61 with
+    | None -> ()
+    | Some seg ->
+        Alcotest.(check bool) "non-empty segment" true (Array.length seg > 0);
+        acc := seg :: !acc;
+        loop ()
+  in
+  loop ();
+  let got = Array.concat (List.rev !acc) in
+  Alcotest.(check int) "record count" (Array.length ordered)
+    (Array.length got);
+  Array.iteri
+    (fun i r ->
+      if not (record_close ordered.(i) r) then
+        Alcotest.failf "record %d differs: %s vs %s" i
+          (Logsys.Record.to_string ordered.(i))
+          (Logsys.Record.to_string r))
+    got
+
+let seg_skip_fast_forwards () =
+  let collected = Lazy.force lossless in
+  let ordered = Logsys.Collected.merged_by_time collected in
+  with_temp_file @@ fun path ->
+  Logsys.Log_io.save_file path ~sink:(sink ()) ~time_order:true collected;
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let r = Logsys.Log_io.Seg.of_channel ic in
+  Alcotest.(check int) "skipped" 100 (Logsys.Log_io.Seg.skip r 100);
+  (match Logsys.Log_io.Seg.next r ~max_records:1 with
+  | Some [| rec_ |] ->
+      Alcotest.(check bool) "positioned at record 100" true
+        (record_close ordered.(100) rec_)
+  | _ -> Alcotest.fail "no record after skip");
+  let n = Array.length ordered in
+  Alcotest.(check int) "skip clamps at EOF" (n - 101)
+    (Logsys.Log_io.Seg.skip r (n + 500))
+
+let exact_record_line_roundtrip () =
+  let records = Logsys.Collected.merged_by_time (Lazy.force lossless) in
+  let some = [ records.(0); records.(Array.length records / 2) ] in
+  let nan_rec = { (List.hd some) with Logsys.Record.true_time = Float.nan } in
+  List.iter
+    (fun r ->
+      let back =
+        Logsys.Log_io.record_of_line (Logsys.Log_io.record_to_line_exact r)
+      in
+      Alcotest.(check bool)
+        ("round-trip " ^ Logsys.Record.to_string r)
+        true
+        (Logsys.Record.equal r back && back.true_time = r.true_time
+        || (Float.is_nan back.true_time && Float.is_nan r.true_time)))
+    (nan_rec :: some)
+
+let codec_segment_roundtrip () =
+  let collected = Lazy.force lossless in
+  let ordered = Logsys.Collected.merged_by_time collected in
+  let seg = Array.sub ordered 0 (min 500 (Array.length ordered)) in
+  let decoded = Logsys.Codec.decode_segment (Logsys.Codec.encode_segment seg) in
+  Alcotest.(check int) "count" (Array.length seg) (Array.length decoded);
+  Array.iteri
+    (fun i (r : Logsys.Record.t) ->
+      let d = decoded.(i) in
+      Alcotest.(check int) "node" r.node d.node;
+      Alcotest.(check bool) "kind" true (Logsys.Record.kind_equal r.kind d.kind);
+      Alcotest.(check (pair int int)) "key" (r.origin, r.pkt_seq)
+        (d.origin, d.pkt_seq);
+      Alcotest.(check bool) "truth stripped" true
+        (Float.is_nan d.true_time && d.gseq = -1))
+    seg;
+  Alcotest.check_raises "trailing bytes rejected"
+    (Failure "Codec: trailing bytes in segment") (fun () ->
+      ignore
+        (Logsys.Codec.decode_segment
+           (Bytes.cat (Logsys.Codec.encode_segment seg) (Bytes.make 1 'x'))))
+
+(* -- Incremental global flow ---------------------------------------------- *)
+
+let incremental_merge_equals_batch () =
+  let collected = lossy_collected 0.2 7 in
+  let flows = Array.of_list (batch_flows collected) in
+  let batch_items = ref [] in
+  let batch_stats =
+    Refill.Global_flow.merge collected ~flows ~emit:(fun it ->
+        batch_items := Refill.Flow.item_to_string it :: !batch_items)
+  in
+  let inc =
+    Refill.Global_flow.Incremental.create
+      ~n_nodes:(Logsys.Collected.n_nodes collected)
+      ()
+  in
+  (* Records arrive in stream order and chunked; flows in eviction (not
+     key) order — finish must not care. *)
+  let ordered = Logsys.Collected.merged_by_time collected in
+  let n = Array.length ordered in
+  let i = ref 0 in
+  while !i < n do
+    let len = min 333 (n - !i) in
+    Refill.Global_flow.Incremental.add_records inc (Array.sub ordered !i len);
+    i := !i + len
+  done;
+  let shuffled = Array.copy flows in
+  let rng = Prelude.Rng.create ~seed:99L in
+  for i = Array.length shuffled - 1 downto 1 do
+    let j = Prelude.Rng.int rng (i + 1) in
+    let tmp = shuffled.(i) in
+    shuffled.(i) <- shuffled.(j);
+    shuffled.(j) <- tmp
+  done;
+  Array.iter (Refill.Global_flow.Incremental.add_flow inc) shuffled;
+  let inc_items = ref [] in
+  let inc_stats =
+    Refill.Global_flow.Incremental.finish inc ~emit:(fun it ->
+        inc_items := Refill.Flow.item_to_string it :: !inc_items)
+  in
+  Alcotest.(check bool) "stats" true (batch_stats = inc_stats);
+  Alcotest.(check (list string)) "items"
+    (List.rev !batch_items) (List.rev !inc_items)
+
+(* -- Summaries and config -------------------------------------------------- *)
+
+let summarize_array_matches_list () =
+  let flows = batch_flows (Lazy.force lossless) in
+  Alcotest.(check bool) "array summary = list summary" true
+    (Refill.Reconstruct.summarize flows
+    = Refill.Reconstruct.summarize_array (Array.of_list flows))
+
+let config_validation () =
+  (match Refill.Config.validate Refill.Config.default with
+  | Ok c -> Alcotest.(check bool) "default valid" true (c = Refill.Config.default)
+  | Error e -> Alcotest.failf "default invalid: %s" (Refill.Error.message e));
+  List.iter
+    (fun bad ->
+      match Refill.Config.validate bad with
+      | Ok _ -> Alcotest.fail "invalid config accepted"
+      | Error e -> Alcotest.(check int) "exit 2" 2 (Refill.Error.exit_code e))
+    [
+      { Refill.Config.default with watermark = 0 };
+      { Refill.Config.default with chunk_events = -3 };
+      { Refill.Config.default with jobs = Some 0 };
+    ]
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "lossless stream equals batch" `Quick
+            lossless_stream_equals_batch;
+          QCheck_alcotest.to_alcotest chunk_invariance;
+          QCheck_alcotest.to_alcotest lossy_divergence_is_flagged;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "resume is byte-identical" `Quick
+            checkpoint_resume_identical;
+          Alcotest.test_case "garbage rejected" `Quick resume_rejects_garbage;
+          Alcotest.test_case "feed after finish" `Quick
+            feed_after_finish_raises;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "seg reader round-trip" `Quick
+            seg_reader_roundtrip;
+          Alcotest.test_case "seg skip" `Quick seg_skip_fast_forwards;
+          Alcotest.test_case "exact record lines" `Quick
+            exact_record_line_roundtrip;
+          Alcotest.test_case "codec segment round-trip" `Quick
+            codec_segment_roundtrip;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "incremental merge equals batch" `Quick
+            incremental_merge_equals_batch;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "summarize_array" `Quick
+            summarize_array_matches_list;
+          Alcotest.test_case "config validation" `Quick config_validation;
+        ] );
+    ]
