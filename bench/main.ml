@@ -15,10 +15,11 @@ let section title =
 
 (* List/array wrappers over the sink-parameterized pipeline entry points —
    the experiments below compare and fold flows, so they materialize. *)
-let reconstruct_flows ?(use_intra = true) ?(use_inter = true) collected ~sink =
+let reconstruct_flows ?(use_intra = true) ?(use_inter = true)
+    ?(provenance = false) collected ~sink =
   let acc = ref [] in
   Refill.Reconstruct.run
-    ~config:{ Refill.Config.default with use_intra; use_inter }
+    ~config:{ Refill.Config.default with use_intra; use_inter; provenance }
     collected ~sink
     ~emit:(fun f -> acc := f :: !acc);
   List.rev !acc
@@ -629,9 +630,57 @@ type scaling_point = {
   analysis_seconds : float;
   stream_seconds : float;
   peak_frontier_events : int;
+  gc_minor_collections : int;
+  gc_major_words : float;
+  peak_heap_words : int;
 }
 
 let scaling_results : scaling_point list ref = ref []
+
+(* Provenance cost on the default rung: best-of-3 minimum wall time of the
+   batch reconstruction with the side-car provenance on vs off.  The ISSUE
+   budget is < 10% overhead; CI gates on the persisted ratio. *)
+let provenance_overhead : float option ref = ref None
+
+(* Interleaved A/B timing for sub-millisecond workloads.  Timing [f] and
+   [g] in adjacent samples cancels machine-level drift (frequency scaling,
+   GC pacing, cache state) that makes separate best-of-N runs
+   incomparable; alternating which side goes first cancels order bias; and
+   the *median* of the per-round ratios shrugs off rounds where the
+   scheduler landed on one side.  Each sample times [iters] consecutive
+   calls so clock granularity stays far below the measured interval, and
+   starts from a freshly-emptied minor heap so allocation pacing is the
+   workload's own.  Returns (time_f, time_g, median ratio g/f). *)
+let interleaved_ratio ?(rounds = 15) ?(iters = 50) f g =
+  let time h =
+    Gc.minor ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      h ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters
+  in
+  let ratios = Array.make rounds 0. in
+  let best_f = ref infinity and best_g = ref infinity in
+  for round = 0 to rounds - 1 do
+    let tf, tg =
+      if round land 1 = 0 then begin
+        let tf = time f in
+        let tg = time g in
+        (tf, tg)
+      end
+      else begin
+        let tg = time g in
+        let tf = time f in
+        (tf, tg)
+      end
+    in
+    best_f := Float.min !best_f tf;
+    best_g := Float.min !best_g tg;
+    ratios.(round) <- tg /. Float.max 1e-9 tf
+  done;
+  Array.sort compare ratios;
+  (!best_f, !best_g, ratios.(rounds / 2))
 
 let scaling_rung name params =
   let t0 = Unix.gettimeofday () in
@@ -641,6 +690,7 @@ let scaling_rung name params =
     Scenario.Citysee.collected_lossy scenario Logsys.Loss_model.default
   in
   let records = Logsys.Collected.total collected in
+  let gc0 = Refill_obs.Profile.sample () in
   let t1 = Unix.gettimeofday () in
   let flows = reconstruct_flows_array collected ~sink:scenario.sink in
   let dt_rec = Unix.gettimeofday () -. t1 in
@@ -680,6 +730,7 @@ let scaling_rung name params =
   done;
   let ssum = Refill.Stream.finish stream in
   let dt_stream = Unix.gettimeofday () -. t4 in
+  let gc = Refill_obs.Profile.(delta ~before:gc0 ~after:(sample ())) in
   Printf.printf
     "%-12s  %9d records  %9d flow events  %7d delivered  sim %6.1fs\n\
      %14sreconstruct %8.3fs (%.0f events/s)  global_flow %8.3fs  analysis \
@@ -695,6 +746,14 @@ let scaling_rung name params =
     (100.
     *. float_of_int ssum.peak_frontier_events
     /. float_of_int (max 1 records));
+  Printf.printf
+    "%14sgc          %d minor / %d major collections, %.1fM major words, \
+     peak heap %.1fM words\n"
+    "" gc.Refill_obs.Profile.minor_collections gc.major_collections
+    (gc.major_words /. 1e6)
+    (float_of_int gc.top_heap_words /. 1e6);
+  (* The default (smallest) rung doubles as the provenance-overhead probe:
+     re-run the batch reconstruction alone, side-car off vs on. *)
   scaling_results :=
     {
       rung = name;
@@ -705,6 +764,9 @@ let scaling_rung name params =
       analysis_seconds = dt_an;
       stream_seconds = dt_stream;
       peak_frontier_events = ssum.peak_frontier_events;
+      gc_minor_collections = gc.minor_collections;
+      gc_major_words = gc.major_words;
+      peak_heap_words = gc.top_heap_words;
     }
     :: !scaling_results
 
@@ -715,16 +777,52 @@ let scaling_ladder =
     ("citysee-30d", Scenario.Citysee.default);
   ]
 
+(* Provenance-on vs provenance-off batch reconstruction, on the two-day
+   trace: the tiny rung's packets are so small that the ratio there is
+   dominated by GC-phase alignment, not by the side-car (observed swings
+   of ±5% between identical runs); at ~87k records one reconstruction is
+   ~20ms and the median interleaved ratio is stable to ~1%.  Serial jobs
+   keep domain-spawn jitter out of the measurement.  Flows are consumed as
+   they are emitted — retaining the whole flow list would measure the
+   caller's GC retention, not the side-car. *)
+let provenance_probe () =
+  let scenario = Scenario.Citysee.run Scenario.Citysee.two_day in
+  let collected =
+    Scenario.Citysee.collected_lossy scenario Logsys.Loss_model.default
+  in
+  let consumed = ref 0 in
+  let run prov =
+    Refill.Reconstruct.run
+      ~config:
+        { Refill.Config.default with provenance = prov; jobs = Some 1 }
+      collected ~sink:scenario.sink
+      ~emit:(fun f ->
+        consumed := !consumed + f.Refill.Flow.stats.emitted_logged)
+  in
+  let off, on_, ratio =
+    interleaved_ratio ~rounds:11 ~iters:1
+      (fun () -> run false)
+      (fun () -> run true)
+  in
+  ignore !consumed;
+  provenance_overhead := Some ratio;
+  Printf.printf
+    "%-12s  provenance-on %.4fs vs off %.4fs: x%.3f overhead (median of 11 \
+     interleaved rounds)\n"
+    "prov-probe" on_ off ratio
+
 let run_scaling () =
   section "A10 — reconstruction scaling: events vs wall time (small → 30-day \
            CitySee)";
-  List.iter (fun (name, params) -> scaling_rung name params) scaling_ladder
+  List.iter (fun (name, params) -> scaling_rung name params) scaling_ladder;
+  provenance_probe ()
 
 let run_scaling_smoke () =
   section "A10 (smoke) — reconstruction scaling, smallest rung only";
-  match scaling_ladder with
+  (match scaling_ladder with
   | (name, params) :: _ -> scaling_rung name params
-  | [] -> ()
+  | [] -> ());
+  provenance_probe ()
 
 (* -- Extension A2: bechamel microbenchmarks ----------------------------------- *)
 
@@ -860,10 +958,21 @@ let write_bench_json timings =
                      ("stream_seconds", J.Num p.stream_seconds);
                      ( "peak_frontier_events",
                        J.Num (float_of_int p.peak_frontier_events) );
+                     ( "gc_minor_collections",
+                       J.Num (float_of_int p.gc_minor_collections) );
+                     ("gc_major_words", J.Num p.gc_major_words);
+                     ( "peak_heap_words",
+                       J.Num (float_of_int p.peak_heap_words) );
                    ])
                !scaling_results) );
         ("metrics", Refill_obs.Metrics.to_json ());
       ]
+  in
+  let doc =
+    match (!provenance_overhead, doc) with
+    | Some r, J.Obj fields ->
+        J.Obj (fields @ [ ("provenance_overhead_ratio", J.Num r) ])
+    | _ -> doc
   in
   let oc = open_out path in
   Fun.protect

@@ -71,6 +71,11 @@ let dump_metrics = function
         Obs.Log.info "metrics dump written to %s" dest
       end
 
+(* One process-wide at_exit flush: whatever sink is still installed when
+   the process ends gets finalized, so --trace-out files are complete
+   valid JSON even on paths that bypass the normal teardown. *)
+let () = at_exit (fun () -> Obs.Sink.close (Obs.Span.sink ()))
+
 (* Install the requested log level and trace sink, run the command body, and
    tear down — turning unreadable/corrupt inputs into a clear message and a
    non-zero exit instead of an exception backtrace. *)
@@ -79,13 +84,20 @@ let with_observability opts f =
     (if opts.quiet then Obs.Log.Quiet
      else if opts.verbose then Obs.Log.Debug
      else Obs.Log.Info);
-  let cleanup () =
-    Obs.Sink.close (Obs.Span.sink ());
-    Obs.Span.set_sink Obs.Sink.null
+  let cleanup () = Obs.Sink.close (Obs.Span.swap_sink Obs.Sink.null) in
+  (* Partial-run counters are still worth dumping when the command dies
+     mid-way; a dump failure on that path must not mask the original
+     error. *)
+  let dump_metrics_guarded () =
+    try dump_metrics opts.metrics
+    with Sys_error msg -> Obs.Log.error "metrics dump failed: %s" msg
   in
   match
     (match opts.trace_out with
-    | Some path -> Obs.Span.set_sink (Obs.Sink.file path)
+    | Some path ->
+        (* swap, then close: a sink left installed by an earlier install
+           must be finalized, not leaked. *)
+        Obs.Sink.close (Obs.Span.swap_sink (Obs.Sink.file path))
     | None -> ());
     let code = f () in
     cleanup ();
@@ -101,10 +113,12 @@ let with_observability opts f =
   | code -> code
   | exception Sys_error msg ->
       cleanup ();
+      dump_metrics_guarded ();
       Obs.Log.error "%s" msg;
       1
   | exception Failure msg ->
       cleanup ();
+      dump_metrics_guarded ();
       Obs.Log.error "%s" msg;
       1
 
@@ -113,6 +127,38 @@ let with_observability opts f =
 let err_exit e =
   Obs.Log.error "%s" (Refill.Error.message e);
   Refill.Error.exit_code e
+
+(* -- Provenance / flow-quality plumbing ------------------------------------- *)
+
+(* --provenance[=FILE]: bare flag prints the human scorecard summary;
+   FILE writes the refill-quality-v1 JSON document ('-' = stdout). The
+   empty string is the bare flag's sentinel (never a valid path). *)
+let provenance_arg =
+  let doc =
+    "Collect per-event provenance and report flow-quality scorecards \
+     (fraction inferred, mechanism mix, per-node and per-link loss \
+     estimates).  With $(docv), write the full refill-quality-v1 JSON \
+     document to $(docv) ('-' = stdout); bare $(opt) prints a human \
+     summary."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "provenance" ] ~docv:"FILE" ~doc)
+
+let write_quality dest q =
+  match dest with
+  | "" -> print_string (Analysis.Quality.to_string q)
+  | "-" ->
+      print_string (Obs.Json.to_string (Analysis.Quality.to_json q) ^ "\n")
+  | path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Obs.Json.to_string (Analysis.Quality.to_json q) ^ "\n"));
+      Obs.Log.info "flow-quality report written to %s" path
 
 (* -- Shared argument definitions ------------------------------------------- *)
 
@@ -242,17 +288,23 @@ let print_breakdown verdicts ~sink ~total_label =
             (if s > 0 then Printf.sprintf "  [%d at sink]" s else ""))
     (Logsys.Cause.loss_causes @ [ Logsys.Cause.Unknown ])
 
-let analyze obs global_flow input =
+let analyze obs global_flow provenance input =
   with_observability obs @@ fun () ->
   match Logsys.Log_io.load_file input with
   | dump ->
       Obs.Log.debug "loaded %d surviving records from %s"
         (Logsys.Collected.total dump.collected)
         input;
+      let config =
+        { Refill.Config.default with provenance = provenance <> None }
+      in
       let flows_rev = ref [] in
-      Refill.Reconstruct.run dump.collected ~sink:dump.sink ~emit:(fun f ->
-          flows_rev := f :: !flows_rev);
+      Refill.Reconstruct.run ~config dump.collected ~sink:dump.sink
+        ~emit:(fun f -> flows_rev := f :: !flows_rev);
       let flows = List.rev !flows_rev in
+      Option.iter
+        (fun dest -> write_quality dest (Analysis.Quality.of_flows flows))
+        provenance;
       let summary = Refill.Reconstruct.summarize flows in
       Printf.printf
         "reconstructed %d packets: %d logged events, %d inferred lost \
@@ -330,7 +382,7 @@ let analyze_cmd =
   let doc = "Reconstruct event flows from a log dump and classify losses." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const analyze $ obs_opts_term $ global_flow $ input)
+    Term.(const analyze $ obs_opts_term $ global_flow $ provenance_arg $ input)
 
 (* -- reconstruct -------------------------------------------------------------- *)
 
@@ -354,7 +406,7 @@ let print_stream_summary (s : Refill.Stream.summary) =
     s.events s.segments s.flows s.complete s.incomplete s.evictions
     s.late_fragments s.peak_frontier_events
 
-let reconstruct_batch (config : Refill.Config.t) ~global_flow input =
+let reconstruct_batch (config : Refill.Config.t) ~global_flow ~quality input =
   match
     Refill.Error.guard ~source:input (fun () -> Logsys.Log_io.load_file input)
   with
@@ -362,11 +414,18 @@ let reconstruct_batch (config : Refill.Config.t) ~global_flow input =
   | Ok dump ->
       let summary = ref Refill.Reconstruct.empty_summary in
       let flows_rev = ref [] in
+      (* Quality accumulates per flow as it is emitted, so the provenance
+         path never forces flow retention (only --global-flow does). *)
+      let qacc = Option.map (fun _ -> Analysis.Quality.create ()) quality in
       Refill.Reconstruct.run ~config dump.collected ~sink:dump.sink
         ~emit:(fun f ->
           summary := Refill.Reconstruct.summary_add !summary f;
+          Option.iter (fun acc -> Analysis.Quality.add acc f) qacc;
           if global_flow then flows_rev := f :: !flows_rev);
       print_packet_summary !summary;
+      (match (quality, qacc) with
+      | Some dest, Some acc -> write_quality dest (Analysis.Quality.finish acc)
+      | _ -> ());
       if global_flow then
         print_global_flow_stats
           (Refill.Global_flow.merge ?jobs:config.jobs dump.collected
@@ -374,8 +433,8 @@ let reconstruct_batch (config : Refill.Config.t) ~global_flow input =
              ~emit:ignore);
       0
 
-let reconstruct_stream (config : Refill.Config.t) ~global_flow ~checkpoint
-    ~finish input =
+let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
+    ~checkpoint ~finish input =
   match open_in input with
   | exception Sys_error message ->
       err_exit (Refill.Error.Io { path = input; message })
@@ -397,8 +456,10 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~checkpoint
             else None
           in
           let summary = ref Refill.Reconstruct.empty_summary in
+          let qacc = Option.map (fun _ -> Analysis.Quality.create ()) quality in
           let emit (e : Refill.Stream.emitted) =
             summary := Refill.Reconstruct.summary_add !summary e.flow;
+            Option.iter (fun acc -> Analysis.Quality.add acc e.flow) qacc;
             Option.iter
               (fun g -> Refill.Global_flow.Incremental.add_flow g e.flow)
               inc
@@ -470,6 +531,10 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~checkpoint
                         let s = Refill.Stream.finish t in
                         print_packet_summary !summary;
                         print_stream_summary s;
+                        (match (quality, qacc) with
+                        | Some dest, Some acc ->
+                            write_quality dest (Analysis.Quality.finish acc)
+                        | _ -> ());
                         Option.iter
                           (fun g ->
                             print_global_flow_stats
@@ -488,11 +553,17 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~checkpoint
                       0))))
 
 let reconstruct obs stream chunk_events watermark jobs checkpoint finish
-    global_flow input =
+    global_flow quality input =
   with_observability obs @@ fun () ->
   match
     Refill.Config.validate
-      { Refill.Config.default with chunk_events; watermark; jobs }
+      {
+        Refill.Config.default with
+        chunk_events;
+        watermark;
+        jobs;
+        provenance = quality <> None;
+      }
   with
   | Error e -> err_exit e
   | Ok config ->
@@ -507,8 +578,9 @@ let reconstruct obs stream chunk_events watermark jobs checkpoint finish
               incremental merge needs the records from before the resume \
               point")
       else if stream then
-        reconstruct_stream config ~global_flow ~checkpoint ~finish input
-      else reconstruct_batch config ~global_flow input
+        reconstruct_stream config ~global_flow ~quality ~checkpoint ~finish
+          input
+      else reconstruct_batch config ~global_flow ~quality input
 
 let reconstruct_cmd =
   let input =
@@ -598,7 +670,7 @@ let reconstruct_cmd =
     (Cmd.info "reconstruct" ~doc ~man)
     Term.(
       const reconstruct $ obs_opts_term $ stream $ chunk_events $ watermark
-      $ jobs $ checkpoint $ finish $ global_flow $ input)
+      $ jobs $ checkpoint $ finish $ global_flow $ provenance_arg $ input)
 
 (* -- trace -------------------------------------------------------------------- *)
 
@@ -669,6 +741,175 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc)
     Term.(const trace $ obs_opts_term $ input $ origin $ seq)
+
+(* -- explain ------------------------------------------------------------------- *)
+
+let explain_json ~origin ~seq ~records (flow : Refill.Flow.t) =
+  let module J = Obs.Json in
+  let num i = J.Num (float_of_int i) in
+  let evidence_json (pv : Refill.Provenance.t) =
+    J.Arr
+      (Array.to_list (Refill.Provenance.evidence pv)
+      |> List.map (fun idx ->
+             J.Obj
+               [
+                 ("index", num idx);
+                 ( "record",
+                   if idx >= 0 && idx < Array.length records then
+                     J.Str (Logsys.Record.to_string records.(idx))
+                   else J.Null );
+               ]))
+  in
+  let event_json k (it : Refill.Flow.item) =
+    let pv = flow.prov.(k) in
+    J.Obj
+      [
+        ("index", num k);
+        ("node", num it.node);
+        ("label", J.Str (Refill.Protocol.label_name it.label));
+        ("inferred", J.Bool it.inferred);
+        ("entered", J.Str (Refill.Protocol.state_name it.entered));
+        ( "provenance",
+          J.Obj
+            [
+              ( "mechanism",
+                J.Str
+                  (Refill.Provenance.mechanism_name
+                     (Refill.Provenance.mechanism pv)) );
+              ( "src",
+                J.Str (Refill.Protocol.state_name (Refill.Provenance.src pv))
+              );
+              ( "dst",
+                J.Str (Refill.Protocol.state_name (Refill.Provenance.dst pv))
+              );
+              ( "confidence",
+                J.Str
+                  (Refill.Provenance.confidence_name
+                     (Refill.Provenance.confidence pv)) );
+              ("evidence", evidence_json pv);
+            ] );
+      ]
+  in
+  let v = Refill.Classify.classify flow in
+  J.Obj
+    [
+      ("schema", J.Str "refill-explain-v1");
+      ("origin", num origin);
+      ("seq", num seq);
+      ("cause", J.Str (Logsys.Cause.name v.cause));
+      ("events", J.Arr (List.mapi event_json flow.items));
+    ]
+
+let explain_text ~origin ~seq ~records (flow : Refill.Flow.t) =
+  Printf.printf "packet (origin %d, seq %d): %d events, %d inferred\n" origin
+    seq (Refill.Flow.length flow)
+    (List.length (Refill.Flow.inferred_items flow));
+  List.iteri
+    (fun k (it : Refill.Flow.item) ->
+      let pv = flow.prov.(k) in
+      Printf.printf "  #%-3d %-18s %s\n" k
+        (Refill.Flow.item_to_string it)
+        (Refill.Provenance.to_string ~state_name:Refill.Protocol.state_name pv);
+      Array.iter
+        (fun idx ->
+          if idx >= 0 && idx < Array.length records then
+            Printf.printf "         evidence[%d] = %s\n" idx
+              (Logsys.Record.to_string records.(idx)))
+        (Refill.Provenance.evidence pv))
+    flow.items;
+  let v = Refill.Classify.classify flow in
+  Printf.printf "cause: %s%s\n"
+    (Logsys.Cause.name v.cause)
+    (match v.loss_node with
+    | Some n -> Printf.sprintf " at node %d" n
+    | None -> "")
+
+let explain obs json input origin seq =
+  with_observability obs @@ fun () ->
+  match
+    Refill.Error.guard ~source:input (fun () -> Logsys.Log_io.load_file input)
+  with
+  | Error e -> err_exit e
+  | Ok dump -> (
+      let key =
+        match (origin, seq) with
+        | Some o, Some s -> Ok (o, s)
+        | None, None -> (
+            (* Default to the dump's first packet: a worked example needs no
+               argument spelunking. *)
+            match Logsys.Collected.packet_keys dump.collected with
+            | [] -> Error "no packets in the dump"
+            | k :: _ -> Ok k)
+        | _ -> Error "give both --origin and --seq, or neither"
+      in
+      match key with
+      | Error msg ->
+          Obs.Log.error "%s" msg;
+          1
+      | Ok (origin, seq) ->
+          let records =
+            Logsys.Collected.packet_records dump.collected ~origin ~seq
+          in
+          let flow =
+            Refill.Reconstruct.of_records ~provenance:true records ~origin
+              ~seq ~sink:dump.sink
+          in
+          if Refill.Flow.length flow = 0 then begin
+            Obs.Log.error "no surviving records for packet (%d, %d)" origin
+              seq;
+            1
+          end
+          else begin
+            if json then
+              print_string
+                (Obs.Json.to_string (explain_json ~origin ~seq ~records flow)
+                ^ "\n")
+            else explain_text ~origin ~seq ~records flow;
+            0
+          end)
+
+let explain_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LOGFILE" ~doc:"Log dump produced by `refill simulate`.")
+  in
+  let origin =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "origin" ] ~docv:"NODE" ~doc:"Origin node of the packet.")
+  in
+  let seq =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seq" ] ~docv:"SEQ" ~doc:"Per-origin sequence number.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the provenance chain as a refill-explain-v1 JSON document.")
+  in
+  let doc =
+    "Explain why REFILL believes each event of a packet's flow happened."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reconstructs one packet with provenance enabled and prints, for \
+         every event, the mechanism that produced it (logged, \
+         intra-inference, inter-inference), the FSM transition taken, its \
+         confidence class, and the input records it was derived from.  \
+         Without $(b,--origin)/$(b,--seq) the dump's first packet is \
+         explained.";
+    ]
+  in
+  Cmd.v (Cmd.info "explain" ~doc ~man)
+    Term.(const explain $ obs_opts_term $ json $ input $ origin $ seq)
 
 (* -- figures ------------------------------------------------------------------- *)
 
@@ -840,6 +1081,7 @@ let () =
             analyze_cmd;
             reconstruct_cmd;
             trace_cmd;
+            explain_cmd;
             figures_cmd;
             report_cmd;
             check_cmd;

@@ -39,7 +39,7 @@ let () =
       ~emit:(fun it -> acc := it :: !acc)
   in
   let items = List.rev !acc in
-  let flow = { Refill.Flow.origin = 1; seq = 0; items; stats } in
+  let flow = { Refill.Flow.origin = 1; seq = 0; items; stats; prov = [||] } in
 
   Printf.printf "surviving records : %s\n"
     (String.concat ", " (List.map Logsys.Record.to_string surviving_records));

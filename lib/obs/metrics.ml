@@ -96,6 +96,10 @@ module Counter = struct
     if by < 0 then invalid_arg "Metrics.Counter.inc: negative increment";
     t.c_value <- t.c_value + by
 
+  let add t by =
+    if by < 0 then invalid_arg "Metrics.Counter.add: negative increment";
+    t.c_value <- t.c_value + by
+
   let value t = t.c_value
 end
 

@@ -33,6 +33,11 @@ module Counter : sig
   val inc : ?by:int -> t -> unit
   (** [by] defaults to 1; negative [by] raises [Invalid_argument]. *)
 
+  val add : t -> int -> unit
+  (** [inc ~by] without the optional-argument allocation — for flush paths
+      that publish per-run tallies once per packet.  Negative amounts
+      raise [Invalid_argument]. *)
+
   val value : t -> int
 end
 

@@ -1,0 +1,37 @@
+(** Pipeline self-profiling: GC and allocation accounting per stage.
+
+    Wraps {!Gc.quick_stat} (cheap: no heap traversal) into before/after
+    samples so pipeline stages can report what they cost — minor/major
+    collections, words allocated and promoted, and the heap high-water
+    mark — as span attributes ({!with_stage}) and as BENCH fields. *)
+
+type sample = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  heap_words : int;  (** Current major heap size. *)
+  top_heap_words : int;  (** Process-lifetime heap high-water mark. *)
+}
+
+val sample : unit -> sample
+
+val delta : before:sample -> after:sample -> sample
+(** Field-wise [after - before], except [heap_words] and [top_heap_words]
+    which keep [after]'s values (sizes, not rates). *)
+
+val attrs : sample -> (string * string) list
+(** Span-attribute rendering of a (delta) sample: [gc_minor_words],
+    [gc_promoted_words], [gc_major_words], [gc_minor_collections],
+    [gc_major_collections], [gc_heap_words], [gc_top_heap_words]. *)
+
+val measure : (unit -> 'a) -> 'a * sample
+(** Run a thunk and return its result with the GC delta it incurred. *)
+
+val with_stage : ?cat:string -> name:string -> (unit -> 'a) -> 'a
+(** {!Span.with_}-like stage timing that also attaches the stage's GC
+    delta ({!attrs}) to the emitted span event.  Emits its own complete
+    ('X') event because span attributes are fixed at entry in
+    {!Span.with_}, and the GC delta only exists at exit.  Free when
+    tracing is off. *)

@@ -2,6 +2,11 @@ let current = ref Sink.null
 
 let set_sink s = current := s
 
+let swap_sink s =
+  let old = !current in
+  current := s;
+  old
+
 let sink () = !current
 
 let enabled () = not (Sink.is_null !current)

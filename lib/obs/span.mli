@@ -8,7 +8,12 @@
 
 val set_sink : Sink.t -> unit
 (** Install the sink spans report to (replacing the previous one, which is
-    NOT closed). *)
+    NOT closed — use {!swap_sink} when the previous sink must be
+    finalized). *)
+
+val swap_sink : Sink.t -> Sink.t
+(** Install a sink and return the one it replaced, so the caller can
+    {!Sink.close} it — the leak-free replacement for {!set_sink}. *)
 
 val sink : unit -> Sink.t
 

@@ -4,6 +4,7 @@ type t = {
   jobs : int option;
   watermark : int;
   chunk_events : int;
+  provenance : bool;
 }
 
 let default =
@@ -13,6 +14,7 @@ let default =
     jobs = None;
     watermark = 50_000;
     chunk_events = 4096;
+    provenance = false;
   }
 
 let validate t =

@@ -19,11 +19,15 @@ type t = {
   chunk_events : int;
       (** Streaming only: segment size (records per {!Stream.feed} call)
           used by readers that chunk an input stream. *)
+  provenance : bool;
+      (** Collect per-event {!Provenance.t} side-car arrays
+          ({!Flow.t.prov}).  Off by default: the pipeline then allocates
+          nothing for provenance. *)
 }
 
 val default : t
 (** [use_intra = true], [use_inter = true], [jobs = None],
-    [watermark = 50_000], [chunk_events = 4096]. *)
+    [watermark = 50_000], [chunk_events = 4096], [provenance = false]. *)
 
 val validate : t -> (t, Error.t) result
 (** [Error (Invalid_config _)] when [watermark <= 0], [chunk_events <= 0],

@@ -34,6 +34,23 @@ let h_drive_depth =
     ~help:"Recursion depth of prerequisite drives."
     ~buckets:(Obs.Metrics.Histogram.log_buckets ~lo:1. ~hi:1024. ~factor:2.)
 
+(* Engine-side provenance mechanisms, flushed (only on provenance-enabled
+   runs) in the same locked batch as the tallies above.  The engine knows
+   each emission's mechanism statically, so these cost nothing per event —
+   no decoding pass over the side-car.  Merge-time mechanisms
+   (stall-recovery, anchor-carry) are counted by Global_flow, which
+   decides them. *)
+let c_prov_mech mech =
+  Obs.Metrics.Counter.v "refill_provenance_events_total"
+    ~help:"Events emitted per provenance mechanism (provenance-enabled runs)."
+    ~labels:[ ("mechanism", Provenance.mechanism_name mech) ]
+
+let c_prov_logged = c_prov_mech Provenance.Logged
+
+let c_prov_intra = c_prov_mech Provenance.Intra_inference
+
+let c_prov_inter = c_prov_mech Provenance.Inter_inference
+
 type ('label, 'payload) item = {
   node : int;
   label : 'label;
@@ -67,6 +84,7 @@ type ('label, 'payload) input =
       payloads : 'payload option array;
       pre_nodes : int array;
       pre_states : Fsm_state.t array;
+      srcs : int array;
     }
 
 (* [visited] is a plain bool array indexed by state, and [pending] a list
@@ -82,6 +100,10 @@ type ('label, 'payload) instance = {
          driven toward (the recursion can only cycle through in-range
          states, so a per-instance flag array suffices) *)
   mutable pending : int list;  (* indices into the event array, local order *)
+  mutable last_rec : int;
+      (* provenance: source index of the last input event fired on this
+         instance (-1 = none yet) — the local record bracketing any gap
+         bridged on this node *)
 }
 
 (* One mutable context per run, threaded explicitly through top-level
@@ -106,6 +128,21 @@ type ('label, 'payload) ctx = {
      growable buffer) and streaming callers forward downstream without
      materializing the flow. *)
   emit_item : ('label, 'payload) item -> unit;
+  (* Provenance side-car, recorded in lockstep with [emit_item] (one
+     entry per emission, same order) into an engine-owned flat buffer.
+     [Provenance.t] is a private int, so with [prov_on] the per-emission
+     cost is bit packing plus one int-array store (no write barrier, no
+     allocation); off, it is one branch. *)
+  prov_on : bool;
+  mutable provs : Provenance.t array;
+  mutable n_provs : int;
+  (* Per event: the index consumers know it by — for packed input, the
+     packet's node-scan-order record index the packer permuted it from
+     ([||] = identity, the event array position itself). *)
+  srcs : int array;
+  (* Source index of the input event currently firing (prerequisite
+     cascades it starts cite it as evidence); -1 outside any fire. *)
+  mutable cur_ev : int;
   (* Run-local tallies; flushed to the process-wide metrics in one locked
      batch at the end so parallel runs neither race nor interleave. *)
   mutable n_logged : int;
@@ -113,6 +150,12 @@ type ('label, 'payload) ctx = {
   mutable n_skipped : int;
   mutable n_cascades : int;
   mutable n_intra : int;
+  (* Inferred emissions produced by intra-node bridges; the remainder of
+     [n_inferred] came from inter-node drives.  Together with [n_logged]
+     this is the full engine-side mechanism split, tallied at the emit
+     sites (where the mechanism is static) so provenance-enabled runs
+     never decode the side-car to count. *)
+  mutable n_intra_ev : int;
   (* Drive-depth tally: depth_counts.(d) = cascades observed at depth d.
      Depths are tiny (bounded by prerequisite chain length), so a small
      growable array replaces a per-cascade list and the flush becomes one
@@ -150,6 +193,7 @@ let new_instance ctx node =
       visited;
       driving = Array.make n_states false;
       pending = [];
+      last_rec = -1;
     }
   in
   visited.(inst.state) <- true;
@@ -187,8 +231,24 @@ let rec next_pending ctx inst =
       end
       else idx
 
-let emit ctx node label payload ~inferred ~entered =
+(* The source index consumers know event [idx] by (packed inputs permute
+   the packet's records; [srcs] maps back). *)
+let orig ctx idx =
+  if Array.length ctx.srcs = 0 then idx else Array.unsafe_get ctx.srcs idx
+
+let emit ctx node label payload ~inferred ~src ~entered ~mech ~ev1 ~ev2 =
   ctx.emit_item { node; label; payload; inferred; entered };
+  if ctx.prov_on then begin
+    let pv = Provenance.make2 mech ~src ~dst:entered ~e1:ev1 ~e2:ev2 in
+    let k = ctx.n_provs in
+    if k = Array.length ctx.provs then begin
+      let grown = Array.make (max 64 (2 * k)) pv in
+      Array.blit ctx.provs 0 grown 0 k;
+      ctx.provs <- grown
+    end;
+    Array.unsafe_set ctx.provs k pv;
+    ctx.n_provs <- k + 1
+  end;
   if inferred then ctx.n_inferred <- ctx.n_inferred + 1
   else ctx.n_logged <- ctx.n_logged + 1
 
@@ -200,7 +260,18 @@ let visited inst target =
   target >= 0 && target < Array.length inst.visited && inst.visited.(target)
 
 let rec fire ctx idx node id label payload ~inferred =
+  (* Scope [cur_ev] to this event: cascades it starts (directly or through
+     the intra bridge below) cite it as their evidence; the caller's event
+     is restored on the way out. *)
+  let saved = ctx.cur_ev in
+  ctx.cur_ev <- orig ctx idx;
+  let fired = fire_event ctx idx node id label payload ~inferred in
+  ctx.cur_ev <- saved;
+  fired
+
+and fire_event ctx idx node id label payload ~inferred =
   let inst = instance ctx node in
+  let ev = orig ctx idx in
   match Fsm.step_id inst.fsm ~from:inst.state id with
   | -1 ->
       if not ctx.use_intra then false
@@ -209,12 +280,19 @@ let rec fire ctx idx node id label payload ~inferred =
         | None -> false
         | Some (lost_path, _jc) ->
             ctx.n_intra <- ctx.n_intra + 1;
+            (* Evidence for the bridge: the node's last fired record (the
+               gap's left bracket) and the record about to fire (right
+               bracket). *)
+            let bracket = inst.last_rec in
             List.iter
               (fun (_, d, l) ->
                 let p = ctx.cfg.infer_payload ~node ~label:l in
                 satisfy_prerequisites ctx node l p;
+                let src = inst.state in
                 enter inst d;
-                emit ctx node l p ~inferred:true ~entered:d)
+                ctx.n_intra_ev <- ctx.n_intra_ev + 1;
+                emit ctx node l p ~inferred:true ~src ~entered:d
+                  ~mech:Provenance.Intra_inference ~ev1:bracket ~ev2:ev)
               lost_path;
             (match Fsm.step_id inst.fsm ~from:inst.state id with
             | -1 ->
@@ -223,14 +301,20 @@ let rec fire ctx idx node id label payload ~inferred =
                 assert false
             | dst ->
                 satisfy_event_prereqs ctx idx node label payload;
+                let src = inst.state in
                 enter inst dst;
-                emit ctx node label payload ~inferred ~entered:dst;
+                emit ctx node label payload ~inferred ~src ~entered:dst
+                  ~mech:Provenance.Logged ~ev1:ev ~ev2:(-1);
+                inst.last_rec <- ev;
                 true)
       end
   | dst ->
       satisfy_event_prereqs ctx idx node label payload;
+      let src = inst.state in
       enter inst dst;
-      emit ctx node label payload ~inferred ~entered:dst;
+      emit ctx node label payload ~inferred ~src ~entered:dst
+        ~mech:Provenance.Logged ~ev1:ev ~ev2:(-1);
+      inst.last_rec <- ev;
       true
 
 (* Prerequisite of an *input* event: packed callers resolved it into the
@@ -312,16 +396,42 @@ and infer_path_to ctx inst rnode target =
   match Fsm.shortest_path inst.fsm ~from:inst.state ~to_:target with
   | None -> ()  (* unsatisfiable prerequisite: give up silently *)
   | Some path ->
+      (* Evidence for the drive: the remote record that demanded this node's
+         progress ([cur_ev]) and this node's own last fired record. *)
+      let driver = ctx.cur_ev and local = inst.last_rec in
       List.iter
         (fun (_, d, l) ->
           let p = ctx.cfg.infer_payload ~node:rnode ~label:l in
           satisfy_prerequisites ctx rnode l p;
+          let src = inst.state in
           enter inst d;
-          emit ctx rnode l p ~inferred:true ~entered:d)
+          emit ctx rnode l p ~inferred:true ~src ~entered:d
+            ~mech:Provenance.Inter_inference ~ev1:driver ~ev2:local)
         path
 
+let prov_dummy =
+  Provenance.make2 Provenance.Logged ~src:(-1) ~dst:(-1) ~e1:(-1) ~e2:(-1)
+
+(* Per-domain reusable side-car scratch: the engine runs once per packet,
+   and allocating (then copying out of) a fresh buffer every run is the
+   largest fixed cost of provenance-enabled runs on small packets.  The
+   scratch lives for the domain's lifetime and grows to the largest packet
+   seen; [prov_out] callees copy out the prefix they need. *)
+let prov_scratch_key : Provenance.t array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [||])
+
+let prov_scratch n =
+  let scratch = Domain.DLS.get prov_scratch_key in
+  let need = max 8 (n + (n / 8) + 8) in
+  if Array.length scratch >= need then scratch
+  else begin
+    let scratch = Array.make need prov_dummy in
+    Domain.DLS.set prov_scratch_key scratch;
+    scratch
+  end
+
 let make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes ~pre_states
-    ~emit_item ~n =
+    ~emit_item ~prov_on ~srcs ~n =
   {
     cfg = config;
     use_intra;
@@ -332,11 +442,20 @@ let make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes ~pre_states
     pre_states;
     consumed = Array.make n false;
     emit_item;
+    prov_on;
+    (* Presized to the input event count plus a few percent: the output is
+       the inputs plus the inferred events. *)
+    provs =
+      (if prov_on then prov_scratch n else [||]);
+    n_provs = 0;
+    srcs;
+    cur_ev = -1;
     n_logged = 0;
     n_inferred = 0;
     n_skipped = 0;
     n_cascades = 0;
     n_intra = 0;
+    n_intra_ev = 0;
     depth_counts = Array.make 16 0;
     drive_depth = 0;
     inst_nodes = [||];
@@ -357,11 +476,17 @@ let sweep ctx nodes =
     end
   done;
   Par.with_obs_lock (fun () ->
-      Obs.Metrics.Counter.inc ~by:ctx.n_logged c_logged;
-      Obs.Metrics.Counter.inc ~by:ctx.n_inferred c_inferred;
-      Obs.Metrics.Counter.inc ~by:ctx.n_skipped c_skipped;
-      Obs.Metrics.Counter.inc ~by:ctx.n_cascades c_cascades;
-      Obs.Metrics.Counter.inc ~by:ctx.n_intra c_intra;
+      Obs.Metrics.Counter.add c_logged ctx.n_logged;
+      Obs.Metrics.Counter.add c_inferred ctx.n_inferred;
+      Obs.Metrics.Counter.add c_skipped ctx.n_skipped;
+      Obs.Metrics.Counter.add c_cascades ctx.n_cascades;
+      Obs.Metrics.Counter.add c_intra ctx.n_intra;
+      if ctx.prov_on then begin
+        Obs.Metrics.Counter.add c_prov_logged ctx.n_logged;
+        Obs.Metrics.Counter.add c_prov_intra ctx.n_intra_ev;
+        Obs.Metrics.Counter.add c_prov_inter
+          (ctx.n_inferred - ctx.n_intra_ev)
+      end;
       Array.iteri
         (fun d times -> Obs.Metrics.Histogram.observe_int_n h_drive_depth d times)
         ctx.depth_counts);
@@ -371,25 +496,38 @@ let sweep ctx nodes =
     skipped = ctx.n_skipped;
   }
 
-let process ?(use_intra = true) config input ~emit:emit_item =
+let finish ?prov_out ctx nodes =
+  let stats = sweep ctx nodes in
+  (match prov_out with
+  | None -> ()
+  | Some f ->
+      f ctx.provs ctx.n_provs;
+      (* Persist any growth [emit] did, so the next run on this domain
+         starts with the larger scratch. *)
+      Domain.DLS.set prov_scratch_key ctx.provs);
+  stats
+
+let process ?(use_intra = true) ?prov_out config input ~emit:emit_item =
+  let prov_on = prov_out <> None in
   match input with
-  | Packed { nodes; labels; ids; payloads; pre_nodes; pre_states } ->
+  | Packed { nodes; labels; ids; payloads; pre_nodes; pre_states; srcs } ->
       let n = Array.length nodes in
       let ctx =
         make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes
-          ~pre_states ~emit_item ~n
+          ~pre_states ~emit_item ~prov_on ~srcs ~n
       in
       for idx = n - 1 downto 0 do
         let inst = instance ctx nodes.(idx) in
         inst.pending <- idx :: inst.pending
       done;
-      sweep ctx nodes
+      finish ?prov_out ctx nodes
   | Events arr ->
       let n = Array.length arr in
       if n = 0 then
-        sweep
+        finish ?prov_out
           (make_ctx config ~use_intra ~labels:[||] ~payloads:[||] ~ids:[||]
-             ~pre_nodes:[||] ~pre_states:[||] ~emit_item ~n:0)
+             ~pre_nodes:[||] ~pre_states:[||] ~emit_item ~prov_on ~srcs:[||]
+             ~n:0)
           [||]
       else begin
         let _, l0, p0 = arr.(0) in
@@ -399,7 +537,7 @@ let process ?(use_intra = true) config input ~emit:emit_item =
         let ids = Array.make n (-1) in
         let ctx =
           make_ctx config ~use_intra ~labels ~payloads ~ids ~pre_nodes:[||]
-            ~pre_states:[||] ~emit_item ~n
+            ~pre_states:[||] ~emit_item ~prov_on ~srcs:[||] ~n
         in
         (* Per-node pending queues in merged (= local) order, and each
            event's label resolved to its instance FSM's dense id exactly
@@ -414,7 +552,7 @@ let process ?(use_intra = true) config input ~emit:emit_item =
           inst.pending <- idx :: inst.pending;
           ids.(idx) <- Fsm.label_id inst.fsm label
         done;
-        sweep ctx nodes
+        finish ?prov_out ctx nodes
       end
 
 (* Deprecated aliases: collect the emissions into the list the old
@@ -432,7 +570,7 @@ let run_packed ?use_intra config ~nodes ~labels ~ids ~payloads ~pre_nodes
     ~pre_states =
   collect_items (fun emit ->
       process ?use_intra config
-        (Packed { nodes; labels; ids; payloads; pre_nodes; pre_states })
+        (Packed { nodes; labels; ids; payloads; pre_nodes; pre_states; srcs = [||] })
         ~emit)
 
 let run ?use_intra config ~events =

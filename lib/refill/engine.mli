@@ -65,6 +65,7 @@ type ('label, 'payload) input =
       payloads : 'payload option array;
       pre_nodes : int array;
       pre_states : Fsm_state.t array;
+      srcs : int array;
     }
       (** Pre-resolved parallel arrays — the zero-overhead shape the
           reconstruction hot path builds ({!Protocol.pack_events}).  All
@@ -74,10 +75,16 @@ type ('label, 'payload) input =
           prerequisite ([-1] = none) with exactly the semantics
           [config.prerequisites] would return (the closure is then only
           consulted for inferred emissions).  Pass [pre_nodes = [||]] to
-          fall back to the closure for every event. *)
+          fall back to the closure for every event.
+
+          [srcs.(i)] maps event slot [i] back to the index consumers know
+          the underlying record by (packers may permute the caller's
+          records); provenance evidence cites these indices.  [[||]] means
+          identity — the slot index itself. *)
 
 val process :
   ?use_intra:bool ->
+  ?prov_out:(Provenance.t array -> int -> unit) ->
   ('label, 'payload) config ->
   ('label, 'payload) input ->
   emit:(('label, 'payload) item -> unit) ->
@@ -88,6 +95,16 @@ val process :
     inferred events are interleaved where the engine proved they must have
     occurred.  The engine takes ownership of the input arrays (read, never
     written).
+
+    [prov_out buf len], when given, is called once, before [process]
+    returns, with the provenance side-car: [buf.(k)] for [k < len]
+    explains the [k]-th [emit]ted item.  [buf] is an engine-owned,
+    per-domain reused scratch buffer — it is only valid during the
+    callback (copy the prefix out to keep it), and entries at and beyond
+    [len] are meaningless.  Recording costs bit packing and one int store
+    per emission; evidence indices are source indices ([srcs]-mapped for
+    packed input).  When omitted the engine allocates nothing for
+    provenance.
 
     This is the single entry point: batch callers collect the emissions
     (see {!Reconstruct}), streaming callers forward them downstream without

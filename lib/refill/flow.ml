@@ -5,6 +5,7 @@ type t = {
   seq : int;
   items : item list;
   stats : Engine.stats;
+  prov : Provenance.t array;
 }
 
 let packet_key t = (t.origin, t.seq)

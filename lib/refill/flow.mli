@@ -12,6 +12,10 @@ type t = {
   seq : int;
   items : item list;
   stats : Engine.stats;
+  prov : Provenance.t array;
+      (** Per-item provenance when the run collected it
+          ({!Config.t.provenance}): [prov.(k)] explains the [k]-th element
+          of [items].  [[||]] when provenance was off. *)
 }
 
 val packet_key : t -> int * int

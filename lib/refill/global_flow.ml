@@ -46,6 +46,18 @@ let c_stalls =
   Obs.Metrics.Counter.v "refill_global_flow_stall_recoveries_total"
     ~help:"Soft-cycle stalls broken by releasing a hard-ready event."
 
+(* Merge-side provenance mechanisms; the engine-side ones (logged, intra,
+   inter) are counted by Reconstruct under the same metric name. *)
+let c_prov_stall =
+  Obs.Metrics.Counter.v "refill_provenance_events_total"
+    ~help:"Events emitted per provenance mechanism (provenance-enabled runs)."
+    ~labels:[ ("mechanism", Provenance.mechanism_name Provenance.Stall_recovery) ]
+
+let c_prov_carry =
+  Obs.Metrics.Counter.v "refill_provenance_events_total"
+    ~help:"Events emitted per provenance mechanism (provenance-enabled runs)."
+    ~labels:[ ("mechanism", Provenance.mechanism_name Provenance.Anchor_carry) ]
+
 (* Packet interning.  Origins and seqs are small nonnegative ints for
    every logger-produced record (the same observation Collected's index
    relies on), so the common case packs them into one int key; anything
@@ -102,7 +114,8 @@ let ibuf_push2 b x y =
   b.data.(b.len + 1) <- y;
   b.len <- b.len + 2
 
-let merge_untimed ?jobs collected ~(flows : Flow.t array) ~emit:emit_item =
+let merge_untimed ?jobs ?emit_prov collected ~(flows : Flow.t array)
+    ~emit:emit_item =
   (* ---- Pass 1: count items and intern every flow's packet. ---- *)
   let n_flows = Array.length flows in
   let interner = interner_create n_flows in
@@ -133,10 +146,31 @@ let merge_untimed ?jobs collected ~(flows : Flow.t array) ~emit:emit_item =
     let hard_in = Array.make n 0 in
     let logged = ref 0 in
     let last_of_pid = Array.make interner.n_pids (-1) in
+    (* Provenance side-cars, allocated only when the caller listens.  Each
+       item's base provenance comes from its flow's side-car when the flows
+       were reconstructed with provenance on; otherwise it is synthesized
+       from the item alone (no evidence, lowest confidence for inferred). *)
+    let want_prov = emit_prov <> None in
+    let synth_prov (item : _ Engine.item) =
+      if item.Engine.inferred then
+        Provenance.with_confidence Provenance.Low
+          (Provenance.make2 Provenance.Intra_inference
+             ~src:item.Engine.entered ~dst:item.Engine.entered ~e1:(-1)
+             ~e2:(-1))
+      else
+        Provenance.make2 Provenance.Logged ~src:item.Engine.entered
+          ~dst:item.Engine.entered ~e1:(-1) ~e2:(-1)
+    in
+    let prov_of =
+      if want_prov then Array.make n (synth_prov dummy) else [||]
+    in
+    let aligned = if want_prov then Array.make n false else [||] in
     let cursor = ref 0 in
     Array.iteri
       (fun fi (f : Flow.t) ->
         let pid = flow_pid.(fi) in
+        let fprov = f.prov in
+        let n_fprov = Array.length fprov in
         List.iteri
           (fun pos item ->
             let id = !cursor in
@@ -144,6 +178,9 @@ let merge_untimed ?jobs collected ~(flows : Flow.t array) ~emit:emit_item =
             items.(id) <- item;
             packet_of.(id) <- pid;
             pos_of.(id) <- pos;
+            if want_prov then
+              prov_of.(id) <-
+                (if pos < n_fprov then fprov.(pos) else synth_prov item);
             if not item.Engine.inferred then incr logged;
             let prev = last_of_pid.(pid) in
             if prev >= 0 && prev <> id then begin
@@ -246,6 +283,9 @@ let merge_untimed ?jobs collected ~(flows : Flow.t array) ~emit:emit_item =
                     | Some r' when Logsys.Record.equal r r' ->
                         q_cursor.(slot) <- cur + 1;
                         anchors.(id) <- float_of_int log_idx /. len;
+                        (* Distinct ids per node: safe to write from the
+                           per-node workers, like [anchors] above. *)
+                        if want_prov then aligned.(id) <- true;
                         if !last >= 0 then ibuf_push2 edges !last id;
                         last := id
                     | Some _ | None -> ()
@@ -340,9 +380,32 @@ let merge_untimed ?jobs collected ~(flows : Flow.t array) ~emit:emit_item =
         if soft_in.(id) = 0 then Pq.push main ~priority:anchors.(id) id
       end
     done;
-    let emit id =
+    let n_stall_prov = ref 0 in
+    let n_carry_prov = ref 0 in
+    let emit ?(stalled = false) id =
       emitted.(id) <- true;
       emit_item items.(id);
+      (match emit_prov with
+      | None -> ()
+      | Some f ->
+          let base = prov_of.(id) in
+          let pv =
+            if stalled then begin
+              incr n_stall_prov;
+              Provenance.with_mechanism Provenance.Stall_recovery base
+            end
+            else if
+              (not items.(id).Engine.inferred) && not aligned.(id)
+            then begin
+              (* A logged event whose record never aligned with its node's
+                 log: its global position was carried from a neighbour's
+                 anchor, not evidenced by the log itself. *)
+              incr n_carry_prov;
+              Provenance.with_mechanism Provenance.Anchor_carry base
+            end
+            else base
+          in
+          f pv);
       incr emitted_count;
       (match hard_succ.(id) with
       | -1 -> ()
@@ -376,7 +439,7 @@ let merge_untimed ?jobs collected ~(flows : Flow.t array) ~emit:emit_item =
                 relaxed := !relaxed + soft_in.(id);
                 soft_in.(id) <- 0;
                 incr stalls;
-                emit id
+                emit ~stalled:true id
           in
           release ()
     done;
@@ -391,14 +454,18 @@ let merge_untimed ?jobs collected ~(flows : Flow.t array) ~emit:emit_item =
     Par.with_obs_lock (fun () ->
         Obs.Metrics.Counter.inc ~by:n c_events;
         Obs.Metrics.Counter.inc ~by:!relaxed c_relaxed;
-        Obs.Metrics.Counter.inc ~by:!stalls c_stalls);
+        Obs.Metrics.Counter.inc ~by:!stalls c_stalls;
+        if !n_stall_prov > 0 then
+          Obs.Metrics.Counter.inc ~by:!n_stall_prov c_prov_stall;
+        if !n_carry_prov > 0 then
+          Obs.Metrics.Counter.inc ~by:!n_carry_prov c_prov_carry);
     stats
   end
 
-let merge ?jobs collected ~flows ~emit =
+let merge ?jobs ?emit_prov collected ~flows ~emit =
   let run () =
     let t0 = Obs.Span.now_us () in
-    let stats = merge_untimed ?jobs collected ~flows ~emit in
+    let stats = merge_untimed ?jobs ?emit_prov collected ~flows ~emit in
     Par.with_obs_lock (fun () ->
         Obs.Metrics.Histogram.observe h_seconds
           ((Obs.Span.now_us () -. t0) /. 1e6));
@@ -451,7 +518,7 @@ module Incremental = struct
     t.flows_rev <- flow :: t.flows_rev;
     t.n_flows <- t.n_flows + 1
 
-  let finish ?jobs t ~emit =
+  let finish ?jobs ?emit_prov t ~emit =
     let node_logs =
       Array.map (fun l -> Array.of_list (List.rev l)) t.logs_rev
     in
@@ -466,7 +533,7 @@ module Incremental = struct
              compare (a.origin, a.seq) (b.origin, b.seq))
            (List.rev t.flows_rev))
     in
-    merge ?jobs collected ~flows ~emit
+    merge ?jobs ?emit_prov collected ~flows ~emit
 end
 
 (* Deprecated aliases: collect the emissions into the list the old

@@ -28,6 +28,7 @@ type stats = {
 
 val merge :
   ?jobs:int ->
+  ?emit_prov:(Provenance.t -> unit) ->
   Logsys.Collected.t ->
   flows:Flow.t array ->
   emit:(Flow.item -> unit) ->
@@ -41,7 +42,15 @@ val merge :
 
     [jobs] caps the domain fan-out of the per-node log alignment (default
     {!Par.default_jobs}; small inputs stay serial).  The emission sequence
-    is independent of [jobs]. *)
+    is independent of [jobs].
+
+    [emit_prov], when given, is called in lockstep with [emit] with each
+    item's merge-refined provenance: the flow's own entry
+    ({!Flow.t.prov}, synthesized when the flows carry none), except that
+    an event released by stall recovery becomes
+    {!Provenance.Stall_recovery} and a logged event whose record never
+    aligned with its node's log becomes {!Provenance.Anchor_carry}.
+    Evidence indices stay in their packet's own record-index space. *)
 
 (** Incremental merge mode for the streaming pipeline: accumulate record
     segments and evicted flows as they arrive, then run the batch merge
@@ -64,9 +73,14 @@ module Incremental : sig
   val add_flow : t -> Flow.t -> unit
   (** Register one evicted flow (in eviction order). *)
 
-  val finish : ?jobs:int -> t -> emit:(Flow.item -> unit) -> stats
+  val finish :
+    ?jobs:int ->
+    ?emit_prov:(Provenance.t -> unit) ->
+    t ->
+    emit:(Flow.item -> unit) ->
+    stats
   (** Merge everything accumulated.  The accumulator must not be reused
-      afterwards. *)
+      afterwards.  [emit_prov] as in {!merge}. *)
 end
 
 (** {2 Deprecated entry points} *)

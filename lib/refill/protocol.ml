@@ -392,6 +392,9 @@ type packed = {
   p_payloads : Logsys.Record.t option array;
   p_pre_nodes : int array;  (* prerequisite peer node, -1 = none *)
   p_pre_states : Fsm_state.t array;  (* state the peer must have visited *)
+  p_srcs : int array;
+      (* output slot -> node-scan-order record index (the causal merge
+         permutes the records; provenance evidence cites the originals) *)
 }
 
 (* [pack_events records ~origin ~sink] builds the engine's packed input
@@ -411,6 +414,7 @@ let pack_events (records : Logsys.Record.t array) ~origin ~sink =
       p_payloads = Array.make n None;
       p_pre_nodes = Array.make n (-1);
       p_pre_states = Array.make n (-1);
+      p_srcs = Array.make n (-1);
     }
   in
   if n = 0 then p
@@ -462,7 +466,8 @@ let pack_events (records : Logsys.Record.t array) ~origin ~sink =
     and forwarder_tbl = ids_for_role Forwarder
     and sink_tbl = ids_for_role Sink in
     let out = ref 0 in
-    let put (r : Logsys.Record.t) =
+    let put src =
+      let r = records.(src) in
       let i = !out in
       let node = r.node in
       let lab = label_of_kind r.kind in
@@ -487,9 +492,10 @@ let pack_events (records : Logsys.Record.t array) ~origin ~sink =
             p.p_pre_states.(i) <- holding
           end
       | Gen | Trans _ | Retx_timeout _ | Deliver -> ());
+      p.p_srcs.(i) <- src;
       out := i + 1
     in
-    let put_range lo hi = for i = lo to hi - 1 do put records.(i) done in
+    let put_range lo hi = for i = lo to hi - 1 do put i done in
     (* Same causal interleave as [event_array_of_groups]: emit a hop
        through its last [Trans], then the next hop's reception-side
        processing, then the previous hop's trailing ACK/timeout.  The

@@ -144,6 +144,10 @@ type packed = {
   p_payloads : Logsys.Record.t option array;
   p_pre_nodes : int array;  (** prerequisite peer node, [-1] = none *)
   p_pre_states : Fsm_state.t array;
+  p_srcs : int array;
+      (** Output slot -> index in the caller's node-scan-order record array
+          (the causal merge permutes records; provenance evidence cites the
+          original indices). *)
 }
 
 val pack_events : Logsys.Record.t array -> origin:int -> sink:int -> packed

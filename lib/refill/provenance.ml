@@ -1,0 +1,128 @@
+type mechanism =
+  | Logged
+  | Intra_inference
+  | Inter_inference
+  | Stall_recovery
+  | Anchor_carry
+
+type confidence = Certain | High | Medium | Low
+
+(* A provenance value is one immediate int — bit layout from the LSB:
+
+     mechanism   3 bits   [0..2]
+     confidence  2 bits   [3..4]
+     src + 1     7 bits   [5..11]   (0 encodes "no state", i.e. -1)
+     dst + 1     7 bits   [12..18]
+     e1 + 1     21 bits   [19..39]  (0 encodes "no evidence")
+     e2 + 1     21 bits   [40..60]
+
+   61 bits total, comfortably inside OCaml's 63-bit native int.  The
+   payoff: a [t array] side-car is an unboxed int array, and the engine
+   hot path records provenance without allocating a single block, which
+   is what keeps the provenance-on overhead in the noise.
+
+   The compiler has no flambda here, so [make2] and the accessors are
+   written as straight-line code — helper calls on the per-event path
+   would cost more than the bit twiddling they'd tidy up. *)
+type t = int
+
+let max_state = 125
+
+let max_evidence = 0x1FFFFF - 2
+
+let mechanism t : mechanism =
+  match t land 0x7 with
+  | 0 -> Logged
+  | 1 -> Intra_inference
+  | 2 -> Inter_inference
+  | 3 -> Stall_recovery
+  | _ -> Anchor_carry
+
+let confidence t : confidence =
+  match (t lsr 3) land 0x3 with
+  | 0 -> Certain
+  | 1 -> High
+  | 2 -> Medium
+  | _ -> Low
+
+let src t = ((t lsr 5) land 0x7F) - 1
+
+let dst t = ((t lsr 12) land 0x7F) - 1
+
+let mechanism_name = function
+  | Logged -> "logged"
+  | Intra_inference -> "intra-inference"
+  | Inter_inference -> "inter-inference"
+  | Stall_recovery -> "stall-recovery"
+  | Anchor_carry -> "anchor-carry"
+
+let confidence_name = function
+  | Certain -> "certain"
+  | High -> "high"
+  | Medium -> "medium"
+  | Low -> "low"
+
+let confidence_of = function
+  | Logged -> Certain
+  | Intra_inference -> High
+  | Inter_inference -> Medium
+  | Anchor_carry -> Medium
+  | Stall_recovery -> Low
+
+(* The evidence pair is stored verbatim (the {!evidence} accessor sorts
+   and dedups on read — a cold path — so the per-event constructor stays
+   minimal); out-of-range values saturate to "absent" (evidence) or the
+   field max (states) rather than corrupting neighbouring fields. *)
+let make2 mech ~src ~dst ~e1:a ~e2:b =
+  (* mech_code lor (conf_code lsl 3): both depend only on [mech]. *)
+  (match mech with
+  | Logged -> 0
+  | Intra_inference -> 1 lor (1 lsl 3)
+  | Inter_inference -> 2 lor (2 lsl 3)
+  | Stall_recovery -> 3 lor (3 lsl 3)
+  | Anchor_carry -> 4 lor (2 lsl 3))
+  lor ((if src < -1 then 0 else if src > max_state then max_state + 1 else src + 1)
+      lsl 5)
+  lor ((if dst < -1 then 0 else if dst > max_state then max_state + 1 else dst + 1)
+      lsl 12)
+  lor ((if a < 0 || a > max_evidence then 0 else a + 1) lsl 19)
+  lor ((if b < 0 || b > max_evidence then 0 else b + 1) lsl 40)
+
+let make mech ~src ~dst ~evidence =
+  let get i = if i < Array.length evidence then evidence.(i) else -1 in
+  make2 mech ~src ~dst ~e1:(get 0) ~e2:(get 1)
+
+let with_mechanism mech t =
+  t land lnot 0x1F
+  lor
+  match mech with
+  | Logged -> 0
+  | Intra_inference -> 1 lor (1 lsl 3)
+  | Inter_inference -> 2 lor (2 lsl 3)
+  | Stall_recovery -> 3 lor (3 lsl 3)
+  | Anchor_carry -> 4 lor (2 lsl 3)
+
+let with_confidence conf t =
+  t land lnot 0x18
+  lor ((match conf with Certain -> 0 | High -> 1 | Medium -> 2 | Low -> 3)
+      lsl 3)
+
+let e1 t = ((t lsr 19) land 0x1FFFFF) - 1
+
+let e2 t = ((t lsr 40) land 0x1FFFFF) - 1
+
+let evidence t =
+  let a = e1 t and b = e2 t in
+  if a < 0 then (if b < 0 then [||] else [| b |])
+  else if b < 0 || b = a then [| a |]
+  else if a < b then [| a; b |]
+  else [| b; a |]
+
+let to_string ?(state_name = string_of_int) t =
+  Printf.sprintf "%s %s->%s (%s) evidence=[%s]"
+    (mechanism_name (mechanism t))
+    (state_name (src t))
+    (state_name (dst t))
+    (confidence_name (confidence t))
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int (evidence t))))

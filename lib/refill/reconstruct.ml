@@ -32,8 +32,8 @@ let buf_to_list b =
   in
   go (b.len - 1) []
 
-let of_records ?(use_intra = true) ?(use_inter = true) records ~origin ~seq
-    ~sink =
+let of_records ?(use_intra = true) ?(use_inter = true) ?(provenance = false)
+    records ~origin ~seq ~sink =
   let t0 = Obs.Span.now_us () in
   let p = Protocol.pack_events records ~origin ~sink in
   let config = Protocol.make_config_of_records ~records ~origin ~seq ~sink in
@@ -49,8 +49,13 @@ let of_records ?(use_intra = true) ?(use_inter = true) records ~origin ~seq
   in
   let n = Array.length p.Protocol.p_nodes in
   let items = buf_create (n + (n / 8) + 8) in
+  let prov = ref [||] in
+  let prov_out =
+    if provenance then Some (fun buf len -> prov := Array.sub buf 0 len)
+    else None
+  in
   let stats =
-    Engine.process ~use_intra config
+    Engine.process ~use_intra ?prov_out config
       (Engine.Packed
          {
            nodes = p.Protocol.p_nodes;
@@ -59,26 +64,32 @@ let of_records ?(use_intra = true) ?(use_inter = true) records ~origin ~seq
            payloads = p.Protocol.p_payloads;
            pre_nodes;
            pre_states;
+           srcs = p.Protocol.p_srcs;
          })
       ~emit:(buf_push items)
   in
+  let prov = !prov in
   Par.with_obs_lock (fun () ->
       Obs.Metrics.Counter.inc c_packets;
       Obs.Metrics.Histogram.observe h_latency
         ((Obs.Span.now_us () -. t0) /. 1e6));
-  { Flow.origin; seq; items = buf_to_list items; stats }
+  { Flow.origin; seq; items = buf_to_list items; stats; prov }
 
-let packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink =
+let packet_untraced ?use_intra ?use_inter ?provenance collected ~origin ~seq
+    ~sink =
   let records = Logsys.Collected.packet_records collected ~origin ~seq in
-  of_records ?use_intra ?use_inter records ~origin ~seq ~sink
+  of_records ?use_intra ?use_inter ?provenance records ~origin ~seq ~sink
 
-let packet ?use_intra ?use_inter collected ~origin ~seq ~sink =
+let packet ?use_intra ?use_inter ?provenance collected ~origin ~seq ~sink =
   if Obs.Span.enabled () then
     Obs.Span.with_ ~name:"refill.packet"
       ~attrs:[ ("origin", string_of_int origin); ("seq", string_of_int seq) ]
       (fun () ->
-        packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink)
-  else packet_untraced ?use_intra ?use_inter collected ~origin ~seq ~sink
+        packet_untraced ?use_intra ?use_inter ?provenance collected ~origin
+          ~seq ~sink)
+  else
+    packet_untraced ?use_intra ?use_inter ?provenance collected ~origin ~seq
+      ~sink
 
 let run ?(config = Config.default) collected ~sink ~emit =
   Obs.Span.with_ ~name:"refill.reconstruct_all" (fun () ->
@@ -87,6 +98,7 @@ let run ?(config = Config.default) collected ~sink ~emit =
       let keys = Array.of_list (Logsys.Collected.packet_keys collected) in
       let use_intra = config.Config.use_intra in
       let use_inter = config.Config.use_inter in
+      let provenance = config.Config.provenance in
       let jobs =
         match config.Config.jobs with
         | Some j -> max 1 j
@@ -102,15 +114,17 @@ let run ?(config = Config.default) collected ~sink ~emit =
       if jobs <= 1 then
         Array.iter
           (fun (origin, seq) ->
-            emit (packet ~use_intra ~use_inter collected ~origin ~seq ~sink))
+            emit
+              (packet ~use_intra ~use_inter ~provenance collected ~origin ~seq
+                 ~sink))
           keys
       else begin
         Protocol.precompute_fsms ();
         let flows =
           Par.map_array ~jobs
             (fun (origin, seq) ->
-              packet_untraced ~use_intra ~use_inter collected ~origin ~seq
-                ~sink)
+              packet_untraced ~use_intra ~use_inter ~provenance collected
+                ~origin ~seq ~sink)
             keys
         in
         Array.iter emit flows

@@ -9,6 +9,7 @@
 val packet :
   ?use_intra:bool ->
   ?use_inter:bool ->
+  ?provenance:bool ->
   Logsys.Collected.t ->
   origin:int ->
   seq:int ->
@@ -17,11 +18,15 @@ val packet :
 (** Reconstruct one packet's event flow.  A packet with no surviving
     records yields an empty flow.  [use_intra]/[use_inter] (default [true])
     are the ablation knobs: they disable the intra-node shortcut
-    transitions and the inter-node prerequisite connections respectively. *)
+    transitions and the inter-node prerequisite connections respectively.
+    [provenance] (default [false]) collects the per-item {!Provenance.t}
+    side-car into {!Flow.t.prov} and bumps the
+    [refill_provenance_events_total] counters. *)
 
 val of_records :
   ?use_intra:bool ->
   ?use_inter:bool ->
+  ?provenance:bool ->
   Logsys.Record.t array ->
   origin:int ->
   seq:int ->

@@ -61,6 +61,7 @@ type t = {
   sink : int;
   use_intra : bool;
   use_inter : bool;
+  provenance : bool;
   watermark : int;
   emit : emitted -> unit;
   frontier : (int * int, buffer) Hashtbl.t;
@@ -100,6 +101,7 @@ let create ?(config = Config.default) ~sink ~emit () =
     sink;
     use_intra = config.Config.use_intra;
     use_inter = config.Config.use_inter;
+    provenance = config.Config.provenance;
     watermark = config.Config.watermark;
     emit;
     frontier = Hashtbl.create 256;
@@ -149,7 +151,8 @@ let evict t ~final buf =
   in
   let flow =
     Reconstruct.of_records ~use_intra:t.use_intra ~use_inter:t.use_inter
-      records ~origin:buf.b_origin ~seq:buf.b_seq ~sink:t.sink
+      ~provenance:t.provenance records ~origin:buf.b_origin ~seq:buf.b_seq
+      ~sink:t.sink
   in
   let outcome =
     if buf.b_late then Incomplete

@@ -238,6 +238,7 @@ let ctp_frontier_matches_classify () =
       seq = 0;
       items;
       stats = { emitted_logged = 0; emitted_inferred = 0; skipped = 0 };
+      prov = [||];
     }
   in
   let cases =

@@ -1,0 +1,152 @@
+(* End-to-end tests driving the built `refill` binary: the metrics dump on
+   error exits, and the `explain` worked example (text and JSON). *)
+
+module J = Refill_obs.Json
+
+let cli =
+  (* Under `dune runtest` the cwd is the test directory inside _build, so
+     the sibling bin/ path resolves; the env var and repo-root fallbacks
+     cover manual invocation. *)
+  let candidates =
+    (match Sys.getenv_opt "REFILL_CLI" with Some p -> [ p ] | None -> [])
+    @ [
+        Filename.concat ".." (Filename.concat "bin" "refill_cli.exe");
+        "_build/default/bin/refill_cli.exe";
+      ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "refill_cli.exe not found (tried %d paths)"
+              (List.length candidates)
+
+let tmp suffix = Filename.temp_file "refill_cli_test" suffix
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run the CLI, capturing stdout and stderr; returns (exit code, stdout). *)
+let run_cli args =
+  let out = tmp ".out" and err = tmp ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out;
+      Sys.remove err)
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2> %s" (Filename.quote cli)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote out) (Filename.quote err)
+      in
+      let code = Sys.command cmd in
+      (code, read_file out))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* A small simulated dump shared by the explain tests. *)
+let log_file =
+  lazy
+    (let path = tmp ".log" in
+     let code, _ =
+       run_cli
+         [
+           "simulate"; "--days"; "1"; "--nodes"; "25"; "--seed"; "7"; "-q";
+           "-o"; path;
+         ]
+     in
+     Alcotest.(check int) "simulate exits 0" 0 code;
+     path)
+
+(* -- Error paths keep their observability contract ------------------------- *)
+
+let malformed_log_still_dumps_metrics () =
+  let bad = tmp ".log" in
+  let metrics = tmp ".prom" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove bad;
+      if Sys.file_exists metrics then Sys.remove metrics)
+    (fun () ->
+      let oc = open_out bad in
+      output_string oc "this is not a refill log\n";
+      close_out oc;
+      let code, _ =
+        run_cli [ "reconstruct"; bad; "--metrics=" ^ metrics; "-q" ]
+      in
+      Alcotest.(check bool) "malformed input is a nonzero exit" true
+        (code <> 0);
+      Alcotest.(check bool) "metrics file written on the error path" true
+        (Sys.file_exists metrics);
+      let text = read_file metrics in
+      Alcotest.(check bool) "dump is Prometheus text" true
+        (contains text "# TYPE"))
+
+let missing_file_still_dumps_metrics () =
+  let metrics = tmp ".prom" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists metrics then Sys.remove metrics)
+    (fun () ->
+      let code, _ =
+        run_cli
+          [ "analyze"; "/nonexistent/refill.log"; "--metrics=" ^ metrics; "-q" ]
+      in
+      Alcotest.(check bool) "missing input is a nonzero exit" true (code <> 0);
+      Alcotest.(check bool) "metrics survive the I/O error" true
+        (Sys.file_exists metrics))
+
+(* -- explain ---------------------------------------------------------------- *)
+
+let explain_text_works () =
+  let log = Lazy.force log_file in
+  let code, out = run_cli [ "explain"; log; "-q" ] in
+  Alcotest.(check int) "explain exits 0" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "explain output mentions %S" needle)
+        true (contains out needle))
+    [ "packet"; "logged" ]
+
+let explain_json_parses () =
+  let log = Lazy.force log_file in
+  let code, out = run_cli [ "explain"; log; "--json"; "-q" ] in
+  Alcotest.(check int) "explain --json exits 0" 0 code;
+  match J.parse out with
+  | Error e -> Alcotest.failf "explain JSON did not parse: %s" e
+  | Ok doc -> (
+      (match J.member "schema" doc with
+      | Some (J.Str "refill-explain-v1") -> ()
+      | _ -> Alcotest.fail "missing refill-explain-v1 schema tag");
+      match J.member "events" doc with
+      | Some (J.Arr (_ :: _ as events)) ->
+          List.iter
+            (fun e ->
+              match
+                Option.bind (J.member "provenance" e) (J.member "mechanism")
+              with
+              | Some (J.Str _) -> ()
+              | _ -> Alcotest.fail "event without a provenance mechanism")
+            events
+      | _ -> Alcotest.fail "no events array")
+
+let () =
+  Alcotest.run "refill-cli"
+    [
+      ( "error-paths",
+        [
+          Alcotest.test_case "malformed log writes metrics" `Quick
+            malformed_log_still_dumps_metrics;
+          Alcotest.test_case "missing file writes metrics" `Quick
+            missing_file_still_dumps_metrics;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "text output" `Quick explain_text_works;
+          Alcotest.test_case "json output" `Quick explain_json_parses;
+        ] );
+    ]

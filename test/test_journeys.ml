@@ -129,7 +129,7 @@ let classify_records records =
       ~emit:(fun it -> acc := it :: !acc)
   in
   let items = List.rev !acc in
-  let flow = { Flow.origin = 1; seq = 0; items; stats } in
+  let flow = { Flow.origin = 1; seq = 0; items; stats; prov = [||] } in
   (flow, Classify.classify flow)
 
 let journey_arbitrary =

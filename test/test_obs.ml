@@ -64,6 +64,42 @@ let histogram_buckets () =
     [ (1., 2); (2., 2); (4., 3); (8., 3); (infinity, 4) ]
     (M.Histogram.bucket_counts h)
 
+let histogram_edges () =
+  let reg = M.create_registry () in
+  let h = M.Histogram.v ~registry:reg "edges" ~buckets:[| 0.; 1. |] in
+  (* Zero and negative observations land in the first finite bucket
+     (bounds are inclusive upper edges). *)
+  M.Histogram.observe h 0.;
+  M.Histogram.observe h (-3.);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "zero and negative in le=0"
+    [ (0., 2); (1., 2); (infinity, 2) ]
+    (M.Histogram.bucket_counts h);
+  Alcotest.(check (float 1e-9)) "sum keeps the raw values" (-3.)
+    (M.Histogram.sum h);
+  (* Exact boundary values are inclusive on every edge. *)
+  let b = M.Histogram.v ~registry:reg "bounds" ~buckets:[| 1.; 2.; 4. |] in
+  List.iter (M.Histogram.observe b) [ 1.; 2.; 4. ];
+  Alcotest.(check (list (pair (float 0.) int)))
+    "each bound catches its own value"
+    [ (1., 1); (2., 2); (4., 3); (infinity, 3) ]
+    (M.Histogram.bucket_counts b);
+  (* observe_n in one call equals n observes. *)
+  let n1 = M.Histogram.v ~registry:reg "n1" ~buckets:[| 10. |] in
+  M.Histogram.observe_n n1 3. 4;
+  Alcotest.(check int) "observe_n count" 4 (M.Histogram.count n1);
+  Alcotest.(check (float 1e-9)) "observe_n sum" 12. (M.Histogram.sum n1)
+
+let counter_add () =
+  let reg = M.create_registry () in
+  let c = M.Counter.v ~registry:reg "adds_total" in
+  M.Counter.add c 5;
+  M.Counter.add c 0;
+  Alcotest.(check int) "add accumulates" 5 (M.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Metrics.Counter.add: negative increment") (fun () ->
+      M.Counter.add c (-1))
+
 let histogram_log_buckets () =
   let b = M.Histogram.log_buckets ~lo:1. ~hi:8. ~factor:2. in
   Alcotest.(check (array (float 1e-9))) "geometric" [| 1.; 2.; 4.; 8. |] b;
@@ -135,6 +171,41 @@ let reset_zeroes () =
   Alcotest.(check int) "counter reset" 0 (M.Counter.value c);
   let h = M.Histogram.v ~registry:reg "lat" in
   Alcotest.(check int) "histogram reset" 0 (M.Histogram.count h)
+
+let reset_preserves_registrations () =
+  let reg = populated_registry () in
+  M.reset reg;
+  (* The registrations survive: instruments re-resolve (same identity) and
+     the dump still carries their metadata, just with zeroed samples. *)
+  let text = M.dump_prometheus ~registry:reg () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "post-reset dump contains %S" needle)
+        true (contains text needle))
+    [
+      "# TYPE events_total counter";
+      "# HELP events_total All events.";
+      "events_total 0";
+      "clock_seconds 0";
+      "lat_count 0";
+    ];
+  let c = M.Counter.v ~registry:reg "events_total" in
+  M.Counter.inc ~by:3 c;
+  Alcotest.(check int) "instrument usable after reset" 3 (M.Counter.value c)
+
+let prometheus_label_escaping () =
+  let reg = M.create_registry () in
+  let c =
+    M.Counter.v ~registry:reg "weird_total"
+      ~labels:[ ("path", "a\\b\"c\nd") ]
+  in
+  M.Counter.inc c;
+  let text = M.dump_prometheus ~registry:reg () in
+  Alcotest.(check bool) "backslash, quote, newline escaped" true
+    (contains text "weird_total{path=\"a\\\\b\\\"c\\nd\"} 1");
+  Alcotest.(check bool) "no raw newline inside a label value" true
+    (not (contains text "c\nd"))
 
 (* -- JSON parser ------------------------------------------------------------ *)
 
@@ -219,6 +290,24 @@ let null_sink_adds_nothing () =
   Alcotest.(check (list reject)) "instants discarded too" []
     (Obs.Sink.events (Obs.Span.sink ()))
 
+let swap_sink_returns_previous () =
+  let mem = Obs.Sink.memory () in
+  let prev = Obs.Span.swap_sink mem in
+  Fun.protect
+    ~finally:(fun () -> Obs.Span.set_sink Obs.Sink.null)
+    (fun () ->
+      Alcotest.(check bool) "default sink handed back" true
+        (Obs.Sink.is_null prev);
+      Alcotest.(check bool) "memory sink now active" true
+        (Obs.Span.enabled ());
+      Obs.Span.with_ ~name:"swapped" (fun () -> ());
+      (* Swapping again returns the memory sink, events intact. *)
+      let back = Obs.Span.swap_sink Obs.Sink.null in
+      Alcotest.(check bool) "returned sink is the memory sink" true
+        (back == mem);
+      Alcotest.(check int) "its events survive the swap" 1
+        (List.length (Obs.Sink.events back)))
+
 let chrome_trace_wellformed () =
   let sink = Obs.Sink.memory () in
   with_sink sink (fun () ->
@@ -276,10 +365,16 @@ let () =
           Alcotest.test_case "kind conflict" `Quick kind_conflict_rejected;
           Alcotest.test_case "gauge" `Quick gauge_basics;
           Alcotest.test_case "histogram buckets" `Quick histogram_buckets;
+          Alcotest.test_case "histogram edges" `Quick histogram_edges;
+          Alcotest.test_case "counter add" `Quick counter_add;
           Alcotest.test_case "log buckets" `Quick histogram_log_buckets;
           Alcotest.test_case "prometheus dump" `Quick prometheus_dump;
+          Alcotest.test_case "label escaping" `Quick
+            prometheus_label_escaping;
           Alcotest.test_case "json dump parses" `Quick json_dump_parses;
           Alcotest.test_case "reset" `Quick reset_zeroes;
+          Alcotest.test_case "reset keeps registrations" `Quick
+            reset_preserves_registrations;
         ] );
       ( "json",
         [
@@ -291,6 +386,8 @@ let () =
           Alcotest.test_case "nesting" `Quick span_nesting;
           Alcotest.test_case "exception safety" `Quick span_survives_exception;
           Alcotest.test_case "null sink is silent" `Quick null_sink_adds_nothing;
+          Alcotest.test_case "swap_sink returns previous" `Quick
+            swap_sink_returns_previous;
           Alcotest.test_case "chrome trace wellformed" `Quick
             chrome_trace_wellformed;
           Alcotest.test_case "file sink" `Quick file_sink_writes_trace;

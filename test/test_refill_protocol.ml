@@ -16,7 +16,7 @@ let reconstruct ?(origin = 1) ?(sink = 99) records =
       ~emit:(fun it -> acc := it :: !acc)
   in
   let items = List.rev !acc in
-  { Flow.origin; seq = 0; items; stats }
+  { Flow.origin; seq = 0; items; stats; prov = [||] }
 
 let flow_string flow = Flow.to_string flow
 
