@@ -982,7 +982,7 @@ let report_cmd =
 
 (* -- check --------------------------------------------------------------------- *)
 
-let check obs json dot_dir models =
+let check obs json strict dot_dir models =
   with_observability obs @@ fun () ->
   let known = Refill_check.Builtin.names in
   let models =
@@ -1022,8 +1022,12 @@ let check obs json dot_dir models =
       print_string
         (Obs.Json.to_string (Refill_check.Check.to_json results) ^ "\n")
     else print_string (Refill_check.Check.to_text results);
-    if Refill_check.Check.error_count (List.concat_map snd results) > 0 then 1
-    else 0
+    let all = List.concat_map snd results in
+    let failing =
+      Refill_check.Check.error_count all
+      + if strict then Refill_check.Diagnostic.count Warning all else 0
+    in
+    if failing > 0 then 1 else 0
   end
 
 let check_cmd =
@@ -1040,6 +1044,14 @@ let check_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the report as a JSON document (for CI).")
   in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Promote warnings to errors: exit 1 when any warning-severity \
+             diagnostic is found, not only errors.")
+  in
   let dot_dir =
     Arg.(
       value
@@ -1047,24 +1059,32 @@ let check_cmd =
       & info [ "dot" ] ~docv:"DIR"
           ~doc:
             "Also write each role FSM as Graphviz into $(docv), with the \
-             derived intra transitions dashed.")
+             derived intra transitions dashed, plus the product automaton \
+             of every role that has confusable state pairs.")
   in
   let doc =
     "Statically analyze the protocol models (FSM well-formedness, intra \
-     audit, prerequisite graph, classification totality)."
+     audit, prerequisite graph, classification totality, loss radius, \
+     product-automaton ambiguity)."
   in
   let man =
     [
       `S Manpage.s_description;
       `P
-        "Exits 0 when no error-severity diagnostic is found, 1 when the \
-         models violate an invariant the inference pipeline relies on, and \
-         2 on unknown model names.  Warnings and infos never affect the \
-         exit code.";
+        "Runs all six pass families over the named models and prints the \
+         diagnostics sorted by code, then location.";
+      `S Manpage.s_exit_status;
+      `P
+        "The exit-code contract is: 0 — no error-severity diagnostic (the \
+         models uphold every invariant the inference pipeline relies on); \
+         1 — at least one error-severity diagnostic, or, with $(b,--strict), \
+         at least one warning; 2 — unknown model name (nothing was \
+         analyzed).  Without $(b,--strict), warnings and infos never \
+         affect the exit code.";
     ]
   in
   Cmd.v (Cmd.info "check" ~doc ~man)
-    Term.(const check $ obs_opts_term $ json $ dot_dir $ models)
+    Term.(const check $ obs_opts_term $ json $ strict $ dot_dir $ models)
 
 (* -- main ---------------------------------------------------------------------- *)
 

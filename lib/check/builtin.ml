@@ -100,6 +100,17 @@ let broken : string Model.t =
   Fsm.add_transition fsm_a ~src:3 ~dst:1 "go";
   let fsm_b = Fsm.create ~n_states:3 ~initial:0 in
   Fsm.add_transition fsm_b ~src:0 ~dst:1 "ping";
+  (* A shortcutable diamond for the loss-radius pass: "w" is reachable from
+     0 only through the lost branch "u" or "v", so one drop already leaves
+     two completions (LOSS001, k=1); "z" from 0 needs the full two-hop
+     burst (LOSS002, k=2); "z" from 1 or 2 has a unique completion at any
+     loss (infinite radius, summary only). *)
+  let fsm_c = Fsm.create ~n_states:5 ~initial:0 in
+  Fsm.add_transition fsm_c ~src:0 ~dst:1 "u";
+  Fsm.add_transition fsm_c ~src:0 ~dst:2 "v";
+  Fsm.add_transition fsm_c ~src:1 ~dst:3 "w";
+  Fsm.add_transition fsm_c ~src:2 ~dst:3 "w";
+  Fsm.add_transition fsm_c ~src:3 ~dst:4 "z";
   (* INT001 lives on fsm_a too: from 0, "go" has two reachable targets, but
      the normal edge masks it; "stop" from 3... state 3 is unreachable so the
      audit skips it. The ambiguity below is the real one: *)
@@ -124,6 +135,13 @@ let broken : string Model.t =
           entry_states = [ 0 ];
           frontier_cause = (fun s -> Some (state_name s));
         };
+        {
+          Model.role = "c";
+          fsm = fsm_c;
+          state_name;
+          entry_states = [ 0 ];
+          frontier_cause = (fun s -> Some (state_name s));
+        };
       ];
     prerequisites =
       (fun ~role label ->
@@ -144,13 +162,27 @@ let run_model = function
   | _ -> None
 
 let dots_of_model (m : _ Model.t) =
-  List.map
+  List.concat_map
     (fun (r : _ Model.role) ->
-      ( Printf.sprintf "%s-%s.dot" m.Model.name r.Model.role,
-        Fsm.to_dot
-          ~name:(Printf.sprintf "%s_%s" m.Model.name r.Model.role)
-          ~intra:true ~label_name:m.Model.label_name
-          ~state_name:r.Model.state_name r.Model.fsm ))
+      let base =
+        ( Printf.sprintf "%s-%s.dot" m.Model.name r.Model.role,
+          Fsm.to_dot
+            ~name:(Printf.sprintf "%s_%s" m.Model.name r.Model.role)
+            ~intra:true ~label_name:m.Model.label_name
+            ~state_name:r.Model.state_name r.Model.fsm )
+      in
+      (* The product automaton is only worth a file when the role actually
+         has confusable pairs to highlight. *)
+      if Product.confusable_pairs r.Model.fsm = [] then [ base ]
+      else
+        [
+          base;
+          ( Printf.sprintf "%s-%s-product.dot" m.Model.name r.Model.role,
+            Product.to_dot
+              ~name:(Printf.sprintf "%s_%s_product" m.Model.name r.Model.role)
+              ~label_name:m.Model.label_name ~state_name:r.Model.state_name
+              r.Model.fsm );
+        ])
     m.Model.roles
 
 let dots = function

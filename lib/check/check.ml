@@ -310,11 +310,188 @@ let classification_role model (r : _ Model.role) =
 let classification model =
   List.concat_map (classification_role model) model.Model.roles
 
+(* -- Pass 5: loss radius ----------------------------------------------------- *)
+
+let loss_radius_role model (r : _ Model.role) =
+  let diags = ref [] in
+  let emit ?data ?state ?label code severity message =
+    diags :=
+      D.make ?data ~code ~severity
+        ~loc:(D.loc ~role:r.role ?state ?label model.Model.name)
+        message
+      :: !diags
+  in
+  let sites = Loss.analyze r.fsm in
+  let safe = ref 0 and finite = ref 0 and single = ref 0 in
+  let min_finite = ref max_int in
+  List.iter
+    (fun (site : _ Loss.site) ->
+      let state = r.state_name site.state in
+      let label = model.Model.label_name site.label in
+      match site.radius with
+      | None -> incr safe
+      | Some k when k <= 1 ->
+          incr single;
+          emit ~data:[ ("k", k) ] ~state ~label "LOSS001" D.Error
+            (Printf.sprintf
+               "loss radius 1: a single lost record already admits %d \
+                model-consistent completions of the intra shortcut to %s — \
+                any drop here is ambiguous"
+               (List.length site.witnesses)
+               (r.state_name site.target))
+      | Some k ->
+          incr finite;
+          if k < !min_finite then min_finite := k;
+          emit ~data:[ ("k", k) ] ~state ~label "LOSS002" D.Warning
+            (Printf.sprintf
+               "loss radius %d: a burst of %d lost records admits a second \
+                model-consistent completion of the intra shortcut to %s"
+               k k
+               (r.state_name site.target)))
+    sites;
+  let min_txt =
+    if !min_finite = max_int then ""
+    else Printf.sprintf " (min finite radius %d)" !min_finite
+  in
+  emit "LOSS000" D.Info
+    (Printf.sprintf
+       "loss radius: %d shortcut sites — %d safe at any loss (k=inf), %d \
+        finite%s, %d single-drop ambiguous"
+       (List.length sites) !safe !finite min_txt !single);
+  List.rev !diags
+
+let loss_radius model =
+  List.concat_map (loss_radius_role model) model.Model.roles
+
+(* -- Pass 6: product-automaton ambiguity ------------------------------------- *)
+
+let product_ambiguity_role model (r : _ Model.role) =
+  let diags = ref [] in
+  let emit ?data ?state ?label code severity message =
+    diags :=
+      D.make ?data ~code ~severity
+        ~loc:(D.loc ~role:r.role ?state ?label model.Model.name)
+        message
+      :: !diags
+  in
+  let pairs = Product.confusable_pairs r.fsm in
+  let distinguishable = ref 0 and equivalent = ref 0 in
+  List.iter
+    (fun (p : _ Product.pair) ->
+      let state =
+        Printf.sprintf "%s|%s" (r.state_name p.left) (r.state_name p.right)
+      in
+      let seed =
+        Printf.sprintf "seeded at %s on '%s'"
+          (r.state_name p.seed_state)
+          (model.Model.label_name p.seed_label)
+      in
+      match p.distinguisher with
+      | Some obs ->
+          incr distinguishable;
+          emit ~state ~label:(model.Model.label_name p.seed_label) "AMB001"
+            D.Warning
+            (Printf.sprintf
+               "confusable states (%s): distinct paths project to the same \
+                lossy log; the observations '%s' would distinguish them"
+               seed
+               (String.concat " "
+                  (List.map model.Model.label_name obs)))
+      | None ->
+          incr equivalent;
+          emit ~state ~label:(model.Model.label_name p.seed_label) "AMB002"
+            D.Warning
+            (Printf.sprintf
+               "observationally equivalent states (%s): no surviving record \
+                set can ever tell the two reconstructions apart"
+               seed))
+    pairs;
+  let diamonds = Product.diamonds r.fsm in
+  List.iter
+    (fun (d : _ Product.diamond) ->
+      emit
+        ~data:[ ("k", d.d_radius) ]
+        ~state:(r.state_name d.d_state)
+        ~label:(model.Model.label_name d.d_label)
+        "AMB002" D.Warning
+        (Printf.sprintf
+           "confusable paths through the normal edge: a burst of %d lost \
+            records admits a second completion with the same surviving \
+            projection — the engine silently prefers the normal edge"
+           d.d_radius))
+    diamonds;
+  emit "AMB000" D.Info
+    (Printf.sprintf
+       "product automaton: %d confusable pairs (%d distinguishable, %d \
+        observationally equivalent), %d normal-edge diamond sites"
+       (List.length pairs) !distinguishable !equivalent
+       (List.length diamonds));
+  List.rev !diags
+
+(* Cross-role extension: a prerequisite listing several statically
+   satisfiable alternatives cannot be uniquely discharged from any
+   surviving record set — the engine's drive picks the first satisfiable
+   one, which is a guess. *)
+let product_ambiguity_prereqs model =
+  let diags = ref [] in
+  List.iter
+    (fun (r : _ Model.role) ->
+      List.iter
+        (fun label ->
+          let alts = model.Model.prerequisites ~role:r.Model.role label in
+          let satisfiable =
+            List.filter
+              (fun (rname, rstate) ->
+                match Model.find_role model rname with
+                | None -> false
+                | Some remote ->
+                    rstate >= 0
+                    && rstate < Fsm.n_states remote.Model.fsm
+                    && Fsm.reachable remote.Model.fsm
+                         ~from:(Fsm.initial remote.Model.fsm)
+                         rstate)
+              alts
+          in
+          match satisfiable with
+          | _ :: _ :: _ ->
+              diags :=
+                D.make
+                  ~data:[ ("alternatives", List.length satisfiable) ]
+                  ~code:"AMB003" ~severity:D.Warning
+                  ~loc:
+                    (D.loc ~role:r.Model.role
+                       ~label:(model.Model.label_name label)
+                       model.Model.name)
+                  (Printf.sprintf
+                     "prerequisite satisfiable by %d alternatives (%s): its \
+                      satisfaction cannot be uniquely inferred from any \
+                      surviving record set"
+                     (List.length satisfiable)
+                     (String.concat ", "
+                        (List.map
+                           (fun (rname, rstate) ->
+                             match Model.find_role model rname with
+                             | Some remote ->
+                                 rname ^ "."
+                                 ^ remote.Model.state_name rstate
+                             | None -> rname)
+                           satisfiable)))
+                :: !diags
+          | _ -> ())
+        (Fsm.labels r.Model.fsm))
+    model.Model.roles;
+  List.rev !diags
+
+let product_ambiguity model =
+  List.concat_map (product_ambiguity_role model) model.Model.roles
+  @ product_ambiguity_prereqs model
+
 (* -- Driver and reports ----------------------------------------------------- *)
 
 let run model =
-  well_formedness model @ intra_audit model @ prereq_graph model
-  @ classification model
+  List.stable_sort D.compare_diag
+    (well_formedness model @ intra_audit model @ prereq_graph model
+    @ classification model @ loss_radius model @ product_ambiguity model)
 
 let error_count diags = D.count D.Error diags
 
@@ -348,6 +525,7 @@ let to_json results =
   in
   J.Obj
     [
+      ("format", J.Str "refill-check-v1");
       ("models", J.Arr (List.map model_json results));
       ("errors", num (error_count (List.concat_map snd results)));
     ]

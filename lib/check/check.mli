@@ -1,4 +1,4 @@
-(** The static analyzer: four pass families over a protocol {!Model}.
+(** The static analyzer: six pass families over a protocol {!Model}.
 
     The passes machine-check the preconditions the inference pipeline
     quietly assumes:
@@ -19,9 +19,24 @@
       depend on its runtime driving-set guard (PRE004);
     - {!classification} — totality: every frontier state reachable from a
       role's entry states must map to a loss cause (CLS001), so the
-      classifier can never meet a flow it has no verdict for.
+      classifier can never meet a flow it has no verdict for;
+    - {!loss_radius} — for every intra-shortcut site, the least loss burst
+      [k] after which the shortcut admits two model-consistent completions
+      ({!Loss}): [k = 1] sites are errors (LOSS001 — any single drop is
+      already ambiguous), finite [k >= 2] sites warn carrying [k]
+      (LOSS002), infinite-radius sites are provably safe and only counted
+      in the per-role summary (LOSS000);
+    - {!product_ambiguity} — confusable state pairs on the self-product
+      automaton under the lossy-observation projection ({!Product}):
+      pairs with a minimal distinguishing observation (AMB001), pairs or
+      normal-edge diamonds that are observationally equivalent (AMB002),
+      and — across roles — prerequisites satisfiable by several
+      alternatives, whose discharge can never be uniquely inferred
+      (AMB003); totals per role in AMB000.
 
-    {!run} runs all four in the order above. *)
+    {!run} runs all six and sorts the result with
+    {!Diagnostic.compare_diag} (code, then location) so reports and CI
+    diffs are deterministic. *)
 
 val well_formedness : 'label Model.t -> Diagnostic.t list
 
@@ -30,6 +45,10 @@ val intra_audit : 'label Model.t -> Diagnostic.t list
 val prereq_graph : 'label Model.t -> Diagnostic.t list
 
 val classification : 'label Model.t -> Diagnostic.t list
+
+val loss_radius : 'label Model.t -> Diagnostic.t list
+
+val product_ambiguity : 'label Model.t -> Diagnostic.t list
 
 val run : 'label Model.t -> Diagnostic.t list
 
@@ -40,5 +59,8 @@ val to_text : (string * Diagnostic.t list) list -> string
     ending with a one-line tally. *)
 
 val to_json : (string * Diagnostic.t list) list -> Refill_obs.Json.t
-(** [{"models": [{"name", "errors", "warnings", "infos", "diagnostics"}...],
-    "errors": total}] — machine-readable report for CI. *)
+(** [{"format": "refill-check-v1",
+    "models": [{"name", "errors", "warnings", "infos", "diagnostics"}...],
+    "errors": total}] — machine-readable report for CI.  The [format]
+    field versions the schema, matching the [refill-quality-v1] /
+    [refill-explain-v1] conventions. *)

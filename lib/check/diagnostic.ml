@@ -12,6 +12,7 @@ type t = {
   severity : severity;
   message : string;
   loc : location;
+  data : (string * int) list;
 }
 
 let severity_name = function
@@ -21,7 +22,8 @@ let severity_name = function
 
 let loc ?role ?state ?label model = { model; role; state; label }
 
-let make ~code ~severity ~loc message = { code; severity; message; loc }
+let make ?(data = []) ~code ~severity ~loc message =
+  { code; severity; message; loc; data }
 
 let loc_to_string l =
   let parts =
@@ -48,7 +50,25 @@ let to_json d =
      ]
     @ opt "role" d.loc.role
     @ opt "state" d.loc.state
-    @ opt "label" d.loc.label)
+    @ opt "label" d.loc.label
+    @ List.map (fun (k, v) -> (k, J.Num (float_of_int v))) d.data)
+
+let compare_diag a b =
+  let c = compare a.code b.code in
+  if c <> 0 then c
+  else
+    let l = a.loc and m = b.loc in
+    let c = compare l.model m.model in
+    if c <> 0 then c
+    else
+      let c = compare l.role m.role in
+      if c <> 0 then c
+      else
+        let c = compare l.state m.state in
+        if c <> 0 then c
+        else
+          let c = compare l.label m.label in
+          if c <> 0 then c else compare a.message b.message
 
 let count sev diags = List.length (List.filter (fun d -> d.severity = sev) diags)
 

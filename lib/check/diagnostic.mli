@@ -19,6 +19,13 @@
     PRE004  info     cycle in the role-level prerequisite digraph
     CLS000  info     per-role classification totality summary
     CLS001  error    reachable frontier state with no classification
+    LOSS000 info     per-role loss-radius summary
+    LOSS001 error    shortcut site ambiguous after a single lost record
+    LOSS002 warning  shortcut site ambiguous after k >= 2 lost records
+    AMB000  info     per-role confusable-pair summary
+    AMB001  warning  confusable state pair with a distinguishing observation
+    AMB002  warning  observationally confusable paths (no distinguisher)
+    AMB003  warning  prerequisite satisfiable by several alternatives
     v} *)
 
 type severity = Error | Warning | Info
@@ -35,6 +42,9 @@ type t = {
   severity : severity;
   message : string;
   loc : location;
+  data : (string * int) list;
+      (** Structured numeric payload (e.g. [("k", 3)] on LOSS002), emitted
+          as extra JSON fields so tools need not parse messages. *)
 }
 
 val severity_name : severity -> string
@@ -44,7 +54,18 @@ val loc :
 (** [loc model] with optional narrowing. *)
 
 val make :
-  code:string -> severity:severity -> loc:location -> string -> t
+  ?data:(string * int) list ->
+  code:string ->
+  severity:severity ->
+  loc:location ->
+  string ->
+  t
+(** [data] defaults to []. *)
+
+val compare_diag : t -> t -> int
+(** Total order for deterministic reports: code, then location
+    (model, role, state, label), then message.  [Check.run] sorts with
+    this so CI diffs are stable. *)
 
 val to_string : t -> string
 (** One line: [severity CODE \[model/role state label\]: message]. *)

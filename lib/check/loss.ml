@@ -1,0 +1,133 @@
+(* Loss-radius analysis: how many consecutive lost records does it take
+   before the §IV.B intra shortcut admits two model-consistent completions?
+
+   A completion at a site [(x, l)] is a ground-truth behavior consistent
+   with observing label [l] while believing the node is in state [x]: a
+   (possibly empty) path of lost transitions from [x] to some state [ic],
+   followed by the observed [l]-edge [ic -> jc].  With at most [k] lost
+   records, the completions are exactly the paths of length <= k ending in
+   an [l]-edge.  The loss radius of the site is the least [k] for which two
+   or more completions exist — the least loss burst after which the
+   deterministic shortcut is guessing.  Sites with a single completion at
+   every horizon are safe at any loss rate (infinite radius).
+
+   Path counts are computed in the capped semiring {0, 1, 2} (2 = "two or
+   more"), so the per-step transfer is a deterministic map on a finite set
+   of count vectors: revisiting a vector with an unchanged cumulative
+   total proves the total can never grow again, which is the infinite-
+   radius certificate. *)
+
+module Fsm = Refill.Fsm
+
+type 'label completion =
+  (Refill.Fsm_state.t * Refill.Fsm_state.t * 'label) list
+
+type 'label site = {
+  state : Refill.Fsm_state.t;
+  label : 'label;
+  target : Refill.Fsm_state.t;
+  radius : int option;
+  witnesses : 'label completion list;
+}
+
+let cap v = if v > 2 then 2 else v
+
+let radius fsm ~from label =
+  let n = Fsm.n_states fsm in
+  if from < 0 || from >= n then None
+  else begin
+    (* One entry per [l]-edge: distinct edges sharing a source are distinct
+       completions. *)
+    let ledge_sources = List.map fst (Fsm.edges_of_label fsm label) in
+    let total cnt =
+      List.fold_left (fun acc s -> acc + cnt.(s)) 0 ledge_sources
+    in
+    let cnt = ref (Array.make n 0) in
+    !cnt.(from) <- 1;
+    let cum = ref (cap (total !cnt)) in
+    if !cum >= 2 then Some 0
+    else begin
+      let seen = Hashtbl.create 16 in
+      let result = ref None in
+      let finished = ref false in
+      let k = ref 0 in
+      while not !finished do
+        incr k;
+        let next = Array.make n 0 in
+        for s = 0 to n - 1 do
+          if !cnt.(s) > 0 then
+            List.iter
+              (fun (dst, _) -> next.(dst) <- cap (next.(dst) + !cnt.(s)))
+              (Fsm.edges_from fsm s)
+        done;
+        cnt := next;
+        cum := cap (!cum + total next);
+        if !cum >= 2 then begin
+          result := Some !k;
+          finished := true
+        end
+        else begin
+          let key = Array.to_list next in
+          match Hashtbl.find_opt seen key with
+          | Some c when c = !cum -> finished := true (* cycle, no growth *)
+          | _ -> Hashtbl.replace seen key !cum
+        end
+      done;
+      !result
+    end
+  end
+
+let completions fsm ~from label ~max_losses ~max_count =
+  let n = Fsm.n_states fsm in
+  if from < 0 || from >= n || max_count <= 0 then []
+  else begin
+    (* BFS over lost paths: shortest completions first, insertion order
+       within a length — deterministic witnesses. *)
+    let out = ref [] in
+    let found = ref 0 in
+    let q = Queue.create () in
+    Queue.add (from, [], 0) q;
+    while !found < max_count && not (Queue.is_empty q) do
+      let s, rpath, len = Queue.pop q in
+      List.iter
+        (fun (dst, l) ->
+          if l = label && !found < max_count then begin
+            out := List.rev ((s, dst, label) :: rpath) :: !out;
+            incr found
+          end)
+        (Fsm.edges_from fsm s);
+      if len < max_losses then
+        List.iter
+          (fun (dst, l) -> Queue.add (dst, (s, dst, l) :: rpath, len + 1) q)
+          (Fsm.edges_from fsm s)
+    done;
+    List.rev !out
+  end
+
+let shortcut_sites fsm =
+  let initial = Fsm.initial fsm in
+  let sites = ref [] in
+  for s = 0 to Fsm.n_states fsm - 1 do
+    if Fsm.reachable fsm ~from:initial s then
+      List.iter
+        (fun label ->
+          if Fsm.normal_next fsm ~from:s label = None then
+            match Fsm.infer_intra fsm ~from:s label with
+            | Some (_, jc) -> sites := (s, label, jc) :: !sites
+            | None -> ())
+        (Fsm.labels fsm)
+  done;
+  List.rev !sites
+
+let analyze fsm =
+  List.map
+    (fun (state, label, target) ->
+      let radius = radius fsm ~from:state label in
+      let max_losses =
+        match radius with Some k -> k | None -> Fsm.n_states fsm
+      in
+      let witnesses =
+        completions fsm ~from:state label ~max_losses ~max_count:2
+      in
+      { state; label; target; radius; witnesses })
+    (shortcut_sites fsm)

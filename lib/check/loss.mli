@@ -1,0 +1,58 @@
+(** Loss-radius analysis for the intra shortcut (§IV.B under lossy
+    observation).
+
+    At a shortcut site [(x, l)] — no normal [l]-edge from [x], but the
+    intra derivation is defined — the engine reconstructs the shortest
+    lost path.  This module asks how robust that guess is: with at most
+    [k] consecutive lost records, the model-consistent completions are
+    the paths of length [<= k] from [x] ending in an [l]-edge, and the
+    {e loss radius} of the site is the least [k] admitting two or more.
+    An infinite radius ([None]) is a proof: no loss burst of any length
+    can make the site ambiguous. *)
+
+type 'label completion =
+  (Refill.Fsm_state.t * Refill.Fsm_state.t * 'label) list
+(** A model-consistent completion: the lost path followed by the final
+    observed [label]-edge (always nonempty; the last element carries the
+    observed label). *)
+
+type 'label site = {
+  state : Refill.Fsm_state.t;
+  label : 'label;
+  target : Refill.Fsm_state.t;  (** the unique shortcut target [jc] *)
+  radius : int option;  (** [Some k] finite, [None] infinite (safe) *)
+  witnesses : 'label completion list;
+      (** the shortest completions, capped at two: two distinct
+          witnesses when the radius is finite (both within [radius]
+          losses), the unique completion when it is infinite *)
+}
+
+val radius : 'label Refill.Fsm.t -> from:Refill.Fsm_state.t -> 'label -> int option
+(** [radius fsm ~from l] is the least [k] such that at least two
+    completions of [(from, l)] use [<= k] lost records each, or [None]
+    if no such [k] exists.  [Some 0] only at sites with two or more
+    normal [l]-edges (nondeterminism, FSM004's territory).  Runs the
+    capped {0,1,2} path-count recurrence with cycle detection, so it
+    terminates on every FSM. *)
+
+val completions :
+  'label Refill.Fsm.t ->
+  from:Refill.Fsm_state.t ->
+  'label ->
+  max_losses:int ->
+  max_count:int ->
+  'label completion list
+(** Enumerate completions with at most [max_losses] lost records,
+    shortest first (BFS, edges in insertion order), stopping after
+    [max_count].  Deterministic; also the brute-force oracle the
+    cross-validation harness checks {!radius} against. *)
+
+val shortcut_sites :
+  'label Refill.Fsm.t ->
+  (Refill.Fsm_state.t * 'label * Refill.Fsm_state.t) list
+(** Every reachable [(state, label, target)] where the engine would take
+    the intra shortcut: no normal [label]-edge and [Fsm.infer_intra]
+    defined.  Ordered by state, then label insertion order. *)
+
+val analyze : 'label Refill.Fsm.t -> 'label site list
+(** {!shortcut_sites} with radii and witnesses filled in. *)

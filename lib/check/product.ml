@@ -1,0 +1,224 @@
+(* Self-product automaton under the lossy-observation projection.
+
+   A pair (u, v), u <> v, is *confusable* when two distinct ground-truth
+   paths with identical surviving projections can leave the observer
+   believing the node is in u or in v.  Pairs are seeded on the diagonal —
+   a reachable state w and label l with two or more observation targets
+   (Fsm.obs_targets) — and propagated by synchronized observation steps:
+   from (u, v), observing l moves to any (u', v') with u' an obs target of
+   u and v' of v.  Losses never split a pair by themselves; they are
+   absorbed into the reachability inside obs_targets.
+
+   For each confusable pair we search for a minimal distinguishing
+   observation: a label sequence possible under exactly one hypothesis.
+   The search runs on subset pairs (BFS, so the first hit is minimal);
+   exhausting the subset-pair space without a hit proves the two states
+   observationally equivalent — no future log can ever tell them apart. *)
+
+module Fsm = Refill.Fsm
+
+type 'label pair = {
+  left : Refill.Fsm_state.t;
+  right : Refill.Fsm_state.t;
+  seed_state : Refill.Fsm_state.t;
+  seed_label : 'label;
+  distinguisher : 'label list option;
+}
+
+type 'label diamond = {
+  d_state : Refill.Fsm_state.t;
+  d_label : 'label;
+  d_radius : int;
+  d_witnesses : 'label Loss.completion list;
+}
+
+let norm u v = if u <= v then (u, v) else (v, u)
+
+(* Subsets as bitmasks; protocol FSMs are small.  Oversized FSMs get no
+   distinguisher search (reported as equivalent-unknown is wrong, so we
+   conservatively return None only when the search space is real; see
+   [distinguisher]). *)
+let max_bitmask_states = 60
+
+let distinguisher fsm u v =
+  let n = Fsm.n_states fsm in
+  if n > max_bitmask_states then None
+  else begin
+    let step mask l =
+      let acc = ref 0 in
+      for s = 0 to n - 1 do
+        if mask land (1 lsl s) <> 0 then
+          List.iter
+            (fun t -> acc := !acc lor (1 lsl t))
+            (Fsm.obs_targets fsm ~from:s l)
+      done;
+      !acc
+    in
+    let seen = Hashtbl.create 64 in
+    let q = Queue.create () in
+    let start = (1 lsl u, 1 lsl v) in
+    Hashtbl.replace seen start ();
+    Queue.add (start, []) q;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty q) do
+      let (a, b), rlabels = Queue.pop q in
+      List.iter
+        (fun l ->
+          if !result = None then begin
+            let a' = step a l and b' = step b l in
+            if a' = 0 && b' = 0 then () (* impossible under both *)
+            else if a' = 0 || b' = 0 then
+              result := Some (List.rev (l :: rlabels))
+            else if not (Hashtbl.mem seen (a', b')) then begin
+              Hashtbl.replace seen (a', b') ();
+              Queue.add ((a', b'), l :: rlabels) q
+            end
+          end)
+        (Fsm.labels fsm)
+    done;
+    !result
+  end
+
+let confusable_pairs fsm =
+  let initial = Fsm.initial fsm in
+  let labels = Fsm.labels fsm in
+  let seen = Hashtbl.create 32 in
+  let order = ref [] in
+  let q = Queue.create () in
+  let add u v seed =
+    let p = norm u v in
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.replace seen p seed;
+      order := p :: !order;
+      Queue.add p q
+    end
+  in
+  for w = 0 to Fsm.n_states fsm - 1 do
+    if Fsm.reachable fsm ~from:initial w then
+      List.iter
+        (fun l ->
+          let ts = Fsm.obs_targets fsm ~from:w l in
+          List.iteri
+            (fun i u ->
+              List.iteri
+                (fun j v -> if j > i && u <> v then add u v (w, l))
+                ts)
+            ts)
+        labels
+  done;
+  while not (Queue.is_empty q) do
+    let ((u, v) as p) = Queue.pop q in
+    let seed = Hashtbl.find seen p in
+    List.iter
+      (fun l ->
+        let tu = Fsm.obs_targets fsm ~from:u l in
+        let tv = Fsm.obs_targets fsm ~from:v l in
+        List.iter
+          (fun u' ->
+            List.iter (fun v' -> if u' <> v' then add u' v' seed) tv)
+          tu)
+      labels
+  done;
+  List.rev_map
+    (fun ((u, v) as p) ->
+      let seed_state, seed_label = Hashtbl.find seen p in
+      {
+        left = u;
+        right = v;
+        seed_state;
+        seed_label;
+        distinguisher = distinguisher fsm u v;
+      })
+    !order
+
+(* Diamond sites: a reachable (state, label) served by a single normal
+   edge, where a finite loss burst opens a second model-consistent
+   completion.  The engine silently prefers the normal edge; these are
+   exactly where Table-II accuracy must degrade under loss.  Sites with
+   two or more normal edges are FSM004's, shortcut sites are Loss's. *)
+let diamonds fsm =
+  let initial = Fsm.initial fsm in
+  let out = ref [] in
+  for s = 0 to Fsm.n_states fsm - 1 do
+    if Fsm.reachable fsm ~from:initial s then
+      List.iter
+        (fun label ->
+          match Fsm.normal_next_all fsm ~from:s label with
+          | [ _ ] -> (
+              match Loss.radius fsm ~from:s label with
+              | Some k when k >= 1 ->
+                  out :=
+                    {
+                      d_state = s;
+                      d_label = label;
+                      d_radius = k;
+                      d_witnesses =
+                        Loss.completions fsm ~from:s label ~max_losses:k
+                          ~max_count:2;
+                    }
+                    :: !out
+              | Some _ | None -> ())
+          | _ -> ())
+        (Fsm.labels fsm)
+  done;
+  List.rev !out
+
+let to_dot ?(name = "product") ~label_name ~state_name fsm =
+  let pairs = confusable_pairs fsm in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph %s {\n  rankdir=LR;\n  node [fontsize=11];\n" name;
+  let pair_id u v = Printf.sprintf "p%d_%d" u v in
+  let diag_id w = Printf.sprintf "d%d" w in
+  let diag_nodes = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem diag_nodes p.seed_state) then begin
+        Hashtbl.replace diag_nodes p.seed_state ();
+        pr "  %s [label=\"%s\", shape=box];\n" (diag_id p.seed_state)
+          (state_name p.seed_state)
+      end)
+    pairs;
+  List.iter
+    (fun p ->
+      let color, note =
+        match p.distinguisher with
+        | Some obs ->
+            ( "lightsalmon",
+              Printf.sprintf "\\ndistinguish: %s"
+                (String.concat " " (List.map label_name obs)) )
+        | None -> ("red", "\\nobservationally equivalent")
+      in
+      pr "  %s [label=\"%s | %s%s\", style=filled, fillcolor=%s];\n"
+        (pair_id p.left p.right) (state_name p.left) (state_name p.right)
+        note color;
+      pr "  %s -> %s [label=\"%s\", style=dashed];\n" (diag_id p.seed_state)
+        (pair_id p.left p.right)
+        (label_name p.seed_label))
+    pairs;
+  (* Synchronized observation steps between confusable pairs. *)
+  let is_pair u v = List.exists (fun p -> (p.left, p.right) = norm u v) pairs in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun l ->
+          let tu = Fsm.obs_targets fsm ~from:p.left l in
+          let tv = Fsm.obs_targets fsm ~from:p.right l in
+          let drawn = Hashtbl.create 4 in
+          List.iter
+            (fun u' ->
+              List.iter
+                (fun v' ->
+                  let u', v' = norm u' v' in
+                  if u' <> v' && is_pair u' v' && not (Hashtbl.mem drawn (u', v'))
+                  then begin
+                    Hashtbl.replace drawn (u', v') ();
+                    pr "  %s -> %s [label=\"%s\"];\n"
+                      (pair_id p.left p.right) (pair_id u' v') (label_name l)
+                  end)
+                tv)
+            tu)
+        (Fsm.labels fsm))
+    pairs;
+  pr "}\n";
+  Buffer.contents buf

@@ -1,0 +1,63 @@
+(** Self-product automaton of a role FSM under the lossy-observation
+    projection: which belief states can two distinct ground truths with
+    identical surviving logs leave the observer in, and can any future
+    observation tell them apart?
+
+    Construction: pairs are seeded on the diagonal wherever a single
+    observed label has two or more observation targets
+    ({!Refill.Fsm.obs_targets}), and closed under synchronized
+    observation steps.  Record losses never split a pair by themselves —
+    they are already absorbed into the reachability inside
+    [obs_targets]. *)
+
+type 'label pair = {
+  left : Refill.Fsm_state.t;  (** [left <= right] *)
+  right : Refill.Fsm_state.t;
+  seed_state : Refill.Fsm_state.t;
+      (** diagonal state whose observation step first split the pair *)
+  seed_label : 'label;  (** the observed label at the seed *)
+  distinguisher : 'label list option;
+      (** a minimal observation sequence possible under exactly one of
+          the two hypotheses, or [None] when the pair is observationally
+          equivalent — no surviving log can ever tell them apart *)
+}
+
+type 'label diamond = {
+  d_state : Refill.Fsm_state.t;
+  d_label : 'label;
+  d_radius : int;
+      (** least loss burst opening a second completion ([>= 1]) *)
+  d_witnesses : 'label Loss.completion list;
+      (** two shortest completions, the first being the normal edge *)
+}
+
+val confusable_pairs : 'label Refill.Fsm.t -> 'label pair list
+(** All reachable confusable pairs, in discovery order (diagonal seeds by
+    state then label, then BFS propagation). *)
+
+val distinguisher :
+  'label Refill.Fsm.t ->
+  Refill.Fsm_state.t ->
+  Refill.Fsm_state.t ->
+  'label list option
+(** Minimal distinguishing observation for two belief states (BFS over
+    subset pairs, so the first hit is shortest; deterministic). [None]
+    when observationally equivalent. *)
+
+val diamonds : 'label Refill.Fsm.t -> 'label diamond list
+(** Reachable [(state, label)] sites served by exactly one normal edge
+    where a finite loss burst opens a second model-consistent completion
+    — the engine silently prefers the normal edge there.  Sites with two
+    or more normal edges are FSM004 findings; shortcut sites belong to
+    {!Loss}. *)
+
+val to_dot :
+  ?name:string ->
+  label_name:('label -> string) ->
+  state_name:(Refill.Fsm_state.t -> string) ->
+  'label Refill.Fsm.t ->
+  string
+(** Graphviz rendering of the confusable part of the product automaton:
+    seed states (boxes), confusable pairs (filled — salmon when a
+    distinguishing observation exists, red when observationally
+    equivalent), dashed seed edges and synchronized observation steps. *)

@@ -203,6 +203,11 @@ let edges_from t src =
 let targets_of_label t label =
   Option.value ~default:[] (Hashtbl.find_opt (cache t).label_targets label)
 
+let edges_of_label t label =
+  List.filter_map
+    (fun (src, dst, l) -> if l = label then Some (src, dst) else None)
+    (transitions t)
+
 let bfs_tree t ~from =
   let c = cache t in
   match c.bfs.(from) with
@@ -231,6 +236,22 @@ let bfs_tree t ~from =
 let reachable t ~from target =
   if not (in_range t from && in_range t target) then false
   else from = target || (bfs_tree t ~from).seen.(target)
+
+(* Lossy-observation projection step: which states can an observer be in
+   after seeing label [l] from state [from], given that any number of
+   records may have been lost before [l]?  Exactly the targets of [l]-edges
+   whose source is reachable from [from]. *)
+let obs_targets t ~from label =
+  if not (in_range t from) then []
+  else
+    List.filter
+      (fun jc ->
+        let sources =
+          Option.value ~default:[]
+            (Hashtbl.find_opt (cache t).label_sources (label, jc))
+        in
+        List.exists (fun ic -> reachable t ~from ic) sources)
+      (targets_of_label t label)
 
 let compute_shortest_path t ~from ~to_ =
   if from = to_ then Some []

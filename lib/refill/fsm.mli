@@ -108,6 +108,22 @@ val targets_of_label : 'label t -> 'label -> Fsm_state.t list
     insertion order — the candidate set [{j1..jm}] of §IV.B's intra
     derivation. *)
 
+val edges_of_label :
+  'label t -> 'label -> (Fsm_state.t * Fsm_state.t) list
+(** All [(src, dst)] pairs of normal transitions labeled [l], in insertion
+    order.  The per-label edge view the checker's product automaton is
+    built from. *)
+
+val obs_targets :
+  'label t -> from:Fsm_state.t -> 'label -> Fsm_state.t list
+(** The lossy-observation projection step: the distinct states an observer
+    may believe the node is in after seeing a record labeled [l] from
+    believed state [from], when any number of records may have been lost
+    in between.  Concretely, the targets of [l]-edges whose source is
+    reachable from [from].  A result of two or more states is a lossy
+    ambiguity; [Refill_check]'s product-automaton passes enumerate exactly
+    these.  [] for out-of-range states (no exception). *)
+
 val reachable : 'label t -> from:Fsm_state.t -> Fsm_state.t -> bool
 (** Graph reachability over normal transitions; every state reaches
     itself. States outside the graph are never reachable (no exception). *)

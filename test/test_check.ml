@@ -1,8 +1,8 @@
-(* Tests for Refill_check: the four pass families each get at least one
+(* Tests for Refill_check: the six pass families each get at least one
    positive (clean) and one negative (diagnosed) case, the built-in models
-   must check clean, and qcheck properties pin that randomly generated
-   well-formed FSMs pass while seeded mutations produce the expected
-   diagnostic codes. *)
+   must report exactly their known findings, and qcheck properties pin that
+   randomly generated well-formed FSMs pass while seeded mutations produce
+   the expected diagnostic codes. *)
 
 open Refill_check
 module Fsm = Refill.Fsm
@@ -190,27 +190,265 @@ let class_gap_outside_frontier_ok () =
   in
   Alcotest.(check int) "no errors" 0 (errors (Check.classification m))
 
+(* -- Pass 5: loss radius ----------------------------------------------------- *)
+
+(* 0 -u-> 1 -w-> 3 -z-> 4 with a second branch 0 -v-> 2 -w-> 3: from 0,
+   a single lost record leaves "w" two completions (via u or via v), and a
+   two-record burst does the same to "z"; from 1 or 2 every completion is
+   unique at any loss. *)
+let diamond () =
+  let f = Fsm.create ~n_states:5 ~initial:0 in
+  Fsm.add_transition f ~src:0 ~dst:1 "u";
+  Fsm.add_transition f ~src:0 ~dst:2 "v";
+  Fsm.add_transition f ~src:1 ~dst:3 "w";
+  Fsm.add_transition f ~src:2 ~dst:3 "w";
+  Fsm.add_transition f ~src:3 ~dst:4 "z";
+  f
+
+let loss_radius_values () =
+  let f = diamond () in
+  Alcotest.(check (option int)) "k=1 at (0,w)" (Some 1)
+    (Loss.radius f ~from:0 "w");
+  Alcotest.(check (option int)) "k=2 at (0,z)" (Some 2)
+    (Loss.radius f ~from:0 "z");
+  Alcotest.(check (option int)) "safe at (1,z)" None
+    (Loss.radius f ~from:1 "z");
+  Alcotest.(check (option int)) "safe at (2,z)" None
+    (Loss.radius f ~from:2 "z")
+
+let loss_witnesses_distinct () =
+  let f = diamond () in
+  let ws = Loss.completions f ~from:0 "w" ~max_losses:1 ~max_count:2 in
+  Alcotest.(check int) "two witnesses" 2 (List.length ws);
+  Alcotest.(check bool) "distinct" true (List.nth ws 0 <> List.nth ws 1);
+  List.iter
+    (fun w ->
+      let _, _, l = List.nth w (List.length w - 1) in
+      Alcotest.(check string) "ends with observed label" "w" l)
+    ws
+
+let loss_radius_terminates_on_cycles () =
+  (* A cycle unrelated to the site must not loop the analysis: the capped
+     count vector repeats with an unchanged total, which is the infinite-
+     radius certificate. *)
+  let f = Fsm.create ~n_states:3 ~initial:0 in
+  Fsm.add_transition f ~src:0 ~dst:1 "a";
+  Fsm.add_transition f ~src:1 ~dst:2 "l";
+  Fsm.add_transition f ~src:2 ~dst:2 "c";
+  Alcotest.(check (option int)) "safe" None (Loss.radius f ~from:0 "l");
+  (* A cycle feeding the site's label does open completions eventually. *)
+  let g = Fsm.create ~n_states:3 ~initial:0 in
+  Fsm.add_transition g ~src:0 ~dst:1 "a";
+  Fsm.add_transition g ~src:1 ~dst:0 "b";
+  Fsm.add_transition g ~src:1 ~dst:2 "l";
+  Alcotest.(check (option int)) "k=3 via the cycle" (Some 3)
+    (Loss.radius g ~from:0 "l")
+
+let loss_pass_codes () =
+  let diags = Check.loss_radius (model_of [ ("r", diamond ()) ]) in
+  Alcotest.(check int) "one LOSS001" 1
+    (List.length (Diagnostic.by_code "LOSS001" diags));
+  Alcotest.(check int) "one LOSS002" 1
+    (List.length (Diagnostic.by_code "LOSS002" diags));
+  Alcotest.(check bool) "summary" true (has_code "LOSS000" diags);
+  (match Diagnostic.by_code "LOSS002" diags with
+  | [ d ] -> Alcotest.(check (list (pair string int))) "k payload" [ ("k", 2) ] d.data
+  | _ -> Alcotest.fail "expected exactly one LOSS002");
+  let clean = Check.loss_radius (model_of [ ("r", chain [ "a"; "b"; "c" ]) ]) in
+  Alcotest.(check int) "chain has no loss findings" 0 (warnings clean + errors clean)
+
+(* -- Pass 6: product-automaton ambiguity ------------------------------------- *)
+
+(* 0 -l-> 1 and 0 -a-> 2 -l-> 3: losing "a" makes the two l-paths project
+   identically, so belief states 1 and 3 are confusable.  With the extra
+   3 -d-> 4 edge the observation "d" tells them apart. *)
+let split ?(dedge = false) () =
+  let f = Fsm.create ~n_states:5 ~initial:0 in
+  Fsm.add_transition f ~src:0 ~dst:1 "l";
+  Fsm.add_transition f ~src:0 ~dst:2 "a";
+  Fsm.add_transition f ~src:2 ~dst:3 "l";
+  if dedge then Fsm.add_transition f ~src:3 ~dst:4 "d";
+  f
+
+let product_pair_equivalent () =
+  match Product.confusable_pairs (split ()) with
+  | [ p ] ->
+      Alcotest.(check (pair int int)) "pair" (1, 3) (p.left, p.right);
+      Alcotest.(check int) "seeded at 0" 0 p.seed_state;
+      Alcotest.(check bool) "no distinguisher" true (p.distinguisher = None)
+  | ps -> Alcotest.failf "expected one pair, got %d" (List.length ps)
+
+let product_pair_distinguishable () =
+  match Product.confusable_pairs (split ~dedge:true ()) with
+  | [ p ] ->
+      Alcotest.(check (option (list string))) "minimal distinguisher"
+        (Some [ "d" ]) p.distinguisher
+  | ps -> Alcotest.failf "expected one pair, got %d" (List.length ps)
+
+let product_diamond_on_normal_edge () =
+  (* The l-edge from 0 is normal, but one lost "a" opens the longer l-path:
+     the engine silently prefers the normal edge. *)
+  match Product.diamonds (split ()) with
+  | [ d ] ->
+      Alcotest.(check int) "at state 0" 0 d.d_state;
+      Alcotest.(check string) "on l" "l" d.d_label;
+      Alcotest.(check int) "k=1" 1 d.d_radius;
+      Alcotest.(check int) "two witnesses" 2 (List.length d.d_witnesses)
+  | ds -> Alcotest.failf "expected one diamond, got %d" (List.length ds)
+
+let product_pass_codes () =
+  let d_equiv = Check.product_ambiguity (model_of [ ("r", split ()) ]) in
+  Alcotest.(check bool) "AMB002" true (has_code "AMB002" d_equiv);
+  Alcotest.(check bool) "no AMB001" false (has_code "AMB001" d_equiv);
+  let d_dist = Check.product_ambiguity (model_of [ ("r", split ~dedge:true ()) ]) in
+  Alcotest.(check bool) "AMB001" true (has_code "AMB001" d_dist);
+  Alcotest.(check bool) "summary" true (has_code "AMB000" d_dist);
+  let clean = Check.product_ambiguity (model_of [ ("r", chain [ "a"; "b" ]) ]) in
+  Alcotest.(check int) "chain silent" 0 (warnings clean + errors clean)
+
+let product_prereq_alternatives () =
+  let m =
+    model_of
+      ~prerequisites:(fun ~role label ->
+        if role = "a" && label = "b" then [ ("b", 1); ("b", 2) ] else [])
+      [ ("a", chain [ "a"; "b" ]); ("b", chain [ "p"; "q" ]) ]
+  in
+  let diags = Check.product_ambiguity m in
+  (match Diagnostic.by_code "AMB003" diags with
+  | [ d ] ->
+      Alcotest.(check (list (pair string int)))
+        "alternatives payload" [ ("alternatives", 2) ] d.data
+  | _ -> Alcotest.fail "expected exactly one AMB003");
+  (* An unsatisfiable alternative does not count towards the ambiguity. *)
+  let m1 =
+    model_of
+      ~prerequisites:(fun ~role label ->
+        if role = "a" && label = "b" then [ ("b", 1); ("b", 99) ] else [])
+      [ ("a", chain [ "a"; "b" ]); ("b", chain [ "p"; "q" ]) ]
+  in
+  Alcotest.(check bool) "single satisfiable alternative is fine" false
+    (has_code "AMB003" (Check.product_ambiguity m1))
+
 (* -- Built-in models -------------------------------------------------------- *)
 
-let builtin_ctp_clean () =
+(* CTP is clean under the first four pass families; the loss passes
+   correctly find the paper's Table-II ambiguities, the sharpest being
+   (sent, recv): a single lost ack or timeout both complete to holding. *)
+let builtin_ctp_expected () =
   let diags = Check.run Builtin.ctp in
-  Alcotest.(check int) "no errors" 0 (errors diags);
-  Alcotest.(check int) "no warnings" 0 (warnings diags);
+  let old_families =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        not
+          (List.exists
+             (fun p -> String.length d.code >= String.length p
+                       && String.sub d.code 0 (String.length p) = p)
+             [ "LOSS"; "AMB" ]))
+      diags
+  in
+  Alcotest.(check int) "first four families: no errors" 0 (errors old_families);
+  Alcotest.(check int) "first four families: no warnings" 0
+    (warnings old_families);
   (* The role-level recv->sent / ack->holding loop is real and reported. *)
-  Alcotest.(check bool) "cycle noted" true (has_code "PRE004" diags)
+  Alcotest.(check bool) "cycle noted" true (has_code "PRE004" diags);
+  (match Diagnostic.by_code "LOSS001" diags with
+  | [ a; b ] ->
+      List.iter
+        (fun (d : Diagnostic.t) ->
+          Alcotest.(check (option string)) "at sent" (Some "sent") d.loc.state;
+          Alcotest.(check (option string)) "on recv" (Some "recv") d.loc.label;
+          Alcotest.(check (list (pair string int))) "k=1" [ ("k", 1) ] d.data)
+        [ a; b ];
+      Alcotest.(check (list (option string)))
+        "origin and forwarder"
+        [ Some "forwarder"; Some "origin" ]
+        [ a.loc.role; b.loc.role ]
+  | l -> Alcotest.failf "expected exactly two LOSS001, got %d" (List.length l));
+  Alcotest.(check int) "errors are exactly the LOSS001 pair" 2 (errors diags);
+  Alcotest.(check bool) "finite radii reported" true (has_code "LOSS002" diags);
+  Alcotest.(check bool) "recv sender ambiguous" true (has_code "AMB003" diags)
 
-let builtin_dissem_clean () =
+let builtin_dissem_expected () =
   let diags = Check.run Builtin.dissem in
   Alcotest.(check int) "no errors" 0 (errors diags);
-  Alcotest.(check int) "no warnings" 0 (warnings diags)
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      if d.severity = Diagnostic.Warning then
+        Alcotest.(check bool)
+          ("warning is a loss/ambiguity finding: " ^ d.code)
+          true
+          (List.mem d.code [ "LOSS002"; "AMB001"; "AMB002" ]))
+    diags;
+  (* The rx_adv self-loops make later receiver states confusable with
+     earlier ones, but a surviving req/done record tells them apart. *)
+  Alcotest.(check bool) "AMB001" true (has_code "AMB001" diags);
+  Alcotest.(check bool) "AMB002" true (has_code "AMB002" diags);
+  Alcotest.(check bool) "LOSS002" true (has_code "LOSS002" diags);
+  Alcotest.(check bool) "no single-drop site" false (has_code "LOSS001" diags)
 
 let builtin_broken_fires () =
   let diags = Check.run Builtin.broken in
   List.iter
     (fun c ->
       Alcotest.(check bool) ("has " ^ c) true (has_code c diags))
-    [ "FSM001"; "FSM002"; "FSM004"; "INT001"; "PRE001"; "CLS001" ];
+    [
+      "FSM001"; "FSM002"; "FSM004"; "INT001"; "PRE001"; "CLS001"; "LOSS001";
+      "LOSS002"; "AMB001";
+    ];
   Alcotest.(check bool) "nonzero errors" true (errors diags > 0)
+
+(* The expected-diagnostics fixture: broken-demo's known ambiguity sites,
+   pinned to exact codes, locations, and k values.  A diagnostic drifting
+   here means the analysis changed, not the model. *)
+let broken_expected_sites () =
+  let diags = Check.run Builtin.broken in
+  (match Diagnostic.by_code "LOSS001" diags with
+  | [ d ] ->
+      Alcotest.(check (option string)) "role c" (Some "c") d.loc.role;
+      Alcotest.(check (option string)) "state s0" (Some "s0") d.loc.state;
+      Alcotest.(check (option string)) "label w" (Some "w") d.loc.label;
+      Alcotest.(check (list (pair string int))) "k=1" [ ("k", 1) ] d.data
+  | l -> Alcotest.failf "expected one LOSS001, got %d" (List.length l));
+  (match Diagnostic.by_code "LOSS002" diags with
+  | [ d ] ->
+      Alcotest.(check (option string)) "role c" (Some "c") d.loc.role;
+      Alcotest.(check (option string)) "state s0" (Some "s0") d.loc.state;
+      Alcotest.(check (option string)) "label z" (Some "z") d.loc.label;
+      Alcotest.(check (list (pair string int))) "k=2" [ ("k", 2) ] d.data
+  | l -> Alcotest.failf "expected one LOSS002, got %d" (List.length l));
+  (match Diagnostic.by_code "AMB001" diags with
+  | [ d ] ->
+      Alcotest.(check (option string)) "role a" (Some "a") d.loc.role;
+      Alcotest.(check (option string)) "pair s1|s2" (Some "s1|s2") d.loc.state
+  | l -> Alcotest.failf "expected one AMB001, got %d" (List.length l));
+  (* The two safe sites of role c stay out of the report (summary only). *)
+  let c_summaries =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        d.code = "LOSS000" && d.loc.role = Some "c")
+      diags
+  in
+  match c_summaries with
+  | [ d ] ->
+      Alcotest.(check bool) "2 safe sites counted" true
+        (let msg = d.message in
+         let n = String.length msg in
+         let needle = "2 safe" in
+         let ln = String.length needle in
+         let rec scan i = i + ln <= n && (String.sub msg i ln = needle || scan (i + 1)) in
+         scan 0)
+  | _ -> Alcotest.fail "expected one LOSS000 for role c"
+
+let run_is_sorted () =
+  let sorted name diags =
+    Alcotest.(check bool)
+      (name ^ " sorted by (code, location)")
+      true
+      (List.stable_sort Diagnostic.compare_diag diags = diags)
+  in
+  sorted "ctp" (Check.run Builtin.ctp);
+  sorted "dissem" (Check.run Builtin.dissem);
+  sorted "broken-demo" (Check.run Builtin.broken)
 
 let registry () =
   Alcotest.(check (list string))
@@ -284,6 +522,9 @@ let json_report_roundtrips () =
   | Error e -> Alcotest.failf "unparseable report: %s" e
   | Ok j ->
       let module J = Refill_obs.Json in
+      (match J.member "format" j with
+      | Some (J.Str "refill-check-v1") -> ()
+      | _ -> Alcotest.fail "missing or wrong format field");
       (match J.member "errors" j with
       | Some (J.Num n) ->
           Alcotest.(check bool) "errors > 0" true (n > 0.)
@@ -331,7 +572,12 @@ let wellformed_pass_clean =
   QCheck.Test.make ~name:"well-formed FSMs check clean" ~count:200 parents_gen
     (fun parents ->
       let diags = Check.run (model_of [ ("r", arborescence parents) ]) in
-      errors diags = 0 && warnings diags = 0)
+      errors diags = 0 && warnings diags = 0
+      (* In particular the loss/ambiguity passes stay silent: every
+         completion in an arborescence with unique labels is unique. *)
+      && List.for_all
+           (fun c -> not (has_code c diags))
+           [ "LOSS001"; "LOSS002"; "AMB001"; "AMB002"; "AMB003" ])
 
 let mutation_orphan =
   QCheck.Test.make ~name:"orphaned state => FSM001" ~count:100 parents_gen
@@ -357,6 +603,48 @@ let mutation_duplicate_edge =
           let other = if dst = 0 then 1 else 0 in
           Fsm.add_transition f ~src ~dst:other label;
           has_code "FSM004" (Check.run (model_of [ ("r", f) ])))
+
+let mutation_shortcut_diamond =
+  QCheck.Test.make ~name:"seeded shortcutable diamond => LOSS001" ~count:100
+    parents_gen (fun parents ->
+      let f = arborescence parents in
+      let n = Fsm.n_states f in
+      (* Graft a diamond onto the root: two fresh branches that join on a
+         fresh label — from the root, one lost record leaves the join label
+         two completions. *)
+      let f' = Fsm.create ~n_states:(n + 3) ~initial:0 in
+      List.iter
+        (fun (s, d, l) -> Fsm.add_transition f' ~src:s ~dst:d l)
+        (Fsm.transitions f);
+      Fsm.add_transition f' ~src:0 ~dst:n "dia-left";
+      Fsm.add_transition f' ~src:0 ~dst:(n + 1) "dia-right";
+      Fsm.add_transition f' ~src:n ~dst:(n + 2) "dia-join";
+      Fsm.add_transition f' ~src:(n + 1) ~dst:(n + 2) "dia-join";
+      let diags = Check.run (model_of [ ("r", f') ]) in
+      List.exists
+        (fun (d : Diagnostic.t) ->
+          d.code = "LOSS001" && d.loc.label = Some "dia-join"
+          && d.data = [ ("k", 1) ])
+        diags)
+
+let mutation_duplicate_projection =
+  QCheck.Test.make ~name:"seeded duplicate-projection edge => AMB002"
+    ~count:100 parents_gen (fun parents ->
+      let f = arborescence parents in
+      match Fsm.transitions f with
+      | [] -> QCheck.assume_fail ()
+      | (src, dst, label) :: _ ->
+          (* A self-loop re-using the tree edge's label: the paths src->dst
+             and src->dst->dst project identically once the loop record is
+             lost, a diamond through the normal edge. *)
+          Fsm.add_transition f ~src:dst ~dst label;
+          let diags = Check.run (model_of [ ("r", f) ]) in
+          List.exists
+            (fun (d : Diagnostic.t) ->
+              d.code = "AMB002"
+              && d.loc.state = Some ("s" ^ string_of_int src)
+              && d.loc.label = Some label)
+            diags)
 
 let mutation_cut_prereq =
   QCheck.Test.make ~name:"deleting the edge into a prereq state => PRE001"
@@ -414,12 +702,37 @@ let () =
           Alcotest.test_case "gap outside frontier" `Quick
             class_gap_outside_frontier_ok;
         ] );
+      ( "loss-radius",
+        [
+          Alcotest.test_case "radius values" `Quick loss_radius_values;
+          Alcotest.test_case "distinct witnesses" `Quick
+            loss_witnesses_distinct;
+          Alcotest.test_case "terminates on cycles" `Quick
+            loss_radius_terminates_on_cycles;
+          Alcotest.test_case "pass codes" `Quick loss_pass_codes;
+        ] );
+      ( "product",
+        [
+          Alcotest.test_case "equivalent pair" `Quick product_pair_equivalent;
+          Alcotest.test_case "distinguishable pair" `Quick
+            product_pair_distinguishable;
+          Alcotest.test_case "diamond on normal edge" `Quick
+            product_diamond_on_normal_edge;
+          Alcotest.test_case "pass codes" `Quick product_pass_codes;
+          Alcotest.test_case "prereq alternatives" `Quick
+            product_prereq_alternatives;
+        ] );
       ( "builtins",
         [
-          Alcotest.test_case "ctp clean" `Quick builtin_ctp_clean;
-          Alcotest.test_case "dissem clean" `Quick builtin_dissem_clean;
+          Alcotest.test_case "ctp expected findings" `Quick
+            builtin_ctp_expected;
+          Alcotest.test_case "dissem expected findings" `Quick
+            builtin_dissem_expected;
           Alcotest.test_case "broken fixture fires" `Quick
             builtin_broken_fires;
+          Alcotest.test_case "broken expected sites" `Quick
+            broken_expected_sites;
+          Alcotest.test_case "reports are sorted" `Quick run_is_sorted;
           Alcotest.test_case "registry" `Quick registry;
           Alcotest.test_case "ctp causes match Classify" `Quick
             ctp_frontier_matches_classify;
@@ -434,6 +747,8 @@ let () =
           QCheck_alcotest.to_alcotest wellformed_pass_clean;
           QCheck_alcotest.to_alcotest mutation_orphan;
           QCheck_alcotest.to_alcotest mutation_duplicate_edge;
+          QCheck_alcotest.to_alcotest mutation_shortcut_diamond;
+          QCheck_alcotest.to_alcotest mutation_duplicate_projection;
           QCheck_alcotest.to_alcotest mutation_cut_prereq;
         ] );
     ]

@@ -99,6 +99,43 @@ let missing_file_still_dumps_metrics () =
       Alcotest.(check bool) "metrics survive the I/O error" true
         (Sys.file_exists metrics))
 
+(* -- check ------------------------------------------------------------------ *)
+
+let baseline_path =
+  (* Copied next to the test binary by the dune deps clause; the repo-root
+     fallback covers manual invocation. *)
+  match
+    List.find_opt Sys.file_exists
+      [ "check_baseline.json"; "test/check_baseline.json" ]
+  with
+  | Some p -> p
+  | None -> Alcotest.fail "check_baseline.json not found"
+
+let check_matches_baseline () =
+  (* The committed snapshot is the full deterministic report over every
+     builtin model: any diagnostic that appears or vanishes shows up as a
+     byte diff, so regressions can't slip through silently.  A legitimate
+     change regenerates the file in the same commit. *)
+  let code, out =
+    run_cli [ "check"; "ctp"; "dissem"; "broken-demo"; "--json"; "-q" ]
+  in
+  Alcotest.(check int) "check exits 1 (known LOSS001/PRE001/CLS001 errors)" 1
+    code;
+  let baseline = read_file baseline_path in
+  if out <> baseline then
+    Alcotest.failf
+      "check --json diverged from test/check_baseline.json (%d vs %d bytes); \
+       if the change is deliberate, regenerate the snapshot"
+      (String.length out) (String.length baseline)
+
+let check_strict_exit_contract () =
+  (* dissem carries warnings but no errors: exit 0 by default, and
+     --strict must promote the warnings to a failing exit. *)
+  let code, _ = run_cli [ "check"; "dissem"; "-q" ] in
+  Alcotest.(check int) "dissem passes by default" 0 code;
+  let strict_code, _ = run_cli [ "check"; "dissem"; "--strict"; "-q" ] in
+  Alcotest.(check int) "--strict promotes dissem warnings" 1 strict_code
+
 (* -- explain ---------------------------------------------------------------- *)
 
 let explain_text_works () =
@@ -143,6 +180,13 @@ let () =
             malformed_log_still_dumps_metrics;
           Alcotest.test_case "missing file writes metrics" `Quick
             missing_file_still_dumps_metrics;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "json report matches committed baseline" `Quick
+            check_matches_baseline;
+          Alcotest.test_case "--strict exit contract" `Quick
+            check_strict_exit_contract;
         ] );
       ( "explain",
         [

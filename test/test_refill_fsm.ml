@@ -189,6 +189,31 @@ let accessors () =
   Alcotest.(check (list int)) "targets of unknown" []
     (Fsm.targets_of_label f "q")
 
+let projection_accessors () =
+  let f = chain () in
+  Alcotest.(check (list (pair int int)))
+    "edges of b" [ (1, 2) ]
+    (Fsm.edges_of_label f "b");
+  Alcotest.(check (list (pair int int))) "edges of unknown" []
+    (Fsm.edges_of_label f "q");
+  (* obs step: the source of the labeled edge only has to be reachable,
+     absorbing any number of lost records before the observation. *)
+  Alcotest.(check (list int)) "c observable from 0" [ 3 ]
+    (Fsm.obs_targets f ~from:0 "c");
+  Alcotest.(check (list int)) "c observable from 3 via the loop" [ 3 ]
+    (Fsm.obs_targets f ~from:3 "c");
+  Alcotest.(check (list int)) "out of range" [] (Fsm.obs_targets f ~from:99 "c");
+  (* A second l-edge on a separate branch widens the obs step. *)
+  let g = Fsm.create ~n_states:5 ~initial:0 in
+  Fsm.add_transition g ~src:0 ~dst:1 "l";
+  Fsm.add_transition g ~src:0 ~dst:2 "a";
+  Fsm.add_transition g ~src:2 ~dst:3 "l";
+  Fsm.add_transition g ~src:4 ~dst:3 "a";
+  Alcotest.(check (list int)) "both l targets" [ 1; 3 ]
+    (Fsm.obs_targets g ~from:0 "l");
+  Alcotest.(check (list int)) "only the local branch" [ 3 ]
+    (Fsm.obs_targets g ~from:2 "l")
+
 let derived_intra_edges_listed () =
   let f = chain () in
   let derived = Fsm.derived_intra_edges f in
@@ -423,6 +448,8 @@ let () =
         [
           Alcotest.test_case "normal_next_all" `Quick normal_next_all_order;
           Alcotest.test_case "edges_from/targets_of_label" `Quick accessors;
+          Alcotest.test_case "edges_of_label/obs_targets" `Quick
+            projection_accessors;
           Alcotest.test_case "derived intra edges" `Quick
             derived_intra_edges_listed;
         ] );
