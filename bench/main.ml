@@ -629,6 +629,10 @@ type scaling_point = {
   global_flow_seconds : float;
   analysis_seconds : float;
   stream_seconds : float;
+  stream_shards : int;
+  stream_sharded_seconds : float option;
+      (* wall time of the same trace through Stream.Sharded; [None] on
+         single-shard rungs *)
   peak_frontier_events : int;
   gc_minor_collections : int;
   gc_major_words : float;
@@ -682,7 +686,7 @@ let interleaved_ratio ?(rounds = 15) ?(iters = 50) f g =
   Array.sort compare ratios;
   (!best_f, !best_g, ratios.(rounds / 2))
 
-let scaling_rung name params =
+let scaling_rung ?(shards = 1) name params =
   let t0 = Unix.gettimeofday () in
   let scenario = Scenario.Citysee.run params in
   let setup = Unix.gettimeofday () -. t0 in
@@ -730,6 +734,37 @@ let scaling_rung name params =
   done;
   let ssum = Refill.Stream.finish stream in
   let dt_stream = Unix.gettimeofday () -. t4 in
+  (* Sharded rung: identical trace through Stream.Sharded.  Output is
+     byte-identical by construction (qcheck-pinned in the test suite), so
+     only the wall time and flow count are recorded.  Speedup needs one
+     core per shard; on fewer cores the queue hand-offs make this an
+     honest slowdown, which the JSON reports as-is. *)
+  let dt_sharded =
+    if shards <= 1 then None
+    else begin
+      let config = { config with shards } in
+      let t5 = Unix.gettimeofday () in
+      let sharded_flows = ref 0 in
+      let st =
+        Refill.Stream.Sharded.create ~config ~sink:scenario.sink
+          ~emit:(fun _ -> incr sharded_flows)
+          ()
+      in
+      let i = ref 0 in
+      while !i < n do
+        let len = min config.chunk_events (n - !i) in
+        Refill.Stream.Sharded.feed st (Array.sub ordered !i len);
+        i := !i + len
+      done;
+      let shsum = Refill.Stream.Sharded.finish st in
+      let dt = Unix.gettimeofday () -. t5 in
+      if shsum.flows <> ssum.flows then
+        Printf.printf
+          "%14sWARNING: sharded flow count %d <> single-domain %d\n" ""
+          shsum.flows ssum.flows;
+      Some dt
+    end
+  in
   let gc = Refill_obs.Profile.(delta ~before:gc0 ~after:(sample ())) in
   Printf.printf
     "%-12s  %9d records  %9d flow events  %7d delivered  sim %6.1fs\n\
@@ -746,6 +781,14 @@ let scaling_rung name params =
     (100.
     *. float_of_int ssum.peak_frontier_events
     /. float_of_int (max 1 records));
+  (match dt_sharded with
+  | Some dt ->
+      Printf.printf
+        "%14sstream x%-4d %8.3fs  speedup x%.2f (needs %d cores to win)\n" ""
+        shards dt
+        (dt_stream /. Float.max 1e-9 dt)
+        shards
+  | None -> ());
   Printf.printf
     "%14sgc          %d minor / %d major collections, %.1fM major words, \
      peak heap %.1fM words\n"
@@ -763,6 +806,8 @@ let scaling_rung name params =
       global_flow_seconds = dt_gf;
       analysis_seconds = dt_an;
       stream_seconds = dt_stream;
+      stream_shards = shards;
+      stream_sharded_seconds = dt_sharded;
       peak_frontier_events = ssum.peak_frontier_events;
       gc_minor_collections = gc.minor_collections;
       gc_major_words = gc.major_words;
@@ -770,11 +815,15 @@ let scaling_rung name params =
     }
     :: !scaling_results
 
+(* Per-rung shard counts: the tiny rung stays single-domain (the trace is
+   too small to amortize worker hand-off), the mid rungs use 4 shards, and
+   the 1200-node rung 8 — matching the deployment-scale sink fan-in. *)
 let scaling_ladder =
   [
-    ("tiny-1d", Scenario.Citysee.tiny);
-    ("citysee-2d", Scenario.Citysee.two_day);
-    ("citysee-30d", Scenario.Citysee.default);
+    ("tiny-1d", Scenario.Citysee.tiny, 1);
+    ("citysee-2d", Scenario.Citysee.two_day, 4);
+    ("citysee-1200", Scenario.Citysee.full_scale, 8);
+    ("citysee-30d", Scenario.Citysee.default, 4);
   ]
 
 (* Provenance-on vs provenance-off batch reconstruction, on the two-day
@@ -812,17 +861,35 @@ let provenance_probe () =
     "prov-probe" on_ off ratio
 
 let run_scaling () =
-  section "A10 — reconstruction scaling: events vs wall time (small → 30-day \
-           CitySee)";
-  List.iter (fun (name, params) -> scaling_rung name params) scaling_ladder;
+  section
+    "A10 — reconstruction scaling: events vs wall time (small → 1200-node \
+     CitySee)";
+  List.iter
+    (fun (name, params, shards) -> scaling_rung ~shards name params)
+    scaling_ladder;
   provenance_probe ()
 
+(* The smoke variant runs the smallest rung with 2 shards even though the
+   full ladder keeps tiny-1d single-domain: CI gates on the sharded fields
+   being present and sane, so the cheap rung has to produce them. *)
 let run_scaling_smoke () =
   section "A10 (smoke) — reconstruction scaling, smallest rung only";
   (match scaling_ladder with
-  | (name, params) :: _ -> scaling_rung name params
+  | (name, params, _) :: _ -> scaling_rung ~shards:2 name params
   | [] -> ());
   provenance_probe ()
+
+(* Reduced-duration 1200-node smoke: full_scale's node count and reporting
+   structure at half the day length, so CI can exercise the deployment-
+   scale rung (and its 8-way sharding) without the full simulation bill. *)
+let run_scaling_1200_smoke () =
+  section "A10 (1200 smoke) — 1200-node rung, reduced duration";
+  scaling_rung ~shards:8 "citysee-1200-smoke"
+    {
+      Scenario.Citysee.full_scale with
+      day_length = 600.;
+      data_interval = 300.;
+    }
 
 (* -- Extension A2: bechamel microbenchmarks ----------------------------------- *)
 
@@ -914,6 +981,7 @@ let experiments =
     ("scale", run_scale);
     ("scaling", run_scaling);
     ("scaling-smoke", run_scaling_smoke);
+    ("scaling-1200-smoke", run_scaling_1200_smoke);
     ("perf", perf);
   ]
 
@@ -948,7 +1016,7 @@ let write_bench_json timings =
             (List.rev_map
                (fun p ->
                  J.Obj
-                   [
+                   ([
                      ("rung", J.Str p.rung);
                      ("records", J.Num (float_of_int p.records));
                      ("flow_events", J.Num (float_of_int p.flow_events));
@@ -956,6 +1024,17 @@ let write_bench_json timings =
                      ("global_flow_seconds", J.Num p.global_flow_seconds);
                      ("analysis_seconds", J.Num p.analysis_seconds);
                      ("stream_seconds", J.Num p.stream_seconds);
+                     ("stream_shards", J.Num (float_of_int p.stream_shards));
+                   ]
+                   @ (match p.stream_sharded_seconds with
+                     | Some dt ->
+                         [
+                           ("stream_sharded_seconds", J.Num dt);
+                           ( "stream_speedup",
+                             J.Num (p.stream_seconds /. Float.max 1e-9 dt) );
+                         ]
+                     | None -> [])
+                   @ [
                      ( "peak_frontier_events",
                        J.Num (float_of_int p.peak_frontier_events) );
                      ( "gc_minor_collections",
@@ -963,7 +1042,7 @@ let write_bench_json timings =
                      ("gc_major_words", J.Num p.gc_major_words);
                      ( "peak_heap_words",
                        J.Num (float_of_int p.peak_heap_words) );
-                   ])
+                   ]))
                !scaling_results) );
         ("metrics", Refill_obs.Metrics.to_json ());
       ]

@@ -401,10 +401,38 @@ let print_global_flow_stats (gs : Refill.Global_flow.stats) =
 let print_stream_summary (s : Refill.Stream.summary) =
   Printf.printf
     "streamed %d records in %d segment(s): %d flows (%d complete, %d \
-     incomplete), %d mid-stream evictions, %d late fragments, peak frontier \
-     %d events\n"
+     incomplete), %d mid-stream evictions, %d late fragments, %d forgotten \
+     keys, peak frontier %d events\n"
     s.events s.segments s.flows s.complete s.incomplete s.evictions
-    s.late_fragments s.peak_frontier_events
+    s.late_fragments s.forgotten_keys s.peak_frontier_events
+
+(* One face over the single-domain and sharded streams, so the feed /
+   checkpoint / finish plumbing below is written once. *)
+type stream_driver = {
+  d_feed : Logsys.Record.t array -> unit;
+  d_finish : unit -> Refill.Stream.summary;
+  d_summary : unit -> Refill.Stream.summary;
+  d_processed : unit -> int;
+  d_checkpoint_file : string -> (unit, Refill.Error.t) result;
+}
+
+let single_driver t =
+  {
+    d_feed = Refill.Stream.feed t;
+    d_finish = (fun () -> Refill.Stream.finish t);
+    d_summary = (fun () -> Refill.Stream.summary t);
+    d_processed = (fun () -> Refill.Stream.processed t);
+    d_checkpoint_file = Refill.Stream.checkpoint_file t;
+  }
+
+let sharded_driver t =
+  {
+    d_feed = Refill.Stream.Sharded.feed t;
+    d_finish = (fun () -> Refill.Stream.Sharded.finish t);
+    d_summary = (fun () -> Refill.Stream.Sharded.summary t);
+    d_processed = (fun () -> Refill.Stream.Sharded.processed t);
+    d_checkpoint_file = Refill.Stream.Sharded.checkpoint_file t;
+  }
 
 let reconstruct_batch (config : Refill.Config.t) ~global_flow ~quality input =
   match
@@ -464,13 +492,26 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
               (fun g -> Refill.Global_flow.Incremental.add_flow g e.flow)
               inc
           in
+          let open_driver () =
+            if config.shards > 1 then
+              sharded_driver (Refill.Stream.Sharded.create ~config ~sink ~emit ())
+            else single_driver (Refill.Stream.create ~config ~sink ~emit ())
+          in
+          let resume_driver path =
+            if config.shards > 1 then
+              Result.map sharded_driver
+                (Refill.Stream.Sharded.resume_file ~config path ~sink ~emit)
+            else
+              Result.map single_driver
+                (Refill.Stream.resume_file ~config path ~sink ~emit)
+          in
           let stream_r =
             match checkpoint with
             | Some path when Sys.file_exists path -> (
-                match Refill.Stream.resume_file ~config path ~sink ~emit with
+                match resume_driver path with
                 | Error e -> Error e
-                | Ok t ->
-                    let want = Refill.Stream.processed t in
+                | Ok d ->
+                    let want = d.d_processed () in
                     let skipped = Logsys.Log_io.Seg.skip reader want in
                     if skipped < want then
                       Error
@@ -485,9 +526,9 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
                            })
                     else begin
                       Obs.Log.info "resumed from %s at record %d" path want;
-                      Ok t
+                      Ok d
                     end)
-            | _ -> Ok (Refill.Stream.create ~config ~sink ~emit ())
+            | _ -> Ok (open_driver ())
           in
           match stream_r with
           | Error e -> err_exit e
@@ -504,7 +545,7 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
                         (fun g ->
                           Refill.Global_flow.Incremental.add_records g seg)
                         inc;
-                      Refill.Stream.feed t seg;
+                      t.d_feed seg;
                       loop ()
                 in
                 loop ()
@@ -517,7 +558,7 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
                      flush the frontier now. *)
                   match
                     match checkpoint with
-                    | Some path -> Refill.Stream.checkpoint_file t path
+                    | Some path -> t.d_checkpoint_file path
                     | None -> Ok ()
                   with
                   | Error e -> err_exit e
@@ -528,7 +569,7 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
                       | None -> ());
                       let flush_now = finish || checkpoint = None in
                       if flush_now then begin
-                        let s = Refill.Stream.finish t in
+                        let s = t.d_finish () in
                         print_packet_summary !summary;
                         print_stream_summary s;
                         (match (quality, qacc) with
@@ -543,7 +584,7 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
                           inc
                       end
                       else begin
-                        let s = Refill.Stream.summary t in
+                        let s = t.d_summary () in
                         print_stream_summary s;
                         Obs.Log.info
                           "frontier left open (%d buffered events); rerun \
@@ -552,8 +593,8 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
                       end;
                       0))))
 
-let reconstruct obs stream chunk_events watermark jobs checkpoint finish
-    global_flow quality input =
+let reconstruct obs stream chunk_events watermark shards late_retention jobs
+    checkpoint finish global_flow quality input =
   with_observability obs @@ fun () ->
   match
     Refill.Config.validate
@@ -561,6 +602,8 @@ let reconstruct obs stream chunk_events watermark jobs checkpoint finish
         Refill.Config.default with
         chunk_events;
         watermark;
+        shards;
+        late_retention;
         jobs;
         provenance = quality <> None;
       }
@@ -571,6 +614,9 @@ let reconstruct obs stream chunk_events watermark jobs checkpoint finish
         err_exit
           (Refill.Error.Invalid_config
              "--checkpoint and --finish require --stream")
+      else if (not stream) && shards > 1 then
+        err_exit
+          (Refill.Error.Invalid_config "--shards requires --stream")
       else if global_flow && checkpoint <> None then
         err_exit
           (Refill.Error.Invalid_config
@@ -613,6 +659,27 @@ let reconstruct_cmd =
           ~doc:
             "Evict a packet once no record of it appeared in the last \
              $(docv) records processed.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt int Refill.Config.default.shards
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "With --stream: shard the frontier across $(docv) worker \
+             domains, routing each packet key by hash.  Output is \
+             byte-identical to --shards 1.  Checkpoints record all shards \
+             and resume at any shard count.")
+  in
+  let late_retention =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "late-retention" ] ~docv:"N"
+          ~doc:
+            "Forget an evicted packet key $(docv) records after its \
+             eviction, bounding the memory behind late-fragment detection \
+             (default: 4x the watermark).")
   in
   let jobs =
     Arg.(
@@ -670,7 +737,8 @@ let reconstruct_cmd =
     (Cmd.info "reconstruct" ~doc ~man)
     Term.(
       const reconstruct $ obs_opts_term $ stream $ chunk_events $ watermark
-      $ jobs $ checkpoint $ finish $ global_flow $ provenance_arg $ input)
+      $ shards $ late_retention $ jobs $ checkpoint $ finish $ global_flow
+      $ provenance_arg $ input)
 
 (* -- trace -------------------------------------------------------------------- *)
 

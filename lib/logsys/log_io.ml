@@ -181,6 +181,7 @@ module Seg = struct
     seg_n_nodes : int;
     seg_sink : int;
     mutable eof : bool;
+    mutable seg_read : int;
   }
 
   let of_channel ic =
@@ -197,11 +198,13 @@ module Seg = struct
       | Some s -> s
       | None -> failwith "Log_io: missing sink header"
     in
-    { ic; seg_n_nodes; seg_sink; eof = false }
+    { ic; seg_n_nodes; seg_sink; eof = false; seg_read = 0 }
 
   let n_nodes r = r.seg_n_nodes
 
   let sink r = r.seg_sink
+
+  let read r = r.seg_read
 
   (* Next record line, skipping comments, blanks and truth lines — a
      streaming consumer has no use for ground-truth fates. *)
@@ -218,6 +221,7 @@ module Seg = struct
             let rec_ = record_of_line line in
             if rec_.node < 0 || rec_.node >= r.seg_n_nodes then
               failwith "Log_io: record node out of range";
+            r.seg_read <- r.seg_read + 1;
             Some rec_
           end
           else if line.[0] = 't' || line.[0] = '#' then next_record r

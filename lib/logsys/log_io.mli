@@ -75,6 +75,10 @@ module Seg : sig
 
   val sink : reader -> Net.Packet.node_id
 
+  val read : reader -> int
+  (** Records returned (or skipped) so far — the stream position of the
+      reader, matching what a streaming consumer counts as processed. *)
+
   val next : reader -> max_records:int -> Record.t array option
   (** Up to [max_records] further records, in file order; [None] at end of
       input.  @raise Failure on a malformed line, [Invalid_argument] if

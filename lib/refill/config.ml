@@ -5,6 +5,8 @@ type t = {
   watermark : int;
   chunk_events : int;
   provenance : bool;
+  shards : int;
+  late_retention : int option;
 }
 
 let default =
@@ -15,14 +17,30 @@ let default =
     watermark = 50_000;
     chunk_events = 4096;
     provenance = false;
+    shards = 1;
+    late_retention = None;
   }
+
+(* The default retention window: long enough that a straggler arriving a
+   few eviction lifetimes late is still recognized, short enough that the
+   evicted-key table stays a small multiple of the live frontier.  Guards
+   against overflow for the "effectively infinite" watermarks tests use. *)
+let resolved_retention t =
+  match t.late_retention with
+  | Some r -> r
+  | None -> if t.watermark >= max_int / 4 then max_int else 4 * t.watermark
 
 let validate t =
   if t.watermark <= 0 then
     Error (Error.Invalid_config "watermark must be positive")
   else if t.chunk_events <= 0 then
     Error (Error.Invalid_config "chunk-events must be positive")
+  else if t.shards <= 0 then
+    Error (Error.Invalid_config "shards must be positive")
   else
-    match t.jobs with
-    | Some j when j <= 0 -> Error (Error.Invalid_config "jobs must be positive")
-    | Some _ | None -> Ok t
+    match (t.jobs, t.late_retention) with
+    | Some j, _ when j <= 0 ->
+        Error (Error.Invalid_config "jobs must be positive")
+    | _, Some r when r < 0 ->
+        Error (Error.Invalid_config "late-retention must be non-negative")
+    | _ -> Ok t

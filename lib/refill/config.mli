@@ -23,12 +23,27 @@ type t = {
       (** Collect per-event {!Provenance.t} side-car arrays
           ({!Flow.t.prov}).  Off by default: the pipeline then allocates
           nothing for provenance. *)
+  shards : int;
+      (** Streaming only: worker domains for {!Stream.Sharded}; [1] keeps
+          the single-domain {!Stream} path. *)
+  late_retention : int option;
+      (** Streaming only: how many records past a packet's eviction
+          trigger a returning fragment is still recognized as a late
+          fragment of that packet.  Older evicted keys are forgotten (and
+          counted), which bounds the evicted-key table.  [None] =
+          [4 * watermark]. *)
 }
 
 val default : t
 (** [use_intra = true], [use_inter = true], [jobs = None],
-    [watermark = 50_000], [chunk_events = 4096], [provenance = false]. *)
+    [watermark = 50_000], [chunk_events = 4096], [provenance = false],
+    [shards = 1], [late_retention = None]. *)
+
+val resolved_retention : t -> int
+(** The effective late-fragment retention window: [late_retention] when
+    set, otherwise [4 * watermark] (saturating). *)
 
 val validate : t -> (t, Error.t) result
 (** [Error (Invalid_config _)] when [watermark <= 0], [chunk_events <= 0],
-    or [jobs = Some j] with [j <= 0]. *)
+    [shards <= 0], [jobs = Some j] with [j <= 0], or
+    [late_retention = Some r] with [r < 0]. *)

@@ -33,12 +33,29 @@
     differs from its batch counterpart is traceable to an [Incomplete]
     sibling.
 
+    Evicted keys are remembered for [Config.late_retention] further
+    records (default [4 * watermark]) and then forgotten, which bounds
+    the evicted-key table on unbounded streams; forgotten keys are
+    counted ({!summary.forgotten_keys},
+    [refill_stream_forgotten_keys_total]) so late-fragment accounting
+    degrades visibly, not silently.
+
     {2 Checkpoints}
 
-    The live state — counters, evicted-key set, and the frontier buffers
-    with their arrival order — serializes to a text checkpoint
-    ([# refill-stream-ckpt v1]).  Resuming and feeding the remaining
-    records yields byte-identical flows to an uninterrupted run. *)
+    The live state — counters, evicted-key table, and the frontier
+    buffers with their arrival order — serializes to a text checkpoint
+    ([# refill-stream-ckpt v2], one section per shard, with the semantic
+    flags in the header).  v1 checkpoints are still readable.  Resuming
+    and feeding the remaining records yields byte-identical flows to an
+    uninterrupted run; a checkpoint written at any shard count resumes at
+    any other (including the single-domain stream).
+
+    {2 Sharding}
+
+    {!Sharded} runs N single-domain streams as worker domains, routing
+    each record by a hash of its packet key over bounded SPSC queues, and
+    re-serializes their emissions into exactly the single-domain emission
+    order — output is byte-identical at any shard count and chunking. *)
 
 type outcome =
   | Complete  (** The stream believes it saw this packet whole. *)
@@ -56,6 +73,9 @@ type summary = {
   incomplete : int;
   evictions : int;  (** Mid-stream evictions (not end-of-input flushes). *)
   late_fragments : int;
+  forgotten_keys : int;
+      (** Evicted keys dropped after the retention window: a fragment of
+          one of these arriving even later would not be flagged late. *)
   frontier_events : int;  (** Records currently buffered. *)
   peak_frontier_events : int;
 }
@@ -63,9 +83,10 @@ type summary = {
 type t
 
 val create : ?config:Config.t -> sink:int -> emit:(emitted -> unit) -> unit -> t
-(** A fresh stream.  [config] supplies the ablation knobs and
-    [config.watermark]; [emit] is called synchronously from [feed] /
-    [finish], in eviction order (deterministic for a given feed). *)
+(** A fresh stream.  [config] supplies the ablation knobs,
+    [config.watermark] and [config.late_retention]; [emit] is called
+    synchronously from [feed] / [finish], in eviction order
+    (deterministic for a given feed). *)
 
 val feed : t -> Logsys.Record.t array -> unit
 (** Process one segment of records, in arrival order.  Records with a
@@ -85,7 +106,8 @@ val processed : t -> int
     fast-forward a reopened input to the checkpoint position. *)
 
 val checkpoint : t -> out_channel -> unit
-(** Serialize the live state.  Only meaningful before {!finish}. *)
+(** Serialize the live state (v2, single shard).  Only meaningful before
+    {!finish}. *)
 
 val checkpoint_file : t -> string -> (unit, Error.t) result
 
@@ -95,9 +117,18 @@ val resume :
   sink:int ->
   emit:(emitted -> unit) ->
   (t, Error.t) result
-(** Rebuild a stream from a checkpoint.  The checkpoint's watermark
-    overrides [config.watermark]; the ablation knobs still come from
-    [config]. *)
+(** Rebuild a single-domain stream from a checkpoint (v1 or v2; a
+    multi-shard v2 checkpoint is merged into one frontier).  The
+    checkpoint's watermark and retention always win.  The semantic flags
+    ([use_intra]/[use_inter]/[provenance]) come from the checkpoint when
+    it records them (v2); passing [?config] whose flags disagree with a
+    v2 checkpoint is an [Error.Bad_checkpoint] — resuming under different
+    semantics would silently change what the reconstruction means.  For
+    v1 checkpoints (no recorded flags) the caller's config is trusted.
+    All restored header fields are validated; nonsensical values
+    (negative counters, [peak-frontier] below the restored frontier,
+    shard totals that disagree with the clock) are rejected with
+    [Error.Bad_checkpoint]. *)
 
 val resume_file :
   ?config:Config.t ->
@@ -105,3 +136,76 @@ val resume_file :
   sink:int ->
   emit:(emitted -> unit) ->
   (t, Error.t) result
+
+(** Multi-domain sharded streaming with single-domain output semantics.
+
+    [create ~config] spawns [config.shards] worker domains, each running
+    an ordinary stream over the subset of packet keys that hash to it.
+    Records are annotated with their global stream position and routed
+    over bounded SPSC queues; every segment boundary broadcasts a clock
+    tick so each worker evicts exactly where the single-domain stream
+    would.  Emissions are buffered and released in global order —
+    mid-stream evictions ascending by the evicted packet's last-seen
+    position once every worker's clock has passed the point where an
+    earlier eviction could still appear, end-of-stream flushes ascending
+    by key — so the emitted flow sequence is byte-identical to
+    single-domain {!Stream} for any shard count and any chunking.
+
+    [emit] fires from {!Sharded.feed}, {!Sharded.finish} and the other
+    combining calls, possibly several segments after the records that
+    produced a flow (the release lags the slowest worker by up to one
+    watermark).  [summary] totals are sums over workers;
+    [peak_frontier_events] sums per-worker peaks, an upper bound on the
+    single-domain peak; [segments] counts {!Sharded.feed} calls.  A
+    worker failure is re-raised from the next call into the shard layer
+    after all domains are joined. *)
+module Sharded : sig
+  type nonrec t
+
+  val create :
+    ?config:Config.t -> sink:int -> emit:(emitted -> unit) -> unit -> t
+
+  val shards : t -> int
+
+  val feed : t -> Logsys.Record.t array -> unit
+  (** Route one segment to the workers and release every emission that is
+      already globally ordered.  @raise Invalid_argument after
+      {!finish}. *)
+
+  val finish : t -> summary
+  (** Stop and join all workers, flush every frontier, release all
+      remaining emissions, and return the aggregate summary.
+      Idempotent. *)
+
+  val summary : t -> summary
+  (** Quiesce the workers (blocking until they catch up with the feeder)
+      and return aggregate counters; also releases pending emissions. *)
+
+  val processed : t -> int
+  (** Global records routed so far — the {!Logsys.Log_io.Seg.skip} count
+      for resuming. *)
+
+  val checkpoint : t -> out_channel -> unit
+  (** Quiesce, then serialize all shards as one v2 checkpoint.  Only
+      meaningful before {!finish}. *)
+
+  val checkpoint_file : t -> string -> (unit, Error.t) result
+
+  val resume :
+    ?config:Config.t ->
+    in_channel ->
+    sink:int ->
+    emit:(emitted -> unit) ->
+    (t, Error.t) result
+  (** Resume from a v1 or v2 checkpoint into [config.shards] workers,
+      re-hashing the restored frontier and evicted keys; the shard count
+      need not match the checkpoint's.  Same validation and
+      flag-conflict rules as {!Stream.resume}. *)
+
+  val resume_file :
+    ?config:Config.t ->
+    string ->
+    sink:int ->
+    emit:(emitted -> unit) ->
+    (t, Error.t) result
+end

@@ -25,11 +25,25 @@ let batch_flows collected =
       acc := f :: !acc);
   List.rev !acc
 
-(* Stream [collected]'s arrival-order trace in [chunk]-sized segments. *)
-let stream_all ?(watermark = max_int / 2) ~chunk collected =
+(* The equivalence properties run with an unbounded late-fragment
+   retention (the pre-sharding semantics); bounded retention has its own
+   regression tests below. *)
+let test_config ?(watermark = max_int / 2) ?(shards = 1) () =
+  {
+    Refill.Config.default with
+    watermark;
+    shards;
+    late_retention = Some max_int;
+  }
+
+(* Stream [collected]'s arrival-order trace in [chunk]-sized segments.
+   [chunk] is clamped to >= 1: qcheck shrinkers can step outside the
+   declared range, and a zero chunk would never advance the feed loop. *)
+let stream_all ?watermark ~chunk collected =
+  let chunk = max 1 chunk in
   let ordered = Logsys.Collected.merged_by_time collected in
   let acc = ref [] in
-  let config = { Refill.Config.default with watermark } in
+  let config = test_config ?watermark () in
   let t =
     Refill.Stream.create ~config ~sink:(sink ()) ~emit:(fun e ->
         acc := e :: !acc)
@@ -43,6 +57,28 @@ let stream_all ?(watermark = max_int / 2) ~chunk collected =
     i := !i + len
   done;
   let s = Refill.Stream.finish t in
+  (List.rev !acc, s)
+
+(* Same, through the sharded layer. *)
+let sharded_stream_all ?watermark ~shards ~chunk collected =
+  let chunk = max 1 chunk in
+  let shards = max 1 shards in
+  let ordered = Logsys.Collected.merged_by_time collected in
+  let acc = ref [] in
+  let config = test_config ?watermark ~shards () in
+  let t =
+    Refill.Stream.Sharded.create ~config ~sink:(sink ()) ~emit:(fun e ->
+        acc := e :: !acc)
+      ()
+  in
+  let n = Array.length ordered in
+  let i = ref 0 in
+  while !i < n do
+    let len = min chunk (n - !i) in
+    Refill.Stream.Sharded.feed t (Array.sub ordered !i len);
+    i := !i + len
+  done;
+  let s = Refill.Stream.Sharded.finish t in
   (List.rev !acc, s)
 
 let emission_sigs es =
@@ -96,6 +132,47 @@ let chunk_invariance =
       let reference, _ = stream_all ~watermark ~chunk:256 collected in
       let got, _ = stream_all ~watermark ~chunk collected in
       emission_sigs got = emission_sigs reference)
+
+(* -- Sharded equivalence --------------------------------------------------- *)
+
+(* The tentpole pin: at any shard count and chunking, the sharded layer's
+   emitted flow sequence is byte-identical to the single-domain stream —
+   same flows, same outcomes, same order — and the summary matches up to
+   peak_frontier_events (a sum of per-shard peaks, an upper bound) and
+   segments (a feed-call count, which differs when the chunking does). *)
+let summary_matches (ss : Refill.Stream.summary) (sd : Refill.Stream.summary)
+    =
+  {
+    ss with
+    peak_frontier_events = sd.peak_frontier_events;
+    segments = sd.segments;
+  }
+  = sd
+
+let sharded_identical_lossless =
+  QCheck.Test.make
+    ~name:"sharded stream byte-identical to single-domain (lossless)"
+    ~count:6
+    QCheck.(pair (int_range 2 5) (int_range 1 777))
+    (fun (shards, chunk) ->
+      let collected = Lazy.force lossless in
+      let watermark = max 1 (Logsys.Collected.total collected / 10) in
+      let single, sd = stream_all ~watermark ~chunk:256 collected in
+      let sharded, ss = sharded_stream_all ~watermark ~shards ~chunk collected in
+      emission_sigs sharded = emission_sigs single && summary_matches ss sd)
+
+let sharded_identical_lossy =
+  QCheck.Test.make
+    ~name:"sharded stream byte-identical to single-domain (lossy)" ~count:6
+    QCheck.(triple (int_range 2 5) (int_range 0 1000) (int_range 1 10_000))
+    (fun (shards, loss_milli, seed) ->
+      let p = float_of_int loss_milli /. 2000. in
+      let collected = lossy_collected p seed in
+      let single, sd = stream_all ~watermark:150 ~chunk:97 collected in
+      let sharded, ss =
+        sharded_stream_all ~watermark:150 ~shards ~chunk:131 collected
+      in
+      emission_sigs sharded = emission_sigs single && summary_matches ss sd)
 
 (* -- Lossy inputs --------------------------------------------------------- *)
 
@@ -156,7 +233,7 @@ let checkpoint_resume_identical () =
   let collected = lossy_collected 0.25 42 in
   let ordered = Logsys.Collected.merged_by_time collected in
   let n = Array.length ordered in
-  let config = { Refill.Config.default with watermark = 150 } in
+  let config = test_config ~watermark:150 () in
   let run_split cut =
     with_temp_file @@ fun path ->
     let acc = ref [] in
@@ -196,6 +273,304 @@ let checkpoint_resume_identical () =
         true
         ({ sr with segments = sd.segments } = sd))
     [ 1; n / 3; n / 2; n - 1 ]
+
+(* v2 checkpoints cut anywhere — including mid-segment — resume into any
+   shard count (sharded -> sharded, sharded -> single, single -> sharded)
+   with byte-identical emissions. *)
+let sharded_checkpoint_resume_identical () =
+  let collected = lossy_collected 0.25 42 in
+  let ordered = Logsys.Collected.merged_by_time collected in
+  let n = Array.length ordered in
+  let direct, _ = stream_all ~watermark:150 ~chunk:97 collected in
+  let feed_chunked feed t lo hi =
+    let i = ref lo in
+    while !i < hi do
+      let len = min 97 (hi - !i) in
+      feed t (Array.sub ordered !i len);
+      i := !i + len
+    done
+  in
+  let run_split ~cut ~shards_before ~shards_after =
+    with_temp_file @@ fun path ->
+    let acc = ref [] in
+    let emit e = acc := e :: !acc in
+    let sink = sink () in
+    (if shards_before = 1 then begin
+       let t =
+         Refill.Stream.create ~config:(test_config ~watermark:150 ()) ~sink
+           ~emit ()
+       in
+       feed_chunked Refill.Stream.feed t 0 cut;
+       match Refill.Stream.checkpoint_file t path with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "checkpoint: %s" (Refill.Error.message e)
+     end
+     else begin
+       let t =
+         Refill.Stream.Sharded.create
+           ~config:(test_config ~watermark:150 ~shards:shards_before ())
+           ~sink ~emit ()
+       in
+       feed_chunked Refill.Stream.Sharded.feed t 0 cut;
+       match Refill.Stream.Sharded.checkpoint_file t path with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "checkpoint: %s" (Refill.Error.message e)
+     end);
+    (* Only emissions from the resumed stream from here on: the abandoned
+       first stream's frontier must not leak. *)
+    (if shards_after = 1 then begin
+       match
+         Refill.Stream.resume_file
+           ~config:(test_config ~watermark:150 ())
+           path ~sink ~emit
+       with
+       | Error e -> Alcotest.failf "resume: %s" (Refill.Error.message e)
+       | Ok t ->
+           Alcotest.(check int)
+             "resume position" cut
+             (Refill.Stream.processed t);
+           feed_chunked Refill.Stream.feed t cut n;
+           ignore (Refill.Stream.finish t)
+     end
+     else begin
+       match
+         Refill.Stream.Sharded.resume_file
+           ~config:(test_config ~watermark:150 ~shards:shards_after ())
+           path ~sink ~emit
+       with
+       | Error e -> Alcotest.failf "resume: %s" (Refill.Error.message e)
+       | Ok t ->
+           Alcotest.(check int)
+             "resume position" cut
+             (Refill.Stream.Sharded.processed t);
+           feed_chunked Refill.Stream.Sharded.feed t cut n;
+           ignore (Refill.Stream.Sharded.finish t)
+     end);
+    List.rev !acc
+  in
+  List.iter
+    (fun (cut, shards_before, shards_after) ->
+      let resumed = run_split ~cut ~shards_before ~shards_after in
+      Alcotest.(check bool)
+        (Printf.sprintf "emissions at cut %d (%d -> %d shards)" cut
+           shards_before shards_after)
+        true
+        (emission_sigs resumed = emission_sigs direct))
+    [
+      (* n/2 - 13 and n - 40 land mid-segment for the 97-record chunks *)
+      (1, 3, 3);
+      (n / 3, 3, 1);
+      ((n / 2) - 13, 1, 4);
+      ((n / 2) - 13, 4, 2);
+      (n - 40, 2, 5);
+    ]
+
+(* Regression (config-conflict resume): before the fix, resume took the
+   semantic flags from the caller's config, so a checkpoint written with
+   different ablation knobs silently reconstructed under new semantics. *)
+let resume_config_conflict_rejected () =
+  with_temp_file @@ fun path ->
+  let config = { (test_config ~watermark:150 ()) with use_inter = false } in
+  let collected = lossy_collected 0.25 42 in
+  let ordered = Logsys.Collected.merged_by_time collected in
+  let t = Refill.Stream.create ~config ~sink:(sink ()) ~emit:ignore () in
+  Refill.Stream.feed t (Array.sub ordered 0 500);
+  (match Refill.Stream.checkpoint_file t path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "checkpoint: %s" (Refill.Error.message e));
+  (* Conflicting explicit config: rejected. *)
+  (match
+     Refill.Stream.resume_file
+       ~config:(test_config ~watermark:150 ())
+       path ~sink:(sink ()) ~emit:ignore
+   with
+  | Error (Refill.Error.Bad_checkpoint _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Refill.Error.message e)
+  | Ok _ -> Alcotest.fail "conflicting config accepted");
+  (* Matching explicit config, and no config at all: both fine; the
+     checkpoint's flags win when none is passed. *)
+  (match Refill.Stream.resume_file ~config path ~sink:(sink ()) ~emit:ignore with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "matching config rejected: %s" (Refill.Error.message e));
+  (match Refill.Stream.resume_file path ~sink:(sink ()) ~emit:ignore with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "absent config rejected: %s" (Refill.Error.message e));
+  (* Sharded resume enforces the same rule. *)
+  match
+    Refill.Stream.Sharded.resume_file
+      ~config:(test_config ~watermark:150 ~shards:3 ())
+      path ~sink:(sink ()) ~emit:ignore
+  with
+  | Error (Refill.Error.Bad_checkpoint _) -> ()
+  | Error e -> Alcotest.failf "wrong sharded error: %s" (Refill.Error.message e)
+  | Ok _ -> Alcotest.fail "sharded conflicting config accepted"
+
+(* Regression (malformed headers): before the fix, resume accepted
+   negative counters and a peak-frontier below the restored frontier,
+   building a stream whose drain limit was garbage. *)
+let resume_rejects_nonsense_headers () =
+  let record_line =
+    let ordered =
+      Logsys.Collected.merged_by_time (Lazy.force lossless)
+    in
+    Logsys.Log_io.record_to_line_exact ordered.(0)
+  in
+  let v1 ~processed ~watermark ~peak ~body =
+    Printf.sprintf
+      "# refill-stream-ckpt v1\n\
+       # processed %d\n\
+       # watermark %d\n\
+       # segments 1\n\
+       # flows 0\n\
+       # complete 0\n\
+       # incomplete 0\n\
+       # evictions 0\n\
+       # late-fragments 0\n\
+       # peak-frontier %d\n\
+       %s"
+      processed watermark peak body
+  in
+  let v2_header =
+    "# refill-stream-ckpt v2\n\
+     # shards 1\n\
+     # use-intra 1\n\
+     # use-inter 1\n\
+     # provenance 0\n\
+     # watermark 100\n\
+     # retention 400\n\
+     # segments 1\n"
+  in
+  let cases =
+    [
+      ("negative processed", v1 ~processed:(-5) ~watermark:100 ~peak:0 ~body:"");
+      ("negative watermark", v1 ~processed:10 ~watermark:(-1) ~peak:0 ~body:"");
+      ("zero watermark", v1 ~processed:10 ~watermark:0 ~peak:0 ~body:"");
+      ( "peak below restored frontier",
+        v1 ~processed:10 ~watermark:100 ~peak:0
+          ~body:(Printf.sprintf "b 3 7 5 0 1\n%s\n" record_line) );
+      ( "negative clock",
+        v2_header ^ "# clock -3\n# shard 0\n# processed -3\n# flows 0\n\
+                     # complete 0\n# incomplete 0\n# evictions 0\n\
+                     # late-fragments 0\n# forgotten 0\n# peak-frontier 0\n" );
+      ( "flows disagree with outcomes",
+        v2_header ^ "# clock 10\n# shard 0\n# processed 10\n# flows 3\n\
+                     # complete 1\n# incomplete 1\n# evictions 0\n\
+                     # late-fragments 0\n# forgotten 0\n# peak-frontier 0\n" );
+      ( "evicted trigger out of range",
+        v2_header ^ "# clock 10\n# shard 0\n# processed 10\n# flows 0\n\
+                     # complete 0\n# incomplete 0\n# evictions 0\n\
+                     # late-fragments 0\n# forgotten 0\n# peak-frontier 0\n\
+                     e 3 7 99\n" );
+      ( "shard totals disagree with clock",
+        v2_header ^ "# clock 10\n# shard 0\n# processed 7\n# flows 0\n\
+                     # complete 0\n# incomplete 0\n# evictions 0\n\
+                     # late-fragments 0\n# forgotten 0\n# peak-frontier 0\n" );
+    ]
+  in
+  List.iter
+    (fun (name, text) ->
+      with_temp_file @@ fun path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      match
+        Refill.Stream.resume_file path ~sink:(sink ()) ~emit:ignore
+      with
+      | Ok _ -> Alcotest.failf "%s accepted" name
+      | Error (Refill.Error.Bad_checkpoint _) -> ()
+      | Error e ->
+          Alcotest.failf "%s: wrong error: %s" name (Refill.Error.message e))
+    cases
+
+(* A well-formed v1 checkpoint still resumes (flags come from the caller's
+   config; evicted keys restore with trigger = processed). *)
+let v1_checkpoint_still_readable () =
+  with_temp_file @@ fun path ->
+  let oc = open_out path in
+  output_string oc
+    "# refill-stream-ckpt v1\n\
+     # processed 10\n\
+     # watermark 100\n\
+     # segments 2\n\
+     # flows 1\n\
+     # complete 1\n\
+     # incomplete 0\n\
+     # evictions 1\n\
+     # late-fragments 0\n\
+     # peak-frontier 4\n\
+     e 3 7\n";
+  close_out oc;
+  match Refill.Stream.resume_file path ~sink:(sink ()) ~emit:ignore with
+  | Error e -> Alcotest.failf "v1 rejected: %s" (Refill.Error.message e)
+  | Ok t ->
+      Alcotest.(check int) "position" 10 (Refill.Stream.processed t);
+      let s = Refill.Stream.summary t in
+      Alcotest.(check int) "flows" 1 s.flows;
+      Alcotest.(check int) "evictions" 1 s.evictions;
+      Alcotest.(check int) "forgotten" 0 s.forgotten_keys
+
+(* Regression (bounded evicted table): before the fix, every evicted key
+   was remembered for the life of the stream.  Now a key is forgotten once
+   the clock passes its eviction trigger by [late_retention] records —
+   counted in [forgotten_keys] — after which a straggler is NOT flagged as
+   a late fragment.  The forgetting rule is a function of global positions
+   only, so the sharded layer counts identically. *)
+let evicted_table_is_bounded () =
+  let base = (Logsys.Collected.merged_by_time (Lazy.force lossless)).(0) in
+  let rec_ ~origin ~seq =
+    { base with Logsys.Record.kind = Gen; node = origin; origin; pkt_seq = seq }
+  in
+  (* Key (1,1) at position 1; unique filler keys push the clock.  With
+     watermark 10 / retention 30: (1,1) evicts at trigger 11; its return
+     at position 30 is within 11 + 30 -> a late fragment (re-evicted at
+     trigger 40); its return at position 151 is far past 40 + 30 -> the
+     key has been forgotten, so this is a fresh packet, not a late
+     fragment.  Pre-fix, the table never forgot and late_fragments would
+     read 2. *)
+  let filler = Array.init 200 (fun i -> rec_ ~origin:2 ~seq:(1000 + i)) in
+  let run feed finish t =
+    feed t [| rec_ ~origin:1 ~seq:1 |];
+    feed t (Array.sub filler 0 28);
+    feed t [| rec_ ~origin:1 ~seq:1 |];
+    feed t (Array.sub filler 28 120);
+    feed t [| rec_ ~origin:1 ~seq:1 |];
+    feed t (Array.sub filler 148 52);
+    finish t
+  in
+  let config =
+    { (test_config ~watermark:10 ()) with late_retention = Some 30 }
+  in
+  let record_emissions acc (e : Refill.Stream.emitted) =
+    acc :=
+      (e.flow.origin, e.flow.seq, e.outcome = Refill.Stream.Incomplete)
+      :: !acc
+  in
+  let single_acc = ref [] in
+  let ss =
+    run Refill.Stream.feed Refill.Stream.finish
+      (Refill.Stream.create ~config ~sink:(sink ())
+         ~emit:(record_emissions single_acc) ())
+  in
+  Alcotest.(check int) "single: one late fragment" 1 ss.late_fragments;
+  Alcotest.(check bool) "single: forgotten keys counted" true
+    (ss.forgotten_keys >= 1);
+  let sharded_acc = ref [] in
+  let sh =
+    run Refill.Stream.Sharded.feed Refill.Stream.Sharded.finish
+      (Refill.Stream.Sharded.create
+         ~config:{ config with shards = 3 }
+         ~sink:(sink ())
+         ~emit:(record_emissions sharded_acc) ())
+  in
+  (* Forgetting is a function of global positions only: the sharded layer
+     sees the same late fragments, the same forgotten count, and the same
+     emission sequence. *)
+  Alcotest.(check int) "sharded: late fragments agree" ss.late_fragments
+    sh.late_fragments;
+  Alcotest.(check int) "sharded: forgotten counts agree" ss.forgotten_keys
+    sh.forgotten_keys;
+  Alcotest.(check (list (triple int int bool))) "emission sequences agree"
+    (List.rev !single_acc) (List.rev !sharded_acc)
 
 let resume_rejects_garbage () =
   with_temp_file @@ fun path ->
@@ -270,15 +645,22 @@ let seg_skip_fast_forwards () =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
   let r = Logsys.Log_io.Seg.of_channel ic in
+  Alcotest.(check int) "read starts at 0" 0 (Logsys.Log_io.Seg.read r);
   Alcotest.(check int) "skipped" 100 (Logsys.Log_io.Seg.skip r 100);
+  Alcotest.(check int) "read counts skipped records" 100
+    (Logsys.Log_io.Seg.read r);
   (match Logsys.Log_io.Seg.next r ~max_records:1 with
   | Some [| rec_ |] ->
       Alcotest.(check bool) "positioned at record 100" true
         (record_close ordered.(100) rec_)
   | _ -> Alcotest.fail "no record after skip");
+  Alcotest.(check int) "read counts returned records" 101
+    (Logsys.Log_io.Seg.read r);
   let n = Array.length ordered in
   Alcotest.(check int) "skip clamps at EOF" (n - 101)
-    (Logsys.Log_io.Seg.skip r (n + 500))
+    (Logsys.Log_io.Seg.skip r (n + 500));
+  Alcotest.(check int) "read is the stream position" n
+    (Logsys.Log_io.Seg.read r)
 
 let exact_record_line_roundtrip () =
   let records = Logsys.Collected.merged_by_time (Lazy.force lossless) in
@@ -382,6 +764,8 @@ let config_validation () =
       { Refill.Config.default with watermark = 0 };
       { Refill.Config.default with chunk_events = -3 };
       { Refill.Config.default with jobs = Some 0 };
+      { Refill.Config.default with shards = 0 };
+      { Refill.Config.default with late_retention = Some (-1) };
     ]
 
 let () =
@@ -393,11 +777,23 @@ let () =
             lossless_stream_equals_batch;
           QCheck_alcotest.to_alcotest chunk_invariance;
           QCheck_alcotest.to_alcotest lossy_divergence_is_flagged;
+          QCheck_alcotest.to_alcotest sharded_identical_lossless;
+          QCheck_alcotest.to_alcotest sharded_identical_lossy;
         ] );
       ( "checkpoint",
         [
           Alcotest.test_case "resume is byte-identical" `Quick
             checkpoint_resume_identical;
+          Alcotest.test_case "sharded cut/resume is byte-identical" `Quick
+            sharded_checkpoint_resume_identical;
+          Alcotest.test_case "config conflict on resume rejected" `Quick
+            resume_config_conflict_rejected;
+          Alcotest.test_case "nonsense headers rejected" `Quick
+            resume_rejects_nonsense_headers;
+          Alcotest.test_case "v1 checkpoint still readable" `Quick
+            v1_checkpoint_still_readable;
+          Alcotest.test_case "evicted table is bounded" `Quick
+            evicted_table_is_bounded;
           Alcotest.test_case "garbage rejected" `Quick resume_rejects_garbage;
           Alcotest.test_case "feed after finish" `Quick
             feed_after_finish_raises;
