@@ -637,6 +637,18 @@ type scaling_point = {
   gc_minor_collections : int;
   gc_major_words : float;
   peak_heap_words : int;
+  decode_seconds : float;
+      (* arena bulk decode ({!Logsys.Arena.decode_log_into}) over every
+         node's encoded log, best-of interleaved samples *)
+  decode_baseline_seconds : float;
+      (* the record-path decode ({!Logsys.Codec.decode_log}) over the
+         same bytes *)
+  decode_speedup : float;
+      (* median interleaved ratio baseline/arena — the ingest-throughput
+         multiple the flat-column path buys *)
+  records_per_second : float;  (* records / decode_seconds *)
+  decode_gc_minor_collections : int;  (* one arena pass, warm *)
+  decode_baseline_gc_minor_collections : int;  (* one record pass *)
 }
 
 let scaling_results : scaling_point list ref = ref []
@@ -694,6 +706,44 @@ let scaling_rung ?(shards = 1) name params =
     Scenario.Citysee.collected_lossy scenario Logsys.Loss_model.default
   in
   let records = Logsys.Collected.total collected in
+  (* Ingest-throughput probe: every node's log encoded once (excluded from
+     the timing), then the record-path decoder raced against the arena bulk
+     decoder over the same bytes.  Interleaved sampling (see
+     [interleaved_ratio]) keeps the speedup honest on a noisy machine; the
+     GC deltas show the point of the column store — the record path
+     allocates one block per record, the warm arena path allocates
+     nothing. *)
+  let n_nodes = Logsys.Collected.n_nodes collected in
+  let encoded =
+    Array.init n_nodes (fun node ->
+        Logsys.Codec.encode_log (Logsys.Collected.node_log collected node))
+  in
+  let sinkhole = ref 0 in
+  let decode_records () =
+    for node = 0 to n_nodes - 1 do
+      sinkhole :=
+        !sinkhole + Array.length (Logsys.Codec.decode_log ~node encoded.(node))
+    done
+  in
+  let arena = Logsys.Arena.create ~capacity:(max 1 records) () in
+  let decode_arena () =
+    Logsys.Arena.clear arena;
+    for node = 0 to n_nodes - 1 do
+      sinkhole :=
+        !sinkhole + Logsys.Arena.decode_log_into arena ~node encoded.(node)
+    done
+  in
+  decode_arena ();
+  (* One measured pass each, after warm-up, for the GC story. *)
+  let (), gc_arena = Refill_obs.Profile.measure decode_arena in
+  let (), gc_recdec = Refill_obs.Profile.measure decode_records in
+  let decode_iters = max 1 (100_000 / max 1 records) in
+  let dt_decode, dt_decode_base, decode_speedup =
+    interleaved_ratio ~rounds:9 ~iters:decode_iters decode_arena
+      decode_records
+  in
+  ignore !sinkhole;
+  let records_per_second = float_of_int records /. Float.max 1e-9 dt_decode in
   let gc0 = Refill_obs.Profile.sample () in
   let t1 = Unix.gettimeofday () in
   let flows = reconstruct_flows_array collected ~sink:scenario.sink in
@@ -795,6 +845,12 @@ let scaling_rung ?(shards = 1) name params =
     "" gc.Refill_obs.Profile.minor_collections gc.major_collections
     (gc.major_words /. 1e6)
     (float_of_int gc.top_heap_words /. 1e6);
+  Printf.printf
+    "%14sdecode      %8.4fs arena (%.2fM records/s) vs %8.4fs records: \
+     x%.1f ingest speedup  (gc minor %d vs %d)\n"
+    "" dt_decode (records_per_second /. 1e6) dt_decode_base decode_speedup
+    gc_arena.Refill_obs.Profile.minor_collections
+    gc_recdec.Refill_obs.Profile.minor_collections;
   (* The default (smallest) rung doubles as the provenance-overhead probe:
      re-run the batch reconstruction alone, side-car off vs on. *)
   scaling_results :=
@@ -812,6 +868,14 @@ let scaling_rung ?(shards = 1) name params =
       gc_minor_collections = gc.minor_collections;
       gc_major_words = gc.major_words;
       peak_heap_words = gc.top_heap_words;
+      decode_seconds = dt_decode;
+      decode_baseline_seconds = dt_decode_base;
+      decode_speedup;
+      records_per_second;
+      decode_gc_minor_collections =
+        gc_arena.Refill_obs.Profile.minor_collections;
+      decode_baseline_gc_minor_collections =
+        gc_recdec.Refill_obs.Profile.minor_collections;
     }
     :: !scaling_results
 
@@ -878,6 +942,13 @@ let run_scaling_smoke () =
   | (name, params, _) :: _ -> scaling_rung ~shards:2 name params
   | [] -> ());
   provenance_probe ()
+
+(* The two-day rung alone: what CI runs to gate the arena ingest speedup
+   (the ISSUE's >= 5x target is pinned on this rung, where one decode pass
+   is far above clock granularity but the simulation stays affordable). *)
+let run_scaling_2d_smoke () =
+  section "A10 (2d smoke) — two-day rung only (ingest-speedup gate)";
+  scaling_rung ~shards:4 "citysee-2d" Scenario.Citysee.two_day
 
 (* Reduced-duration 1200-node smoke: full_scale's node count and reporting
    structure at half the day length, so CI can exercise the deployment-
@@ -981,6 +1052,7 @@ let experiments =
     ("scale", run_scale);
     ("scaling", run_scaling);
     ("scaling-smoke", run_scaling_smoke);
+    ("scaling-2d-smoke", run_scaling_2d_smoke);
     ("scaling-1200-smoke", run_scaling_1200_smoke);
     ("perf", perf);
   ]
@@ -1042,6 +1114,17 @@ let write_bench_json timings =
                      ("gc_major_words", J.Num p.gc_major_words);
                      ( "peak_heap_words",
                        J.Num (float_of_int p.peak_heap_words) );
+                     ("decode_seconds", J.Num p.decode_seconds);
+                     ( "decode_baseline_seconds",
+                       J.Num p.decode_baseline_seconds );
+                     ("decode_speedup", J.Num p.decode_speedup);
+                     ("records_per_second", J.Num p.records_per_second);
+                     ( "decode_gc_minor_collections",
+                       J.Num (float_of_int p.decode_gc_minor_collections) );
+                     ( "decode_baseline_gc_minor_collections",
+                       J.Num
+                         (float_of_int p.decode_baseline_gc_minor_collections)
+                     );
                    ]))
                !scaling_results) );
         ("metrics", Refill_obs.Metrics.to_json ());

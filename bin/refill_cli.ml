@@ -410,6 +410,7 @@ let print_stream_summary (s : Refill.Stream.summary) =
    checkpoint / finish plumbing below is written once. *)
 type stream_driver = {
   d_feed : Logsys.Record.t array -> unit;
+  d_feed_arena : Logsys.Arena.slice -> unit;
   d_finish : unit -> Refill.Stream.summary;
   d_summary : unit -> Refill.Stream.summary;
   d_processed : unit -> int;
@@ -419,6 +420,7 @@ type stream_driver = {
 let single_driver t =
   {
     d_feed = Refill.Stream.feed t;
+    d_feed_arena = Refill.Stream.feed_arena t;
     d_finish = (fun () -> Refill.Stream.finish t);
     d_summary = (fun () -> Refill.Stream.summary t);
     d_processed = (fun () -> Refill.Stream.processed t);
@@ -428,11 +430,26 @@ let single_driver t =
 let sharded_driver t =
   {
     d_feed = Refill.Stream.Sharded.feed t;
+    (* The shard router takes records; materialize the slice.  Output is
+       unchanged (the router skips negative nodes itself). *)
+    d_feed_arena =
+      (fun s -> Refill.Stream.Sharded.feed t (Logsys.Arena.slice_records s));
     d_finish = (fun () -> Refill.Stream.Sharded.finish t);
     d_summary = (fun () -> Refill.Stream.Sharded.summary t);
     d_processed = (fun () -> Refill.Stream.Sharded.processed t);
     d_checkpoint_file = Refill.Stream.Sharded.checkpoint_file t;
   }
+
+(* Open an mmap reader with the same error surface as the channel path. *)
+let open_mseg input =
+  match Logsys.Log_io.Mseg.open_file input with
+  | r -> Ok r
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Refill.Error.Io { path = input; message = Unix.error_message e })
+  | exception Sys_error message ->
+      Error (Refill.Error.Io { path = input; message })
+  | exception Failure message ->
+      Error (Refill.Error.Malformed { source = input; message })
 
 let reconstruct_batch (config : Refill.Config.t) ~global_flow ~quality input =
   match
@@ -461,98 +478,114 @@ let reconstruct_batch (config : Refill.Config.t) ~global_flow ~quality input =
              ~emit:ignore);
       0
 
-let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
-    ~checkpoint ~finish input =
-  match open_in input with
-  | exception Sys_error message ->
-      err_exit (Refill.Error.Io { path = input; message })
-  | ic -> (
-      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-      match
+let reconstruct_batch_mmap (config : Refill.Config.t) ~global_flow ~quality
+    input =
+  let loaded =
+    match open_mseg input with
+    | Error e -> Error e
+    | Ok reader ->
         Refill.Error.guard ~source:input (fun () ->
-            Logsys.Log_io.Seg.of_channel ic)
-      with
+            let arena = Logsys.Arena.create () in
+            while
+              Logsys.Log_io.Mseg.next_into reader arena
+                ~max_records:config.chunk_events
+              > 0
+            do
+              ()
+            done;
+            let packets =
+              Logsys.Arena.Packets.build arena
+                ~n_nodes:(Logsys.Log_io.Mseg.n_nodes reader)
+            in
+            (packets, Logsys.Log_io.Mseg.sink reader))
+  in
+  match loaded with
+  | Error e -> err_exit e
+  | Ok (packets, sink) ->
+      let summary = ref Refill.Reconstruct.empty_summary in
+      let flows_rev = ref [] in
+      let qacc = Option.map (fun _ -> Analysis.Quality.create ()) quality in
+      Refill.Reconstruct.run_arena ~config packets ~sink ~emit:(fun f ->
+          summary := Refill.Reconstruct.summary_add !summary f;
+          Option.iter (fun acc -> Analysis.Quality.add acc f) qacc;
+          if global_flow then flows_rev := f :: !flows_rev);
+      print_packet_summary !summary;
+      (match (quality, qacc) with
+      | Some dest, Some acc -> write_quality dest (Analysis.Quality.finish acc)
+      | _ -> ());
+      if global_flow then
+        print_global_flow_stats
+          (Refill.Global_flow.merge_from ?jobs:config.jobs
+             (Refill.Global_flow.Arena_index packets)
+             ~flows:(Array.of_list (List.rev !flows_rev))
+             ~emit:ignore);
+      0
+
+(* The streaming body shared by the channel (Seg) and mmap (Mseg) readers:
+   [skip] fast-forwards the input on checkpoint resume, [feed_all]
+   drives the segment loop. *)
+let reconstruct_stream_core (config : Refill.Config.t) ~global_flow ~quality
+    ~checkpoint ~finish ~source ~sink ~n_nodes ~skip
+    ~(feed_all :
+       stream_driver -> Refill.Global_flow.Incremental.t option -> unit) =
+  let inc =
+    if global_flow then
+      Some (Refill.Global_flow.Incremental.create ~n_nodes ())
+    else None
+  in
+  let summary = ref Refill.Reconstruct.empty_summary in
+  let qacc = Option.map (fun _ -> Analysis.Quality.create ()) quality in
+  let emit (e : Refill.Stream.emitted) =
+    summary := Refill.Reconstruct.summary_add !summary e.flow;
+    Option.iter (fun acc -> Analysis.Quality.add acc e.flow) qacc;
+    Option.iter
+      (fun g -> Refill.Global_flow.Incremental.add_flow g e.flow)
+      inc
+  in
+  let open_driver () =
+    if config.shards > 1 then
+      sharded_driver (Refill.Stream.Sharded.create ~config ~sink ~emit ())
+    else single_driver (Refill.Stream.create ~config ~sink ~emit ())
+  in
+  let resume_driver path =
+    if config.shards > 1 then
+      Result.map sharded_driver
+        (Refill.Stream.Sharded.resume_file ~config path ~sink ~emit)
+    else
+      Result.map single_driver
+        (Refill.Stream.resume_file ~config path ~sink ~emit)
+  in
+  let stream_r =
+    match checkpoint with
+    | Some path when Sys.file_exists path -> (
+        match resume_driver path with
+        | Error e -> Error e
+        | Ok d ->
+            let want = d.d_processed () in
+            let skipped = skip want in
+            if skipped < want then
+              Error
+                (Refill.Error.Bad_checkpoint
+                   {
+                     source = path;
+                     message =
+                       Printf.sprintf
+                         "checkpoint is ahead of the input (%d records \
+                          processed, input has %d)"
+                         want skipped;
+                   })
+            else begin
+              Obs.Log.info "resumed from %s at record %d" path want;
+              Ok d
+            end)
+    | _ -> Ok (open_driver ())
+  in
+  match stream_r with
+  | Error e -> err_exit e
+  | Ok t -> (
+      match Refill.Error.guard ~source (fun () -> feed_all t inc) with
       | Error e -> err_exit e
-      | Ok reader -> (
-          let sink = Logsys.Log_io.Seg.sink reader in
-          let inc =
-            if global_flow then
-              Some
-                (Refill.Global_flow.Incremental.create
-                   ~n_nodes:(Logsys.Log_io.Seg.n_nodes reader)
-                   ())
-            else None
-          in
-          let summary = ref Refill.Reconstruct.empty_summary in
-          let qacc = Option.map (fun _ -> Analysis.Quality.create ()) quality in
-          let emit (e : Refill.Stream.emitted) =
-            summary := Refill.Reconstruct.summary_add !summary e.flow;
-            Option.iter (fun acc -> Analysis.Quality.add acc e.flow) qacc;
-            Option.iter
-              (fun g -> Refill.Global_flow.Incremental.add_flow g e.flow)
-              inc
-          in
-          let open_driver () =
-            if config.shards > 1 then
-              sharded_driver (Refill.Stream.Sharded.create ~config ~sink ~emit ())
-            else single_driver (Refill.Stream.create ~config ~sink ~emit ())
-          in
-          let resume_driver path =
-            if config.shards > 1 then
-              Result.map sharded_driver
-                (Refill.Stream.Sharded.resume_file ~config path ~sink ~emit)
-            else
-              Result.map single_driver
-                (Refill.Stream.resume_file ~config path ~sink ~emit)
-          in
-          let stream_r =
-            match checkpoint with
-            | Some path when Sys.file_exists path -> (
-                match resume_driver path with
-                | Error e -> Error e
-                | Ok d ->
-                    let want = d.d_processed () in
-                    let skipped = Logsys.Log_io.Seg.skip reader want in
-                    if skipped < want then
-                      Error
-                        (Refill.Error.Bad_checkpoint
-                           {
-                             source = path;
-                             message =
-                               Printf.sprintf
-                                 "checkpoint is ahead of the input (%d \
-                                  records processed, input has %d)"
-                                 want skipped;
-                           })
-                    else begin
-                      Obs.Log.info "resumed from %s at record %d" path want;
-                      Ok d
-                    end)
-            | _ -> Ok (open_driver ())
-          in
-          match stream_r with
-          | Error e -> err_exit e
-          | Ok t -> (
-              let feed_all () =
-                let rec loop () =
-                  match
-                    Logsys.Log_io.Seg.next reader
-                      ~max_records:config.chunk_events
-                  with
-                  | None -> ()
-                  | Some seg ->
-                      Option.iter
-                        (fun g ->
-                          Refill.Global_flow.Incremental.add_records g seg)
-                        inc;
-                      t.d_feed seg;
-                      loop ()
-                in
-                loop ()
-              in
-              match Refill.Error.guard ~source:input feed_all with
-              | Error e -> err_exit e
-              | Ok () -> (
+      | Ok () -> (
                   (* Checkpoint the live (pre-flush) state so a later run can
                      resume exactly here; --finish then decides whether to
                      flush the frontier now. *)
@@ -591,10 +624,78 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
                            with --finish to flush"
                           s.frontier_events
                       end;
-                      0))))
+                      0))
 
-let reconstruct obs stream chunk_events watermark shards late_retention jobs
-    checkpoint finish global_flow quality input =
+let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
+    ~checkpoint ~finish input =
+  match open_in input with
+  | exception Sys_error message ->
+      err_exit (Refill.Error.Io { path = input; message })
+  | ic -> (
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      match
+        Refill.Error.guard ~source:input (fun () ->
+            Logsys.Log_io.Seg.of_channel ic)
+      with
+      | Error e -> err_exit e
+      | Ok reader ->
+          let feed_all (t : stream_driver) inc =
+            let rec loop () =
+              match
+                Logsys.Log_io.Seg.next reader ~max_records:config.chunk_events
+              with
+              | None -> ()
+              | Some seg ->
+                  Option.iter
+                    (fun g -> Refill.Global_flow.Incremental.add_records g seg)
+                    inc;
+                  t.d_feed seg;
+                  loop ()
+            in
+            loop ()
+          in
+          reconstruct_stream_core config ~global_flow ~quality ~checkpoint
+            ~finish ~source:input
+            ~sink:(Logsys.Log_io.Seg.sink reader)
+            ~n_nodes:(Logsys.Log_io.Seg.n_nodes reader)
+            ~skip:(Logsys.Log_io.Seg.skip reader)
+            ~feed_all)
+
+let reconstruct_stream_mmap (config : Refill.Config.t) ~global_flow ~quality
+    ~checkpoint ~finish input =
+  match open_mseg input with
+  | Error e -> err_exit e
+  | Ok reader ->
+      (* One arena reused per chunk: clear keeps the column storage, so a
+         steady-state chunk allocates nothing on the ingest side. *)
+      let arena = Logsys.Arena.create ~capacity:config.chunk_events () in
+      let feed_all (t : stream_driver) inc =
+        let rec loop () =
+          Logsys.Arena.clear arena;
+          let n =
+            Logsys.Log_io.Mseg.next_into reader arena
+              ~max_records:config.chunk_events
+          in
+          if n > 0 then begin
+            let s = Logsys.Arena.slice_all arena in
+            Option.iter
+              (fun g -> Refill.Global_flow.Incremental.add_arena g s)
+              inc;
+            t.d_feed_arena s;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      reconstruct_stream_core config ~global_flow ~quality ~checkpoint ~finish
+        ~source:input
+        ~sink:(Logsys.Log_io.Mseg.sink reader)
+        ~n_nodes:(Logsys.Log_io.Mseg.n_nodes reader)
+        ~skip:(Logsys.Log_io.Mseg.skip reader)
+        ~feed_all
+
+let reconstruct obs stream mmap chunk_events watermark shards late_retention
+    jobs checkpoint finish global_flow quality input =
   with_observability obs @@ fun () ->
   match
     Refill.Config.validate
@@ -624,8 +725,9 @@ let reconstruct obs stream chunk_events watermark shards late_retention jobs
               incremental merge needs the records from before the resume \
               point")
       else if stream then
-        reconstruct_stream config ~global_flow ~quality ~checkpoint ~finish
-          input
+        (if mmap then reconstruct_stream_mmap else reconstruct_stream)
+          config ~global_flow ~quality ~checkpoint ~finish input
+      else if mmap then reconstruct_batch_mmap config ~global_flow ~quality input
       else reconstruct_batch config ~global_flow ~quality input
 
 let reconstruct_cmd =
@@ -643,6 +745,16 @@ let reconstruct_cmd =
             "Consume the dump incrementally with bounded memory, emitting \
              each packet's flow when it goes quiet, instead of loading the \
              whole file.")
+  in
+  let mmap =
+    Arg.(
+      value & flag
+      & info [ "mmap" ]
+          ~doc:
+            "Memory-map the dump and decode record lines in place into \
+             flat arena columns (zero-copy ingest) instead of reading \
+             through a channel.  Works in batch and streaming mode; \
+             output is byte-identical to the default reader.")
   in
   let chunk_events =
     Arg.(
@@ -736,9 +848,9 @@ let reconstruct_cmd =
   Cmd.v
     (Cmd.info "reconstruct" ~doc ~man)
     Term.(
-      const reconstruct $ obs_opts_term $ stream $ chunk_events $ watermark
-      $ shards $ late_retention $ jobs $ checkpoint $ finish $ global_flow
-      $ provenance_arg $ input)
+      const reconstruct $ obs_opts_term $ stream $ mmap $ chunk_events
+      $ watermark $ shards $ late_retention $ jobs $ checkpoint $ finish
+      $ global_flow $ provenance_arg $ input)
 
 (* -- trace -------------------------------------------------------------------- *)
 

@@ -1,0 +1,418 @@
+(* Flat column store for event records — the zero-copy ingest layer.
+
+   A record here is a row index into seven parallel columns (six
+   Bigarray int columns plus one float64 column for the ground-truth
+   timestamp) instead of a heap-allocated [Record.t] with a boxed kind
+   variant and a boxed float field.  Bulk decoding appends straight into
+   the columns, so ingesting a log allocates nothing per record; the
+   existing record API survives as a materializing view ([get]), which
+   reconstructs a [Record.equal]-identical [Record.t] on demand.
+
+   Column invariants:
+   - [tags] holds the Codec kind tag (0–7); tag order equals
+     [Protocol.label_rank], so downstream consumers map tag -> label /
+     dense FSM id with one array read.
+   - [peers] is meaningful only for tags 1–6 (the link kinds); peer may
+     legitimately be -1 (the unknown-node sentinel).  No-peer rows store
+     [no_peer] as poison.
+   - [times]/[gseqs] carry ground truth when rows come from text dumps
+     and [nan]/[-1] when rows come from the binary codec, exactly like
+     the record decoders. *)
+
+type icol = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type fcol = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  mutable nodes : icol;
+  mutable tags : icol;
+  mutable peers : icol;
+  mutable origins : icol;
+  mutable seqs : icol;
+  mutable gseqs : icol;
+  mutable times : fcol;
+  mutable len : int;
+}
+
+type arena = t
+
+type slice = { sl_base : t; sl_off : int; sl_len : int }
+
+let no_peer = min_int
+
+let c_decoded_rows =
+  Refill_obs.Metrics.Counter.v "logsys_arena_decoded_rows_total"
+    ~help:"Records bulk-decoded directly into arena columns."
+
+let make_icol n : icol = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let make_fcol n : fcol =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let create ?(capacity = 1024) () =
+  let capacity = max 16 capacity in
+  {
+    nodes = make_icol capacity;
+    tags = make_icol capacity;
+    peers = make_icol capacity;
+    origins = make_icol capacity;
+    seqs = make_icol capacity;
+    gseqs = make_icol capacity;
+    times = make_fcol capacity;
+    len = 0;
+  }
+
+let length t = t.len
+
+let capacity t = Bigarray.Array1.dim t.nodes
+
+let clear t = t.len <- 0
+
+let grow_icol (c : icol) cap len =
+  let g = make_icol cap in
+  Bigarray.Array1.blit (Bigarray.Array1.sub c 0 len) (Bigarray.Array1.sub g 0 len);
+  g
+
+let grow_fcol (c : fcol) cap len =
+  let g = make_fcol cap in
+  Bigarray.Array1.blit (Bigarray.Array1.sub c 0 len) (Bigarray.Array1.sub g 0 len);
+  g
+
+let reserve t extra =
+  let need = t.len + extra in
+  let cap = capacity t in
+  if need > cap then begin
+    let cap' = max need (2 * cap) in
+    t.nodes <- grow_icol t.nodes cap' t.len;
+    t.tags <- grow_icol t.tags cap' t.len;
+    t.peers <- grow_icol t.peers cap' t.len;
+    t.origins <- grow_icol t.origins cap' t.len;
+    t.seqs <- grow_icol t.seqs cap' t.len;
+    t.gseqs <- grow_icol t.gseqs cap' t.len;
+    t.times <- grow_fcol t.times cap' t.len
+  end
+
+(* -- Row accessors (bounds are the caller's contract on the hot path). --- *)
+
+let node t i = Bigarray.Array1.get t.nodes i
+let tag t i = Bigarray.Array1.get t.tags i
+let peer t i = Bigarray.Array1.get t.peers i
+let origin t i = Bigarray.Array1.get t.origins i
+let pkt_seq t i = Bigarray.Array1.get t.seqs i
+let gseq t i = Bigarray.Array1.get t.gseqs i
+let true_time t i = Bigarray.Array1.get t.times i
+
+let push_row t ~node ~tag ~peer ~origin ~pkt_seq ~true_time ~gseq =
+  reserve t 1;
+  let i = t.len in
+  Bigarray.Array1.unsafe_set t.nodes i node;
+  Bigarray.Array1.unsafe_set t.tags i tag;
+  Bigarray.Array1.unsafe_set t.peers i peer;
+  Bigarray.Array1.unsafe_set t.origins i origin;
+  Bigarray.Array1.unsafe_set t.seqs i pkt_seq;
+  Bigarray.Array1.unsafe_set t.gseqs i gseq;
+  Bigarray.Array1.unsafe_set t.times i true_time;
+  t.len <- i + 1
+
+let push t (r : Record.t) =
+  let tag = Codec.tag_of_kind r.kind in
+  let peer =
+    match Codec.peer_of_kind r.kind with Some p -> p | None -> no_peer
+  in
+  push_row t ~node:r.node ~tag ~peer ~origin:r.origin ~pkt_seq:r.pkt_seq
+    ~true_time:r.true_time ~gseq:r.gseq
+
+(* -- Materializing view. ------------------------------------------------- *)
+
+let get t i : Record.t =
+  if i < 0 || i >= t.len then invalid_arg "Arena.get: row out of bounds";
+  let tag = Bigarray.Array1.unsafe_get t.tags i in
+  let peer =
+    if tag >= 1 && tag <= 6 then Some (Bigarray.Array1.unsafe_get t.peers i)
+    else None
+  in
+  {
+    node = Bigarray.Array1.unsafe_get t.nodes i;
+    kind = Codec.kind_of_tag tag peer;
+    origin = Bigarray.Array1.unsafe_get t.origins i;
+    pkt_seq = Bigarray.Array1.unsafe_get t.seqs i;
+    true_time = Bigarray.Array1.unsafe_get t.times i;
+    gseq = Bigarray.Array1.unsafe_get t.gseqs i;
+  }
+
+(* Column-indexed [Record.equal] — no materialization.  Mirrors
+   [Record.equal] field by field, including NaN = NaN on [true_time]. *)
+let equal_record t i (r : Record.t) =
+  Bigarray.Array1.get t.nodes i = r.node
+  && Bigarray.Array1.unsafe_get t.origins i = r.origin
+  && Bigarray.Array1.unsafe_get t.seqs i = r.pkt_seq
+  && Bigarray.Array1.unsafe_get t.gseqs i = r.gseq
+  && (let ta = Bigarray.Array1.unsafe_get t.times i in
+      ta = r.true_time || (Float.is_nan ta && Float.is_nan r.true_time))
+  && Bigarray.Array1.unsafe_get t.tags i = Codec.tag_of_kind r.kind
+  &&
+  let tg = Bigarray.Array1.unsafe_get t.tags i in
+  tg < 1 || tg > 6
+  || Some (Bigarray.Array1.unsafe_get t.peers i) = Codec.peer_of_kind r.kind
+
+let of_records records =
+  let t = create ~capacity:(max 16 (Array.length records)) () in
+  Array.iter (push t) records;
+  t
+
+let to_records t = Array.init t.len (get t)
+
+let slice t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg "Arena.slice: out of bounds";
+  { sl_base = t; sl_off = off; sl_len = len }
+
+let slice_all t = { sl_base = t; sl_off = 0; sl_len = t.len }
+
+let slice_records s =
+  Array.init s.sl_len (fun i -> get s.sl_base (s.sl_off + i))
+
+(* -- Bulk decoding: the codec's wire formats straight into columns. ------ *)
+
+(* The varint loop is inlined here (rather than calling
+   [Codec.read_varint]) so the per-record path allocates nothing — no
+   (value, pos) tuples, no records.  Guard semantics match the codec's:
+   >63-bit varints and truncation fail, never wrap. *)
+
+let decode_log_into t ~node b =
+  let blen = Bytes.length b in
+  reserve t (blen / 3);
+  let pos = ref 0 in
+  let n0 = t.len in
+  let read_varint () =
+    let shift = ref 0 and acc = ref 0 and cont = ref true in
+    while !cont do
+      if !shift > 56 then failwith "Arena: varint overflow (>63 bits)";
+      if !pos >= blen then failwith "Arena: truncated varint";
+      let byte = Char.code (Bytes.unsafe_get b !pos) in
+      incr pos;
+      acc := !acc lor ((byte land 0x7f) lsl !shift);
+      if byte land 0x80 = 0 then cont := false else shift := !shift + 7
+    done;
+    !acc
+  in
+  while !pos < blen do
+    let tag = Char.code (Bytes.unsafe_get b !pos) in
+    incr pos;
+    let peer =
+      if tag >= 1 && tag <= 6 then Codec.unzigzag (read_varint ())
+      else if tag = 0 || tag = 7 then no_peer
+      else failwith (Printf.sprintf "Arena: unknown kind tag %d" tag)
+    in
+    let origin = Codec.unzigzag (read_varint ()) in
+    let seq = Codec.unzigzag (read_varint ()) in
+    push_row t ~node ~tag ~peer ~origin ~pkt_seq:seq ~true_time:Float.nan
+      ~gseq:(-1)
+  done;
+  let decoded = t.len - n0 in
+  Refill_obs.Metrics.Counter.inc ~by:decoded c_decoded_rows;
+  decoded
+
+let decode_segment_into t b =
+  let blen = Bytes.length b in
+  let pos = ref 0 in
+  let read_varint () =
+    let shift = ref 0 and acc = ref 0 and cont = ref true in
+    while !cont do
+      if !shift > 56 then failwith "Arena: varint overflow (>63 bits)";
+      if !pos >= blen then failwith "Arena: truncated varint";
+      let byte = Char.code (Bytes.unsafe_get b !pos) in
+      incr pos;
+      acc := !acc lor ((byte land 0x7f) lsl !shift);
+      if byte land 0x80 = 0 then cont := false else shift := !shift + 7
+    done;
+    !acc
+  in
+  let count = read_varint () in
+  if count < 0 || count > blen then
+    failwith "Arena: implausible segment count";
+  reserve t count;
+  for _ = 1 to count do
+    let node = Codec.unzigzag (read_varint ()) in
+    if !pos >= blen then failwith "Arena: truncated record";
+    let tag = Char.code (Bytes.unsafe_get b !pos) in
+    incr pos;
+    let peer =
+      if tag >= 1 && tag <= 6 then Codec.unzigzag (read_varint ())
+      else if tag = 0 || tag = 7 then no_peer
+      else failwith (Printf.sprintf "Arena: unknown kind tag %d" tag)
+    in
+    let origin = Codec.unzigzag (read_varint ()) in
+    let seq = Codec.unzigzag (read_varint ()) in
+    push_row t ~node ~tag ~peer ~origin ~pkt_seq:seq ~true_time:Float.nan
+      ~gseq:(-1)
+  done;
+  if !pos <> blen then failwith "Arena: trailing bytes in segment";
+  Refill_obs.Metrics.Counter.inc ~by:count c_decoded_rows;
+  count
+
+(* -- Per-packet index over rows (the column analogue of Collected). ------ *)
+
+module Packets = struct
+  (* Same dense-2D-plus-fallback shape as Collected's index, but the
+     buckets hold arena row indices instead of record pointers, and the
+     node grouping ([node_rows]) replaces [Collected.node_log]. *)
+  type 'a rows = { mutable by_origin : 'a array array }
+
+  type t = {
+    p_arena : arena;
+    p_n_nodes : int;
+    p_keys : (int * int) list;
+    p_rows : int array rows;
+    p_fallback : (int * int, int array) Hashtbl.t;
+    p_node_rows : int array array;
+  }
+
+  let sparse_limit = 1 lsl 28
+
+  let dense ~origin ~seq =
+    origin >= 0 && origin < sparse_limit && seq >= 0 && seq < sparse_limit
+
+  let row_get (rows : 'a rows) ~absent origin seq =
+    let by_origin = rows.by_origin in
+    if origin >= Array.length by_origin then absent
+    else
+      let row = by_origin.(origin) in
+      if seq >= Array.length row then absent else row.(seq)
+
+  let row_set (rows : 'a rows) ~absent origin seq v =
+    let by_origin = rows.by_origin in
+    let by_origin =
+      if origin < Array.length by_origin then by_origin
+      else begin
+        let grown =
+          Array.make (max (origin + 1) (2 * Array.length by_origin)) [||]
+        in
+        Array.blit by_origin 0 grown 0 (Array.length by_origin);
+        rows.by_origin <- grown;
+        grown
+      end
+    in
+    let row = by_origin.(origin) in
+    let row =
+      if seq < Array.length row then row
+      else begin
+        let grown =
+          Array.make (max (seq + 1) (max 64 (2 * Array.length row))) absent
+        in
+        Array.blit row 0 grown 0 (Array.length row);
+        by_origin.(origin) <- grown;
+        grown
+      end
+    in
+    row.(seq) <- v
+
+  let build (a : arena) ~n_nodes =
+    if n_nodes <= 0 then invalid_arg "Arena.Packets.build: n_nodes <= 0";
+    let n = a.len in
+    (* Node grouping: rows of each node in arena (= file/write) order,
+       exactly the per-node log order [Collected.node_log] exposes. *)
+    let node_count = Array.make n_nodes 0 in
+    for i = 0 to n - 1 do
+      let nd = Bigarray.Array1.unsafe_get a.nodes i in
+      if nd < 0 || nd >= n_nodes then
+        failwith "Arena: record node out of range";
+      node_count.(nd) <- node_count.(nd) + 1
+    done;
+    let node_rows = Array.map (fun c -> Array.make c 0) node_count in
+    let node_fill = Array.make n_nodes 0 in
+    for i = 0 to n - 1 do
+      let nd = Bigarray.Array1.unsafe_get a.nodes i in
+      node_rows.(nd).(node_fill.(nd)) <- i;
+      node_fill.(nd) <- node_fill.(nd) + 1
+    done;
+    (* Packet buckets, filled in node-scan order (nodes ascending, each
+       node's rows in order) — the order [Collected.packet_records]
+       guarantees and the reconstruction depends on.  Two counted passes,
+       the counts doubling as fill cursors. *)
+    let counts : int rows = { by_origin = [||] } in
+    let fb_counts : (int * int, int ref) Hashtbl.t = Hashtbl.create 8 in
+    let scan f = Array.iter (fun rows -> Array.iter f rows) node_rows in
+    scan (fun i ->
+        let origin = Bigarray.Array1.unsafe_get a.origins i
+        and seq = Bigarray.Array1.unsafe_get a.seqs i in
+        if dense ~origin ~seq then
+          row_set counts ~absent:0 origin seq
+            (row_get counts ~absent:0 origin seq + 1)
+        else
+          match Hashtbl.find_opt fb_counts (origin, seq) with
+          | Some c -> incr c
+          | None -> Hashtbl.add fb_counts (origin, seq) (ref 1));
+    let buckets : int array rows = { by_origin = [||] } in
+    let fallback = Hashtbl.create (max 8 (Hashtbl.length fb_counts)) in
+    scan (fun i ->
+        let origin = Bigarray.Array1.unsafe_get a.origins i
+        and seq = Bigarray.Array1.unsafe_get a.seqs i in
+        if dense ~origin ~seq then begin
+          let arr =
+            match row_get buckets ~absent:[||] origin seq with
+            | [||] ->
+                let c = row_get counts ~absent:0 origin seq in
+                let arr = Array.make c 0 in
+                row_set buckets ~absent:[||] origin seq arr;
+                row_set counts ~absent:0 origin seq 0;
+                arr
+            | arr -> arr
+          in
+          let fill = row_get counts ~absent:0 origin seq in
+          arr.(fill) <- i;
+          row_set counts ~absent:0 origin seq (fill + 1)
+        end
+        else begin
+          let cr = Hashtbl.find fb_counts (origin, seq) in
+          let arr =
+            match Hashtbl.find_opt fallback (origin, seq) with
+            | Some arr -> arr
+            | None ->
+                let arr = Array.make !cr 0 in
+                Hashtbl.add fallback (origin, seq) arr;
+                cr := 0;
+                arr
+          in
+          arr.(!cr) <- i;
+          incr cr
+        end);
+    let keys_rev = ref [] in
+    Array.iteri
+      (fun origin row ->
+        Array.iteri
+          (fun seq (arr : int array) ->
+            if Array.length arr > 0 then keys_rev := (origin, seq) :: !keys_rev)
+          row)
+      buckets.by_origin;
+    let fallback_keys =
+      Hashtbl.fold (fun key _ acc -> key :: acc) fallback []
+    in
+    let keys =
+      match fallback_keys with
+      | [] -> List.rev !keys_rev
+      | fk -> List.merge compare (List.rev !keys_rev) (List.sort compare fk)
+    in
+    {
+      p_arena = a;
+      p_n_nodes = n_nodes;
+      p_keys = keys;
+      p_rows = buckets;
+      p_fallback = fallback;
+      p_node_rows = node_rows;
+    }
+
+  let arena p = p.p_arena
+
+  let n_nodes p = p.p_n_nodes
+
+  let keys p = p.p_keys
+
+  let node_rows p node = p.p_node_rows.(node)
+
+  let packet_rows p ~origin ~seq =
+    if dense ~origin ~seq then row_get p.p_rows ~absent:[||] origin seq
+    else
+      match Hashtbl.find_opt p.p_fallback (origin, seq) with
+      | Some arr -> arr
+      | None -> [||]
+end

@@ -42,17 +42,32 @@ let kind_of_tag tag peer : Record.kind =
   | t -> failwith (Printf.sprintf "Codec: unknown kind tag %d" t)
 
 (* LEB128 unsigned varints. Negative values (the unknown-peer -1) are
-   zig-zag mapped first. *)
-let zigzag n = if n >= 0 then 2 * n else (-2 * n) - 1
+   zig-zag mapped first.  The mapping doubles its argument, so only ints
+   in [-max_int/2 - 1, max_int/2] survive the round trip; anything larger
+   would silently wrap and corrupt the stream, so encoders reject it —
+   the encode-side mirror of [read_varint]'s >63-bit guard. *)
+let zigzag n =
+  if n > max_int / 2 || n < -(max_int / 2) - 1 then
+    failwith (Printf.sprintf "Codec: zigzag value out of range: %d" n);
+  if n >= 0 then 2 * n else (-2 * n) - 1
 
-let unzigzag z = if z land 1 = 0 then z / 2 else -((z + 1) / 2)
+(* [-(z / 2) - 1], not [-((z + 1) / 2)]: for [z = max_int] the latter's
+   increment wraps to [min_int] and flips the sign of the result. *)
+let unzigzag z = if z land 1 = 0 then z / 2 else -(z / 2) - 1
 
-let rec write_varint buf v =
+let rec write_varint_loop buf v =
   if v < 0x80 then Buffer.add_char buf (Char.chr v)
   else begin
     Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
-    write_varint buf (v lsr 7)
+    write_varint_loop buf (v lsr 7)
   end
+
+let write_varint buf v =
+  (* A negative input would otherwise die many iterations deep with
+     [Char.chr]'s [Invalid_argument]; fail fast with a Codec error. *)
+  if v < 0 then
+    failwith (Printf.sprintf "Codec: varint of negative value: %d" v);
+  write_varint_loop buf v
 
 let read_varint b pos =
   let len = Bytes.length b in

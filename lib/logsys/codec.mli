@@ -12,8 +12,29 @@
     collection affordable (§V's 16–24-record chunks fit one 802.15.4
     frame's payload budget within small factors). *)
 
+val tag_of_kind : Record.kind -> int
+(** The stable on-disk tag (0–7) of a kind.  Tag order matches
+    [Refill.Protocol.label_rank], which is what lets column-oriented
+    consumers ({!Arena}) map tags to labels with a plain array read. *)
+
+val peer_of_kind : Record.kind -> int option
+(** The kind's peer field ([None] for [Gen]/[Deliver]). *)
+
+val kind_of_tag : int -> int option -> Record.kind
+(** Inverse of {!tag_of_kind}/{!peer_of_kind}.
+    @raise Failure on an unknown tag or a missing peer for tags 1–6. *)
+
+val zigzag : int -> int
+(** Zig-zag map a signed int onto a nonnegative one for varint encoding.
+    @raise Failure for [n > max_int/2] or [n < -max_int/2 - 1] — values
+    the doubling would silently wrap. *)
+
+val unzigzag : int -> int
+(** Inverse of {!zigzag} (total — any nonnegative int maps back). *)
+
 val encode_record : Buffer.t -> Record.t -> unit
-(** Append one record's encoding (without its node id). *)
+(** Append one record's encoding (without its node id).
+    @raise Failure when a field is outside {!zigzag} range. *)
 
 val decode_record :
   node:Net.Packet.node_id -> Bytes.t -> pos:int -> Record.t * int

@@ -89,3 +89,40 @@ module Seg : sig
       actually skipped (fewer only at end of input) — how a resumed
       streaming run fast-forwards past already-processed records. *)
 end
+
+(** Mmap-backed segmented reading: the same dump format and chunked
+    contract as {!Seg}, but the file is memory-mapped and record lines
+    decode in place straight into {!Arena} columns — no channel
+    buffering, no per-line strings, no per-record allocation (except the
+    time token, parsed by [float_of_string] so times load bit-identically
+    to {!record_of_line}).  This is the [--mmap] ingest path. *)
+module Mseg : sig
+  type reader
+
+  val open_file : string -> reader
+  (** Map the file and parse the three header lines.  The file descriptor
+      is closed before returning (the mapping persists until the reader
+      is collected).
+      @raise Failure on a malformed header; [Unix.Unix_error] when the
+      file cannot be opened. *)
+
+  val n_nodes : reader -> int
+
+  val sink : reader -> Net.Packet.node_id
+
+  val read : reader -> int
+  (** Records decoded (or skipped) so far, like {!Seg.read}. *)
+
+  val next_into : reader -> Arena.t -> max_records:int -> int
+  (** Decode up to [max_records] further records into the arena (appended
+      as rows); returns how many were appended — [0] only at end of
+      input.  Truth and comment lines are skipped.
+      @raise Failure on a malformed or out-of-node-range record line,
+      [Invalid_argument] if [max_records <= 0]. *)
+
+  val skip : reader -> int -> int
+  (** [skip r n] fast-forwards past up to [n] record lines without
+      decoding them (they are not validated beyond line classification)
+      and returns how many were skipped — how a resumed [--mmap] run
+      fast-forwards, mirroring {!Seg.skip}. *)
+end

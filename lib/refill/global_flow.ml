@@ -114,7 +114,14 @@ let ibuf_push2 b x y =
   b.data.(b.len + 1) <- y;
   b.len <- b.len + 2
 
-let merge_untimed ?jobs ?emit_prov collected ~(flows : Flow.t array)
+(* Where the merge reads per-node logs from: a record snapshot, or an
+   arena-indexed packet index (columns; the alignment never materializes
+   a record). *)
+type log_source =
+  | Snapshot of Logsys.Collected.t
+  | Arena_index of Logsys.Arena.Packets.t
+
+let merge_untimed ?jobs ?emit_prov source ~(flows : Flow.t array)
     ~emit:emit_item =
   (* ---- Pass 1: count items and intern every flow's packet. ---- *)
   let n_flows = Array.length flows in
@@ -195,7 +202,11 @@ let merge_untimed ?jobs ?emit_prov collected ~(flows : Flow.t array)
        flow order.  CSR over dense slots, two counted passes; the node
        component of the slot key partitions slots across nodes, which is
        what lets the alignment below run per-node in parallel. ---- *)
-    let n_nodes = Logsys.Collected.n_nodes collected in
+    let n_nodes =
+      match source with
+      | Snapshot c -> Logsys.Collected.n_nodes c
+      | Arena_index p -> Logsys.Arena.Packets.n_nodes p
+    in
     let slot_tbl : (int, int) Hashtbl.t = Hashtbl.create (max 64 n_flows) in
     let n_slots = ref 0 in
     let q_count = Array.make n 0 in
@@ -263,7 +274,12 @@ let merge_untimed ?jobs ?emit_prov collected ~(flows : Flow.t array)
        so nodes fan out across domains; interner reads are lookups into
        tables no longer being written. ---- *)
     let q_cursor = Array.make (max 1 n_slots) 0 in
-    let align node =
+    (* One alignment body per source shape (both monomorphic hot loops):
+       identical slot/cursor/anchor logic, differing only in how a log
+       entry's key is read and how it is compared against a payload —
+       record fields vs column reads ([Arena.equal_record] never
+       materializes). *)
+    let align_snapshot collected node =
       let log = Logsys.Collected.node_log collected node in
       let len = float_of_int (max 1 (Array.length log)) in
       let edges = ibuf_create () in
@@ -292,6 +308,41 @@ let merge_untimed ?jobs ?emit_prov collected ~(flows : Flow.t array)
                   end))
         log;
       Array.sub edges.data 0 edges.len
+    in
+    let align_arena packets arena node =
+      let rows = Logsys.Arena.Packets.node_rows packets node in
+      let len = float_of_int (max 1 (Array.length rows)) in
+      let edges = ibuf_create () in
+      let last = ref (-1) in
+      Array.iteri
+        (fun log_idx row ->
+          let origin = Logsys.Arena.origin arena row
+          and seq = Logsys.Arena.pkt_seq arena row in
+          match pid_find interner ~origin ~seq with
+          | None -> ()
+          | Some qpid -> (
+              match Hashtbl.find_opt slot_tbl ((qpid * n_nodes) + node) with
+              | None -> ()
+              | Some slot ->
+                  let cur = q_cursor.(slot) in
+                  if cur < q_off.(slot + 1) - q_off.(slot) then begin
+                    let id = q_ids.(q_off.(slot) + cur) in
+                    match items.(id).Engine.payload with
+                    | Some r' when Logsys.Arena.equal_record arena row r' ->
+                        q_cursor.(slot) <- cur + 1;
+                        anchors.(id) <- float_of_int log_idx /. len;
+                        if want_prov then aligned.(id) <- true;
+                        if !last >= 0 then ibuf_push2 edges !last id;
+                        last := id
+                    | Some _ | None -> ()
+                  end))
+        rows;
+      Array.sub edges.data 0 edges.len
+    in
+    let align =
+      match source with
+      | Snapshot c -> align_snapshot c
+      | Arena_index p -> align_arena p (Logsys.Arena.Packets.arena p)
     in
     let jobs =
       match jobs with Some j -> max 1 j | None -> Par.default_jobs ()
@@ -462,10 +513,10 @@ let merge_untimed ?jobs ?emit_prov collected ~(flows : Flow.t array)
     stats
   end
 
-let merge ?jobs ?emit_prov collected ~flows ~emit =
+let merge_from ?jobs ?emit_prov source ~flows ~emit =
   let run () =
     let t0 = Obs.Span.now_us () in
-    let stats = merge_untimed ?jobs ?emit_prov collected ~flows ~emit in
+    let stats = merge_untimed ?jobs ?emit_prov source ~flows ~emit in
     Par.with_obs_lock (fun () ->
         Obs.Metrics.Histogram.observe h_seconds
           ((Obs.Span.now_us () -. t0) /. 1e6));
@@ -476,6 +527,9 @@ let merge ?jobs ?emit_prov collected ~flows ~emit =
       ~attrs:[ ("flows", string_of_int (Array.length flows)) ]
       run
   else run ()
+
+let merge ?jobs ?emit_prov collected ~flows ~emit =
+  merge_from ?jobs ?emit_prov (Snapshot collected) ~flows ~emit
 
 (* -- Incremental merge mode ------------------------------------------------ *)
 
@@ -513,6 +567,17 @@ module Incremental = struct
           t.logs_rev.(r.node) <- r :: t.logs_rev.(r.node)
         end)
       records
+
+  let add_arena t (s : Logsys.Arena.slice) =
+    let a = s.Logsys.Arena.sl_base in
+    for i = s.Logsys.Arena.sl_off to s.Logsys.Arena.sl_off + s.Logsys.Arena.sl_len - 1
+    do
+      let node = Logsys.Arena.node a i in
+      if node >= 0 then begin
+        ensure_node t node;
+        t.logs_rev.(node) <- Logsys.Arena.get a i :: t.logs_rev.(node)
+      end
+    done
 
   let add_flow t flow =
     t.flows_rev <- flow :: t.flows_rev;

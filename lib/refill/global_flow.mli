@@ -26,6 +26,14 @@ type stats = {
           per-packet linearization (concurrency, not error). *)
 }
 
+(** Where the merge reads per-node logs from: a record snapshot, or an
+    arena-indexed packet index, whose alignment pass reads columns and
+    never materializes a record.  Over the same records (and the same
+    node count) both sources yield identical emission sequences. *)
+type log_source =
+  | Snapshot of Logsys.Collected.t
+  | Arena_index of Logsys.Arena.Packets.t
+
 val merge :
   ?jobs:int ->
   ?emit_prov:(Provenance.t -> unit) ->
@@ -52,6 +60,18 @@ val merge :
     aligned with its node's log becomes {!Provenance.Anchor_carry}.
     Evidence indices stay in their packet's own record-index space. *)
 
+val merge_from :
+  ?jobs:int ->
+  ?emit_prov:(Provenance.t -> unit) ->
+  log_source ->
+  flows:Flow.t array ->
+  emit:(Flow.item -> unit) ->
+  stats
+(** {!merge} generalized over the log source; [merge c] =
+    [merge_from (Snapshot c)].  With [Arena_index], the source must index
+    the same records the flows were reconstructed from
+    ({!Reconstruct.run_arena} over the same index). *)
+
 (** Incremental merge mode for the streaming pipeline: accumulate record
     segments and evicted flows as they arrive, then run the batch merge
     machinery once at the end of the stream.  On the same inputs the
@@ -69,6 +89,10 @@ module Incremental : sig
   (** Append a stream segment.  Segments must preserve each node's local
       record order across calls; records with a negative node id are
       ignored. *)
+
+  val add_arena : t -> Logsys.Arena.slice -> unit
+  (** {!add_records} over an arena slice; rows materialize only as they
+      are appended to their node's accumulator. *)
 
   val add_flow : t -> Flow.t -> unit
   (** Register one evicted flow (in eviction order). *)

@@ -544,3 +544,181 @@ let make_config_of_records ~records ~origin ~seq ~sink =
          Array.iter (Peer_index.scan t) records;
          t))
     ~origin ~seq ~sink
+
+(* -- Arena-packed events: columns straight into the engine. -------------- *)
+
+(* Codec kind tags (0–7) coincide with [label_rank]: tag -> label is
+   [all_labels.(tag)] and tag -> dense FSM id is a per-role table read.
+   Pinned at module init so a renumbering on either side cannot silently
+   desynchronize arena packing. *)
+let () =
+  List.iter
+    (fun (k : Logsys.Record.kind) ->
+      assert (all_labels.(Logsys.Codec.tag_of_kind k) == label_of_kind k))
+    [
+      Gen;
+      Recv { from = 0 };
+      Dup { from = 0 };
+      Overflow { from = 0 };
+      Trans { to_ = 0 };
+      Ack_recvd { to_ = 0 };
+      Retx_timeout { to_ = 0 };
+      Deliver;
+    ]
+
+(* [pack_events], reading arena columns through a row-index array instead
+   of chasing record pointers.  [rows] is the packet's node-scan-order
+   row list ({!Logsys.Arena.Packets.packet_rows}); payloads materialize
+   once per emitted slot (the engine's emissions carry records), but the
+   chain walk, the three-way hop split and prerequisite resolution are
+   pure column reads. *)
+let pack_arena (a : Logsys.Arena.t) (rows : int array) ~origin ~sink =
+  let n = Array.length rows in
+  let p =
+    {
+      p_nodes = Array.make n 0;
+      p_labels = Array.make n L_gen;
+      p_ids = Array.make n (-1);
+      p_payloads = Array.make n None;
+      p_pre_nodes = Array.make n (-1);
+      p_pre_states = Array.make n (-1);
+      p_srcs = Array.make n (-1);
+    }
+  in
+  if n = 0 then p
+  else begin
+    let seg_start = Array.make (n + 1) n in
+    let seg_node = Array.make n (-1) in
+    let seg_next = Array.make n (-1) in
+    let seg_ft = Array.make n (-1) in
+    let seg_lt = Array.make n (-1) in
+    let n_segs = ref 0 in
+    let last = ref (-1) in
+    for i = 0 to n - 1 do
+      let row = rows.(i) in
+      let node = Logsys.Arena.node a row in
+      if node <> !last then begin
+        seg_start.(!n_segs) <- i;
+        seg_node.(!n_segs) <- node;
+        incr n_segs;
+        last := node
+      end;
+      let s = !n_segs - 1 in
+      let tag = Logsys.Arena.tag a row in
+      if tag = 4 then begin
+        (* Trans *)
+        if seg_ft.(s) < 0 then seg_ft.(s) <- i;
+        seg_lt.(s) <- i;
+        if seg_next.(s) < 0 then seg_next.(s) <- Logsys.Arena.peer a row
+      end
+      else if tag = 5 || tag = 6 then begin
+        (* Ack_recvd / Retx_timeout *)
+        if seg_next.(s) < 0 then seg_next.(s) <- Logsys.Arena.peer a row
+      end
+    done;
+    seg_start.(!n_segs) <- n;
+    let used = Array.make !n_segs false in
+    let find node =
+      let rec f s =
+        if s >= !n_segs then -1
+        else if (not used.(s)) && seg_node.(s) = node then s
+        else f (s + 1)
+      in
+      f 0
+    in
+    let origin_tbl = ids_for_role Origin
+    and forwarder_tbl = ids_for_role Forwarder
+    and sink_tbl = ids_for_role Sink in
+    let out = ref 0 in
+    let put src =
+      let row = rows.(src) in
+      let i = !out in
+      let node = Logsys.Arena.node a row in
+      let tag = Logsys.Arena.tag a row in
+      let tbl =
+        if node = sink then sink_tbl
+        else if node = origin then origin_tbl
+        else forwarder_tbl
+      in
+      p.p_nodes.(i) <- node;
+      p.p_labels.(i) <- all_labels.(tag);
+      p.p_ids.(i) <- tbl.(tag);
+      p.p_payloads.(i) <- Some (Logsys.Arena.get a row);
+      (if tag >= 1 && tag <= 3 then begin
+         (* Recv/Dup/Overflow: the sender must have visited [sent]. *)
+         let from = Logsys.Arena.peer a row in
+         if from <> node && from <> unknown_node then begin
+           p.p_pre_nodes.(i) <- from;
+           p.p_pre_states.(i) <- sent
+         end
+       end
+       else if tag = 5 then begin
+         (* Ack_recvd: the next hop must have visited [holding]. *)
+         let to_ = Logsys.Arena.peer a row in
+         if to_ <> node && to_ <> unknown_node then begin
+           p.p_pre_nodes.(i) <- to_;
+           p.p_pre_states.(i) <- holding
+         end
+       end);
+      p.p_srcs.(i) <- src;
+      out := i + 1
+    in
+    let put_range lo hi = for i = lo to hi - 1 do put i done in
+    let rec emit_chain prev_post_lo prev_post_hi = function
+      | [] -> put_range prev_post_lo prev_post_hi
+      | s :: rest ->
+          let lo = seg_start.(s) and hi = seg_start.(s + 1) in
+          let ft = seg_ft.(s) and lt = seg_lt.(s) in
+          if ft < 0 then begin
+            put_range lo hi;
+            put_range prev_post_lo prev_post_hi;
+            emit_chain 0 0 rest
+          end
+          else begin
+            put_range lo ft;
+            put_range prev_post_lo prev_post_hi;
+            put_range ft (lt + 1);
+            emit_chain (lt + 1) hi rest
+          end
+    in
+    let rec walk node hops acc =
+      if hops >= 256 then List.rev acc
+      else
+        match find node with
+        | -1 -> List.rev acc
+        | s ->
+            used.(s) <- true;
+            let next = seg_next.(s) in
+            if next >= 0 && next <> node then walk next (hops + 1) (s :: acc)
+            else List.rev (s :: acc)
+    in
+    emit_chain 0 0 (walk origin 0 []);
+    for s = 0 to !n_segs - 1 do
+      if not used.(s) then emit_chain 0 0 (walk seg_node.(s) 0 [])
+    done;
+    p
+  end
+
+let make_config_of_arena ~arena ~rows ~origin ~seq ~sink =
+  config_with_index
+    ~index:
+      (lazy
+        (let t = Peer_index.create () in
+         (* Same first-write-wins scan as [Peer_index.scan], over columns:
+            rows arrive in node-scan order, like the record array. *)
+         Array.iter
+           (fun row ->
+             let tag = Logsys.Arena.tag arena row in
+             if tag >= 4 && tag <= 6 then begin
+               let node = Logsys.Arena.node arena row in
+               let to_ = Logsys.Arena.peer arena row in
+               Peer_index.put t.Peer_index.sender_toward to_ node;
+               Peer_index.put t.Peer_index.own_target node to_
+             end
+             else if tag >= 1 && tag <= 3 then
+               Peer_index.put t.Peer_index.named_receiver
+                 (Logsys.Arena.peer arena row)
+                 (Logsys.Arena.node arena row))
+           rows;
+         t))
+    ~origin ~seq ~sink

@@ -158,6 +158,26 @@ val pack_events : Logsys.Record.t array -> origin:int -> sink:int -> packed
     table) and prerequisite ({!Engine.config.prerequisites} semantics)
     inline. *)
 
+val pack_arena :
+  Logsys.Arena.t -> int array -> origin:int -> sink:int -> packed
+(** {!pack_events} reading arena columns through a row-index array
+    ([Logsys.Arena.Packets.packet_rows], node-scan order) instead of
+    record pointers.  Payloads materialize once per emitted slot via
+    [Arena.get]; the chain walk, hop split and prerequisite resolution
+    are pure column reads.  Produces slot-for-slot the same packed input
+    (payloads [Record.equal]) as {!pack_events} over the materialized
+    rows. *)
+
+val make_config_of_arena :
+  arena:Logsys.Arena.t ->
+  rows:int array ->
+  origin:int ->
+  seq:int ->
+  sink:int ->
+  (label, Logsys.Record.t) Engine.config
+(** {!make_config_of_records} over arena rows: the lazy peer-recovery
+    index scans columns with the same first-match semantics. *)
+
 val event_array_of_groups :
   (int * Logsys.Record.t list) list ->
   origin:int ->

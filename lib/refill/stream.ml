@@ -321,6 +321,21 @@ let feed t segment =
     segment;
   flush_metrics t before
 
+(* [feed] over an arena slice: the node filter reads the column, and only
+   surviving records materialize (the frontier stores [Record.t]s, so
+   eviction, checkpointing and emission are unchanged — output is
+   byte-identical to feeding the materialized slice). *)
+let feed_arena t (s : Logsys.Arena.slice) =
+  if t.finished then invalid_arg "Stream.feed: stream already finished";
+  let before = summary t in
+  t.segments <- t.segments + 1;
+  let a = s.Logsys.Arena.sl_base in
+  for i = s.Logsys.Arena.sl_off to s.Logsys.Arena.sl_off + s.Logsys.Arena.sl_len - 1 do
+    if Logsys.Arena.node a i >= 0 then
+      push t ~pos:(t.clock + 1) (Logsys.Arena.get a i)
+  done;
+  flush_metrics t before
+
 let finish t =
   if not t.finished then begin
     t.finished <- true;

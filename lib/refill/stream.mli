@@ -94,6 +94,11 @@ val feed : t -> Logsys.Record.t array -> unit
     concatenation of segments, not on how they are chunked.
     @raise Invalid_argument after {!finish}. *)
 
+val feed_arena : t -> Logsys.Arena.slice -> unit
+(** {!feed} over an arena slice (one slice = one segment): the node
+    filter reads the column and only surviving records materialize.
+    Output is byte-identical to feeding the materialized slice. *)
+
 val finish : t -> summary
 (** Flush every still-open packet (ascending key order) and return the
     final summary.  Idempotent; the stream accepts no further [feed]. *)

@@ -1,0 +1,611 @@
+(* The flat-column arena (zero-copy ingest): the materializing view must be
+   Record.equal-exact for every kind and boundary value, the bulk decoders
+   must agree with the record-path codec byte for byte, and every pipeline
+   entry grown an arena variant (Reconstruct.run_arena, Stream.feed_arena,
+   Global_flow.merge_from, Log_io.Mseg) must reproduce the record path's
+   output exactly, lossless and lossy. *)
+
+let scenario = lazy (Scenario.Citysee.run Scenario.Citysee.tiny)
+
+let lossless = lazy (Scenario.Citysee.collected (Lazy.force scenario))
+
+let sink () = (Lazy.force scenario).sink
+
+let lossy_collected p seed =
+  let rng = Prelude.Rng.create ~seed:(Int64.of_int seed) in
+  Logsys.Collected.lossify (Logsys.Loss_model.uniform p) rng
+    (Lazy.force lossless)
+
+(* Nan-safe observable identity of a flow (see test_stream.ml). *)
+let flow_sig (f : Refill.Flow.t) =
+  (f.origin, f.seq, Refill.Flow.to_string f, f.stats)
+
+(* Nan-safe observable identity of a global-flow item: the payload is
+   rendered with the bit-exact line writer, so NaN times compare equal. *)
+let item_sig (i : Refill.Flow.item) =
+  ( i.node,
+    Refill.Protocol.label_name i.label,
+    i.inferred,
+    Option.map Logsys.Log_io.record_to_line_exact i.payload )
+
+let batch_flows collected =
+  let acc = ref [] in
+  Refill.Reconstruct.run collected ~sink:(sink ()) ~emit:(fun f ->
+      acc := f :: !acc);
+  List.rev !acc
+
+(* An arena holding exactly [collected]'s records, node-major — the same
+   node-scan order Collected's packet index uses. *)
+let arena_of_collected c =
+  let a = Logsys.Arena.create () in
+  for node = 0 to Logsys.Collected.n_nodes c - 1 do
+    Array.iter (Logsys.Arena.push a) (Logsys.Collected.node_log c node)
+  done;
+  a
+
+let packets_of_collected c =
+  Logsys.Arena.Packets.build (arena_of_collected c)
+    ~n_nodes:(Logsys.Collected.n_nodes c)
+
+let arena_flows c =
+  let acc = ref [] in
+  Refill.Reconstruct.run_arena (packets_of_collected c) ~sink:(sink ())
+    ~emit:(fun f -> acc := f :: !acc);
+  List.rev !acc
+
+(* -- Record generators ----------------------------------------------------- *)
+
+(* Ints the packed columns must hold exactly, including min_int-adjacent
+   values (Bigarray int columns carry full 63-bit OCaml ints). *)
+let boundary_ints =
+  [
+    0;
+    1;
+    -1;
+    7;
+    1000;
+    max_int;
+    max_int - 1;
+    min_int;
+    min_int + 1;
+    max_int / 2;
+    -(max_int / 2) - 1;
+  ]
+
+let gen_any_int =
+  QCheck.Gen.(oneof [ oneofl boundary_ints; small_signed_int; int ])
+
+let gen_time =
+  QCheck.Gen.(
+    oneof
+      [
+        float;
+        return Float.nan;
+        return Float.infinity;
+        return Float.neg_infinity;
+        return 0.;
+      ])
+
+(* A record of any kind with unconstrained column values: what push/get
+   must round-trip.  Peer is [-1] (unknown node) one time in four, the
+   case the no-peer poison must never be confused with. *)
+let gen_record =
+  QCheck.Gen.(
+    let* tag = int_range 0 7 in
+    let* peer = frequency [ (1, return (-1)); (3, gen_any_int) ] in
+    let kind =
+      Logsys.Codec.kind_of_tag tag
+        (if tag >= 1 && tag <= 6 then Some peer else None)
+    in
+    let* node = gen_any_int in
+    let* origin = gen_any_int in
+    let* pkt_seq = gen_any_int in
+    let* gseq = gen_any_int in
+    let+ true_time = gen_time in
+    ({ node; kind; origin; pkt_seq; true_time; gseq } : Logsys.Record.t))
+
+(* A record the codec can encode: zigzag-rangeable fields, node ids a
+   segment header can carry. *)
+let gen_codec_int =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl [ 0; 1; -1; 7; 1000; 1 lsl 60; max_int / 2; -(max_int / 2) - 1 ];
+        small_signed_int;
+      ])
+
+let gen_codec_record =
+  QCheck.Gen.(
+    let* tag = int_range 0 7 in
+    let* peer = frequency [ (1, return (-1)); (3, gen_codec_int) ] in
+    let kind =
+      Logsys.Codec.kind_of_tag tag
+        (if tag >= 1 && tag <= 6 then Some peer else None)
+    in
+    let* node = gen_codec_int in
+    let* origin = gen_codec_int in
+    let+ pkt_seq = gen_codec_int in
+    ({ node; kind; origin; pkt_seq; true_time = Float.nan; gseq = -1 }
+      : Logsys.Record.t))
+
+let arbitrary_records =
+  QCheck.make
+    QCheck.Gen.(array_size (int_range 0 64) gen_record)
+    ~print:(fun arr ->
+      Array.to_list arr
+      |> List.map Logsys.Log_io.record_to_line_exact
+      |> String.concat "\n")
+
+let arbitrary_codec_records =
+  QCheck.make
+    QCheck.Gen.(array_size (int_range 0 64) gen_codec_record)
+    ~print:(fun arr ->
+      Array.to_list arr
+      |> List.map Logsys.Log_io.record_to_line_exact
+      |> String.concat "\n")
+
+(* -- View exactness -------------------------------------------------------- *)
+
+let view_roundtrip_property =
+  QCheck.Test.make ~name:"Arena.get is Record.equal-exact for any record"
+    ~count:500 arbitrary_records (fun records ->
+      let a = Logsys.Arena.of_records records in
+      if Logsys.Arena.length a <> Array.length records then
+        QCheck.Test.fail_reportf "length %d <> %d" (Logsys.Arena.length a)
+          (Array.length records);
+      Array.iteri
+        (fun i r ->
+          if not (Logsys.Record.equal (Logsys.Arena.get a i) r) then
+            QCheck.Test.fail_reportf "get %d: %s <> %s" i
+              (Logsys.Log_io.record_to_line_exact (Logsys.Arena.get a i))
+              (Logsys.Log_io.record_to_line_exact r);
+          if not (Logsys.Arena.equal_record a i r) then
+            QCheck.Test.fail_reportf "equal_record %d disagrees with get" i)
+        records;
+      true)
+
+let view_pinned_kinds () =
+  (* One record of each kind, with the peer cases that matter pinned. *)
+  let mk node kind : Logsys.Record.t =
+    { node; kind; origin = 3; pkt_seq = 9; true_time = Float.nan; gseq = -1 }
+  in
+  let records =
+    [|
+      mk 1 Gen;
+      mk 2 (Recv { from = -1 });
+      mk 2 (Dup { from = 1 });
+      mk 2 (Overflow { from = 1 });
+      mk 1 (Trans { to_ = 2 });
+      mk 1 (Ack_recvd { to_ = -1 });
+      mk 1 (Retx_timeout { to_ = 2 });
+      mk 0 Deliver;
+    |]
+  in
+  let a = Logsys.Arena.of_records records in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "kind %d round-trips" i)
+        true
+        (Logsys.Record.equal (Logsys.Arena.get a i) r))
+    records;
+  (* to_records materializes the lot. *)
+  let back = Logsys.Arena.to_records a in
+  Alcotest.(check int) "to_records length" 8 (Array.length back);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool) "to_records equal" true
+        (Logsys.Record.equal back.(i) r))
+    records
+
+let clear_reuses_storage () =
+  let a = Logsys.Arena.create ~capacity:4 () in
+  for i = 0 to 99 do
+    Logsys.Arena.push_row a ~node:i ~tag:0 ~peer:0 ~origin:i ~pkt_seq:i
+      ~true_time:0. ~gseq:i
+  done;
+  Alcotest.(check int) "grown" 100 (Logsys.Arena.length a);
+  let cap = Logsys.Arena.capacity a in
+  Logsys.Arena.clear a;
+  Alcotest.(check int) "cleared" 0 (Logsys.Arena.length a);
+  Alcotest.(check int) "storage kept" cap (Logsys.Arena.capacity a)
+
+(* -- Bulk decode parity ---------------------------------------------------- *)
+
+let decode_log_parity =
+  QCheck.Test.make
+    ~name:"decode_log_into == decode_log on random encoded logs" ~count:300
+    arbitrary_codec_records (fun records ->
+      let b = Logsys.Codec.encode_log records in
+      let via_records = Logsys.Codec.decode_log ~node:5 b in
+      let a = Logsys.Arena.create () in
+      let n = Logsys.Arena.decode_log_into a ~node:5 b in
+      if n <> Array.length via_records then
+        QCheck.Test.fail_reportf "row count %d <> %d" n
+          (Array.length via_records);
+      Array.iteri
+        (fun i r ->
+          if not (Logsys.Arena.equal_record a i r) then
+            QCheck.Test.fail_reportf "row %d: %s <> %s" i
+              (Logsys.Log_io.record_to_line_exact (Logsys.Arena.get a i))
+              (Logsys.Log_io.record_to_line_exact r))
+        via_records;
+      true)
+
+let decode_segment_parity =
+  QCheck.Test.make
+    ~name:"decode_segment_into == decode_segment on random segments"
+    ~count:300 arbitrary_codec_records (fun records ->
+      let b = Logsys.Codec.encode_segment records in
+      let via_records = Logsys.Codec.decode_segment b in
+      let a = Logsys.Arena.create () in
+      let n = Logsys.Arena.decode_segment_into a b in
+      if n <> Array.length via_records then
+        QCheck.Test.fail_reportf "row count %d <> %d" n
+          (Array.length via_records);
+      Array.iteri
+        (fun i r ->
+          if not (Logsys.Arena.equal_record a i r) then
+            QCheck.Test.fail_reportf "row %d differs" i)
+        via_records;
+      true)
+
+let decode_rejects_garbage () =
+  let a = Logsys.Arena.create () in
+  let raises f =
+    match f () with exception Failure _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "truncated log raises" true
+    (raises (fun () ->
+         Logsys.Arena.decode_log_into a ~node:0 (Bytes.of_string "\x01")));
+  Alcotest.(check bool) "unknown tag raises" true
+    (raises (fun () ->
+         Logsys.Arena.decode_log_into a ~node:0 (Bytes.of_string "\xff")));
+  Alcotest.(check bool) "oversized varint raises" true
+    (raises (fun () ->
+         Logsys.Arena.decode_log_into a ~node:0
+           (Bytes.of_string "\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f")));
+  Alcotest.(check bool) "trailing segment bytes raise" true
+    (raises (fun () ->
+         Logsys.Arena.decode_segment_into a (Bytes.of_string "\x00\x00")))
+
+(* -- Codec guards (satellite) ----------------------------------------------- *)
+
+let zigzag_guards () =
+  let raises f =
+    match f () with exception Failure _ -> true | _ -> false
+  in
+  (* The extremes of the representable range still map. *)
+  Alcotest.(check int) "max boundary round-trips" (max_int / 2)
+    (Logsys.Codec.unzigzag (Logsys.Codec.zigzag (max_int / 2)));
+  Alcotest.(check int) "min boundary round-trips"
+    (-(max_int / 2) - 1)
+    (Logsys.Codec.unzigzag (Logsys.Codec.zigzag (-(max_int / 2) - 1)));
+  (* One past either end would silently wrap; both must raise. *)
+  Alcotest.(check bool) "max_int/2 + 1 raises" true
+    (raises (fun () -> Logsys.Codec.zigzag ((max_int / 2) + 1)));
+  Alcotest.(check bool) "min_int raises" true
+    (raises (fun () -> Logsys.Codec.zigzag min_int));
+  Alcotest.(check bool) "max_int raises" true
+    (raises (fun () -> Logsys.Codec.zigzag max_int));
+  (* encode_record surfaces the guard for out-of-range fields. *)
+  let r : Logsys.Record.t =
+    {
+      node = 0;
+      kind = Gen;
+      origin = max_int;
+      pkt_seq = 0;
+      true_time = Float.nan;
+      gseq = -1;
+    }
+  in
+  let buf = Buffer.create 8 in
+  Alcotest.(check bool) "encode_record rejects out-of-range origin" true
+    (raises (fun () -> Logsys.Codec.encode_record buf r))
+
+(* -- Pipeline equivalence --------------------------------------------------- *)
+
+let run_arena_equals_run_lossless () =
+  let c = Lazy.force lossless in
+  let a = List.map flow_sig (batch_flows c) in
+  let b = List.map flow_sig (arena_flows c) in
+  Alcotest.(check int) "flow count" (List.length a) (List.length b);
+  List.iter2
+    (fun (ao, as_, astr, ast) (bo, bs, bstr, bst) ->
+      Alcotest.(check (pair int int)) "key" (ao, as_) (bo, bs);
+      Alcotest.(check string) "flow" astr bstr;
+      Alcotest.(check bool) "stats" true (ast = bst))
+    a b
+
+let run_arena_equals_run_lossy =
+  QCheck.Test.make ~name:"run_arena == run under random log loss" ~count:20
+    QCheck.(pair (int_range 0 90) (int_range 1 10_000))
+    (fun (pct, seed) ->
+      let c = lossy_collected (float_of_int pct /. 100.) seed in
+      let a = List.map flow_sig (batch_flows c) in
+      let b = List.map flow_sig (arena_flows c) in
+      a = b)
+
+let packets_index_matches_collected () =
+  let c = Lazy.force lossless in
+  let p = packets_of_collected c in
+  let a = Logsys.Arena.Packets.arena p in
+  Alcotest.(check (list (pair int int)))
+    "same packet keys"
+    (Logsys.Collected.packet_keys c)
+    (Logsys.Arena.Packets.keys p);
+  List.iter
+    (fun (origin, seq) ->
+      let rows = Logsys.Arena.Packets.packet_rows p ~origin ~seq in
+      let records = Logsys.Collected.packet_records c ~origin ~seq in
+      Alcotest.(check int)
+        (Printf.sprintf "packet (%d,%d) size" origin seq)
+        (Array.length records) (Array.length rows);
+      Array.iteri
+        (fun i row ->
+          Alcotest.(check bool) "node-scan order matches" true
+            (Logsys.Arena.equal_record a row records.(i)))
+        rows)
+    (Logsys.Collected.packet_keys c)
+
+let packets_build_rejects_bad_node () =
+  let a = Logsys.Arena.create () in
+  Logsys.Arena.push_row a ~node:7 ~tag:0 ~peer:0 ~origin:0 ~pkt_seq:0
+    ~true_time:0. ~gseq:0;
+  Alcotest.(check bool) "node out of range raises" true
+    (match Logsys.Arena.Packets.build a ~n_nodes:7 with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let feed_arena_equals_feed =
+  QCheck.Test.make ~name:"Stream.feed_arena == Stream.feed" ~count:15
+    QCheck.(triple (int_range 0 60) (int_range 1 10_000) (int_range 1 999))
+    (fun (pct, seed, chunk) ->
+      let c = lossy_collected (float_of_int pct /. 100.) seed in
+      let ordered = Logsys.Collected.merged_by_time c in
+      let n = Array.length ordered in
+      let watermark = max 1 (n / 10) in
+      let config = { Refill.Config.default with watermark } in
+      let run feed_chunk =
+        let acc = ref [] in
+        let t =
+          Refill.Stream.create ~config ~sink:(sink ())
+            ~emit:(fun (e : Refill.Stream.emitted) ->
+              acc := (flow_sig e.flow, e.outcome) :: !acc)
+            ()
+        in
+        let i = ref 0 in
+        while !i < n do
+          let len = min chunk (n - !i) in
+          feed_chunk t !i len;
+          i := !i + len
+        done;
+        let s = Refill.Stream.finish t in
+        (List.rev !acc, s)
+      in
+      let via_records =
+        run (fun t i len -> Refill.Stream.feed t (Array.sub ordered i len))
+      in
+      let arena = Logsys.Arena.of_records ordered in
+      let via_arena =
+        run (fun t i len ->
+            Refill.Stream.feed_arena t
+              (Logsys.Arena.slice arena ~off:i ~len))
+      in
+      via_records = via_arena)
+
+let merge_from_arena_equals_merge () =
+  let check_on label c =
+    let flows = Array.of_list (batch_flows c) in
+    let run source =
+      let acc = ref [] in
+      let stats =
+        Refill.Global_flow.merge_from source ~flows ~emit:(fun it ->
+            acc := item_sig it :: !acc)
+      in
+      (List.rev !acc, stats)
+    in
+    let items_a, stats_a = run (Refill.Global_flow.Snapshot c) in
+    let items_b, stats_b =
+      run (Refill.Global_flow.Arena_index (packets_of_collected c))
+    in
+    Alcotest.(check int) (label ^ ": events") stats_a.events stats_b.events;
+    Alcotest.(check int) (label ^ ": logged") stats_a.logged stats_b.logged;
+    Alcotest.(check int)
+      (label ^ ": inferred")
+      stats_a.inferred stats_b.inferred;
+    Alcotest.(check int) (label ^ ": relaxed") stats_a.relaxed stats_b.relaxed;
+    Alcotest.(check bool)
+      (label ^ ": identical item sequence")
+      true (items_a = items_b)
+  in
+  check_on "lossless" (Lazy.force lossless);
+  check_on "lossy" (lossy_collected 0.3 4242)
+
+(* -- Mmap reader (Mseg) ------------------------------------------------------ *)
+
+let with_dump ?(time_order = false) ?truth c f =
+  let path = Filename.temp_file "refill_arena" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Logsys.Log_io.save_file path ~sink:(sink ()) ?truth ~time_order c;
+      f path)
+
+let mseg_equals_seg () =
+  let sc = Lazy.force scenario in
+  let c = lossy_collected 0.2 77 in
+  let truth = Node.Network.truth sc.network in
+  with_dump ~time_order:true ~truth c (fun path ->
+      (* Channel path. *)
+      let ic = open_in path in
+      let seg_records =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let r = Logsys.Log_io.Seg.of_channel ic in
+            Alcotest.(check int) "seg nodes"
+              (Logsys.Collected.n_nodes c)
+              (Logsys.Log_io.Seg.n_nodes r);
+            let acc = ref [] in
+            let rec loop () =
+              match Logsys.Log_io.Seg.next r ~max_records:777 with
+              | None -> ()
+              | Some seg ->
+                  acc := seg :: !acc;
+                  loop ()
+            in
+            loop ();
+            Array.concat (List.rev !acc))
+      in
+      (* Mmap path. *)
+      let r = Logsys.Log_io.Mseg.open_file path in
+      Alcotest.(check int) "mseg nodes"
+        (Logsys.Collected.n_nodes c)
+        (Logsys.Log_io.Mseg.n_nodes r);
+      Alcotest.(check int) "mseg sink" (sink ())
+        (Logsys.Log_io.Mseg.sink r);
+      let a = Logsys.Arena.create () in
+      let total = ref 0 in
+      let rec loop () =
+        let n = Logsys.Log_io.Mseg.next_into r a ~max_records:777 in
+        if n > 0 then begin
+          total := !total + n;
+          loop ()
+        end
+      in
+      loop ();
+      Alcotest.(check int) "same record count"
+        (Array.length seg_records)
+        !total;
+      Alcotest.(check int) "read position" !total (Logsys.Log_io.Mseg.read r);
+      Array.iteri
+        (fun i rec_ ->
+          if not (Logsys.Arena.equal_record a i rec_) then
+            Alcotest.failf "record %d: %s <> %s" i
+              (Logsys.Log_io.record_to_line_exact (Logsys.Arena.get a i))
+              (Logsys.Log_io.record_to_line_exact rec_))
+        seg_records)
+
+let mseg_skip_parity () =
+  let c = lossy_collected 0.1 123 in
+  with_dump ~time_order:true c (fun path ->
+      let total = Logsys.Collected.total c in
+      let k = total / 3 in
+      (* Channel path: skip k, then read the rest. *)
+      let ic = open_in path in
+      let seg_rest =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let r = Logsys.Log_io.Seg.of_channel ic in
+            Alcotest.(check int) "seg skipped" k
+              (Logsys.Log_io.Seg.skip r k);
+            let acc = ref [] in
+            let rec loop () =
+              match Logsys.Log_io.Seg.next r ~max_records:500 with
+              | None -> ()
+              | Some seg ->
+                  acc := seg :: !acc;
+                  loop ()
+            in
+            loop ();
+            Array.concat (List.rev !acc))
+      in
+      let r = Logsys.Log_io.Mseg.open_file path in
+      Alcotest.(check int) "mseg skipped" k (Logsys.Log_io.Mseg.skip r k);
+      let a = Logsys.Arena.create () in
+      let rec loop () =
+        if Logsys.Log_io.Mseg.next_into r a ~max_records:500 > 0 then loop ()
+      in
+      loop ();
+      Alcotest.(check int) "rest count"
+        (Array.length seg_rest)
+        (Logsys.Arena.length a);
+      Array.iteri
+        (fun i rec_ ->
+          Alcotest.(check bool) "rest equal" true
+            (Logsys.Arena.equal_record a i rec_))
+        seg_rest;
+      (* Over-skip reports what was actually available. *)
+      let r2 = Logsys.Log_io.Mseg.open_file path in
+      Alcotest.(check int) "over-skip clamps" total
+        (Logsys.Log_io.Mseg.skip r2 (total + 999)))
+
+let mseg_rejects_malformed () =
+  let write_file lines =
+    let path = Filename.temp_file "refill_arena" ".log" in
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    path
+  in
+  let raises_failure path =
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        match
+          let r = Logsys.Log_io.Mseg.open_file path in
+          let a = Logsys.Arena.create () in
+          ignore (Logsys.Log_io.Mseg.next_into r a ~max_records:10)
+        with
+        | exception Failure _ -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "bad header raises" true
+    (raises_failure (write_file [ "not a dump" ]));
+  Alcotest.(check bool) "malformed record raises" true
+    (raises_failure
+       (write_file
+          [
+            "# refill-log v1";
+            "# nodes 3";
+            "# sink 0";
+            "r 1 teleport - 1 0 0.0 0";
+          ]));
+  Alcotest.(check bool) "node out of range raises" true
+    (raises_failure
+       (write_file
+          [ "# refill-log v1"; "# nodes 3"; "# sink 0"; "r 9 gen - 9 0 0.5 1" ]));
+  Alcotest.(check bool) "peer on gen raises" true
+    (raises_failure
+       (write_file
+          [ "# refill-log v1"; "# nodes 3"; "# sink 0"; "r 1 gen 2 1 0 0.5 1" ]))
+
+let () =
+  Alcotest.run "arena"
+    [
+      ( "view",
+        [
+          QCheck_alcotest.to_alcotest view_roundtrip_property;
+          Alcotest.test_case "pinned kinds" `Quick view_pinned_kinds;
+          Alcotest.test_case "clear reuses storage" `Quick clear_reuses_storage;
+        ] );
+      ( "decode",
+        [
+          QCheck_alcotest.to_alcotest decode_log_parity;
+          QCheck_alcotest.to_alcotest decode_segment_parity;
+          Alcotest.test_case "rejects garbage" `Quick decode_rejects_garbage;
+        ] );
+      ( "codec_guards",
+        [ Alcotest.test_case "zigzag range" `Quick zigzag_guards ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "run_arena == run (lossless)" `Quick
+            run_arena_equals_run_lossless;
+          QCheck_alcotest.to_alcotest run_arena_equals_run_lossy;
+          Alcotest.test_case "packet index matches Collected" `Quick
+            packets_index_matches_collected;
+          Alcotest.test_case "index rejects bad node" `Quick
+            packets_build_rejects_bad_node;
+          QCheck_alcotest.to_alcotest feed_arena_equals_feed;
+          Alcotest.test_case "merge_from Arena_index == merge" `Quick
+            merge_from_arena_equals_merge;
+        ] );
+      ( "mseg",
+        [
+          Alcotest.test_case "mseg == seg" `Quick mseg_equals_seg;
+          Alcotest.test_case "skip parity" `Quick mseg_skip_parity;
+          Alcotest.test_case "rejects malformed" `Quick mseg_rejects_malformed;
+        ] );
+    ]
