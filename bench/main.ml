@@ -962,6 +962,66 @@ let run_scaling_1200_smoke () =
       data_interval = 300.;
     }
 
+(* -- Server-mode ingestion throughput ----------------------------------------- *)
+
+let serve_records_per_second : float option ref = ref None
+let serve_p99_frame_latency : float option ref = ref None
+
+(* The two-day trace pushed through a real `refill serve` over loopback: an
+   in-process server (sharded stream, null emit), one lockstep client, so
+   every frame pays the full wire cost — encode, TCP, decode into the
+   connection arena, queue, feed, ack.  Records/s is end-to-end wall time;
+   the p99 is the lockstep ack round-trip, i.e. per-frame ingest latency
+   including the reconstruction work that frame triggered. *)
+let run_serve_2d_smoke () =
+  section "serve (2d smoke) — live ingestion over loopback";
+  let scenario = Scenario.Citysee.run Scenario.Citysee.two_day in
+  let collected =
+    Scenario.Citysee.collected_lossy scenario Logsys.Loss_model.default
+  in
+  let ordered = Logsys.Collected.merged_by_time collected in
+  let config =
+    { Refill.Config.default with watermark = 20_000; shards = 2 }
+  in
+  let srv =
+    match
+      Refill_serve.Server.start
+        {
+          Refill_serve.Server.default_config with
+          stream = config;
+          sink = scenario.sink;
+        }
+    with
+    | Ok s -> s
+    | Error e -> failwith (Refill.Error.message e)
+  in
+  let client =
+    Refill_serve.Client.connect ~port:(Refill_serve.Server.port srv) ()
+  in
+  let chunk = 512 in
+  let total = Array.length ordered in
+  let t0 = Unix.gettimeofday () in
+  let i = ref 0 in
+  while !i < total do
+    let len = min chunk (total - !i) in
+    ignore (Refill_serve.Client.send client (Array.sub ordered !i len));
+    i := !i + len
+  done;
+  ignore (Refill_serve.Client.finish client);
+  let dt = Unix.gettimeofday () -. t0 in
+  let summary = Refill_serve.Server.stop srv in
+  let st = Refill_serve.Client.stats client in
+  let rps = float_of_int st.records /. Float.max 1e-9 dt in
+  serve_records_per_second := Some rps;
+  serve_p99_frame_latency := Some st.Refill_serve.Client.rtt_p99;
+  Printf.printf
+    "served %d records in %d frames over loopback in %.2fs (%.0f records/s)\n"
+    st.records st.frames dt rps;
+  Printf.printf
+    "ack rtt p50 %.6fs p99 %.6fs; %d flows emitted (%d complete)\n"
+    st.rtt_p50 st.rtt_p99 summary.Refill.Stream.flows
+    summary.Refill.Stream.complete
+
 (* -- Extension A2: bechamel microbenchmarks ----------------------------------- *)
 
 let perf () =
@@ -1054,6 +1114,7 @@ let experiments =
     ("scaling-smoke", run_scaling_smoke);
     ("scaling-2d-smoke", run_scaling_2d_smoke);
     ("scaling-1200-smoke", run_scaling_1200_smoke);
+    ("serve-2d-smoke", run_serve_2d_smoke);
     ("perf", perf);
   ]
 
@@ -1134,6 +1195,17 @@ let write_bench_json timings =
     match (!provenance_overhead, doc) with
     | Some r, J.Obj fields ->
         J.Obj (fields @ [ ("provenance_overhead_ratio", J.Num r) ])
+    | _ -> doc
+  in
+  let doc =
+    match (!serve_records_per_second, !serve_p99_frame_latency, doc) with
+    | Some rps, Some p99, J.Obj fields ->
+        J.Obj
+          (fields
+          @ [
+              ("serve_records_per_second", J.Num rps);
+              ("serve_p99_frame_latency_seconds", J.Num p99);
+            ])
     | _ -> doc
   in
   let oc = open_out path in

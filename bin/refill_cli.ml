@@ -76,49 +76,55 @@ let dump_metrics = function
    valid JSON even on paths that bypass the normal teardown. *)
 let () = at_exit (fun () -> Obs.Sink.close (Obs.Span.sink ()))
 
-(* Install the requested log level and trace sink, run the command body, and
-   tear down — turning unreadable/corrupt inputs into a clear message and a
-   non-zero exit instead of an exception backtrace. *)
+(* Every exit path funnels through here — normal return, pipeline
+   exception, and the signal-driven server shutdown (whose handler makes
+   `serve` return normally) — so a requested --metrics dump is never
+   lost.  The trace sink is closed before dumping so span counters are
+   final, and a dump failure on the error path must not mask the
+   original error. *)
+let with_metrics_flush opts f =
+  let cleanup () = Obs.Sink.close (Obs.Span.swap_sink Obs.Sink.null) in
+  let dump_metrics_guarded () =
+    try dump_metrics opts.metrics
+    with Sys_error msg -> Obs.Log.error "metrics dump failed: %s" msg
+  in
+  match f () with
+  | code ->
+      cleanup ();
+      (match opts.trace_out with
+      | Some path ->
+          Obs.Log.info
+            "trace written to %s (load it in Perfetto or chrome://tracing)"
+            path
+      | None -> ());
+      dump_metrics opts.metrics;
+      code
+  | exception e ->
+      cleanup ();
+      dump_metrics_guarded ();
+      raise e
+
+(* Install the requested log level and trace sink, run the command body
+   under the metrics-flush wrapper, and turn unreadable/corrupt inputs
+   into a clear message and a non-zero exit instead of an exception
+   backtrace. *)
 let with_observability opts f =
   Obs.Log.set_level
     (if opts.quiet then Obs.Log.Quiet
      else if opts.verbose then Obs.Log.Debug
      else Obs.Log.Info);
-  let cleanup () = Obs.Sink.close (Obs.Span.swap_sink Obs.Sink.null) in
-  (* Partial-run counters are still worth dumping when the command dies
-     mid-way; a dump failure on that path must not mask the original
-     error. *)
-  let dump_metrics_guarded () =
-    try dump_metrics opts.metrics
-    with Sys_error msg -> Obs.Log.error "metrics dump failed: %s" msg
-  in
-  match
-    (match opts.trace_out with
-    | Some path ->
-        (* swap, then close: a sink left installed by an earlier install
-           must be finalized, not leaked. *)
-        Obs.Sink.close (Obs.Span.swap_sink (Obs.Sink.file path))
-    | None -> ());
-    let code = f () in
-    cleanup ();
-    (match opts.trace_out with
-    | Some path ->
-        Obs.Log.info
-          "trace written to %s (load it in Perfetto or chrome://tracing)"
-          path
-    | None -> ());
-    dump_metrics opts.metrics;
-    code
-  with
+  (match opts.trace_out with
+  | Some path ->
+      (* swap, then close: a sink left installed by an earlier install
+         must be finalized, not leaked. *)
+      Obs.Sink.close (Obs.Span.swap_sink (Obs.Sink.file path))
+  | None -> ());
+  match with_metrics_flush opts f with
   | code -> code
   | exception Sys_error msg ->
-      cleanup ();
-      dump_metrics_guarded ();
       Obs.Log.error "%s" msg;
       1
   | exception Failure msg ->
-      cleanup ();
-      dump_metrics_guarded ();
       Obs.Log.error "%s" msg;
       1
 
@@ -159,6 +165,73 @@ let write_quality dest q =
           output_string oc
             (Obs.Json.to_string (Analysis.Quality.to_json q) ^ "\n"));
       Obs.Log.info "flow-quality report written to %s" path
+
+(* -- Shared pipeline-config flags ------------------------------------------- *)
+
+(* The one flag block for every subcommand that builds a
+   [Refill.Config.t] (reconstruct, analyze, serve).  Parsing goes
+   through [Config.of_options], so an omitted flag keeps the library
+   default and an out-of-range value maps onto the same
+   [Invalid_config] exit code in every subcommand. *)
+let config_term =
+  let chunk_events =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk-events" ] ~docv:"N"
+          ~doc:
+            (Printf.sprintf
+               "Records per segment fed to the streaming frontier (default \
+                %d)."
+               Refill.Config.default.chunk_events))
+  in
+  let watermark =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watermark" ] ~docv:"N"
+          ~doc:
+            (Printf.sprintf
+               "Evict a packet once no record of it appeared in the last \
+                $(docv) records processed (default %d)."
+               Refill.Config.default.watermark))
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard the streaming frontier across $(docv) worker domains, \
+             routing each packet key by hash.  Output is byte-identical to \
+             --shards 1.  Checkpoints record all shards and resume at any \
+             shard count.")
+  in
+  let late_retention =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "late-retention" ] ~docv:"N"
+          ~doc:
+            "Forget an evicted packet key $(docv) records after its \
+             eviction, bounding the memory behind late-fragment detection \
+             (default: 4x the watermark).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the batch path (default: auto).")
+  in
+  Term.(
+    const (fun chunk_events watermark shards late_retention jobs ->
+        fun ~provenance ->
+          Refill.Config.of_options ?chunk_events ?watermark ?shards
+            ?late_retention:(Option.map Option.some late_retention)
+            ?jobs:(Option.map Option.some jobs)
+            ~provenance ())
+    $ chunk_events $ watermark $ shards $ late_retention $ jobs)
 
 (* -- Shared argument definitions ------------------------------------------- *)
 
@@ -288,16 +361,16 @@ let print_breakdown verdicts ~sink ~total_label =
             (if s > 0 then Printf.sprintf "  [%d at sink]" s else ""))
     (Logsys.Cause.loss_causes @ [ Logsys.Cause.Unknown ])
 
-let analyze obs global_flow provenance input =
+let analyze obs mk_config global_flow provenance input =
   with_observability obs @@ fun () ->
-  match Logsys.Log_io.load_file input with
-  | dump ->
+  match mk_config ~provenance:(provenance <> None) with
+  | Error e -> err_exit e
+  | Ok config -> (
+      match Logsys.Log_io.load_file input with
+      | dump ->
       Obs.Log.debug "loaded %d surviving records from %s"
         (Logsys.Collected.total dump.collected)
         input;
-      let config =
-        { Refill.Config.default with provenance = provenance <> None }
-      in
       let flows_rev = ref [] in
       Refill.Reconstruct.run ~config dump.collected ~sink:dump.sink
         ~emit:(fun f -> flows_rev := f :: !flows_rev);
@@ -362,7 +435,7 @@ let analyze obs global_flow provenance input =
             "cause accuracy vs ground truth: %.1f%% from WSN logs alone, \
              %.1f%% reconciled with the server DB\n"
             (accuracy verdicts) (accuracy refined));
-      0
+      0)
 
 let analyze_cmd =
   let input =
@@ -382,7 +455,9 @@ let analyze_cmd =
   let doc = "Reconstruct event flows from a log dump and classify losses." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const analyze $ obs_opts_term $ global_flow $ provenance_arg $ input)
+    Term.(
+      const analyze $ obs_opts_term $ config_term $ global_flow
+      $ provenance_arg $ input)
 
 (* -- reconstruct -------------------------------------------------------------- *)
 
@@ -405,40 +480,6 @@ let print_stream_summary (s : Refill.Stream.summary) =
      keys, peak frontier %d events\n"
     s.events s.segments s.flows s.complete s.incomplete s.evictions
     s.late_fragments s.forgotten_keys s.peak_frontier_events
-
-(* One face over the single-domain and sharded streams, so the feed /
-   checkpoint / finish plumbing below is written once. *)
-type stream_driver = {
-  d_feed : Logsys.Record.t array -> unit;
-  d_feed_arena : Logsys.Arena.slice -> unit;
-  d_finish : unit -> Refill.Stream.summary;
-  d_summary : unit -> Refill.Stream.summary;
-  d_processed : unit -> int;
-  d_checkpoint_file : string -> (unit, Refill.Error.t) result;
-}
-
-let single_driver t =
-  {
-    d_feed = Refill.Stream.feed t;
-    d_feed_arena = Refill.Stream.feed_arena t;
-    d_finish = (fun () -> Refill.Stream.finish t);
-    d_summary = (fun () -> Refill.Stream.summary t);
-    d_processed = (fun () -> Refill.Stream.processed t);
-    d_checkpoint_file = Refill.Stream.checkpoint_file t;
-  }
-
-let sharded_driver t =
-  {
-    d_feed = Refill.Stream.Sharded.feed t;
-    (* The shard router takes records; materialize the slice.  Output is
-       unchanged (the router skips negative nodes itself). *)
-    d_feed_arena =
-      (fun s -> Refill.Stream.Sharded.feed t (Logsys.Arena.slice_records s));
-    d_finish = (fun () -> Refill.Stream.Sharded.finish t);
-    d_summary = (fun () -> Refill.Stream.Sharded.summary t);
-    d_processed = (fun () -> Refill.Stream.Sharded.processed t);
-    d_checkpoint_file = Refill.Stream.Sharded.checkpoint_file t;
-  }
 
 (* Open an mmap reader with the same error surface as the channel path. *)
 let open_mseg input =
@@ -525,9 +566,10 @@ let reconstruct_batch_mmap (config : Refill.Config.t) ~global_flow ~quality
    [skip] fast-forwards the input on checkpoint resume, [feed_all]
    drives the segment loop. *)
 let reconstruct_stream_core (config : Refill.Config.t) ~global_flow ~quality
-    ~checkpoint ~finish ~source ~sink ~n_nodes ~skip
+    ~checkpoint ~finish ~emit_file ~source ~sink ~n_nodes ~skip
     ~(feed_all :
-       stream_driver -> Refill.Global_flow.Incremental.t option -> unit) =
+       Refill_serve.Driver.t -> Refill.Global_flow.Incremental.t option -> unit)
+    =
   let inc =
     if global_flow then
       Some (Refill.Global_flow.Incremental.create ~n_nodes ())
@@ -535,33 +577,28 @@ let reconstruct_stream_core (config : Refill.Config.t) ~global_flow ~quality
   in
   let summary = ref Refill.Reconstruct.empty_summary in
   let qacc = Option.map (fun _ -> Analysis.Quality.create ()) quality in
+  (* The same outcome-line sink `refill serve` writes, so a server run
+     over the same record sequence can be byte-diffed against this one. *)
+  let esink =
+    match emit_file with
+    | None -> Refill_serve.Emit.null
+    | Some path -> Refill_serve.Emit.to_file path
+  in
   let emit (e : Refill.Stream.emitted) =
     summary := Refill.Reconstruct.summary_add !summary e.flow;
     Option.iter (fun acc -> Analysis.Quality.add acc e.flow) qacc;
+    Refill_serve.Emit.emit_to esink e;
     Option.iter
       (fun g -> Refill.Global_flow.Incremental.add_flow g e.flow)
       inc
   in
-  let open_driver () =
-    if config.shards > 1 then
-      sharded_driver (Refill.Stream.Sharded.create ~config ~sink ~emit ())
-    else single_driver (Refill.Stream.create ~config ~sink ~emit ())
-  in
-  let resume_driver path =
-    if config.shards > 1 then
-      Result.map sharded_driver
-        (Refill.Stream.Sharded.resume_file ~config path ~sink ~emit)
-    else
-      Result.map single_driver
-        (Refill.Stream.resume_file ~config path ~sink ~emit)
-  in
   let stream_r =
     match checkpoint with
     | Some path when Sys.file_exists path -> (
-        match resume_driver path with
+        match Refill_serve.Driver.resume_file ~config path ~sink ~emit with
         | Error e -> Error e
         | Ok d ->
-            let want = d.d_processed () in
+            let want = d.Refill_serve.Driver.processed () in
             let skipped = skip want in
             if skipped < want then
               Error
@@ -578,20 +615,21 @@ let reconstruct_stream_core (config : Refill.Config.t) ~global_flow ~quality
               Obs.Log.info "resumed from %s at record %d" path want;
               Ok d
             end)
-    | _ -> Ok (open_driver ())
+    | _ -> Ok (Refill_serve.Driver.create ~config ~sink ~emit ())
   in
-  match stream_r with
-  | Error e -> err_exit e
-  | Ok t -> (
-      match Refill.Error.guard ~source (fun () -> feed_all t inc) with
-      | Error e -> err_exit e
-      | Ok () -> (
+  let code =
+    match stream_r with
+    | Error e -> err_exit e
+    | Ok t -> (
+        match Refill.Error.guard ~source (fun () -> feed_all t inc) with
+        | Error e -> err_exit e
+        | Ok () -> (
                   (* Checkpoint the live (pre-flush) state so a later run can
                      resume exactly here; --finish then decides whether to
                      flush the frontier now. *)
                   match
                     match checkpoint with
-                    | Some path -> t.d_checkpoint_file path
+                    | Some path -> t.checkpoint_file path
                     | None -> Ok ()
                   with
                   | Error e -> err_exit e
@@ -602,7 +640,7 @@ let reconstruct_stream_core (config : Refill.Config.t) ~global_flow ~quality
                       | None -> ());
                       let flush_now = finish || checkpoint = None in
                       if flush_now then begin
-                        let s = t.d_finish () in
+                        let s = t.finish () in
                         print_packet_summary !summary;
                         print_stream_summary s;
                         (match (quality, qacc) with
@@ -617,7 +655,7 @@ let reconstruct_stream_core (config : Refill.Config.t) ~global_flow ~quality
                           inc
                       end
                       else begin
-                        let s = t.d_summary () in
+                        let s = t.summary () in
                         print_stream_summary s;
                         Obs.Log.info
                           "frontier left open (%d buffered events); rerun \
@@ -625,9 +663,16 @@ let reconstruct_stream_core (config : Refill.Config.t) ~global_flow ~quality
                           s.frontier_events
                       end;
                       0))
+  in
+  esink.Refill_serve.Emit.close ();
+  (match emit_file with
+  | Some path when code = 0 ->
+      Obs.Log.info "flow outcomes written to %s" path
+  | _ -> ());
+  code
 
 let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
-    ~checkpoint ~finish input =
+    ~checkpoint ~finish ~emit_file input =
   match open_in input with
   | exception Sys_error message ->
       err_exit (Refill.Error.Io { path = input; message })
@@ -639,7 +684,7 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
       with
       | Error e -> err_exit e
       | Ok reader ->
-          let feed_all (t : stream_driver) inc =
+          let feed_all (t : Refill_serve.Driver.t) inc =
             let rec loop () =
               match
                 Logsys.Log_io.Seg.next reader ~max_records:config.chunk_events
@@ -649,27 +694,27 @@ let reconstruct_stream (config : Refill.Config.t) ~global_flow ~quality
                   Option.iter
                     (fun g -> Refill.Global_flow.Incremental.add_records g seg)
                     inc;
-                  t.d_feed seg;
+                  t.feed seg;
                   loop ()
             in
             loop ()
           in
           reconstruct_stream_core config ~global_flow ~quality ~checkpoint
-            ~finish ~source:input
+            ~finish ~emit_file ~source:input
             ~sink:(Logsys.Log_io.Seg.sink reader)
             ~n_nodes:(Logsys.Log_io.Seg.n_nodes reader)
             ~skip:(Logsys.Log_io.Seg.skip reader)
             ~feed_all)
 
 let reconstruct_stream_mmap (config : Refill.Config.t) ~global_flow ~quality
-    ~checkpoint ~finish input =
+    ~checkpoint ~finish ~emit_file input =
   match open_mseg input with
   | Error e -> err_exit e
   | Ok reader ->
       (* One arena reused per chunk: clear keeps the column storage, so a
          steady-state chunk allocates nothing on the ingest side. *)
       let arena = Logsys.Arena.create ~capacity:config.chunk_events () in
-      let feed_all (t : stream_driver) inc =
+      let feed_all (t : Refill_serve.Driver.t) inc =
         let rec loop () =
           Logsys.Arena.clear arena;
           let n =
@@ -681,43 +726,35 @@ let reconstruct_stream_mmap (config : Refill.Config.t) ~global_flow ~quality
             Option.iter
               (fun g -> Refill.Global_flow.Incremental.add_arena g s)
               inc;
-            t.d_feed_arena s;
+            t.feed_arena s;
             loop ()
           end
         in
         loop ()
       in
       reconstruct_stream_core config ~global_flow ~quality ~checkpoint ~finish
-        ~source:input
+        ~emit_file ~source:input
         ~sink:(Logsys.Log_io.Mseg.sink reader)
         ~n_nodes:(Logsys.Log_io.Mseg.n_nodes reader)
         ~skip:(Logsys.Log_io.Mseg.skip reader)
         ~feed_all
 
-let reconstruct obs stream mmap chunk_events watermark shards late_retention
-    jobs checkpoint finish global_flow quality input =
+let reconstruct obs mk_config stream mmap checkpoint finish emit_file
+    global_flow quality input =
   with_observability obs @@ fun () ->
-  match
-    Refill.Config.validate
-      {
-        Refill.Config.default with
-        chunk_events;
-        watermark;
-        shards;
-        late_retention;
-        jobs;
-        provenance = quality <> None;
-      }
-  with
+  match mk_config ~provenance:(quality <> None) with
   | Error e -> err_exit e
-  | Ok config ->
+  | Ok (config : Refill.Config.t) ->
       if (not stream) && (checkpoint <> None || finish) then
         err_exit
           (Refill.Error.Invalid_config
              "--checkpoint and --finish require --stream")
-      else if (not stream) && shards > 1 then
+      else if (not stream) && config.shards > 1 then
         err_exit
           (Refill.Error.Invalid_config "--shards requires --stream")
+      else if (not stream) && emit_file <> None then
+        err_exit
+          (Refill.Error.Invalid_config "--emit-file requires --stream")
       else if global_flow && checkpoint <> None then
         err_exit
           (Refill.Error.Invalid_config
@@ -726,7 +763,7 @@ let reconstruct obs stream mmap chunk_events watermark shards late_retention
               point")
       else if stream then
         (if mmap then reconstruct_stream_mmap else reconstruct_stream)
-          config ~global_flow ~quality ~checkpoint ~finish input
+          config ~global_flow ~quality ~checkpoint ~finish ~emit_file input
       else if mmap then reconstruct_batch_mmap config ~global_flow ~quality input
       else reconstruct_batch config ~global_flow ~quality input
 
@@ -756,50 +793,6 @@ let reconstruct_cmd =
              through a channel.  Works in batch and streaming mode; \
              output is byte-identical to the default reader.")
   in
-  let chunk_events =
-    Arg.(
-      value
-      & opt int Refill.Config.default.chunk_events
-      & info [ "chunk-events" ] ~docv:"N"
-          ~doc:"Records per segment fed to the streaming frontier.")
-  in
-  let watermark =
-    Arg.(
-      value
-      & opt int Refill.Config.default.watermark
-      & info [ "watermark" ] ~docv:"N"
-          ~doc:
-            "Evict a packet once no record of it appeared in the last \
-             $(docv) records processed.")
-  in
-  let shards =
-    Arg.(
-      value
-      & opt int Refill.Config.default.shards
-      & info [ "shards" ] ~docv:"N"
-          ~doc:
-            "With --stream: shard the frontier across $(docv) worker \
-             domains, routing each packet key by hash.  Output is \
-             byte-identical to --shards 1.  Checkpoints record all shards \
-             and resume at any shard count.")
-  in
-  let late_retention =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "late-retention" ] ~docv:"N"
-          ~doc:
-            "Forget an evicted packet key $(docv) records after its \
-             eviction, bounding the memory behind late-fragment detection \
-             (default: 4x the watermark).")
-  in
-  let jobs =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "jobs" ] ~docv:"N"
-          ~doc:"Worker domains for the batch path (default: auto).")
-  in
   let checkpoint =
     Arg.(
       value
@@ -817,6 +810,16 @@ let reconstruct_cmd =
           ~doc:
             "With --checkpoint: flush every still-open packet at end of \
              input instead of leaving the frontier for a later resume.")
+  in
+  let emit_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-file" ] ~docv:"FILE"
+          ~doc:
+            "With --stream: write each emitted flow outcome as one text \
+             line to $(docv) — the same format `refill serve` emits, so \
+             the two can be byte-diffed.")
   in
   let global_flow =
     Arg.(
@@ -848,9 +851,9 @@ let reconstruct_cmd =
   Cmd.v
     (Cmd.info "reconstruct" ~doc ~man)
     Term.(
-      const reconstruct $ obs_opts_term $ stream $ mmap $ chunk_events
-      $ watermark $ shards $ late_retention $ jobs $ checkpoint $ finish
-      $ global_flow $ provenance_arg $ input)
+      const reconstruct $ obs_opts_term $ config_term $ stream $ mmap
+      $ checkpoint $ finish $ emit_file $ global_flow $ provenance_arg
+      $ input)
 
 (* -- trace -------------------------------------------------------------------- *)
 
@@ -1266,6 +1269,221 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc ~man)
     Term.(const check $ obs_opts_term $ json $ strict $ dot_dir $ models)
 
+(* -- serve / feed -------------------------------------------------------------- *)
+
+let serve obs mk_config port http_port checkpoint checkpoint_interval
+    emit_file emit_socket read_timeout max_frame queue_capacity sink =
+  with_observability obs @@ fun () ->
+  match mk_config ~provenance:false with
+  | Error e -> err_exit e
+  | Ok stream_cfg -> (
+      let emit =
+        match (emit_file, emit_socket) with
+        | None, None -> Refill_serve.Emit.null
+        | Some path, None -> Refill_serve.Emit.to_file path
+        | None, Some p -> Refill_serve.Emit.publish ~port:p
+        | Some path, Some p ->
+            Refill_serve.Emit.tee
+              (Refill_serve.Emit.to_file path)
+              (Refill_serve.Emit.publish ~port:p)
+      in
+      let cfg =
+        {
+          Refill_serve.Server.default_config with
+          port;
+          http_port;
+          checkpoint;
+          checkpoint_interval;
+          read_timeout;
+          max_frame;
+          queue_capacity;
+          stream = stream_cfg;
+          sink;
+          emit;
+        }
+      in
+      match Refill_serve.Server.start cfg with
+      | Error e -> err_exit e
+      | Ok srv ->
+          (* The handlers only flip an atomic; the server's timer thread
+             does the teardown, `wait` returns normally, and the exit
+             goes through with_metrics_flush like any other. *)
+          let on_signal _ = Refill_serve.Server.request_stop srv in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+          (match Refill_serve.Server.http_port srv with
+          | Some p -> Obs.Log.info "serve: /metrics on http://127.0.0.1:%d" p
+          | None -> ());
+          let s = Refill_serve.Server.wait srv in
+          print_stream_summary s;
+          0)
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 7733
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let http_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "http-port" ] ~docv:"PORT"
+          ~doc:"Also serve a Prometheus /metrics endpoint on $(docv).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Resume from $(docv) if it exists; write the live frontier \
+             back to it periodically and at shutdown (leaving the frontier \
+             open for the next resume).  Without this flag, shutdown \
+             flushes every open packet instead.")
+  in
+  let checkpoint_interval =
+    Arg.(
+      value & opt float 30.0
+      & info [ "checkpoint-interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between periodic checkpoints (with --checkpoint).")
+  in
+  let emit_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-file" ] ~docv:"FILE"
+          ~doc:
+            "Write each emitted flow outcome as one text line to $(docv) — \
+             the same format `reconstruct --stream --emit-file` writes.")
+  in
+  let emit_socket =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "emit-socket" ] ~docv:"PORT"
+          ~doc:
+            "Publish emitted flow outcomes to TCP subscribers on loopback \
+             $(docv) (best-effort tap: slow subscribers are dropped).")
+  in
+  let read_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "read-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Kill a connection that sends nothing for $(docv) seconds (0 \
+             disables).")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Refill_serve.Wire.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Maximum accepted frame payload (negotiated to clients).")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-segments" ] ~docv:"N"
+          ~doc:
+            "Ingest queue bound in segments; connections whose frames \
+             would exceed it stop being read until the stream drains \
+             (backpressure).")
+  in
+  let sink =
+    Arg.(
+      value & opt int 0
+      & info [ "sink" ] ~docv:"NODE"
+          ~doc:
+            "The topology's backbone sink node (what a dump header calls \
+             sink; `refill simulate` prints it).")
+  in
+  let doc = "Run a live ingestion server feeding the streaming pipeline." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Listens for refill-wire connections (see `refill feed`), assigns \
+         every accepted record batch a global stream position in arrival \
+         order, and feeds the same streaming reconstruction `reconstruct \
+         --stream` runs offline — sharded across domains with --shards.  \
+         Flow outcomes can be written to a file (--emit-file) and/or \
+         streamed to subscribers (--emit-socket).";
+      `P
+        "SIGTERM and SIGINT stop the server gracefully: already-acked \
+         record batches are drained into the stream, a final checkpoint is \
+         written (with --checkpoint), and the process exits 0.  A later \
+         `refill serve --checkpoint` resumes byte-identically.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const serve $ obs_opts_term $ config_term $ port $ http_port
+      $ checkpoint $ checkpoint_interval $ emit_file $ emit_socket
+      $ read_timeout $ max_frame $ queue_capacity $ sink)
+
+let feed obs port chunk pipelined input =
+  with_observability obs @@ fun () ->
+  (* Retry briefly so `serve ... & feed ...` scripts need no sleep. *)
+  let rec connect tries =
+    match Refill_serve.Client.connect ~port () with
+    | c -> c
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when tries > 0 ->
+        Unix.sleepf 0.1;
+        connect (tries - 1)
+  in
+  match connect 50 with
+  | exception Unix.Unix_error (e, _, _) ->
+      err_exit
+        (Refill.Error.Io
+           {
+             path = Printf.sprintf "tcp://127.0.0.1:%d" port;
+             message = Unix.error_message e;
+           })
+  | client ->
+      Refill_serve.Client.feed_file ~chunk ~lockstep:(not pipelined) client
+        input;
+      let ack = Refill_serve.Client.finish client in
+      let st = Refill_serve.Client.stats client in
+      Printf.printf
+        "fed %d records in %d frames (%d payload bytes); server acked \
+         %d/%d; ack rtt p50 %.6fs p99 %.6fs\n"
+        st.records st.frames st.bytes ack.frames ack.records st.rtt_p50
+        st.rtt_p99;
+      0
+
+let feed_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LOGFILE" ~doc:"Log dump produced by `refill simulate`.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7733
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server port to connect to.")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 512
+      & info [ "chunk" ] ~docv:"N" ~doc:"Records per data frame.")
+  in
+  let pipelined =
+    Arg.(
+      value & flag
+      & info [ "pipelined" ]
+          ~doc:
+            "Send frames back to back and collect acks at the end, instead \
+             of one frame per ack round-trip (lockstep).")
+  in
+  let doc = "Feed a log dump to a running `refill serve` over TCP." in
+  Cmd.v
+    (Cmd.info "feed" ~doc)
+    Term.(const feed $ obs_opts_term $ port $ chunk $ pipelined $ input)
+
 (* -- main ---------------------------------------------------------------------- *)
 
 let () =
@@ -1280,6 +1498,8 @@ let () =
             simulate_cmd;
             analyze_cmd;
             reconstruct_cmd;
+            serve_cmd;
+            feed_cmd;
             trace_cmd;
             explain_cmd;
             figures_cmd;

@@ -241,6 +241,10 @@ let render_labels labels =
              labels)
       ^ "}"
 
+(* The exposition-format content type HTTP scrapers (Prometheus itself,
+   `promtool check metrics`) expect alongside the text body. *)
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
 let dump_prometheus ?(registry = default_registry) () =
   let buf = Buffer.create 4096 in
   let last_family = ref "" in

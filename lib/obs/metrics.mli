@@ -100,6 +100,11 @@ module Histogram : sig
       is [(infinity, count t)]. *)
 end
 
+val prometheus_content_type : string
+(** The [Content-Type] an HTTP endpoint must send with
+    {!dump_prometheus} output
+    ([text/plain; version=0.0.4; charset=utf-8]). *)
+
 val dump_prometheus : ?registry:registry -> unit -> string
 (** Deterministic (name-sorted) Prometheus text exposition. *)
 

@@ -30,6 +30,17 @@ let resolved_retention t =
   | Some r -> r
   | None -> if t.watermark >= max_int / 4 then max_int else 4 * t.watermark
 
+(* Builder surface: every knob gets a [with_] combinator over [default],
+   so call sites name only what they change and survive record growth. *)
+let with_intra use_intra t = { t with use_intra }
+let with_inter use_inter t = { t with use_inter }
+let with_jobs jobs t = { t with jobs }
+let with_watermark watermark t = { t with watermark }
+let with_chunk_events chunk_events t = { t with chunk_events }
+let with_provenance provenance t = { t with provenance }
+let with_shards shards t = { t with shards }
+let with_late_retention late_retention t = { t with late_retention }
+
 let validate t =
   if t.watermark <= 0 then
     Error (Error.Invalid_config "watermark must be positive")
@@ -44,3 +55,25 @@ let validate t =
     | _, Some r when r < 0 ->
         Error (Error.Invalid_config "late-retention must be non-negative")
     | _ -> Ok t
+
+(* The one option parser behind every CLI entry point (`reconstruct`,
+   `analyze`, `serve`): optional arguments mirror the flags, unnamed knobs
+   keep their defaults, and the result is already validated — so flag
+   plumbing cannot drift between subcommands. *)
+let of_options ?use_intra ?use_inter ?jobs ?watermark ?chunk_events
+    ?provenance ?shards ?late_retention () =
+  let opt v d = Option.value v ~default:d in
+  validate
+    {
+      use_intra = opt use_intra default.use_intra;
+      use_inter = opt use_inter default.use_inter;
+      jobs = (match jobs with Some j -> j | None -> default.jobs);
+      watermark = opt watermark default.watermark;
+      chunk_events = opt chunk_events default.chunk_events;
+      provenance = opt provenance default.provenance;
+      shards = opt shards default.shards;
+      late_retention =
+        (match late_retention with
+        | Some r -> r
+        | None -> default.late_retention);
+    }

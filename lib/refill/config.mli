@@ -39,6 +39,38 @@ val default : t
     [watermark = 50_000], [chunk_events = 4096], [provenance = false],
     [shards = 1], [late_retention = None]. *)
 
+(** {2 Builders}
+
+    [default |> with_watermark 1000 |> with_shards 4] style: each
+    combinator replaces one knob, so call sites name only what they change
+    and keep compiling when the record grows. *)
+
+val with_intra : bool -> t -> t
+val with_inter : bool -> t -> t
+val with_jobs : int option -> t -> t
+val with_watermark : int -> t -> t
+val with_chunk_events : int -> t -> t
+val with_provenance : bool -> t -> t
+val with_shards : int -> t -> t
+val with_late_retention : int option -> t -> t
+
+val of_options :
+  ?use_intra:bool ->
+  ?use_inter:bool ->
+  ?jobs:int option ->
+  ?watermark:int ->
+  ?chunk_events:int ->
+  ?provenance:bool ->
+  ?shards:int ->
+  ?late_retention:int option ->
+  unit ->
+  (t, Error.t) result
+(** The single CLI-facing parser: every omitted argument keeps its
+    {!default}, the result passes {!validate}.  [reconstruct], [analyze],
+    and [serve] all build their configuration through this, so an
+    out-of-range value maps onto the same {!Error.Invalid_config} exit
+    code everywhere. *)
+
 val resolved_retention : t -> int
 (** The effective late-fragment retention window: [late_retention] when
     set, otherwise [4 * watermark] (saturating). *)

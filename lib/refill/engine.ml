@@ -555,24 +555,3 @@ let process ?(use_intra = true) ?prov_out config input ~emit:emit_item =
         finish ?prov_out ctx nodes
       end
 
-(* Deprecated aliases: collect the emissions into the list the old
-   signatures returned. *)
-
-let collect_items run =
-  let acc = ref [] in
-  let stats = run (fun it -> acc := it :: !acc) in
-  (List.rev !acc, stats)
-
-let run_array ?use_intra config ~events =
-  collect_items (fun emit -> process ?use_intra config (Events events) ~emit)
-
-let run_packed ?use_intra config ~nodes ~labels ~ids ~payloads ~pre_nodes
-    ~pre_states =
-  collect_items (fun emit ->
-      process ?use_intra config
-        (Packed { nodes; labels; ids; payloads; pre_nodes; pre_states; srcs = [||] })
-        ~emit)
-
-let run ?use_intra config ~events =
-  collect_items (fun emit ->
-      process ?use_intra config (Events (Array.of_list events)) ~emit)

@@ -114,36 +114,7 @@ val process :
     transitions; disabling it (events fire on normal transitions only, and
     prerequisite gaps are still bridged) is the ablation knob for measuring
     what §IV.B's intra-node derivation contributes.  Inter-node reasoning
-    is ablated by supplying a [prerequisites] that returns []. *)
+    is ablated by supplying a [prerequisites] that returns [].
 
-(** {2 Deprecated entry points}
-
-    Thin aliases over {!process} kept for one release so out-of-tree
-    callers can migrate (see README.md "API migration").  They buffer the
-    emissions into the list the old signatures returned. *)
-
-val run_array :
-  ?use_intra:bool ->
-  ('label, 'payload) config ->
-  events:(int * 'label * 'payload option) array ->
-  ('label, 'payload) item list * stats
-[@@deprecated "use Engine.process with Engine.Events"]
-
-val run_packed :
-  ?use_intra:bool ->
-  ('label, 'payload) config ->
-  nodes:int array ->
-  labels:'label array ->
-  ids:int array ->
-  payloads:'payload option array ->
-  pre_nodes:int array ->
-  pre_states:Fsm_state.t array ->
-  ('label, 'payload) item list * stats
-[@@deprecated "use Engine.process with Engine.Packed"]
-
-val run :
-  ?use_intra:bool ->
-  ('label, 'payload) config ->
-  events:(int * 'label * 'payload option) list ->
-  ('label, 'payload) item list * stats
-[@@deprecated "use Engine.process with Engine.Events"]
+    The pre-streaming list-returning entry points ([run], [run_array],
+    [run_packed]) are gone; see README.md "API migration". *)

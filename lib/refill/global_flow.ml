@@ -601,13 +601,3 @@ module Incremental = struct
     merge ?jobs ?emit_prov collected ~flows ~emit
 end
 
-(* Deprecated aliases: collect the emissions into the list the old
-   signatures returned. *)
-
-let build_array ?jobs collected ~flows =
-  let acc = ref [] in
-  let stats = merge ?jobs collected ~flows ~emit:(fun it -> acc := it :: !acc) in
-  (List.rev !acc, stats)
-
-let build ?jobs collected ~flows =
-  build_array ?jobs collected ~flows:(Array.of_list flows)

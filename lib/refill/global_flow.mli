@@ -106,19 +106,3 @@ module Incremental : sig
   (** Merge everything accumulated.  The accumulator must not be reused
       afterwards.  [emit_prov] as in {!merge}. *)
 end
-
-(** {2 Deprecated entry points} *)
-
-val build :
-  ?jobs:int ->
-  Logsys.Collected.t ->
-  flows:Flow.t list ->
-  Flow.item list * stats
-[@@deprecated "use Global_flow.merge ~emit"]
-
-val build_array :
-  ?jobs:int ->
-  Logsys.Collected.t ->
-  flows:Flow.t array ->
-  Flow.item list * stats
-[@@deprecated "use Global_flow.merge ~emit"]

@@ -248,23 +248,3 @@ let pp_summary ppf s =
     "packets=%d logged=%d inferred=%d skipped=%d" s.packets s.logged_events
     s.inferred_events s.skipped_events
 
-(* Deprecated aliases over [run]. *)
-
-let config_of ?use_intra ?use_inter ?jobs () =
-  {
-    Config.default with
-    use_intra = Option.value ~default:true use_intra;
-    use_inter = Option.value ~default:true use_inter;
-    jobs;
-  }
-
-let all ?use_intra ?use_inter ?jobs collected ~sink =
-  let acc = ref [] in
-  run
-    ~config:(config_of ?use_intra ?use_inter ?jobs ())
-    collected ~sink
-    ~emit:(fun f -> acc := f :: !acc);
-  List.rev !acc
-
-let all_array ?use_intra ?use_inter ?jobs collected ~sink =
-  Array.of_list (all ?use_intra ?use_inter ?jobs collected ~sink)

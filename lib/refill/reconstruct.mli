@@ -109,23 +109,3 @@ val summarize_array : Flow.t array -> summary
     without a list round-trip. *)
 
 val pp_summary : Format.formatter -> summary -> unit
-
-(** {2 Deprecated entry points} *)
-
-val all :
-  ?use_intra:bool ->
-  ?use_inter:bool ->
-  ?jobs:int ->
-  Logsys.Collected.t ->
-  sink:int ->
-  Flow.t list
-[@@deprecated "use Reconstruct.run ~emit"]
-
-val all_array :
-  ?use_intra:bool ->
-  ?use_inter:bool ->
-  ?jobs:int ->
-  Logsys.Collected.t ->
-  sink:int ->
-  Flow.t array
-[@@deprecated "use Reconstruct.run ~emit"]

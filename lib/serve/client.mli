@@ -1,0 +1,49 @@
+(** The feeding side of refill-wire — what `refill feed`, the tests,
+    and the serve bench use to push records into a live server.
+
+    {!send} is lockstep (frame out, ack in): once it returns, the
+    records hold their global stream position, so clients taking turns
+    impose an exact cross-connection order.  {!send_nowait} pipelines
+    frames and collects acks later — the throughput mode, and the one
+    that exercises server backpressure.  Batches whose encoding exceeds
+    the negotiated frame size are split transparently. *)
+
+type t
+
+type stats = {
+  frames : int;
+  records : int;
+  bytes : int;  (** Frame payload bytes sent. *)
+  rtt_p50 : float;
+  rtt_p99 : float;  (** Lockstep ack round-trip, seconds; 0. if none. *)
+}
+
+val connect : ?host:Unix.inet_addr -> port:int -> unit -> t
+(** TCP connect + refill-wire handshake.
+    @raise Wire.Protocol_error when the server refuses the handshake. *)
+
+val max_frame : t -> int
+(** The server's negotiated frame-payload limit. *)
+
+val send : t -> Logsys.Record.t array -> Wire.ack
+(** Lockstep send; returns the server's cumulative ack. *)
+
+val send_nowait : t -> Logsys.Record.t array -> unit
+
+val drain_acks : t -> Wire.ack option
+(** Collect every outstanding pipelined ack; [None] if none were
+    pending. *)
+
+val finish : t -> Wire.ack
+(** Drain pending acks, send end-of-stream, await the final ack, and
+    close the socket. *)
+
+val close : t -> unit
+(** Abandon the connection without end-of-stream (tests). *)
+
+val stats : t -> stats
+
+val feed_file : ?chunk:int -> ?lockstep:bool -> t -> string -> unit
+(** Send a simulator dump's records in file order, [chunk] (default 512)
+    records per batch; [lockstep] (default true) picks {!send} vs
+    {!send_nowait}. *)

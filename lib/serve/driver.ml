@@ -1,0 +1,53 @@
+(* One face over the single-domain and sharded streams, so the server,
+   the CLI, and the bench write their feed / checkpoint / finish plumbing
+   once.  [config.shards] picks the implementation. *)
+
+type t = {
+  shards : int;
+  feed : Logsys.Record.t array -> unit;
+  feed_arena : Logsys.Arena.slice -> unit;
+  finish : unit -> Refill.Stream.summary;
+  summary : unit -> Refill.Stream.summary;
+  processed : unit -> int;
+  checkpoint_file : string -> (unit, Refill.Error.t) result;
+}
+
+let of_single s =
+  {
+    shards = 1;
+    feed = Refill.Stream.feed s;
+    feed_arena = Refill.Stream.feed_arena s;
+    finish = (fun () -> Refill.Stream.finish s);
+    summary = (fun () -> Refill.Stream.summary s);
+    processed = (fun () -> Refill.Stream.processed s);
+    checkpoint_file = Refill.Stream.checkpoint_file s;
+  }
+
+let of_sharded ~shards s =
+  {
+    shards;
+    feed = Refill.Stream.Sharded.feed s;
+    (* The shard router takes records; materialize the slice.  Output is
+       unchanged (the router skips negative nodes itself). *)
+    feed_arena =
+      (fun sl ->
+        Refill.Stream.Sharded.feed s (Logsys.Arena.slice_records sl));
+    finish = (fun () -> Refill.Stream.Sharded.finish s);
+    summary = (fun () -> Refill.Stream.Sharded.summary s);
+    processed = (fun () -> Refill.Stream.Sharded.processed s);
+    checkpoint_file = Refill.Stream.Sharded.checkpoint_file s;
+  }
+
+let create ?(config = Refill.Config.default) ~sink ~emit () =
+  if config.shards > 1 then
+    of_sharded ~shards:config.shards
+      (Refill.Stream.Sharded.create ~config ~sink ~emit ())
+  else of_single (Refill.Stream.create ~config ~sink ~emit ())
+
+let resume_file ?(config = Refill.Config.default) path ~sink ~emit =
+  if config.shards > 1 then
+    Result.map
+      (of_sharded ~shards:config.shards)
+      (Refill.Stream.Sharded.resume_file ~config path ~sink ~emit)
+  else
+    Result.map of_single (Refill.Stream.resume_file ~config path ~sink ~emit)

@@ -1,0 +1,32 @@
+(** One face over {!Refill.Stream} and {!Refill.Stream.Sharded}, chosen
+    by [config.shards] — the feed / summary / checkpoint plumbing the
+    server, the CLI, and the bench share.  Emission order is
+    byte-identical across the two implementations for any shard count
+    (pinned by the stream test suite), so consumers never care which one
+    they hold. *)
+
+type t = {
+  shards : int;
+  feed : Logsys.Record.t array -> unit;
+  feed_arena : Logsys.Arena.slice -> unit;
+  finish : unit -> Refill.Stream.summary;
+  summary : unit -> Refill.Stream.summary;
+  processed : unit -> int;
+  checkpoint_file : string -> (unit, Refill.Error.t) result;
+}
+
+val create :
+  ?config:Refill.Config.t ->
+  sink:int ->
+  emit:(Refill.Stream.emitted -> unit) ->
+  unit ->
+  t
+
+val resume_file :
+  ?config:Refill.Config.t ->
+  string ->
+  sink:int ->
+  emit:(Refill.Stream.emitted -> unit) ->
+  (t, Refill.Error.t) result
+(** Resume from a v1/v2 checkpoint into [config.shards] workers; same
+    validation and flag-conflict rules as {!Refill.Stream.resume}. *)

@@ -1,0 +1,136 @@
+(* Flow-outcome emission: one stable text line per emitted flow, and the
+   sinks that carry those lines (a file, or a publish socket that streams
+   them to any number of subscribers).
+
+   The line format deliberately contains no wall-clock material — only
+   the outcome, the packet key, the classified cause, and the flow's own
+   event rendering — so the byte stream produced by a live `refill
+   serve` is comparable (diff-able) with an offline
+   `reconstruct --stream --emit-file` over the same record sequence. *)
+
+let outcome_char = function
+  | Refill.Stream.Complete -> 'C'
+  | Refill.Stream.Incomplete -> 'I'
+
+let line (e : Refill.Stream.emitted) =
+  let f = e.flow in
+  let v = Refill.Classify.classify f in
+  Printf.sprintf "%c %d %d %s | %s" (outcome_char e.outcome) f.origin f.seq
+    (Logsys.Cause.name v.cause)
+    (Refill.Flow.to_string f)
+
+(* Provenance side-car: the packed ints, space-separated, in item order.
+   Raw ints rather than the pretty rendering keep the line cheap and
+   exactly invertible (Provenance.t is an immediate int). *)
+let prov_line (f : Refill.Flow.t) =
+  if Array.length f.prov = 0 then None
+  else begin
+    let b = Buffer.create (8 * Array.length f.prov) in
+    Buffer.add_char b 'p';
+    Array.iter
+      (fun pv ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b (string_of_int (pv : Refill.Provenance.t :> int)))
+      f.prov;
+    Some (Buffer.contents b)
+  end
+
+type sink = { write : string -> unit; close : unit -> unit }
+
+let null = { write = ignore; close = ignore }
+
+let to_file path =
+  let oc = open_out path in
+  {
+    write =
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n');
+    close = (fun () -> close_out oc);
+  }
+
+(* -- publish socket ---------------------------------------------------------
+
+   A listener on [port]; every connected subscriber receives each line as
+   it is written.  Subscribers are best-effort: a write failure (closed
+   or stalled peer) drops that subscriber without disturbing the others
+   or the server.  Lines written while nobody is connected are dropped —
+   this is a tap, not a queue; durable capture is [to_file]. *)
+
+type publisher = {
+  listen_fd : Unix.file_descr;
+  mutable subs : Unix.file_descr list;
+  mutable stopped : bool;
+  mu : Mutex.t;
+}
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let publisher_accept_loop p =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept p.listen_fd with
+    | fd, _ ->
+        locked p.mu (fun () ->
+            if p.stopped then begin
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              continue := false
+            end
+            else begin
+              (* Non-blocking so a stalled subscriber surfaces as EAGAIN
+                 on write (and is dropped) instead of wedging emission. *)
+              Unix.set_nonblock fd;
+              p.subs <- fd :: p.subs
+            end)
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+let publish ~port =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen listen_fd 16;
+  let p = { listen_fd; subs = []; stopped = false; mu = Mutex.create () } in
+  let _accepter : Thread.t = Thread.create publisher_accept_loop p in
+  let write l =
+    let payload = Bytes.unsafe_of_string (l ^ "\n") in
+    locked p.mu (fun () ->
+        p.subs <-
+          List.filter
+            (fun fd ->
+              match Wire.write_all fd payload 0 (Bytes.length payload) with
+              | () -> true
+              | exception Unix.Unix_error _ ->
+                  (try Unix.close fd with Unix.Unix_error _ -> ());
+                  false)
+            p.subs)
+  in
+  let close () =
+    locked p.mu (fun () ->
+        p.stopped <- true;
+        List.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          p.subs;
+        p.subs <- []);
+    (* Closing the listener wakes the accept loop with EBADF. *)
+    try Unix.close p.listen_fd with Unix.Unix_error _ -> ()
+  in
+  { write; close }
+
+let tee a b =
+  {
+    write =
+      (fun l ->
+        a.write l;
+        b.write l);
+    close =
+      (fun () ->
+        a.close ();
+        b.close ());
+  }
+
+let emit_to sink (e : Refill.Stream.emitted) =
+  sink.write (line e);
+  Option.iter sink.write (prov_line e.flow)

@@ -1,0 +1,37 @@
+(** Flow-outcome emission: the stable one-line-per-flow text format and
+    the sinks (file, publish socket) that carry it.
+
+    Lines contain no timestamps or other run-local material, so the
+    stream a live server emits is byte-comparable with an offline
+    [reconstruct --stream --emit-file] over the same record sequence. *)
+
+val line : Refill.Stream.emitted -> string
+(** ["C 3 17 delivered | 3-2 trans, [3-2 recv], ..."] — outcome letter
+    ([C]omplete / [I]ncomplete), origin, seq, classified cause, then the
+    flow rendered by {!Refill.Flow.to_string}.  No trailing newline. *)
+
+val prov_line : Refill.Flow.t -> string option
+(** Provenance side-car line ["p <int> <int> ..."] — the packed
+    {!Refill.Provenance.t} ints in item order.  [None] when the run did
+    not collect provenance. *)
+
+type sink = { write : string -> unit; close : unit -> unit }
+(** [write] takes one line without its newline; [close] is idempotent in
+    effect (callers invoke it once). *)
+
+val null : sink
+
+val to_file : string -> sink
+(** Truncate-and-write; lines are flushed on [close]. *)
+
+val publish : port:int -> sink
+(** Listen on loopback [port]; every connected subscriber receives each
+    subsequent line.  Best-effort tap, not a queue: lines written with no
+    subscriber are dropped, and a subscriber whose socket errors is
+    dropped silently.  [close] disconnects subscribers and stops the
+    accept thread. *)
+
+val tee : sink -> sink -> sink
+
+val emit_to : sink -> Refill.Stream.emitted -> unit
+(** Write {!line} and, when present, {!prov_line}. *)

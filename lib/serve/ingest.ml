@@ -1,0 +1,94 @@
+module Obs = Refill_obs
+
+(* The bounded hand-off between connection threads and the single ingest
+   thread that owns the stream.
+
+   Everything that reaches the reconstruction stream flows through this
+   one FIFO, so queue order *is* global stream order: a connection's ack
+   (sent right after its push returns) certifies that its records have
+   their global position, which is what lets lockstep clients impose a
+   deterministic total order across connections.
+
+   Capacity bounds segments, not control items: [Segment] pushes block
+   when [capacity] segments are in flight (the caller stops reading its
+   socket — that is the backpressure), while [Tick] and [Stop] always
+   land immediately so timers and shutdown can never be wedged behind a
+   full queue. *)
+
+type segment = {
+  sg_slice : Logsys.Arena.slice;
+  sg_conn : int;  (** Connection id, for logging. *)
+  sg_consumed : unit -> unit;
+      (** Called by the ingest thread once the slice has been fed —
+          releases the connection's arena slot for reuse. *)
+}
+
+type item = Segment of segment | Tick | Stop
+
+type t = {
+  capacity : int;
+  q : item Queue.t;
+  mutable segments : int;  (** [Segment] items currently queued. *)
+  mu : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ingest.create: capacity < 1";
+  {
+    capacity;
+    q = Queue.create ();
+    segments = 0;
+    mu = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let push_segment t sg =
+  Mutex.protect t.mu (fun () ->
+      if t.segments >= t.capacity then begin
+        (* One stall per episode, not per wakeup. *)
+        Obs.Metrics.Counter.inc Telemetry.backpressure_stalls_total;
+        while t.segments >= t.capacity do
+          Condition.wait t.not_full t.mu
+        done
+      end;
+      Queue.push (Segment sg) t.q;
+      t.segments <- t.segments + 1;
+      Condition.signal t.not_empty)
+
+let push_ctrl t item =
+  (match item with
+  | Segment _ -> invalid_arg "Ingest.push_ctrl: use push_segment"
+  | Tick | Stop -> ());
+  Mutex.protect t.mu (fun () ->
+      Queue.push item t.q;
+      Condition.signal t.not_empty)
+
+let pop t =
+  Mutex.protect t.mu (fun () ->
+      while Queue.is_empty t.q do
+        Condition.wait t.not_empty t.mu
+      done;
+      let item = Queue.pop t.q in
+      (match item with
+      | Segment _ ->
+          t.segments <- t.segments - 1;
+          Condition.signal t.not_full
+      | Tick | Stop -> ());
+      item)
+
+let pop_opt t =
+  Mutex.protect t.mu (fun () ->
+      match Queue.pop t.q with
+      | exception Queue.Empty -> None
+      | item ->
+          (match item with
+          | Segment _ ->
+              t.segments <- t.segments - 1;
+              Condition.signal t.not_full
+          | Tick | Stop -> ());
+          Some item)
+
+let queued_segments t = Mutex.protect t.mu (fun () -> t.segments)

@@ -1,0 +1,41 @@
+(** The bounded FIFO between connection threads and the single ingest
+    thread that owns the reconstruction stream.
+
+    Queue order is global stream order — every record reaches the stream
+    through this FIFO, so the position a segment takes here is the
+    position its records get.  Capacity bounds [Segment] items only:
+    {!push_segment} blocks while the queue is full (that blocking is the
+    server's backpressure — the caller stops reading its socket) and
+    counts one {!Telemetry.backpressure_stalls_total} per stall episode.
+    [Tick] / [Stop] control items bypass the bound so shutdown and timers
+    cannot be wedged behind a full queue. *)
+
+type segment = {
+  sg_slice : Logsys.Arena.slice;
+  sg_conn : int;  (** Connection id, for logging. *)
+  sg_consumed : unit -> unit;
+      (** Invoked by the consumer after the slice is fed to the stream;
+          releases the producing connection's arena slot. *)
+}
+
+type item = Segment of segment | Tick | Stop
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] ≥ 1, in segments.  Bounded in-flight bytes follow as
+    [capacity × max_frame]. *)
+
+val push_segment : t -> segment -> unit
+(** Blocks while [capacity] segments are queued. *)
+
+val push_ctrl : t -> item -> unit
+(** [Tick] or [Stop] only; never blocks. *)
+
+val pop : t -> item
+(** Blocks while the queue is empty. *)
+
+val pop_opt : t -> item option
+(** Non-blocking pop (drain loops). *)
+
+val queued_segments : t -> int

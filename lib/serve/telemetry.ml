@@ -1,0 +1,60 @@
+module Obs = Refill_obs
+
+(* The server's observability surface, declared once.  Instruments are
+   interned by (name, labels) in the process-wide registry, so these are
+   plain top-level values; the /metrics endpoint serves the same
+   registry the reconstruction pipeline already populates.
+
+   Threading note: with [threads.posix] every OCaml thread shares the
+   domain's runtime lock and a counter bump is a single non-allocating
+   mutable update, so connection threads can hit these without extra
+   locking. *)
+
+let conn_gauge state =
+  Obs.Metrics.Gauge.v
+    ~help:"Server connections by lifecycle state"
+    ~labels:[ ("state", state) ]
+    "refill_serve_connections"
+
+let conns_handshaking = conn_gauge "handshaking"
+let conns_streaming = conn_gauge "streaming"
+let conns_closed = conn_gauge "closed"
+let conns_rejected = conn_gauge "rejected"
+
+let frames_total =
+  Obs.Metrics.Counter.v ~help:"Data frames accepted over refill-wire"
+    "refill_serve_frames_total"
+
+let records_total =
+  Obs.Metrics.Counter.v ~help:"Records accepted over refill-wire"
+    "refill_serve_records_total"
+
+let bytes_total =
+  Obs.Metrics.Counter.v ~help:"Frame payload bytes accepted over refill-wire"
+    "refill_serve_bytes_total"
+
+let backpressure_stalls_total =
+  Obs.Metrics.Counter.v
+    ~help:
+      "Times a connection blocked on a full ingest queue (socket reads \
+       paused until the stream drained)"
+    "refill_serve_backpressure_stalls_total"
+
+let checkpoint_seconds =
+  Obs.Metrics.Histogram.v ~help:"Wall time of periodic server checkpoints"
+    "refill_serve_checkpoint_seconds"
+
+(* Lifecycle transitions: each connection occupies exactly one state
+   gauge at a time, ending in closed or rejected (both terminal counts
+   only ever grow). *)
+let enter_handshaking () = Obs.Metrics.Gauge.add conns_handshaking 1.0
+
+let handshake_ok () =
+  Obs.Metrics.Gauge.add conns_handshaking (-1.0);
+  Obs.Metrics.Gauge.add conns_streaming 1.0
+
+let finish ~rejected ~was_streaming =
+  Obs.Metrics.Gauge.add
+    (if was_streaming then conns_streaming else conns_handshaking)
+    (-1.0);
+  Obs.Metrics.Gauge.add (if rejected then conns_rejected else conns_closed) 1.0

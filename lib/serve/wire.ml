@@ -1,0 +1,150 @@
+(* refill-wire v1: the framing both ends of a `refill serve` connection
+   speak.
+
+   Connection prologue (both lines ASCII, newline-terminated):
+
+     client -> server   "refill-wire v1\n"
+     server -> client   "refill-wire v1 ok max-frame=<N>\n"
+
+   then length-prefixed frames in both directions:
+
+     u32 big-endian payload length | u8 frame type | payload bytes
+
+   Client frames: 'D' (payload = Codec.encode_segment bytes), 'E'
+   (end-of-stream, empty payload).  Server frames: 'A' (ack: u64be frames
+   accepted so far on this connection, u64be records accepted).  Every
+   accepted 'D' and the final 'E' is acked; an ack means the records have
+   been assigned their global stream position (enqueued for the shard
+   router), so a client that wants a total cross-connection order can
+   wait for the ack before the next sender proceeds.
+
+   Anything that violates the protocol — bad magic, an unknown frame
+   type, a length above the negotiated maximum, a payload that fails to
+   decode — raises [Protocol_error]; the server kills that connection
+   and keeps serving the rest. *)
+
+let magic = "refill-wire v1"
+let frame_data = 'D'
+let frame_end = 'E'
+let frame_ack = 'A'
+let default_max_frame = 1 lsl 20
+let header_size = 5
+
+exception Protocol_error of string
+
+let proto_fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* -- blocking fd helpers ---------------------------------------------------- *)
+
+(* EOF mid-structure is a protocol violation (frames are atomic);
+   [Unix_error] (including EAGAIN from a receive timeout) propagates to the
+   connection driver, which maps it to a close reason. *)
+let read_exact fd buf off len =
+  let pos = ref off in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let n = Unix.read fd buf !pos !remaining in
+    if n = 0 then proto_fail "unexpected EOF (%d bytes short)" !remaining;
+    pos := !pos + n;
+    remaining := !remaining - n
+  done
+
+let write_all fd buf off len =
+  let pos = ref off in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let n = Unix.write fd buf !pos !remaining in
+    pos := !pos + n;
+    remaining := !remaining - n
+  done
+
+let write_string fd s = write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* One byte at a time is fine here: greetings are exchanged once per
+   connection and must not read past their own newline (the first frame
+   follows immediately). *)
+let read_line_crude fd ~max =
+  let buf = Buffer.create 32 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    read_exact fd one 0 1;
+    match Bytes.get one 0 with
+    | '\n' -> Buffer.contents buf
+    | c ->
+        if Buffer.length buf >= max then proto_fail "greeting line too long";
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+(* -- prologue --------------------------------------------------------------- *)
+
+let client_greeting = magic ^ "\n"
+
+let server_greeting ~max_frame =
+  Printf.sprintf "%s ok max-frame=%d\n" magic max_frame
+
+let send_client_greeting fd = write_string fd client_greeting
+
+let expect_client_greeting fd =
+  let line = read_line_crude fd ~max:64 in
+  if line <> magic then proto_fail "bad magic %S (want %S)" line magic
+
+let send_server_greeting fd ~max_frame =
+  write_string fd (server_greeting ~max_frame)
+
+(* "refill-wire v1 ok max-frame=<N>" *)
+let expect_server_greeting fd =
+  let line = read_line_crude fd ~max:128 in
+  match String.split_on_char ' ' line with
+  | [ w1; w2; "ok"; kv ] when w1 ^ " " ^ w2 = magic -> (
+      match String.split_on_char '=' kv with
+      | [ "max-frame"; n ] -> (
+          match int_of_string_opt n with
+          | Some m when m > 0 -> m
+          | _ -> proto_fail "bad max-frame in %S" line)
+      | _ -> proto_fail "bad server greeting %S" line)
+  | _ -> proto_fail "server refused: %S" line
+
+(* -- frames ----------------------------------------------------------------- *)
+
+let write_frame fd ~typ payload =
+  let len = Bytes.length payload in
+  let hdr = Bytes.create header_size in
+  Bytes.set_int32_be hdr 0 (Int32.of_int len);
+  Bytes.set hdr 4 typ;
+  write_all fd hdr 0 header_size;
+  if len > 0 then write_all fd payload 0 len
+
+(* Returns the frame type and payload.  The length is validated against
+   [max_payload] before any payload byte is read, so an absurd header
+   cannot make the server allocate or buffer unboundedly. *)
+let read_frame fd ~max_payload =
+  let hdr = Bytes.create header_size in
+  read_exact fd hdr 0 header_size;
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  let typ = Bytes.get hdr 4 in
+  if len < 0 || len > max_payload then
+    proto_fail "frame length %d outside [0, %d]" len max_payload;
+  let payload = Bytes.create len in
+  if len > 0 then read_exact fd payload 0 len;
+  (typ, payload)
+
+(* -- acks ------------------------------------------------------------------- *)
+
+type ack = { frames : int; records : int }
+
+let write_ack fd a =
+  let payload = Bytes.create 16 in
+  Bytes.set_int64_be payload 0 (Int64.of_int a.frames);
+  Bytes.set_int64_be payload 8 (Int64.of_int a.records);
+  write_frame fd ~typ:frame_ack payload
+
+let read_ack fd =
+  match read_frame fd ~max_payload:16 with
+  | t, payload when t = frame_ack && Bytes.length payload = 16 ->
+      {
+        frames = Int64.to_int (Bytes.get_int64_be payload 0);
+        records = Int64.to_int (Bytes.get_int64_be payload 8);
+      }
+  | t, _ -> proto_fail "expected ack, got frame type %C" t

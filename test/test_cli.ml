@@ -99,6 +99,48 @@ let missing_file_still_dumps_metrics () =
       Alcotest.(check bool) "metrics survive the I/O error" true
         (Sys.file_exists metrics))
 
+(* -- serve ------------------------------------------------------------------ *)
+
+let serve_sigterm_flushes_metrics () =
+  (* The signal path must go through the same with_metrics_flush exit as a
+     normal return: SIGTERM → drain → exit 0 with the metrics file written
+     and the emit file complete. *)
+  let log = Lazy.force log_file in
+  let metrics = tmp ".prom" in
+  let emit = tmp ".txt" in
+  let port = 39_613 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ metrics; emit ])
+  @@ fun () ->
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      [|
+        cli; "serve"; "--port"; string_of_int port; "--emit-file"; emit;
+        "--metrics=" ^ metrics; "-q";
+      |]
+      Unix.stdin null null
+  in
+  Unix.close null;
+  (* `feed` retries while the server is still binding, so no sleep. *)
+  let code, out = run_cli [ "feed"; "--port"; string_of_int port; log ] in
+  Alcotest.(check int) "feed exits 0" 0 code;
+  Alcotest.(check bool) "feed reports server acks" true
+    (contains out "server acked");
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "serve exits 0 on SIGTERM" true
+    (status = Unix.WEXITED 0);
+  Alcotest.(check bool) "metrics flushed on the signal path" true
+    (Sys.file_exists metrics);
+  Alcotest.(check bool) "serve counters in the dump" true
+    (contains (read_file metrics) "refill_serve_frames_total");
+  Alcotest.(check bool) "flow outcomes written" true
+    (String.length (read_file emit) > 0)
+
 (* -- check ------------------------------------------------------------------ *)
 
 let baseline_path =
@@ -180,6 +222,11 @@ let () =
             malformed_log_still_dumps_metrics;
           Alcotest.test_case "missing file writes metrics" `Quick
             missing_file_still_dumps_metrics;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "SIGTERM exits 0 and flushes metrics" `Quick
+            serve_sigterm_flushes_metrics;
         ] );
       ( "check",
         [

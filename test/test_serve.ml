@@ -1,0 +1,435 @@
+(* The live ingestion server: wire framing, concurrent-feed byte-identity
+   against the offline stream, malformed-frame containment, SIGTERM-style
+   checkpoint/resume, read timeouts, and backpressure accounting.
+
+   Every test runs a real in-process server on an ephemeral loopback port
+   and talks to it over actual sockets — the same code paths `refill
+   serve` and `refill feed` exercise, minus the process boundary. *)
+
+module Serve = Refill_serve
+module Obs = Refill_obs
+
+let scenario = lazy (Scenario.Citysee.run Scenario.Citysee.tiny)
+
+let sink () = (Lazy.force scenario).sink
+
+let records =
+  lazy
+    (Logsys.Collected.merged_by_time
+       (Scenario.Citysee.collected (Lazy.force scenario)))
+
+(* Split the arrival-order trace into feed-sized chunks. *)
+let chunks ~chunk =
+  let all = Lazy.force records in
+  let n = Array.length all in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let len = min chunk (n - i) in
+      go (i + len) (Array.sub all i len :: acc)
+  in
+  go 0 []
+
+let test_config =
+  {
+    Refill.Config.default with
+    watermark = 2_000;
+    shards = 2;
+    late_retention = Some 8_000;
+  }
+
+(* Emit sink capturing lines in memory; [close] is a no-op so the
+   buffer survives [Server.wait]. *)
+let buffer_sink b =
+  {
+    Serve.Emit.write =
+      (fun l ->
+        Buffer.add_string b l;
+        Buffer.add_char b '\n');
+    close = ignore;
+  }
+
+(* The offline reference: the same Driver the CLI's `reconstruct
+   --stream` uses, fed the same chunk sequence, emitting through the
+   same line formatter. *)
+let offline_emit ?(config = test_config) ?(finish = true) chunk_list =
+  let b = Buffer.create 4096 in
+  let s = buffer_sink b in
+  let d =
+    Serve.Driver.create ~config ~sink:(sink ())
+      ~emit:(fun e -> Serve.Emit.emit_to s e)
+      ()
+  in
+  List.iter d.feed chunk_list;
+  if finish then ignore (d.finish ());
+  (Buffer.contents b, d)
+
+let start_server ?(config = test_config) ?checkpoint ?(queue_capacity = 64)
+    ?(read_timeout = 5.0) ?on_segment ?http_port buf =
+  match
+    Serve.Server.start
+      {
+        Serve.Server.default_config with
+        stream = config;
+        sink = sink ();
+        emit = buffer_sink buf;
+        checkpoint;
+        queue_capacity;
+        read_timeout;
+        on_segment;
+        http_port;
+      }
+  with
+  | Ok srv -> srv
+  | Error e -> Alcotest.failf "server start: %s" (Refill.Error.message e)
+
+let counter_delta c f =
+  let before = Obs.Metrics.Counter.value c in
+  let r = f () in
+  (r, Obs.Metrics.Counter.value c - before)
+
+(* -- wire framing ------------------------------------------------------------ *)
+
+let wire_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+  @@ fun () ->
+  Serve.Wire.send_client_greeting a;
+  Serve.Wire.expect_client_greeting b;
+  Serve.Wire.send_server_greeting b ~max_frame:123_456;
+  Alcotest.(check int) "negotiated" 123_456 (Serve.Wire.expect_server_greeting a);
+  let payload = Bytes.of_string "hello frames" in
+  Serve.Wire.write_frame a ~typ:Serve.Wire.frame_data payload;
+  let typ, got = Serve.Wire.read_frame b ~max_payload:1024 in
+  Alcotest.(check char) "type" Serve.Wire.frame_data typ;
+  Alcotest.(check string) "payload" "hello frames" (Bytes.to_string got);
+  Serve.Wire.write_ack b { Serve.Wire.frames = 7; records = 991 };
+  let ack = Serve.Wire.read_ack a in
+  Alcotest.(check int) "ack frames" 7 ack.Serve.Wire.frames;
+  Alcotest.(check int) "ack records" 991 ack.Serve.Wire.records
+
+let wire_rejects_oversize () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+  @@ fun () ->
+  Serve.Wire.write_frame a ~typ:Serve.Wire.frame_data (Bytes.create 64);
+  match Serve.Wire.read_frame b ~max_payload:16 with
+  | _ -> Alcotest.fail "oversized frame accepted"
+  | exception Serve.Wire.Protocol_error _ -> ()
+
+(* -- concurrent feed byte-identity ------------------------------------------- *)
+
+(* N connections, chunks dealt round-robin, lockstep acks: connection
+   [j mod n] sends chunk [j] and waits for the ack before chunk [j+1]
+   goes out on the next connection.  The ack certifies the global stream
+   position, so the server must process exactly the offline chunk order —
+   and its emit stream must match the offline driver's byte for byte. *)
+let concurrent_feed_identical () =
+  let chunk_list = chunks ~chunk:97 in
+  let reference, refd = offline_emit chunk_list in
+  let buf = Buffer.create 4096 in
+  let srv = start_server buf in
+  let n = 3 in
+  let clients =
+    Array.init n (fun _ ->
+        Serve.Client.connect ~port:(Serve.Server.port srv) ())
+  in
+  List.iteri
+    (fun j seg -> ignore (Serve.Client.send clients.(j mod n) seg))
+    chunk_list;
+  Array.iter (fun c -> ignore (Serve.Client.finish c)) clients;
+  let summary = Serve.Server.stop srv in
+  Alcotest.(check int)
+    "records processed"
+    (refd.Serve.Driver.summary ()).Refill.Stream.events
+    summary.Refill.Stream.events;
+  Alcotest.(check string) "emit byte-identical" reference (Buffer.contents buf)
+
+(* -- malformed input containment --------------------------------------------- *)
+
+let with_raw_conn srv f =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Serve.Server.port srv));
+  f fd
+
+(* Reading until EOF proves the server closed the connection rather than
+   hanging or crashing. *)
+let read_to_eof fd =
+  let b = Bytes.create 4096 in
+  let rec go () = if Unix.read fd b 0 4096 > 0 then go () in
+  try go () with Unix.Unix_error _ -> ()
+
+let fuzz_survives () =
+  let buf = Buffer.create 4096 in
+  let srv = start_server ~read_timeout:1.0 buf in
+  let port = Serve.Server.port srv in
+  (* Bad magic. *)
+  with_raw_conn srv (fun fd ->
+      Serve.Wire.write_string fd "refill-wire v9\n";
+      read_to_eof fd);
+  (* Valid handshake, then an unknown frame type. *)
+  with_raw_conn srv (fun fd ->
+      Serve.Wire.send_client_greeting fd;
+      ignore (Serve.Wire.expect_server_greeting fd);
+      Serve.Wire.write_frame fd ~typ:'Z' (Bytes.create 4);
+      read_to_eof fd);
+  (* Length claiming more than max-frame. *)
+  with_raw_conn srv (fun fd ->
+      Serve.Wire.send_client_greeting fd;
+      ignore (Serve.Wire.expect_server_greeting fd);
+      let hdr = Bytes.create 5 in
+      Bytes.set_int32_be hdr 0 0x7FFFFFFFl;
+      Bytes.set hdr 4 Serve.Wire.frame_data;
+      Serve.Wire.write_all fd hdr 0 5;
+      read_to_eof fd);
+  (* Garbage payload that is not a decodable segment. *)
+  with_raw_conn srv (fun fd ->
+      Serve.Wire.send_client_greeting fd;
+      ignore (Serve.Wire.expect_server_greeting fd);
+      Serve.Wire.write_frame fd ~typ:Serve.Wire.frame_data
+        (Bytes.of_string "\xff\xff\xff\xff not a segment");
+      read_to_eof fd);
+  (* Truncated frame: header promises more bytes than ever arrive. *)
+  with_raw_conn srv (fun fd ->
+      Serve.Wire.send_client_greeting fd;
+      ignore (Serve.Wire.expect_server_greeting fd);
+      let hdr = Bytes.create 5 in
+      Bytes.set_int32_be hdr 0 100l;
+      Bytes.set hdr 4 Serve.Wire.frame_data;
+      Serve.Wire.write_all fd hdr 0 5;
+      Serve.Wire.write_all fd (Bytes.create 10) 0 10;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      read_to_eof fd);
+  (* After all that, a well-behaved client still gets clean service. *)
+  let chunk_list = chunks ~chunk:512 in
+  let reference, refd = offline_emit chunk_list in
+  let c = Serve.Client.connect ~port () in
+  List.iter (fun seg -> ignore (Serve.Client.send c seg)) chunk_list;
+  ignore (Serve.Client.finish c);
+  let summary = Serve.Server.stop srv in
+  Alcotest.(check int)
+    "only the good client's records landed"
+    (refd.Serve.Driver.summary ()).Refill.Stream.events
+    summary.Refill.Stream.events;
+  Alcotest.(check string) "emit unaffected" reference (Buffer.contents buf)
+
+let read_timeout_kills_idle_conn () =
+  let buf = Buffer.create 64 in
+  let srv = start_server ~read_timeout:0.2 buf in
+  with_raw_conn srv (fun fd ->
+      Serve.Wire.send_client_greeting fd;
+      ignore (Serve.Wire.expect_server_greeting fd);
+      (* Send nothing; the server must hang up on us. *)
+      let t0 = Unix.gettimeofday () in
+      read_to_eof fd;
+      Alcotest.(check bool)
+        "hung up within ~5x the timeout"
+        true
+        (Unix.gettimeofday () -. t0 < 1.0));
+  ignore (Serve.Server.stop srv)
+
+(* -- checkpoint / resume ------------------------------------------------------ *)
+
+let checkpoint_resume_identical () =
+  let ckpt = Filename.temp_file "serve-test" ".ckpt" in
+  Sys.remove ckpt;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists ckpt then Sys.remove ckpt)
+  @@ fun () ->
+  let chunk_list = chunks ~chunk:173 in
+  let cut = List.length chunk_list / 2 in
+  let first = List.filteri (fun i _ -> i < cut) chunk_list in
+  let rest = List.filteri (fun i _ -> i >= cut) chunk_list in
+  (* Reference: one offline driver over the whole sequence, frontier left
+     open (serve-with-checkpoint never flushes) — what the two live runs
+     must jointly equal. *)
+  let reference, ref_driver = offline_emit ~finish:false chunk_list in
+  (* Live run 1: feed the first half, stop (checkpoint-and-exit). *)
+  let buf = Buffer.create 4096 in
+  let srv = start_server ~checkpoint:ckpt buf in
+  let c = Serve.Client.connect ~port:(Serve.Server.port srv) () in
+  List.iter (fun seg -> ignore (Serve.Client.send c seg)) first;
+  ignore (Serve.Client.finish c);
+  ignore (Serve.Server.stop srv);
+  let header ic =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+  in
+  Alcotest.(check string)
+    "v2 checkpoint written" "# refill-stream-ckpt v2"
+    (header (open_in ckpt));
+  (* Live run 2: resume from the checkpoint, feed the rest, stop. *)
+  let srv = start_server ~checkpoint:ckpt buf in
+  let c = Serve.Client.connect ~port:(Serve.Server.port srv) () in
+  List.iter (fun seg -> ignore (Serve.Client.send c seg)) rest;
+  ignore (Serve.Client.finish c);
+  let summary = Serve.Server.stop srv in
+  Alcotest.(check string)
+    "emit across restart byte-identical" reference (Buffer.contents buf);
+  (* Per-shard counter attribution is re-homed on resume (a checkpoint can
+     resume into any shard count), so compare the totals, not the file. *)
+  let totals (s : Refill.Stream.summary) =
+    [ s.events; s.flows; s.complete; s.incomplete ]
+  in
+  Alcotest.(check (list int))
+    "summary totals survive the restart"
+    (totals (ref_driver.Serve.Driver.summary ()))
+    (totals summary)
+
+(* -- backpressure ------------------------------------------------------------- *)
+
+let backpressure_bounds_inflight () =
+  let buf = Buffer.create 4096 in
+  (* A one-segment queue and a slow consumer: a pipelined client must
+     stall the socket, and the stall counter must say so. *)
+  let srv =
+    start_server ~queue_capacity:1
+      ~on_segment:(fun () -> Thread.delay 0.002)
+      buf
+  in
+  let chunk_list = chunks ~chunk:97 in
+  let _, refd = offline_emit chunk_list in
+  let (), stalls =
+    counter_delta Serve.Telemetry.backpressure_stalls_total (fun () ->
+        let c = Serve.Client.connect ~port:(Serve.Server.port srv) () in
+        List.iter (Serve.Client.send_nowait c) chunk_list;
+        ignore (Serve.Client.finish c))
+  in
+  let summary = Serve.Server.stop srv in
+  Alcotest.(check bool) "stalled at least once" true (stalls > 0);
+  Alcotest.(check int)
+    "every record still landed"
+    (refd.Serve.Driver.summary ()).Refill.Stream.events
+    summary.Refill.Stream.events
+
+(* -- /metrics endpoint -------------------------------------------------------- *)
+
+let http_get ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Serve.Wire.write_string fd
+    (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path);
+  let b = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let n = Unix.read fd chunk 0 4096 in
+    if n > 0 then begin
+      Buffer.add_subbytes b chunk 0 n;
+      go ()
+    end
+  in
+  (try go () with Unix.Unix_error _ -> ());
+  Buffer.contents b
+
+let metrics_endpoint_serves () =
+  let buf = Buffer.create 4096 in
+  let srv = start_server ~http_port:0 buf in
+  let http_port =
+    match Serve.Server.http_port srv with
+    | Some p -> p
+    | None -> Alcotest.fail "no http port"
+  in
+  let c = Serve.Client.connect ~port:(Serve.Server.port srv) () in
+  ignore (Serve.Client.send c (Array.sub (Lazy.force records) 0 100));
+  let body = http_get ~port:http_port "/metrics" in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "200" true (contains body "200 OK");
+  Alcotest.(check bool)
+    "counter exposed" true
+    (contains body "refill_serve_frames_total");
+  Alcotest.(check bool)
+    "gauge exposed" true
+    (contains body "refill_serve_connections{state=\"streaming\"} 1");
+  Alcotest.(check bool)
+    "404 on unknown path" true
+    (contains (http_get ~port:http_port "/nope") "404");
+  ignore (Serve.Client.finish c);
+  ignore (Serve.Server.stop srv)
+
+(* -- emit publisher ------------------------------------------------------------ *)
+
+let emit_socket_streams_outcomes () =
+  let chunk_list = chunks ~chunk:512 in
+  let reference, _ = offline_emit chunk_list in
+  (* [publish] has no bound-port accessor, so use a fixed high port. *)
+  let port = 39_417 in
+  let pub = Serve.Emit.publish ~port in
+  let sub = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sub (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (* Give the accept thread a beat to register the subscriber. *)
+  Thread.delay 0.1;
+  let got = Buffer.create 4096 in
+  let reader =
+    Thread.create
+      (fun () ->
+        let b = Bytes.create 65536 in
+        let rec go () =
+          let n = try Unix.read sub b 0 65536 with Unix.Unix_error _ -> 0 in
+          if n > 0 then begin
+            Buffer.add_subbytes got b 0 n;
+            go ()
+          end
+        in
+        go ())
+      ()
+  in
+  String.split_on_char '\n' reference
+  |> List.iter (fun l -> if l <> "" then pub.Serve.Emit.write l);
+  (* Close disconnects the subscriber, ending the reader. *)
+  Thread.delay 0.2;
+  pub.Serve.Emit.close ();
+  Thread.join reader;
+  (try Unix.close sub with Unix.Unix_error _ -> ());
+  Alcotest.(check string)
+    "subscriber got every line" reference (Buffer.contents got)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "frame/greeting/ack roundtrip" `Quick
+            wire_roundtrip;
+          Alcotest.test_case "oversized frame rejected before read" `Quick
+            wire_rejects_oversize;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "3 lockstep connections equal offline stream"
+            `Quick concurrent_feed_identical;
+          Alcotest.test_case "checkpoint/resume across restart" `Quick
+            checkpoint_resume_identical;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "fuzzed frames kill the connection, not the \
+                              server"
+            `Quick fuzz_survives;
+          Alcotest.test_case "idle connection times out" `Quick
+            read_timeout_kills_idle_conn;
+        ] );
+      ( "flow-control",
+        [
+          Alcotest.test_case "full queue stalls the socket" `Quick
+            backpressure_bounds_inflight;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "/metrics endpoint" `Quick metrics_endpoint_serves;
+          Alcotest.test_case "emit publisher streams outcomes" `Quick
+            emit_socket_streams_outcomes;
+        ] );
+    ]
