@@ -69,12 +69,31 @@ let account t ~payload_len ~records =
   t.records_sent <- t.records_sent + records;
   t.bytes_sent <- t.bytes_sent + payload_len
 
+exception Record_too_large of { encoded : int; max_frame : int }
+
+let () =
+  Printexc.register_printer (function
+    | Record_too_large { encoded; max_frame } ->
+        Some
+          (Printf.sprintf
+             "Refill_serve.Client.Record_too_large: a single record encodes \
+              to %d bytes, above the negotiated max-frame of %d"
+             encoded max_frame)
+    | _ -> None)
+
 (* Split batches whose encoding exceeds the negotiated frame size; the
-   server sees the same record sequence either way. *)
+   server sees the same record sequence either way.  A single record that
+   cannot fit is a client-side error: sending it would only make the
+   server kill the connection, surfacing as a baffling EOF on the next
+   ack read. *)
 let rec each_frame t records k =
   let payload = Logsys.Codec.encode_segment records in
-  if Bytes.length payload <= t.max_frame || Array.length records <= 1 then
+  if Bytes.length payload <= t.max_frame then
     k ~payload ~records:(Array.length records)
+  else if Array.length records <= 1 then
+    raise
+      (Record_too_large
+         { encoded = Bytes.length payload; max_frame = t.max_frame })
   else begin
     let half = Array.length records / 2 in
     each_frame t (Array.sub records 0 half) k;

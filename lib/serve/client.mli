@@ -10,6 +10,12 @@
 
 type t
 
+exception Record_too_large of { encoded : int; max_frame : int }
+(** A single record's encoding exceeds the negotiated frame limit, so no
+    amount of batch splitting can make it sendable.  Raised by {!send} /
+    {!send_nowait} {e before} anything hits the wire — the server would
+    be guaranteed to reject the frame and kill the connection. *)
+
 type stats = {
   frames : int;
   records : int;
@@ -26,9 +32,12 @@ val max_frame : t -> int
 (** The server's negotiated frame-payload limit. *)
 
 val send : t -> Logsys.Record.t array -> Wire.ack
-(** Lockstep send; returns the server's cumulative ack. *)
+(** Lockstep send; returns the server's cumulative ack.
+    @raise Record_too_large before sending anything when one record
+    cannot fit the negotiated frame. *)
 
 val send_nowait : t -> Logsys.Record.t array -> unit
+(** @raise Record_too_large as {!send}. *)
 
 val drain_acks : t -> Wire.ack option
 (** Collect every outstanding pipelined ack; [None] if none were

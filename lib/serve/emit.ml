@@ -52,14 +52,28 @@ let to_file path =
 (* -- publish socket ---------------------------------------------------------
 
    A listener on [port]; every connected subscriber receives each line as
-   it is written.  Subscribers are best-effort: a write failure (closed
-   or stalled peer) drops that subscriber without disturbing the others
-   or the server.  Lines written while nobody is connected are dropped —
-   this is a tap, not a queue; durable capture is [to_file]. *)
+   it is written.  Subscribers are best-effort: a hard write failure
+   (closed peer) drops that subscriber without disturbing the others or
+   the server.  A subscriber whose socket buffer is momentarily full is
+   NOT dropped — the undelivered tail is kept in a bounded per-subscriber
+   backlog and retried on the next write, so delivered lines are never
+   torn.  Only a peer that stays stalled past [max_backlog] bytes is
+   dropped (its stream ends mid-line at the close, which is the only
+   option short of unbounded buffering).  Lines written while nobody is
+   connected are dropped — this is a tap, not a queue; durable capture is
+   [to_file]. *)
+
+let max_backlog = 1 lsl 18
+
+type subscriber = {
+  sfd : Unix.file_descr;
+  mutable pending : Bytes.t;  (** Accepted but not yet written bytes. *)
+  mutable off : int;  (** Next byte of [pending] to write. *)
+}
 
 type publisher = {
   listen_fd : Unix.file_descr;
-  mutable subs : Unix.file_descr list;
+  mutable subs : subscriber list;
   mutable stopped : bool;
   mu : Mutex.t;
 }
@@ -80,38 +94,72 @@ let publisher_accept_loop p =
             end
             else begin
               (* Non-blocking so a stalled subscriber surfaces as EAGAIN
-                 on write (and is dropped) instead of wedging emission. *)
+                 on write (and is buffered, then dropped if it stays
+                 stalled) instead of wedging emission. *)
               Unix.set_nonblock fd;
-              p.subs <- fd :: p.subs
+              p.subs <- { sfd = fd; pending = Bytes.create 0; off = 0 } :: p.subs
             end)
     | exception Unix.Unix_error _ -> continue := false
   done
 
+(* Queue [payload] behind whatever is still undelivered, then push as
+   much as the socket accepts.  Returns [false] (subscriber must be
+   dropped, fd closed) on a hard write error or a backlog past
+   [max_backlog]; EAGAIN with a tolerable backlog keeps the subscriber
+   and the tail. *)
+let subscriber_write s payload =
+  let backlog = Bytes.length s.pending - s.off in
+  if backlog = 0 then begin
+    s.pending <- payload;
+    s.off <- 0
+  end
+  else begin
+    let merged = Bytes.create (backlog + Bytes.length payload) in
+    Bytes.blit s.pending s.off merged 0 backlog;
+    Bytes.blit payload 0 merged backlog (Bytes.length payload);
+    s.pending <- merged;
+    s.off <- 0
+  end;
+  let len = Bytes.length s.pending in
+  let rec flush () =
+    if s.off >= len then true
+    else
+      match Unix.write s.sfd s.pending s.off (len - s.off) with
+      | n ->
+          s.off <- s.off + n;
+          flush ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          len - s.off <= max_backlog
+  in
+  match flush () with
+  | keep ->
+      if not keep then (try Unix.close s.sfd with Unix.Unix_error _ -> ());
+      keep
+  | exception Unix.Unix_error _ ->
+      (try Unix.close s.sfd with Unix.Unix_error _ -> ());
+      false
+
 let publish ~port =
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen listen_fd 16;
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
   let p = { listen_fd; subs = []; stopped = false; mu = Mutex.create () } in
   let _accepter : Thread.t = Thread.create publisher_accept_loop p in
   let write l =
     let payload = Bytes.unsafe_of_string (l ^ "\n") in
     locked p.mu (fun () ->
-        p.subs <-
-          List.filter
-            (fun fd ->
-              match Wire.write_all fd payload 0 (Bytes.length payload) with
-              | () -> true
-              | exception Unix.Unix_error _ ->
-                  (try Unix.close fd with Unix.Unix_error _ -> ());
-                  false)
-            p.subs)
+        p.subs <- List.filter (fun s -> subscriber_write s payload) p.subs)
   in
   let close () =
     locked p.mu (fun () ->
         p.stopped <- true;
         List.iter
-          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun s -> try Unix.close s.sfd with Unix.Unix_error _ -> ())
           p.subs;
         p.subs <- []);
     (* Closing the listener wakes the accept loop with EBADF. *)

@@ -28,8 +28,11 @@ val publish : port:int -> sink
 (** Listen on loopback [port]; every connected subscriber receives each
     subsequent line.  Best-effort tap, not a queue: lines written with no
     subscriber are dropped, and a subscriber whose socket errors is
-    dropped silently.  [close] disconnects subscribers and stops the
-    accept thread. *)
+    dropped silently.  A momentarily full subscriber socket is not an
+    error — the undelivered tail is buffered (bounded) and retried on the
+    next write, so a live subscriber never sees a torn line; only a peer
+    stalled past the backlog bound is dropped.  [close] disconnects
+    subscribers and stops the accept thread. *)
 
 val tee : sink -> sink -> sink
 

@@ -87,9 +87,13 @@ let accept_loop t ~routes =
 
 let start ~port ~routes =
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen listen_fd 16;
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
   let t = { listen_fd; stopped = false; mu = Mutex.create () } in
   let (_ : Thread.t) = Thread.create (fun () -> accept_loop t ~routes) () in
   t

@@ -200,15 +200,23 @@ let ingest_loop t (driver : Driver.t) =
   done;
   (* Drain: connections may still be completing their final push.  Every
      conn exit posts a Tick, so a blocking pop here always wakes; loop
-     until no connection is live and the queue is empty. *)
+     until no connection is live and the queue is empty.
+
+     Liveness MUST be read before the queue is checked: a connection only
+     leaves the registry after its final push (and ack), so observing
+     live = 0 and then an empty queue proves no acked segment is still in
+     flight.  The reverse order races — between an empty pop and the
+     liveness read, a connection could push its last segment, ack it, and
+     exit, and the acked segment would be dropped from the final
+     checkpoint. *)
   let drained = ref false in
   while not !drained do
+    let live = Mutex.protect t.conns_mu (fun () -> t.live_conns) in
     match Ingest.pop_opt t.queue with
     | Some (Ingest.Segment sg) -> feed_segment t driver sg
     | Some (Ingest.Tick | Ingest.Stop) -> ()
     | None ->
-        if Mutex.protect t.conns_mu (fun () -> t.live_conns) = 0 then
-          drained := true
+        if live = 0 then drained := true
         else begin
           match Ingest.pop t.queue with
           | Ingest.Segment sg -> feed_segment t driver sg
@@ -225,17 +233,27 @@ let ingest_loop t (driver : Driver.t) =
 
 let listen_on port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen fd 64;
-  let bound =
-    match Unix.getsockname fd with
-    | Unix.ADDR_INET (_, p) -> p
-    | Unix.ADDR_UNIX _ -> assert false
-  in
-  (fd, bound)
+  try
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 64;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> assert false
+    in
+    (fd, bound)
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
 
 let start cfg =
+  (* A peer vanishing mid-write — a feeder gone before its ack, an emit
+     subscriber that hung up, a curl that abandoned /metrics, or our own
+     shutdown_conns racing a conn thread's last ack — must surface as
+     EPIPE on that write (handled per connection / per subscriber), not
+     as a SIGPIPE that kills the whole daemon. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let emit e = Emit.emit_to cfg.emit e in
   let driver_r =
     match cfg.checkpoint with
@@ -259,12 +277,28 @@ let start cfg =
                  path = Printf.sprintf "tcp://127.0.0.1:%d" cfg.port;
                  message = Unix.error_message e;
                })
-      | listen_fd, lport ->
-          let http =
-            Option.map
-              (fun p -> Http.start ~port:p ~routes:(Http.metrics_routes ()))
-              cfg.http_port
+      | listen_fd, lport -> (
+          (* A busy --http-port must fail like a busy wire port: an
+             [Error], with the already-bound wire listener closed, not an
+             exception leaking the fd. *)
+          let http_r =
+            match cfg.http_port with
+            | None -> Ok None
+            | Some p -> (
+                match Http.start ~port:p ~routes:(Http.metrics_routes ()) with
+                | h -> Ok (Some h)
+                | exception Unix.Unix_error (e, _, _) ->
+                    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+                    Error
+                      (Refill.Error.Io
+                         {
+                           path = Printf.sprintf "http://127.0.0.1:%d" p;
+                           message = Unix.error_message e;
+                         }))
           in
+          match http_r with
+          | Error e -> Error e
+          | Ok http ->
           let queue = Ingest.create ~capacity:cfg.queue_capacity in
           let t =
             {
@@ -301,7 +335,7 @@ let start cfg =
           Obs.Log.info "serve: listening on 127.0.0.1:%d (%d shard%s)" lport
             driver.Driver.shards
             (if driver.Driver.shards = 1 then "" else "s");
-          Ok t)
+          Ok t))
 
 let request_stop t = Atomic.set t.stop_flag true
 

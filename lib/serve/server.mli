@@ -43,8 +43,12 @@ type t
 
 val start : config -> (t, Refill.Error.t) result
 (** Bind, resume from [checkpoint] if the file exists, and spin up the
-    accept / ingest / timer threads.  [Error] on a bind failure
-    ([Io]) or an unusable checkpoint ([Bad_checkpoint]). *)
+    accept / ingest / timer threads.  [Error] on a bind failure of either
+    listener ([Io]) or an unusable checkpoint ([Bad_checkpoint]).
+
+    Sets the process SIGPIPE disposition to ignore: a peer that vanishes
+    mid-write must surface as [EPIPE] on that connection, not kill the
+    daemon. *)
 
 val port : t -> int
 (** The bound wire port (useful with [port = 0]). *)

@@ -65,17 +65,19 @@ let offline_emit ?(config = test_config) ?(finish = true) chunk_list =
   (Buffer.contents b, d)
 
 let start_server ?(config = test_config) ?checkpoint ?(queue_capacity = 64)
-    ?(read_timeout = 5.0) ?on_segment ?http_port buf =
+    ?(read_timeout = 5.0) ?(max_frame = Serve.Wire.default_max_frame)
+    ?on_segment ?http_port ?emit buf =
   match
     Serve.Server.start
       {
         Serve.Server.default_config with
         stream = config;
         sink = sink ();
-        emit = buffer_sink buf;
+        emit = Option.value emit ~default:(buffer_sink buf);
         checkpoint;
         queue_capacity;
         read_timeout;
+        max_frame;
         on_segment;
         http_port;
       }
@@ -396,6 +398,83 @@ let emit_socket_streams_outcomes () =
   Alcotest.(check string)
     "subscriber got every line" reference (Buffer.contents got)
 
+(* A subscriber that hangs up mid-run turns the publisher's next writes
+   into EPIPE; with SIGPIPE left at its default disposition that is a
+   process-killing signal, not a per-subscriber error.  The server (and
+   this test binary) must survive and the durable emit stream must be
+   unaffected. *)
+let emit_subscriber_hangup_survives () =
+  let chunk_list = chunks ~chunk:97 in
+  let reference, refd = offline_emit chunk_list in
+  let pub_port = 39_423 in
+  let pub = Serve.Emit.publish ~port:pub_port in
+  let buf = Buffer.create 4096 in
+  let srv =
+    start_server ~emit:(Serve.Emit.tee (buffer_sink buf) pub) buf
+  in
+  let sub = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sub (Unix.ADDR_INET (Unix.inet_addr_loopback, pub_port));
+  (* Let the accept thread register the subscriber, then vanish. *)
+  Thread.delay 0.1;
+  Unix.close sub;
+  let c = Serve.Client.connect ~port:(Serve.Server.port srv) () in
+  List.iter (fun seg -> ignore (Serve.Client.send c seg)) chunk_list;
+  ignore (Serve.Client.finish c);
+  let summary = Serve.Server.stop srv in
+  Alcotest.(check int)
+    "every record still landed"
+    (refd.Serve.Driver.summary ()).Refill.Stream.events
+    summary.Refill.Stream.events;
+  Alcotest.(check string)
+    "durable emit unaffected by the hangup" reference (Buffer.contents buf)
+
+(* -- startup failure ----------------------------------------------------------- *)
+
+let http_port_busy_is_error () =
+  let blocker = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close blocker with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.bind blocker (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen blocker 1;
+  let busy =
+    match Unix.getsockname blocker with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  match
+    Serve.Server.start
+      {
+        Serve.Server.default_config with
+        stream = test_config;
+        sink = sink ();
+        http_port = Some busy;
+      }
+  with
+  | Ok srv ->
+      ignore (Serve.Server.stop srv);
+      Alcotest.fail "server started despite a busy --http-port"
+  | Error (Refill.Error.Io _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Refill.Error.message e)
+
+(* -- client-side frame limit --------------------------------------------------- *)
+
+let oversized_record_fails_before_send () =
+  let buf = Buffer.create 64 in
+  (* A 4-byte frame limit: no record encoding can fit, but the empty
+     end-of-stream frame still does. *)
+  let srv = start_server ~max_frame:4 buf in
+  let c = Serve.Client.connect ~port:(Serve.Server.port srv) () in
+  Alcotest.(check int) "negotiated the tiny limit" 4 (Serve.Client.max_frame c);
+  (match Serve.Client.send c (Array.sub (Lazy.force records) 0 1) with
+  | _ -> Alcotest.fail "unsendable record was sent anyway"
+  | exception Serve.Client.Record_too_large { encoded; max_frame } ->
+      Alcotest.(check bool) "reported sizes coherent" true (encoded > max_frame));
+  (* Nothing hit the wire, so the connection is still clean. *)
+  let ack = Serve.Client.finish c in
+  Alcotest.(check int) "no frames accepted" 0 ack.Serve.Wire.frames;
+  ignore (Serve.Server.stop srv)
+
 let () =
   Alcotest.run "serve"
     [
@@ -420,6 +499,14 @@ let () =
             `Quick fuzz_survives;
           Alcotest.test_case "idle connection times out" `Quick
             read_timeout_kills_idle_conn;
+          Alcotest.test_case "emit subscriber hangup does not kill the \
+                              server (SIGPIPE)"
+            `Quick emit_subscriber_hangup_survives;
+          Alcotest.test_case "busy --http-port is a clean Error" `Quick
+            http_port_busy_is_error;
+          Alcotest.test_case "oversized record fails client-side before \
+                              sending"
+            `Quick oversized_record_fails_before_send;
         ] );
       ( "flow-control",
         [
